@@ -1,0 +1,54 @@
+"""Figure 1 — cumulative flow arrivals in one interval; boundary splitting.
+
+Paper: the cumulative /24-flow arrival curve over a 30-minute interval is
+linear except for an initial jump (~15,000 of 680,000 flows) caused by
+flows split at the interval boundary.
+Here: one scaled interval; the warm-up flows of the synthesiser play the
+role of the previous interval's traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_header, run_once
+
+from repro.experiments import SCALED_TIMEOUT, fig1_flow_splitting
+from repro.flows import export_prefix_flows
+
+
+def test_fig01_cumulative_arrivals_and_split_excess(benchmark, reference_trace):
+    def build():
+        flows = export_prefix_flows(reference_trace, timeout=SCALED_TIMEOUT)
+        return flows, fig1_flow_splitting(flows, reference_trace.duration)
+
+    flows, data = run_once(benchmark, build)
+
+    print_header("FIGURE 1 - cumulative number of flows during one interval")
+    marks = np.linspace(0, data.times.size - 1, 7).astype(int)
+    for i in marks:
+        print(f"  t = {data.times[i]:7.1f} s   cumulative flows = {data.cumulative[i]:6d}")
+    print("  zoom (first 1/30 of the interval):")
+    zoom_marks = np.linspace(0, data.zoom_times.size - 1, 5).astype(int)
+    for i in zoom_marks:
+        print(
+            f"  t = {data.zoom_times[i]:7.2f} s   cumulative flows = "
+            f"{data.zoom_cumulative[i]:6d}"
+        )
+    excess = data.excess
+    print(
+        f"  head flows: {excess.head_count}  expected (steady): "
+        f"{excess.expected_head_count:.0f}  excess: {excess.excess:.0f} "
+        f"({excess.fraction_of_total:.2%} of {len(flows)} flows)"
+    )
+    # paper shape: a positive but marginal early excess (~2% of flows)
+    assert excess.excess > 0
+    assert excess.fraction_of_total < 0.15
+    # arrival rate pretty constant afterwards: last 80% of the curve is
+    # nearly linear (R^2 of a straight-line fit)
+    tail = slice(data.times.size // 5, None)
+    coeffs = np.polyfit(data.times[tail], data.cumulative[tail], 1)
+    fit = np.polyval(coeffs, data.times[tail])
+    residual = data.cumulative[tail] - fit
+    r2 = 1.0 - residual.var() / data.cumulative[tail].var()
+    print(f"  linearity of the steady part: R^2 = {r2:.4f}")
+    assert r2 > 0.99

@@ -1,0 +1,34 @@
+"""Figure 2 — traffic modeled as a multiplexing of flows ("shots").
+
+Paper: a cartoon of the model: flows arrive at T_n, transmit X_n(t - T_n),
+and the link rate is the superposition.
+Here: a small deterministic construction with the invariants checked
+numerically (each shot integrates to its flow size; the total is the sum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_header, run_once
+
+from repro.experiments import fig2_shot_construction
+
+
+def test_fig02_shot_noise_construction(benchmark):
+    data = run_once(benchmark, lambda: fig2_shot_construction(n_flows=4))
+
+    print_header("FIGURE 2 - shot-noise construction (4 flows)")
+    for i, (t, s, d) in enumerate(
+        zip(data.arrival_times, data.sizes, data.durations)
+    ):
+        print(f"  flow {i}: T = {t:5.2f} s  S = {s / 1e3:6.1f} kB  D = {d:5.2f} s")
+    peak = data.total_rate.max()
+    print(f"  total rate peak: {peak / 1e3:.1f} kB/s at "
+          f"t = {data.grid[np.argmax(data.total_rate)]:.2f} s")
+
+    np.testing.assert_allclose(
+        data.total_rate, data.per_flow_rates.sum(axis=0)
+    )
+    for i in range(data.sizes.size):
+        integral = np.trapezoid(data.per_flow_rates[i], data.grid)
+        assert abs(integral / data.sizes[i] - 1.0) < 0.05

@@ -1,0 +1,55 @@
+"""Figures 3-4 — Poisson-ness of flow arrivals (Assumption 1).
+
+Paper: qq-plots of flow inter-arrival times against the exponential
+distribution and their lag correlograms, for 5-tuple (Fig 3) and /24
+prefix (Fig 4) flows; both show a close exponential fit and negligible
+correlation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import print_header, run_once
+
+from repro.experiments import SCALED_TIMEOUT, fig3_4_interarrivals
+from repro.flows import export_flows
+from repro.stats import exponentiality
+
+
+@pytest.mark.parametrize(
+    "figure,flow_kind", [("FIGURE 3", "five_tuple"), ("FIGURE 4", "prefix")]
+)
+def test_fig03_04_interarrival_poissonness(
+    benchmark, reference_trace, figure, flow_kind
+):
+    def build():
+        flows = export_flows(
+            reference_trace, key=flow_kind, timeout=SCALED_TIMEOUT
+        )
+        return flows, fig3_4_interarrivals(flows)
+
+    flows, data = run_once(benchmark, build)
+
+    print_header(f"{figure} - inter-arrival times, {flow_kind} flows")
+    print(f"  flows: {len(flows)}  mean inter-arrival: "
+          f"{data.mean_interarrival * 1e3:.2f} ms")
+    print("  qq-plot vs exponential (normalised quantiles):")
+    idx = np.linspace(0, data.qq.probabilities.size - 1, 6).astype(int)
+    for i in idx:
+        print(
+            f"    p = {data.qq.probabilities[i]:5.3f}  measured = "
+            f"{data.qq.normalized_empirical[i]:6.3f}  exponential = "
+            f"{data.qq.normalized_theoretical[i]:6.3f}"
+        )
+    print(f"  qq correlation: {data.qq.correlation:.5f}")
+    rho_str = " ".join(f"{r:+.3f}" for r in data.autocorrelation[1:8])
+    print(f"  autocorrelation lags 1-7: {rho_str}")
+
+    report = exponentiality(flows.interarrival_times)
+    print(f"  CoV of inter-arrivals: {report.cov:.3f} (exponential -> 1)")
+
+    # paper conclusion: close to Poisson
+    assert data.qq.correlation > 0.99
+    assert np.all(np.abs(data.autocorrelation[1:]) < 0.15)
+    assert 0.8 < report.cov < 1.25

@@ -1,0 +1,57 @@
+"""Figures 5-6 — iid-ness of flow sizes and durations (Assumption 2).
+
+Paper: the autocorrelation of the sequences {S_n} and {D_n} (in arrival
+order) drops to ~zero after lag 0 for both flow definitions, supporting
+the iid assumption — even though S and D of the *same* flow are strongly
+dependent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import print_header, run_once
+
+from repro.experiments import SCALED_TIMEOUT, fig5_6_sequence_correlation
+from repro.flows import export_flows
+from repro.stats import cross_correlation
+
+
+@pytest.mark.parametrize(
+    "figure,flow_kind", [("FIGURE 5", "five_tuple"), ("FIGURE 6", "prefix")]
+)
+def test_fig05_06_sequence_correlograms(
+    benchmark, reference_trace, figure, flow_kind
+):
+    def build():
+        flows = export_flows(
+            reference_trace, key=flow_kind, timeout=SCALED_TIMEOUT
+        )
+        return flows, fig5_6_sequence_correlation(flows)
+
+    flows, data = run_once(benchmark, build)
+
+    print_header(f"{figure} - serial correlation of flow sizes/durations, "
+                 f"{flow_kind}")
+    dur = " ".join(f"{r:+.3f}" for r in data.duration_autocorrelation[1:8])
+    siz = " ".join(f"{r:+.3f}" for r in data.size_autocorrelation[1:8])
+    print(f"  duration sequence lags 1-7: {dur}")
+    print(f"  size     sequence lags 1-7: {siz}")
+    same_flow = cross_correlation(
+        np.log(flows.sizes), np.log(flows.durations)
+    )
+    print(f"  (same-flow log-size vs log-duration correlation: {same_flow:.2f})")
+
+    # paper: correlation drops quickly to zero after lag 0.  Our /24
+    # substrate keeps a mild short-lag correlation (hot-prefix flows
+    # restart on similar schedules, see EXPERIMENTS.md), so the check is
+    # "small at lag 1, near zero past lag 5".
+    if flow_kind == "five_tuple":
+        assert np.all(np.abs(data.duration_autocorrelation[1:]) < 0.25)
+        assert np.all(np.abs(data.size_autocorrelation[1:]) < 0.25)
+    else:
+        assert abs(data.duration_autocorrelation[1]) < 0.55
+        assert np.mean(np.abs(data.duration_autocorrelation[6:])) < 0.20
+        assert np.mean(np.abs(data.size_autocorrelation[6:])) < 0.20
+    # ... while S and D of one flow remain dependent (bigger flow, longer)
+    assert same_flow > 0.3

@@ -1,0 +1,38 @@
+"""Figure 7 — the simple shot models (rectangular/triangular/power).
+
+Paper: four shot shapes for a flow of size S and duration D: rectangular
+(b=0), triangular (b=1), sublinear (b<1), superlinear (b>1).
+Here: the normalised profiles plus the invariants behind them — unit
+integral (constraint (5)) and the (b+1)^2/(2b+1) variance factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_header, run_once
+
+from repro.core import PowerShot, variance_shape_factor
+from repro.experiments import fig7_shot_shapes
+
+
+def test_fig07_shot_shapes(benchmark):
+    shapes = run_once(benchmark, fig7_shot_shapes)
+
+    print_header("FIGURE 7 - power shot profiles g(v) and variance factors")
+    v = np.linspace(0.0, 1.0, 101)
+    grid_points = [0.0, 0.25, 0.5, 0.75, 1.0]
+    header = "  b     " + "".join(f" g({p:4.2f})" for p in grid_points)
+    print(header + "   (b+1)^2/(2b+1)")
+    for b in sorted(shapes):
+        shot = PowerShot(b)
+        values = " ".join(f"{shot.profile(np.array([p]))[0]:7.3f}" for p in grid_points)
+        print(f"  {b:4.2f}  {values}        {variance_shape_factor(b):7.4f}")
+
+    for b, profile in shapes.items():
+        assert np.trapezoid(profile, v) == (
+            __import__("pytest").approx(1.0, rel=0.02)
+        )
+    # paper anchors
+    assert variance_shape_factor(0.0) == 1.0
+    assert abs(variance_shape_factor(1.0) - 4.0 / 3.0) < 1e-12
+    assert abs(variance_shape_factor(2.0) - 9.0 / 5.0) < 1e-12

@@ -1,0 +1,49 @@
+"""Figure 8 — autocorrelation coefficient of the total rate (Theorem 2).
+
+Paper: rho(tau) over tau in [0, 400] ms for b = 0, 1, 2, computed from one
+interval's measured flow (S, D) sample; the coefficient decreases slowly,
+more slowly for /24 prefix flows (longer durations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import print_header, run_once
+
+from repro.experiments import SCALED_TIMEOUT, fig8_rate_autocorrelation
+from repro.flows import export_flows
+
+
+@pytest.mark.parametrize("flow_kind", ["five_tuple", "prefix"])
+def test_fig08_rate_autocorrelation(benchmark, reference_trace, flow_kind):
+    def build():
+        flows = export_flows(
+            reference_trace, key=flow_kind, timeout=SCALED_TIMEOUT
+        )
+        return flows, fig8_rate_autocorrelation(
+            flows, reference_trace.duration, max_lag=0.4, n_points=9
+        )
+
+    flows, (lags, curves) = run_once(benchmark, build)
+
+    print_header(f"FIGURE 8 - autocorrelation of the total rate, {flow_kind}")
+    print("  tau(ms)   " + "   ".join(f"b={b:g}" for b in sorted(curves)))
+    for i, tau in enumerate(lags):
+        row = "  ".join(f"{curves[b][i]:6.3f}" for b in sorted(curves))
+        print(f"  {tau * 1e3:7.1f}  {row}")
+
+    for b, rho in curves.items():
+        assert rho[0] == pytest.approx(1.0, abs=1e-6)
+        assert np.all(np.diff(rho) <= 1e-9)  # monotone decay
+        assert rho[-1] > 0.5  # still high at 400 ms, as in the paper
+
+    if flow_kind == "prefix":
+        # paper: decay is slower for /24 flows (longer durations)
+        five_tuple_flows = export_flows(
+            reference_trace, key="five_tuple", timeout=SCALED_TIMEOUT
+        )
+        _, ft_curves = fig8_rate_autocorrelation(
+            five_tuple_flows, reference_trace.duration, max_lag=0.4, n_points=9
+        )
+        assert curves[1.0][-1] > ft_curves[1.0][-1]

@@ -1,0 +1,97 @@
+"""Figures 9, 10, 12, 13 — model vs measured coefficient of variation.
+
+Paper: scatter plots of model CoV against measured CoV over all 30-minute
+intervals; points cluster by link utilisation (crosses < 50 Mbps,
+triangles 50-125 Mbps, dots > 125 Mbps):
+
+* Fig 9  — 5-tuple flows, triangular shots (b=1): often under-estimates;
+* Fig 10 — 5-tuple flows, parabolic shots (b=2): good match;
+* Fig 12 — /24 prefix flows, rectangular shots (b=0): good match;
+* Fig 13 — /24 prefix flows, triangular shots (b=1).
+
+The dashed lines of the figures are a +-20% error band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import print_header, run_once
+
+from repro.experiments import fig9_13_scatter
+
+
+def summarise(scatter, label: str) -> None:
+    print_header(label)
+    print(f"{'cluster':>8s} {'points':>7s} {'measured CoV':>14s} "
+          f"{'model CoV':>11s}")
+    for cls in ("low", "medium", "high"):
+        mask = np.array([c == cls for c in scatter.classes])
+        if not mask.any():
+            continue
+        print(
+            f"{cls:>8s} {int(mask.sum()):7d} "
+            f"{scatter.measured[mask].mean():13.1%} "
+            f"{scatter.modeled[mask].mean():10.1%}"
+        )
+    print(f"  within +-20% band: {scatter.within_20pct:.0%}   "
+          f"mean relative error: {scatter.mean_relative_error:+.1%}")
+
+
+@pytest.mark.parametrize("power,figure", [(1.0, "FIGURE 9"), (2.0, "FIGURE 10")])
+def test_fig09_10_five_tuple_cov(
+    benchmark, validation_points_5tuple, power, figure
+):
+    scatter = run_once(
+        benchmark, lambda: fig9_13_scatter(validation_points_5tuple, power)
+    )
+    summarise(scatter, f"{figure} - CoV, 5-tuple flows, b = {power:g}")
+
+    # paper shape 1: clusters ordered by utilisation (low util = most bursty)
+    by_class = {
+        cls: scatter.measured[np.array([c == cls for c in scatter.classes])]
+        for cls in ("low", "medium", "high")
+    }
+    assert by_class["low"].mean() > by_class["medium"].mean() > (
+        by_class["high"].mean()
+    )
+    # paper shape 2: most points within/near the 20% band
+    assert scatter.within_20pct >= 0.5
+
+
+def test_fig10_parabolic_beats_triangular_bias(
+    benchmark, validation_points_5tuple
+):
+    """Paper: triangular under-estimates 5-tuple CoV; parabolic closes most
+    of that gap (its mean error is less negative)."""
+    tri, para = run_once(
+        benchmark,
+        lambda: (
+            fig9_13_scatter(validation_points_5tuple, 1.0),
+            fig9_13_scatter(validation_points_5tuple, 2.0),
+        ),
+    )
+    print_header("FIGURE 9 vs 10 - shot-shape bias on 5-tuple flows")
+    print(f"  triangular mean relative error: {tri.mean_relative_error:+.1%}")
+    print(f"  parabolic  mean relative error: {para.mean_relative_error:+.1%}")
+    assert tri.mean_relative_error < para.mean_relative_error
+
+
+@pytest.mark.parametrize("power,figure", [(0.0, "FIGURE 12"), (1.0, "FIGURE 13")])
+def test_fig12_13_prefix_cov(
+    benchmark, validation_points_prefix, power, figure
+):
+    scatter = run_once(
+        benchmark, lambda: fig9_13_scatter(validation_points_prefix, power)
+    )
+    summarise(scatter, f"{figure} - CoV, /24 prefix flows, b = {power:g}")
+
+    by_class = {
+        cls: scatter.measured[np.array([c == cls for c in scatter.classes])]
+        for cls in ("low", "medium", "high")
+    }
+    assert by_class["low"].mean() > by_class["high"].mean()
+    # paper: rectangular shots suffice at the prefix aggregation level
+    if power == 0.0:
+        assert abs(scatter.mean_relative_error) < 0.35
+        assert scatter.within_20pct >= 0.4

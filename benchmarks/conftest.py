@@ -1,0 +1,52 @@
+"""Shared fixtures for the per-figure/per-table benchmarks.
+
+Heavy inputs (the 7-link validation sweep) are computed once per session
+and reused by several benchmarks.  Every benchmark prints the rows/series
+the corresponding paper exhibit reports, so `pytest benchmarks/
+--benchmark-only -s` doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_cov_validation
+from repro.netsim import medium_utilization_link
+
+#: Seeds per workload for the validation scatter (more points, more runtime).
+VALIDATION_SEEDS = (0, 1)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def validation_points_5tuple():
+    return run_cov_validation(flow_kind="five_tuple", seeds=VALIDATION_SEEDS)
+
+
+@pytest.fixture(scope="session")
+def validation_points_prefix():
+    return run_cov_validation(flow_kind="prefix", seeds=VALIDATION_SEEDS)
+
+
+@pytest.fixture(scope="session")
+def reference_synthesis():
+    """One 120 s medium-utilisation interval shared by figure benches."""
+    return medium_utilization_link(duration=120.0).synthesize(seed=42)
+
+
+@pytest.fixture(scope="session")
+def reference_trace(reference_synthesis):
+    return reference_synthesis.trace
+
+
+def run_once(benchmark, fn):
+    """Run a benchmark body exactly once (workloads are too heavy for the
+    default calibrating repetition) and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

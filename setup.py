@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (``python setup.py develop``).
+
+All real metadata lives in pyproject.toml; this file only exists so the
+package can be installed in environments without the ``wheel`` package
+(e.g. fully offline boxes where pip cannot build PEP 660 editable wheels).
+"""
+
+from setuptools import setup
+
+setup()

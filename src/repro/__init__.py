@@ -1,0 +1,136 @@
+"""repro — full reproduction of Barakat et al., "A flow-based model for
+Internet backbone traffic" (IMC 2002).
+
+The package models the aggregate rate of an uncongested IP backbone link as
+a Poisson shot-noise process driven by flow-level statistics, and rebuilds
+every substrate the paper's evaluation depends on: a synthetic backbone
+packet-trace generator, NetFlow-style flow accounting, rate measurement,
+linear prediction and network-engineering applications.
+
+Quickstart::
+
+    import repro
+
+    trace = repro.netsim.workloads.medium_utilization_link(seed=1).synthesize()
+    flows = repro.flows.export_five_tuple_flows(trace.packets)
+    model = repro.PoissonShotNoiseModel.from_flows(
+        [f.size_bytes for f in flows], [f.duration for f in flows],
+        interval_length=trace.duration, shot=repro.ParabolicShot(),
+    )
+    print(model.mean, model.coefficient_of_variation)
+
+Subpackages
+-----------
+core
+    The shot-noise model: Theorems 1-3, Corollaries 1-3, fitting, Gaussian
+    approximation (the paper's primary contribution).
+trace
+    Binary packet-record format + reader/writer (the measurement substrate).
+flows
+    Flow classification and NetFlow-like accounting (5-tuple, /24 prefix).
+netsim
+    Synthetic backbone-link workload generator (the Sprint-trace stand-in).
+stats
+    Rate time series, autocorrelations, qq-plots, heavy tails, EWMA.
+prediction
+    Section VII-B linear (moving-average) rate predictors.
+generation
+    Section VII-C shot-noise traffic generation.
+applications
+    Section VII-A dimensioning, anomaly detection, edge+routing monitoring.
+baselines
+    Related-work comparison models ([3] M/G/infinity, ON/OFF, Poisson pkt).
+"""
+
+from . import (
+    applications,
+    baselines,
+    core,
+    experiments,
+    flows,
+    generation,
+    netsim,
+    prediction,
+    stats,
+    trace,
+)
+from .core import (
+    EmpiricalEnsemble,
+    FlowStatistics,
+    GaussianApproximation,
+    GenericShot,
+    MGInfinityModel,
+    MonteCarloEnsemble,
+    ParabolicShot,
+    PoissonShotNoiseModel,
+    PowerFit,
+    PowerShot,
+    RectangularShot,
+    SizeRateEnsemble,
+    SuperposedModel,
+    ThreeParameterModel,
+    TriangularShot,
+    fit_power_averaged,
+    fit_power_from_cov,
+    fit_power_from_variance,
+    normal_quantile,
+    solve_power,
+    variance_shape_factor,
+)
+from .exceptions import (
+    FittingError,
+    FlowExportError,
+    ModelError,
+    ParameterError,
+    PredictionError,
+    ReproError,
+    TopologyError,
+    TraceFormatError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "core",
+    "trace",
+    "flows",
+    "netsim",
+    "stats",
+    "prediction",
+    "generation",
+    "applications",
+    "baselines",
+    "experiments",
+    # re-exported core API
+    "PoissonShotNoiseModel",
+    "ThreeParameterModel",
+    "SuperposedModel",
+    "FlowStatistics",
+    "GaussianApproximation",
+    "MGInfinityModel",
+    "EmpiricalEnsemble",
+    "MonteCarloEnsemble",
+    "SizeRateEnsemble",
+    "PowerShot",
+    "RectangularShot",
+    "TriangularShot",
+    "ParabolicShot",
+    "GenericShot",
+    "PowerFit",
+    "variance_shape_factor",
+    "solve_power",
+    "fit_power_from_variance",
+    "fit_power_from_cov",
+    "fit_power_averaged",
+    "normal_quantile",
+    # exceptions
+    "ReproError",
+    "ParameterError",
+    "FittingError",
+    "TraceFormatError",
+    "FlowExportError",
+    "ModelError",
+    "PredictionError",
+    "TopologyError",
+]

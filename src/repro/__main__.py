@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three operator-facing commands wrapping the library:
+
+* ``synthesize`` — generate a scaled backbone capture to a trace file;
+* ``measure``    — run the full section VI pipeline on a trace file:
+  flow accounting, three-parameter summary, measured vs model CoV,
+  fitted shot power, provisioning recommendation;
+* ``generate``   — produce model-driven traffic (section VII-C) from the
+  statistics of an input trace.
+
+Examples::
+
+    python -m repro synthesize /tmp/link.rptr --preset medium --seed 7
+    python -m repro measure /tmp/link.rptr --flow-kind five_tuple
+    python -m repro generate /tmp/link.rptr /tmp/synthetic.rptr
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import PoissonShotNoiseModel
+from .flows import export_flows
+from .generation import generate_packet_trace
+from .netsim import (
+    high_utilization_link,
+    low_utilization_link,
+    medium_utilization_link,
+    table_i_workload,
+)
+from .stats import RateSeries
+from .trace import read_trace, write_trace
+
+_PRESETS = {
+    "low": low_utilization_link,
+    "medium": medium_utilization_link,
+    "high": high_utilization_link,
+}
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    if args.preset in _PRESETS:
+        workload = _PRESETS[args.preset](duration=args.duration)
+    else:
+        workload = table_i_workload(int(args.preset), duration=args.duration)
+    trace = workload.synthesize(seed=args.seed).trace
+    write_trace(trace, args.output)
+    print(f"wrote {trace} -> {args.output}")
+    return 0
+
+
+def _measure(args: argparse.Namespace):
+    trace = read_trace(args.trace)
+    flows = export_flows(
+        trace,
+        key=args.flow_kind,
+        timeout=args.timeout,
+        prefix_length=args.prefix_length,
+        keep_packet_map=True,
+    )
+    series = RateSeries.from_packets(
+        trace, args.delta, packet_mask=flows.packet_flow_ids >= 0
+    )
+    model = PoissonShotNoiseModel.from_flows(
+        flows.sizes, flows.durations, trace.duration
+    )
+    return trace, flows, series, model
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    trace, flows, series, model = _measure(args)
+    stats = model.statistics()
+    fit = model.fit_power(series.variance)
+    fitted = model.with_shot(fit.shot)
+    capacity = fitted.required_capacity(args.epsilon)
+
+    print(f"trace      : {trace}")
+    print(f"flows      : {len(flows)} ({args.flow_kind}, "
+          f"timeout {args.timeout:g} s, {flows.discarded_packets} pkts "
+          "discarded as single-packet flows)")
+    print(f"parameters : lambda = {stats.arrival_rate:.2f}/s   "
+          f"E[S] = {stats.mean_size:.0f} B   "
+          f"E[S^2/D] = {stats.mean_square_size_over_duration:.4g} B^2/s")
+    print(f"mean rate  : model {model.mean * 8 / 1e6:.3f} Mbps   "
+          f"measured {series.mean * 8 / 1e6:.3f} Mbps")
+    print(f"CoV        : measured {series.coefficient_of_variation:.2%}   "
+          f"model(b={fit.power:.2f}) {fitted.coefficient_of_variation:.2%}")
+    print(f"shot fit   : b = {fit.power:.2f}  (kappa = {fit.kappa:.2f}"
+          f"{', clipped' if fit.clipped else ''})")
+    print(f"capacity   : {8 * capacity / 1e6:.3f} Mbps for "
+          f"P(congestion) <= {args.epsilon:g}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace, flows, series, model = _measure(args)
+    fit = model.fit_power(series.variance)
+    generated = generate_packet_trace(
+        model.arrival_rate,
+        model.ensemble,
+        fit.shot,
+        duration=args.duration or trace.duration,
+        link_capacity=trace.link_capacity,
+        rng=args.seed,
+        name="generated",
+    )
+    write_trace(generated, args.output)
+    print(f"calibrated b = {fit.power:.2f}; wrote {generated} -> {args.output}")
+    return 0
+
+
+def _add_measure_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("trace", help="input trace file (.rptr)")
+    parser.add_argument(
+        "--flow-kind", choices=["five_tuple", "prefix"], default="five_tuple"
+    )
+    parser.add_argument("--prefix-length", type=int, default=24)
+    parser.add_argument(
+        "--timeout", type=float, default=8.0,
+        help="flow idle timeout in seconds (paper: 60 s at full scale)",
+    )
+    parser.add_argument(
+        "--delta", type=float, default=0.2,
+        help="rate averaging interval in seconds (paper: 200 ms)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Poisson shot-noise backbone traffic model "
+        "(Barakat et al., IMC 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    syn = sub.add_parser("synthesize", help="generate a synthetic capture")
+    syn.add_argument("output", help="output trace file (.rptr)")
+    syn.add_argument(
+        "--preset", default="medium",
+        help="low | medium | high, or a Table I row index 0-6",
+    )
+    syn.add_argument("--duration", type=float, default=120.0)
+    syn.add_argument("--seed", type=int, default=0)
+    syn.set_defaults(func=_cmd_synthesize)
+
+    meas = sub.add_parser("measure", help="model a capture (section VI)")
+    _add_measure_arguments(meas)
+    meas.add_argument(
+        "--epsilon", type=float, default=0.01,
+        help="target congestion probability for provisioning",
+    )
+    meas.set_defaults(func=_cmd_measure)
+
+    gen = sub.add_parser(
+        "generate", help="generate model-driven traffic (section VII-C)"
+    )
+    _add_measure_arguments(gen)
+    gen.add_argument("output", help="output trace file (.rptr)")
+    gen.add_argument("--duration", type=float, default=None)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

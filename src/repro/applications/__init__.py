@@ -1,0 +1,29 @@
+"""Section VII applications: dimensioning, anomaly detection, backbone
+monitoring from edge measurements + routing."""
+
+from .anomaly import AnomalyDetector, AnomalyEvent, inject_flood, inject_outage
+from .backbone import BackboneNetwork, Demand, LinkLoadReport
+from .dimensioning import (
+    ProvisioningReport,
+    SmoothingPoint,
+    bandwidth_savings,
+    provision_capacity,
+    smoothing_curve,
+    what_if,
+)
+
+__all__ = [
+    "ProvisioningReport",
+    "provision_capacity",
+    "SmoothingPoint",
+    "smoothing_curve",
+    "bandwidth_savings",
+    "what_if",
+    "AnomalyDetector",
+    "AnomalyEvent",
+    "inject_flood",
+    "inject_outage",
+    "BackboneNetwork",
+    "Demand",
+    "LinkLoadReport",
+]

@@ -1,0 +1,171 @@
+"""Edge-measurement + routing = per-link models (sections VI-A and VII-A).
+
+The paper observes that flow statistics can be collected at the *edges* of
+the backbone and combined with routing information to infer the traffic —
+mean and variance — on **every** internal link without monitoring it.
+This module implements that engineering loop on a networkx topology:
+
+1. declare a backbone graph with link capacities;
+2. declare origin-destination *demands*, each carrying the three-parameter
+   flow statistics measured at its ingress;
+3. demands are routed (shortest path by default);
+4. each link superposes the statistics of the demands crossing it —
+   Poisson shot-noises add, so per-link ``lambda`` and
+   ``lambda * E[S^2/D]`` are sums — yielding a
+   :class:`~repro.core.model.ThreeParameterModel` per link;
+5. reports flag links whose required capacity exceeds what is installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from .._util import check_positive, check_probability
+from ..core.gaussian import GaussianApproximation
+from ..core.parameters import FlowStatistics
+from ..exceptions import TopologyError
+
+__all__ = ["Demand", "LinkLoadReport", "BackboneNetwork"]
+
+
+@dataclass(frozen=True)
+class Demand:
+    """An origin-destination traffic demand with edge-measured statistics."""
+
+    source: str
+    sink: str
+    statistics: FlowStatistics
+    shape_factor: float = 1.8  # parabolic default, as in Figures 10-11
+
+    def __post_init__(self) -> None:
+        check_positive("shape_factor", self.shape_factor)
+        if self.source == self.sink:
+            raise TopologyError("demand source and sink must differ")
+
+
+@dataclass(frozen=True)
+class LinkLoadReport:
+    """Predicted traffic on one backbone link."""
+
+    link: tuple[str, str]
+    capacity_bps: float
+    mean_rate: float  # bytes/s
+    std: float  # bytes/s
+    arrival_rate: float  # flows/s crossing the link
+    n_demands: int
+    required_capacity_bps: float
+    utilization: float
+
+    @property
+    def cov(self) -> float:
+        return self.std / self.mean_rate if self.mean_rate else 0.0
+
+    @property
+    def overloaded(self) -> bool:
+        """True when installed capacity misses the epsilon-quantile need."""
+        return self.required_capacity_bps > self.capacity_bps
+
+
+class BackboneNetwork:
+    """A provisioned backbone: topology + routed demands + per-link models."""
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        self.demands: list[Demand] = []
+
+    # -- topology ---------------------------------------------------------
+
+    def add_router(self, name: str) -> None:
+        """Add a node (idempotent)."""
+        self.graph.add_node(str(name))
+
+    def add_link(
+        self, a: str, b: str, *, capacity_bps: float, weight: float = 1.0,
+        bidirectional: bool = True,
+    ) -> None:
+        """Add a link with capacity in bits/second and an IGP weight."""
+        capacity_bps = check_positive("capacity_bps", capacity_bps)
+        weight = check_positive("weight", weight)
+        self.graph.add_edge(a, b, capacity_bps=capacity_bps, weight=weight)
+        if bidirectional:
+            self.graph.add_edge(b, a, capacity_bps=capacity_bps, weight=weight)
+
+    @property
+    def links(self) -> list[tuple[str, str]]:
+        return list(self.graph.edges())
+
+    # -- demands ----------------------------------------------------------
+
+    def add_demand(self, demand: Demand) -> None:
+        """Register an OD demand; endpoints must exist in the topology."""
+        for node in (demand.source, demand.sink):
+            if node not in self.graph:
+                raise TopologyError(f"unknown router {node!r}")
+        self.demands.append(demand)
+
+    def route(self, demand: Demand) -> list[str]:
+        """IGP shortest path for a demand (weight attribute)."""
+        try:
+            return nx.shortest_path(
+                self.graph, demand.source, demand.sink, weight="weight"
+            )
+        except nx.NetworkXNoPath as exc:
+            raise TopologyError(
+                f"no route from {demand.source!r} to {demand.sink!r}"
+            ) from exc
+
+    # -- per-link models ----------------------------------------------------
+
+    def link_statistics(self) -> dict[tuple[str, str], list[Demand]]:
+        """Demands crossing each link after routing."""
+        loads: dict[tuple[str, str], list[Demand]] = {
+            edge: [] for edge in self.graph.edges()
+        }
+        for demand in self.demands:
+            path = self.route(demand)
+            for a, b in zip(path[:-1], path[1:]):
+                loads[(a, b)].append(demand)
+        return loads
+
+    def link_report(self, epsilon: float = 0.01) -> list[LinkLoadReport]:
+        """Per-link predicted mean/std and required capacity.
+
+        Superposition: means and variances of independent Poisson
+        shot-noise classes add (section VIII multi-class extension), so a
+        link's predicted traffic follows directly from the edge-measured
+        statistics of the demands routed over it.
+        """
+        epsilon = check_probability("epsilon", epsilon)
+        reports = []
+        for edge, demands in self.link_statistics().items():
+            capacity = self.graph.edges[edge]["capacity_bps"]
+            mean = sum(d.statistics.mean_rate for d in demands)
+            variance = sum(
+                d.statistics.variance(d.shape_factor) for d in demands
+            )
+            arrival = sum(d.statistics.arrival_rate for d in demands)
+            if mean > 0 and variance > 0:
+                gaussian = GaussianApproximation(mean, float(np.sqrt(variance)))
+                required = 8.0 * gaussian.required_capacity(epsilon)
+            else:
+                required = 0.0
+            reports.append(
+                LinkLoadReport(
+                    link=edge,
+                    capacity_bps=capacity,
+                    mean_rate=mean,
+                    std=float(np.sqrt(variance)),
+                    arrival_rate=arrival,
+                    n_demands=len(demands),
+                    required_capacity_bps=required,
+                    utilization=8.0 * mean / capacity,
+                )
+            )
+        return reports
+
+    def overloaded_links(self, epsilon: float = 0.01) -> list[LinkLoadReport]:
+        """Links whose installed capacity misses the epsilon target."""
+        return [r for r in self.link_report(epsilon) if r.overloaded]

@@ -1,0 +1,179 @@
+"""Network dimensioning and provisioning — section VII-A of the paper.
+
+Three tools the paper describes:
+
+* :func:`provision_capacity` — pick the link bandwidth
+  ``C = E[R] + F(epsilon) * sigma`` so congestion occurs less than a
+  fraction ``epsilon`` of time (Gaussian approximation of section V-E);
+* :func:`smoothing_curve` — the effect of growing the flow arrival rate:
+  the mean grows like ``lambda`` but the standard deviation only like
+  ``sqrt(lambda)``, so traffic smooths and bandwidth need not scale
+  linearly with demand;
+* :func:`what_if` — impact of changes in the flow population (new
+  applications with bigger transfers, congested access links stretching
+  durations) on the moments the model predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check_positive, check_probability
+from ..core.gaussian import normal_quantile
+from ..core.parameters import FlowStatistics
+
+__all__ = [
+    "ProvisioningReport",
+    "provision_capacity",
+    "SmoothingPoint",
+    "smoothing_curve",
+    "bandwidth_savings",
+    "what_if",
+]
+
+
+@dataclass(frozen=True)
+class ProvisioningReport:
+    """Capacity recommendation for one link."""
+
+    mean_rate: float  # bytes/second
+    std: float  # bytes/second
+    epsilon: float  # tolerated congestion fraction
+    quantile: float  # F(epsilon)
+    capacity: float  # bytes/second
+
+    @property
+    def capacity_bps(self) -> float:
+        """Capacity in bits/second (how link speeds are quoted)."""
+        return 8.0 * self.capacity
+
+    @property
+    def headroom_ratio(self) -> float:
+        """Provisioned capacity over mean rate (>= 1)."""
+        return self.capacity / self.mean_rate
+
+
+def provision_capacity(
+    statistics: FlowStatistics,
+    epsilon: float = 0.01,
+    *,
+    shape_factor: float = 1.8,
+) -> ProvisioningReport:
+    """Bandwidth so that ``P(R > C) <= epsilon`` under the Gaussian law.
+
+    ``shape_factor`` is the shot variance multiplier ``(b+1)^2/(2b+1)``;
+    the default 1.8 is the parabolic shot the paper finds best for 5-tuple
+    flows.
+    """
+    epsilon = check_probability("epsilon", epsilon)
+    mean = statistics.mean_rate
+    std = statistics.std(shape_factor)
+    quantile = normal_quantile(epsilon)
+    return ProvisioningReport(
+        mean_rate=mean,
+        std=std,
+        epsilon=epsilon,
+        quantile=quantile,
+        capacity=mean + quantile * std,
+    )
+
+
+@dataclass(frozen=True)
+class SmoothingPoint:
+    """One point of the lambda-scaling study."""
+
+    arrival_factor: float
+    mean_rate: float
+    std: float
+    cov: float
+    capacity: float
+
+    @property
+    def capacity_per_mean(self) -> float:
+        return self.capacity / self.mean_rate
+
+
+def smoothing_curve(
+    statistics: FlowStatistics,
+    factors,
+    *,
+    epsilon: float = 0.01,
+    shape_factor: float = 1.8,
+) -> list[SmoothingPoint]:
+    """Sweep the arrival rate: the section VII-A aggregation-smoothing law.
+
+    For each multiplier ``f`` the returned point has mean ``f * mean``,
+    standard deviation ``sqrt(f) * std`` and hence CoV shrinking as
+    ``1/sqrt(f)`` — multiplexing more flows makes backbone traffic
+    smoother.
+    """
+    points = []
+    for factor in np.asarray(list(factors), dtype=np.float64):
+        scaled = statistics.scaled_arrivals(float(factor))
+        report = provision_capacity(scaled, epsilon, shape_factor=shape_factor)
+        points.append(
+            SmoothingPoint(
+                arrival_factor=float(factor),
+                mean_rate=report.mean_rate,
+                std=report.std,
+                cov=report.std / report.mean_rate,
+                capacity=report.capacity,
+            )
+        )
+    return points
+
+
+def bandwidth_savings(
+    statistics: FlowStatistics,
+    factor: float,
+    *,
+    epsilon: float = 0.01,
+    shape_factor: float = 1.8,
+) -> float:
+    """Fractional capacity saved versus linear scaling when traffic grows.
+
+    A naive operator scales capacity by ``factor``; the model says only
+    the mean scales that way while the fluctuation term scales by
+    ``sqrt(factor)``.  Returns ``1 - C_model / (factor * C_now)``.
+    """
+    factor = check_positive("factor", factor)
+    now = provision_capacity(statistics, epsilon, shape_factor=shape_factor)
+    scaled = provision_capacity(
+        statistics.scaled_arrivals(factor), epsilon, shape_factor=shape_factor
+    )
+    return 1.0 - scaled.capacity / (factor * now.capacity)
+
+
+def what_if(
+    statistics: FlowStatistics,
+    *,
+    arrival_factor: float = 1.0,
+    size_factor: float = 1.0,
+    duration_factor: float = 1.0,
+) -> FlowStatistics:
+    """Transform the three parameters under population changes (§VII-A).
+
+    * ``size_factor`` a: sizes S -> aS, so ``E[S] -> a E[S]`` and
+      ``E[S^2/D] -> a^2 E[S^2/D]`` (e.g. a new application with larger
+      transfers);
+    * ``duration_factor`` d: durations D -> dD, so ``E[S^2/D] -> E[S^2/D]/d``
+      (e.g. more users congesting access networks stretches durations and
+      *reduces* backbone burstiness);
+    * ``arrival_factor``: multiplies ``lambda``.
+    """
+    check_positive("arrival_factor", arrival_factor)
+    check_positive("size_factor", size_factor)
+    check_positive("duration_factor", duration_factor)
+    return FlowStatistics(
+        arrival_rate=statistics.arrival_rate * arrival_factor,
+        mean_size=statistics.mean_size * size_factor,
+        mean_square_size_over_duration=(
+            statistics.mean_square_size_over_duration
+            * size_factor**2
+            / duration_factor
+        ),
+        mean_duration=statistics.mean_duration * duration_factor,
+        flow_count=statistics.flow_count,
+    )

@@ -1,0 +1,14 @@
+"""Related-work baseline models the paper positions itself against."""
+
+from .mginfty import ConstantRateFlowModel
+from .onoff import OnOffAggregate, OnOffSource, estimate_hurst, variance_time_curve
+from .packet_poisson import PoissonPacketModel
+
+__all__ = [
+    "ConstantRateFlowModel",
+    "OnOffSource",
+    "OnOffAggregate",
+    "variance_time_curve",
+    "estimate_hurst",
+    "PoissonPacketModel",
+]

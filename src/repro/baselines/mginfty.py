@@ -1,0 +1,93 @@
+"""Baseline: constant-rate-flow M/G/infinity model (reference [3]).
+
+Ben Fredj et al. propose an M/G/infinity model for the *number* of active
+flows on an uncongested backbone link; turning counts into rate requires
+assuming every flow transmits at the same rate ``r``.  The paper notes
+this "coincides with a very particular case of our model where all flows
+would have exactly the same rate".
+
+Under that assumption the total rate is ``R = r * N(t)`` with ``N``
+Poisson(``lambda E[D]``), giving
+
+* ``E[R]   = r * lambda * E[D]``
+* ``Var(R) = r^2 * lambda * E[D]``.
+
+Compared against the shot-noise model with per-flow rates ``S/D``, the
+equal-rate collapse mis-estimates the variance whenever flow rates are
+heterogeneous — the ablation quantified in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import check_positive
+from ..core.ensemble import EmpiricalEnsemble
+
+__all__ = ["ConstantRateFlowModel"]
+
+
+class ConstantRateFlowModel:
+    """All flows share one transmission rate ``r`` (the [3] reduction).
+
+    Parameters
+    ----------
+    arrival_rate:
+        Flow arrival rate ``lambda`` (flows/second).
+    mean_duration:
+        ``E[D]`` (seconds).
+    flow_rate:
+        Common per-flow rate ``r`` (bytes/second).  The natural calibration
+        from measurements is ``r = E[S] / E[D]`` (so the mean total rate
+        matches Corollary 1 only when sizes and durations are
+        proportional).
+    """
+
+    def __init__(
+        self, arrival_rate: float, mean_duration: float, flow_rate: float
+    ) -> None:
+        self.arrival_rate = check_positive("arrival_rate", arrival_rate)
+        self.mean_duration = check_positive("mean_duration", mean_duration)
+        self.flow_rate = check_positive("flow_rate", flow_rate)
+
+    @classmethod
+    def from_flows(
+        cls, sizes, durations, interval_length: float
+    ) -> "ConstantRateFlowModel":
+        """Calibrate from measured flows: ``r = E[S]/E[D]``."""
+        ensemble = EmpiricalEnsemble(sizes, durations)
+        interval_length = check_positive("interval_length", interval_length)
+        return cls(
+            arrival_rate=len(ensemble) / interval_length,
+            mean_duration=ensemble.mean_duration,
+            flow_rate=ensemble.mean_size / ensemble.mean_duration,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ConstantRateFlowModel(lambda={self.arrival_rate:g}, "
+            f"E[D]={self.mean_duration:g}, r={self.flow_rate:g})"
+        )
+
+    @property
+    def mean_active_flows(self) -> float:
+        return self.arrival_rate * self.mean_duration
+
+    @property
+    def mean(self) -> float:
+        """``r * lambda * E[D]`` bytes/second."""
+        return self.flow_rate * self.mean_active_flows
+
+    @property
+    def variance(self) -> float:
+        """``r^2 * lambda * E[D]`` — Poisson counts scaled by r^2."""
+        return self.flow_rate**2 * self.mean_active_flows
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """``1 / sqrt(lambda E[D])`` — depends only on the active count."""
+        return self.std / self.mean

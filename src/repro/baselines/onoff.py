@@ -1,0 +1,180 @@
+"""Baseline: ON/OFF sources with heavy-tailed periods (reference [19]).
+
+Leland et al. explain LAN self-similarity by multiplexing ON/OFF sources
+whose ON and/or OFF periods are heavy-tailed.  This baseline implements
+that generator so the benchmarks can contrast:
+
+* its long-range-dependent aggregate (variance decaying slower than 1/m
+  under aggregation, Hurst > 0.5), versus
+* the shot-noise model's short-range correlation (Theorem 2's
+  autocovariance vanishes beyond the flow durations).
+
+The aggregate-variance ("variance-time") analysis used to estimate the
+Hurst parameter is included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_rng, check_positive
+from ..exceptions import ParameterError
+from ..stats.timeseries import RateSeries
+
+__all__ = ["OnOffSource", "OnOffAggregate", "variance_time_curve", "estimate_hurst"]
+
+
+def _pareto(rng, alpha: float, mean: float, size: int) -> np.ndarray:
+    """Pareto samples with the requested mean (alpha > 1)."""
+    xm = mean * (alpha - 1.0) / alpha
+    return xm / rng.random(size) ** (1.0 / alpha)
+
+
+@dataclass(frozen=True)
+class OnOffSource:
+    """One ON/OFF source: rate ``peak_rate`` when ON, silent when OFF.
+
+    Periods are Pareto with tail indices ``alpha_on`` / ``alpha_off``;
+    indices below 2 give infinite-variance periods, the self-similarity
+    regime of [19].
+    """
+
+    peak_rate: float  # bytes/second while ON
+    mean_on: float  # seconds
+    mean_off: float  # seconds
+    alpha_on: float = 1.5
+    alpha_off: float = 1.5
+
+    def __post_init__(self) -> None:
+        check_positive("peak_rate", self.peak_rate)
+        check_positive("mean_on", self.mean_on)
+        check_positive("mean_off", self.mean_off)
+        if self.alpha_on <= 1.0 or self.alpha_off <= 1.0:
+            raise ParameterError(
+                "alpha_on/alpha_off must be > 1 so the mean period exists"
+            )
+
+    @property
+    def duty_cycle(self) -> float:
+        return self.mean_on / (self.mean_on + self.mean_off)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.peak_rate * self.duty_cycle
+
+
+class OnOffAggregate:
+    """Superposition of ``n_sources`` iid ON/OFF sources.
+
+    ``mean`` and ``variance`` give the stationary two-state moments
+    (binomially many sources ON); :meth:`generate` simulates the
+    alternating renewal processes and bins the aggregate into a
+    :class:`RateSeries` comparable to measured traffic.
+    """
+
+    def __init__(self, source: OnOffSource, n_sources: int) -> None:
+        if n_sources < 1:
+            raise ParameterError("n_sources must be >= 1")
+        self.source = source
+        self.n_sources = int(n_sources)
+
+    @property
+    def mean(self) -> float:
+        return self.n_sources * self.source.mean_rate
+
+    @property
+    def variance(self) -> float:
+        p = self.source.duty_cycle
+        return self.n_sources * self.source.peak_rate**2 * p * (1.0 - p)
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        return float(np.sqrt(self.variance)) / self.mean
+
+    def generate(
+        self, duration: float, delta: float, *, rng=None, warmup: float | None = None
+    ) -> RateSeries:
+        """Simulate the aggregate and average it into Delta bins."""
+        duration = check_positive("duration", duration)
+        delta = check_positive("delta", delta)
+        rng = as_rng(rng)
+        if warmup is None:
+            warmup = 5.0 * (self.source.mean_on + self.source.mean_off)
+        horizon = duration + warmup
+        n_bins = int(np.floor(duration / delta))
+        if n_bins < 1:
+            raise ParameterError("duration shorter than one bin")
+        edges = warmup + delta * np.arange(n_bins + 1)
+        volumes = np.zeros(n_bins)
+        src = self.source
+        for _ in range(self.n_sources):
+            # alternating Pareto renewals; random initial phase
+            t = 0.0
+            on = rng.random() < src.duty_cycle
+            # draw generously sized batches of periods
+            batch = max(16, int(3 * horizon / (src.mean_on + src.mean_off)) * 2)
+            ons = _pareto(rng, src.alpha_on, src.mean_on, batch)
+            offs = _pareto(rng, src.alpha_off, src.mean_off, batch)
+            i = j = 0
+            while t < horizon:
+                if on:
+                    if i >= ons.size:
+                        ons = _pareto(rng, src.alpha_on, src.mean_on, batch)
+                        i = 0
+                    length = ons[i]
+                    i += 1
+                    start, end = t, min(t + length, horizon)
+                    lo = np.searchsorted(edges, start, side="right") - 1
+                    hi = np.searchsorted(edges, end, side="left")
+                    if hi > 0 and lo < n_bins:
+                        lo_c = max(lo, 0)
+                        hi_c = min(hi, n_bins)
+                        for b in range(lo_c, hi_c):
+                            overlap = min(end, edges[b + 1]) - max(start, edges[b])
+                            if overlap > 0:
+                                volumes[b] += src.peak_rate * overlap
+                else:
+                    if j >= offs.size:
+                        offs = _pareto(rng, src.alpha_off, src.mean_off, batch)
+                        j = 0
+                    length = offs[j]
+                    j += 1
+                t += length
+                on = not on
+        return RateSeries(volumes / delta, delta)
+
+
+def variance_time_curve(series: RateSeries, factors=None):
+    """Aggregate-variance curve: ``(m, Var[X^(m)] / Var[X])``.
+
+    For short-range-dependent traffic the normalised variance decays like
+    ``1/m``; slower decay (slope ``2H - 2`` in log-log) signals long-range
+    dependence with Hurst parameter ``H > 0.5``.
+    """
+    if factors is None:
+        max_factor = max(2, len(series) // 16)
+        factors = np.unique(
+            np.round(np.geomspace(1, max_factor, num=12)).astype(int)
+        )
+    base_var = series.variance
+    if base_var <= 0:
+        raise ParameterError("series has zero variance")
+    ms, ratios = [], []
+    for m in factors:
+        m = int(m)
+        if len(series) // m < 4:
+            continue
+        ms.append(m)
+        ratios.append(series.resample(m).variance / base_var)
+    return np.asarray(ms), np.asarray(ratios)
+
+
+def estimate_hurst(series: RateSeries, factors=None) -> float:
+    """Hurst estimate from the variance-time slope: ``H = 1 + slope/2``."""
+    ms, ratios = variance_time_curve(series, factors)
+    if ms.size < 3:
+        raise ParameterError("not enough aggregation levels for a slope")
+    slope = np.polyfit(np.log(ms), np.log(ratios), 1)[0]
+    return float(1.0 + slope / 2.0)

@@ -1,0 +1,119 @@
+"""Core Poisson shot-noise model (the paper's primary contribution).
+
+Import surface::
+
+    from repro.core import (
+        PoissonShotNoiseModel, ThreeParameterModel, FlowStatistics,
+        RectangularShot, TriangularShot, ParabolicShot, PowerShot,
+        EmpiricalEnsemble, fit_power_from_variance, ...
+    )
+"""
+
+from .covariance import (
+    autocorrelation,
+    autocovariance,
+    correlation_horizon,
+    spectral_density,
+)
+from .ensemble import (
+    EmpiricalEnsemble,
+    FlowEnsemble,
+    MonteCarloEnsemble,
+    SizeRateEnsemble,
+)
+from .fitting import (
+    PowerFit,
+    fit_power_averaged,
+    fit_power_from_cov,
+    fit_power_from_variance,
+    solve_power,
+)
+from .gaussian import (
+    EdgeworthApproximation,
+    GaussianApproximation,
+    normal_quantile,
+)
+from .lst import (
+    characteristic_function,
+    chernoff_tail_bound,
+    cumulant,
+    cumulants,
+    excess_kurtosis,
+    laplace_transform,
+    log_laplace_transform,
+    rate_pdf,
+    skewness,
+)
+from .mginf import MGInfinityModel
+from .model import PoissonShotNoiseModel, SuperposedModel, ThreeParameterModel
+from .parameters import FlowStatistics
+from .sampling import (
+    averaged_variance,
+    averaged_variance_curve,
+    averaged_variance_from_autocovariance,
+    averaging_correction_factor,
+    sinc_squared_filter,
+)
+from .shots import (
+    GenericShot,
+    ParabolicShot,
+    PowerShot,
+    RectangularShot,
+    Shot,
+    TriangularShot,
+    variance_shape_factor,
+)
+
+__all__ = [
+    # model
+    "PoissonShotNoiseModel",
+    "ThreeParameterModel",
+    "SuperposedModel",
+    "FlowStatistics",
+    # shots
+    "Shot",
+    "PowerShot",
+    "RectangularShot",
+    "TriangularShot",
+    "ParabolicShot",
+    "GenericShot",
+    "variance_shape_factor",
+    # ensembles
+    "FlowEnsemble",
+    "EmpiricalEnsemble",
+    "MonteCarloEnsemble",
+    "SizeRateEnsemble",
+    # second order
+    "autocovariance",
+    "autocorrelation",
+    "spectral_density",
+    "correlation_horizon",
+    # transforms
+    "cumulant",
+    "cumulants",
+    "skewness",
+    "excess_kurtosis",
+    "laplace_transform",
+    "log_laplace_transform",
+    "characteristic_function",
+    "rate_pdf",
+    "chernoff_tail_bound",
+    # averaging window
+    "averaged_variance",
+    "averaged_variance_curve",
+    "averaged_variance_from_autocovariance",
+    "averaging_correction_factor",
+    "sinc_squared_filter",
+    # gaussian
+    "GaussianApproximation",
+    "EdgeworthApproximation",
+    "normal_quantile",
+    # fitting
+    "PowerFit",
+    "solve_power",
+    "fit_power_from_variance",
+    "fit_power_from_cov",
+    "fit_power_averaged",
+    # M/G/infinity
+    "MGInfinityModel",
+]

@@ -1,0 +1,188 @@
+"""Flow ensembles: expectations over flow sizes and durations.
+
+The shot-noise model only ever touches the joint law of ``(S, D)`` through
+expectations ``E[f(S, D)]`` — e.g. ``E[S]`` for the mean rate (Corollary 1)
+or ``E[S^2/D]`` for the variance (Corollary 2 with power shots).  This
+module provides that abstraction:
+
+* :class:`EmpiricalEnsemble` wraps measured ``(S, D)`` samples, the way the
+  paper consumes its Sprint traces (statistics computed "directly from the
+  traces", section VI);
+* :class:`MonteCarloEnsemble` wraps a parametric sampler, for what-if
+  studies (section VII-A: what happens to the link if the size distribution
+  changes);
+* :class:`SizeRateEnsemble` is the analytically convenient special case
+  ``D = S / r`` with an access rate ``r`` independent of ``S``; it shows why
+  ``E[S^2/D] = E[S] E[r]`` stays finite even when flow sizes are so
+  heavy-tailed that ``E[S^2]`` diverges.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from .._util import as_rng, broadcast_flows, check_positive
+from ..exceptions import ParameterError
+
+__all__ = [
+    "FlowEnsemble",
+    "EmpiricalEnsemble",
+    "MonteCarloEnsemble",
+    "SizeRateEnsemble",
+]
+
+
+class FlowEnsemble(ABC):
+    """Joint law of a flow's (size, duration), accessed through expectations."""
+
+    @abstractmethod
+    def expect(self, fn: Callable[[np.ndarray, np.ndarray], np.ndarray]) -> float:
+        """Return ``E[fn(S, D)]``.
+
+        ``fn`` must accept two equal-length float arrays (sizes, durations)
+        and return an array of per-flow values; the ensemble averages them.
+        """
+
+    @abstractmethod
+    def sample(self, n: int, rng=None) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` iid (size, duration) pairs (used by traffic generation)."""
+
+    # -- the three summary statistics the paper's model needs ------------
+
+    @property
+    def mean_size(self) -> float:
+        """``E[S]`` — with the arrival rate, gives the mean total rate."""
+        return self.expect(lambda s, d: s)
+
+    @property
+    def mean_duration(self) -> float:
+        """``E[D]`` — the M/G/infinity load is ``lambda * E[D]``."""
+        return self.expect(lambda s, d: d)
+
+    @property
+    def mean_square_size_over_duration(self) -> float:
+        """``E[S^2 / D]`` — the paper's third (and last) model parameter."""
+        return self.expect(lambda s, d: s * s / d)
+
+    def moment_size_over_duration(self, order: int) -> float:
+        """``E[S^k / D^(k-1)]``, needed by the k-th cumulant (Corollary 3)."""
+        order = int(order)
+        if order < 1:
+            raise ParameterError(f"moment order must be >= 1, got {order}")
+        return self.expect(lambda s, d: s**order / d ** (order - 1))
+
+
+class EmpiricalEnsemble(FlowEnsemble):
+    """Ensemble backed by measured per-flow ``(S, D)`` arrays.
+
+    This is how the model is parameterised from a trace: export flows
+    (:mod:`repro.flows`), collect their byte counts and durations, and feed
+    the arrays here.  Expectations are plain sample means; :meth:`sample`
+    bootstraps (resamples with replacement).
+    """
+
+    def __init__(self, sizes, durations) -> None:
+        self.sizes, self.durations = broadcast_flows(sizes, durations)
+
+    def __len__(self) -> int:
+        return self.sizes.size
+
+    def __repr__(self) -> str:
+        return f"EmpiricalEnsemble(n={len(self)})"
+
+    def expect(self, fn):
+        values = np.asarray(fn(self.sizes, self.durations), dtype=np.float64)
+        return float(np.mean(values))
+
+    def sample(self, n: int, rng=None):
+        rng = as_rng(rng)
+        idx = rng.integers(0, len(self), size=int(n))
+        return self.sizes[idx].copy(), self.durations[idx].copy()
+
+    def subsample(self, n: int, rng=None) -> "EmpiricalEnsemble":
+        """Return a smaller bootstrap ensemble (cheap LST/CF evaluation)."""
+        s, d = self.sample(n, rng)
+        return EmpiricalEnsemble(s, d)
+
+
+class MonteCarloEnsemble(FlowEnsemble):
+    """Ensemble defined by a parametric sampler, averaged by Monte Carlo.
+
+    ``sampler(n, rng) -> (sizes, durations)`` draws iid flows.  A fixed,
+    seeded reference sample of ``n_reference`` flows is cached so that
+    repeated expectation queries are deterministic and cheap.
+    """
+
+    def __init__(self, sampler, *, n_reference: int = 100_000, seed: int = 0) -> None:
+        if n_reference < 1:
+            raise ParameterError(f"n_reference must be >= 1, got {n_reference}")
+        self._sampler = sampler
+        sizes, durations = sampler(int(n_reference), as_rng(seed))
+        self._reference = EmpiricalEnsemble(sizes, durations)
+
+    def __repr__(self) -> str:
+        return f"MonteCarloEnsemble(n_reference={len(self._reference)})"
+
+    @property
+    def reference(self) -> EmpiricalEnsemble:
+        """The cached reference sample used for expectations."""
+        return self._reference
+
+    def expect(self, fn):
+        return self._reference.expect(fn)
+
+    def sample(self, n: int, rng=None):
+        return self._sampler(int(n), as_rng(rng))
+
+
+class SizeRateEnsemble(MonteCarloEnsemble):
+    """Flows with ``D = S / r``: size ``S`` and access rate ``r`` independent.
+
+    ``size_dist`` and ``rate_dist`` are frozen scipy.stats-like objects
+    (they must expose ``rvs(size=..., random_state=...)`` and ``mean()``).
+    The two parameters the model needs come out in closed form:
+
+    * ``E[S]      = size_dist.mean()``
+    * ``E[S^2/D]  = E[S r] = E[S] E[r]``  (independence)
+
+    so they are exact even when the Monte Carlo reference sample is small or
+    the size tail is too heavy for ``E[S^2]`` to exist.
+    """
+
+    def __init__(
+        self,
+        size_dist,
+        rate_dist,
+        *,
+        n_reference: int = 100_000,
+        seed: int = 0,
+    ) -> None:
+        self.size_dist = size_dist
+        self.rate_dist = rate_dist
+        self._mean_size = check_positive("E[S]", float(size_dist.mean()))
+        self._mean_rate = check_positive("E[r]", float(rate_dist.mean()))
+
+        def sampler(n, rng):
+            sizes = np.asarray(size_dist.rvs(size=n, random_state=rng), dtype=float)
+            rates = np.asarray(rate_dist.rvs(size=n, random_state=rng), dtype=float)
+            sizes = np.maximum(sizes, np.finfo(float).tiny)
+            rates = np.maximum(rates, np.finfo(float).tiny)
+            return sizes, sizes / rates
+
+        super().__init__(sampler, n_reference=n_reference, seed=seed)
+
+    def __repr__(self) -> str:
+        return (
+            f"SizeRateEnsemble(E[S]={self._mean_size:g}, E[r]={self._mean_rate:g})"
+        )
+
+    @property
+    def mean_size(self) -> float:
+        return self._mean_size
+
+    @property
+    def mean_square_size_over_duration(self) -> float:
+        return self._mean_size * self._mean_rate

@@ -1,0 +1,126 @@
+"""The paper's three-parameter traffic summary (section V-G).
+
+The headline simplicity claim of the paper is that an uncongested backbone
+link is characterised, for dimensioning purposes, by only **three scalars**:
+
+* ``lambda``      — flow arrival rate (flows/second),
+* ``E[S]``        — mean flow size (bytes),
+* ``E[S^2/D]``    — mean of (size squared over duration),
+
+plus a shot-shape multiplier.  :class:`FlowStatistics` is that summary; it
+is what a router could maintain online with the EWMA estimators of
+:mod:`repro.stats.estimators`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .._util import broadcast_flows, check_positive
+from ..exceptions import ParameterError
+
+__all__ = ["FlowStatistics"]
+
+
+@dataclass(frozen=True)
+class FlowStatistics:
+    """Per-interval flow summary: the model's complete input (section V-G).
+
+    Attributes
+    ----------
+    arrival_rate:
+        ``lambda``, flow arrivals per second over the measurement interval.
+    mean_size:
+        ``E[S]`` in bytes.
+    mean_square_size_over_duration:
+        ``E[S^2/D]`` in bytes^2/second.
+    mean_duration:
+        ``E[D]`` in seconds (not needed by the mean/variance formulas, but
+        required by the M/G/infinity active-flow count and useful for
+        choosing prediction horizons).
+    flow_count:
+        Number of flows the statistics were estimated from (0 if analytic).
+    """
+
+    arrival_rate: float
+    mean_size: float
+    mean_square_size_over_duration: float
+    mean_duration: float = float("nan")
+    flow_count: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("arrival_rate", self.arrival_rate)
+        check_positive("mean_size", self.mean_size)
+        check_positive(
+            "mean_square_size_over_duration", self.mean_square_size_over_duration
+        )
+        if self.flow_count < 0:
+            raise ParameterError(f"flow_count must be >= 0, got {self.flow_count}")
+        # Cauchy-Schwarz: E[S^2/D] >= E[S]^2 / E[D]; warn-level check only
+        # possible when E[D] is known, and sampling error can violate it
+        # slightly, so we do not enforce it here.
+
+    @classmethod
+    def from_flows(
+        cls, sizes, durations, interval_length: float
+    ) -> "FlowStatistics":
+        """Estimate the summary from per-flow measurements.
+
+        ``interval_length`` is the observation window in seconds (the paper
+        uses 30-minute intervals); ``lambda`` is estimated as the number of
+        flows divided by the window.
+        """
+        sizes, durations = broadcast_flows(sizes, durations)
+        interval_length = check_positive("interval_length", interval_length)
+        return cls(
+            arrival_rate=sizes.size / interval_length,
+            mean_size=float(np.mean(sizes)),
+            mean_square_size_over_duration=float(np.mean(sizes**2 / durations)),
+            mean_duration=float(np.mean(durations)),
+            flow_count=int(sizes.size),
+        )
+
+    @property
+    def mean_rate(self) -> float:
+        """Mean total rate ``lambda * E[S]`` (Corollary 1), bytes/second."""
+        return self.arrival_rate * self.mean_size
+
+    @property
+    def offered_load(self) -> float:
+        """M/G/infinity load ``lambda * E[D]``: mean number of active flows."""
+        return self.arrival_rate * self.mean_duration
+
+    def variance(self, shape_factor: float = 1.0) -> float:
+        """Variance of the total rate for a shape multiplier (Corollary 2).
+
+        ``shape_factor`` is ``(b+1)^2/(2b+1)`` for power-b shots
+        (:func:`repro.core.shots.variance_shape_factor`); 1.0 gives the
+        rectangular-shot lower bound of Theorem 3.
+        """
+        factor = check_positive("shape_factor", shape_factor)
+        return factor * self.arrival_rate * self.mean_square_size_over_duration
+
+    def std(self, shape_factor: float = 1.0) -> float:
+        """Standard deviation of the total rate, bytes/second."""
+        return float(np.sqrt(self.variance(shape_factor)))
+
+    def coefficient_of_variation(self, shape_factor: float = 1.0) -> float:
+        """CoV = std / mean — the quantity validated in Figures 9-13."""
+        return self.std(shape_factor) / self.mean_rate
+
+    def scaled_arrivals(self, factor: float) -> "FlowStatistics":
+        """Return the summary with ``lambda`` multiplied by ``factor``.
+
+        Models the section VII-A what-if: more customers means more flows,
+        with an unchanged joint size/duration distribution.  The mean rate
+        scales as ``factor`` while the standard deviation scales as
+        ``sqrt(factor)`` — backbone traffic smooths as it aggregates.
+        """
+        factor = check_positive("factor", factor)
+        return replace(
+            self,
+            arrival_rate=self.arrival_rate * factor,
+            flow_count=int(round(self.flow_count * factor)),
+        )

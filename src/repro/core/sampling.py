@@ -1,0 +1,132 @@
+"""Averaging-interval effects on the measured rate — section V-F, eq. (7).
+
+A monitor does not observe the instantaneous rate ``R(t)``; it reports the
+byte count over windows of length ``Delta`` (200 ms in the paper, matching
+the typical round-trip time; 5 minutes for SNMP).  Averaging filters the
+process with a rectangular impulse response, so the *measured* variance is
+
+.. math::
+
+   \\bar\\sigma^2(\\Delta) = \\frac{2}{\\Delta}
+       \\int_0^{\\Delta} \\Big(1 - \\frac{\\tau}{\\Delta}\\Big)
+       \\Gamma(\\tau)\\, d\\tau
+   \\qquad\\text{(eq. 7)},
+
+always smaller than ``Gamma(0)``.  In the frequency domain the filter is the
+squared sinc of the Wiener-Khintchine relation quoted in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .._util import check_positive, leggauss_nodes
+from .covariance import autocovariance
+from .ensemble import FlowEnsemble
+from .shots import Shot
+
+__all__ = [
+    "averaged_variance_from_autocovariance",
+    "averaged_variance",
+    "averaged_variance_curve",
+    "averaging_correction_factor",
+    "sinc_squared_filter",
+]
+
+
+def averaged_variance_from_autocovariance(
+    autocov: Callable[[np.ndarray], np.ndarray],
+    delta: float,
+    *,
+    quad_order: int = 64,
+) -> float:
+    """Evaluate eq. (7) for an arbitrary autocovariance function.
+
+    ``autocov`` maps an array of lags (seconds) to ``Gamma(tau)`` values.
+    """
+    delta = check_positive("delta", delta)
+    nodes, weights = leggauss_nodes(quad_order)
+    taus = delta * nodes
+    gamma = np.asarray(autocov(taus), dtype=np.float64)
+    integrand = (1.0 - nodes) * gamma
+    # integral_0^Delta (1 - tau/Delta) Gamma = Delta * sum w * (1-x) Gamma(Delta x)
+    return float(2.0 * np.sum(weights * integrand))
+
+
+def averaged_variance(
+    arrival_rate: float,
+    ensemble: FlowEnsemble,
+    shot: Shot,
+    delta: float,
+    *,
+    quad_order: int = 64,
+    max_flows: int | None = 200_000,
+) -> float:
+    """Eq. (7) for the shot-noise model: variance of the Delta-averaged rate."""
+
+    def autocov(taus: np.ndarray) -> np.ndarray:
+        return autocovariance(arrival_rate, ensemble, shot, taus, max_flows=max_flows)
+
+    return averaged_variance_from_autocovariance(
+        autocov, delta, quad_order=quad_order
+    )
+
+
+def averaged_variance_curve(
+    arrival_rate: float,
+    ensemble: FlowEnsemble,
+    shot: Shot,
+    deltas,
+    *,
+    quad_order: int = 48,
+    max_flows: int | None = 100_000,
+) -> np.ndarray:
+    """Eq. (7) evaluated over a sweep of averaging intervals.
+
+    The section V-F study in one call: how the *measured* variance shrinks
+    as the monitor's window grows (SNMP's 5-minute windows sit far down
+    this curve — the paper's motivation for flow-level modelling).
+    """
+    deltas = np.atleast_1d(np.asarray(deltas, dtype=np.float64))
+    return np.array(
+        [
+            averaged_variance(
+                arrival_rate, ensemble, shot, float(d),
+                quad_order=quad_order, max_flows=max_flows,
+            )
+            for d in deltas
+        ]
+    )
+
+
+def averaging_correction_factor(
+    arrival_rate: float,
+    ensemble: FlowEnsemble,
+    shot: Shot,
+    delta: float,
+    *,
+    quad_order: int = 64,
+) -> float:
+    """``sigma_bar^2(Delta) / sigma^2`` — how much averaging shrinks variance.
+
+    Close to 1 when ``Delta`` is small compared to flow durations (the
+    regime where the paper says Corollary 2 can be used directly); tends to
+    0 as ``Delta`` grows.
+    """
+    smoothed = averaged_variance(
+        arrival_rate, ensemble, shot, delta, quad_order=quad_order
+    )
+    instantaneous = float(
+        autocovariance(arrival_rate, ensemble, shot, [0.0])[0]
+    )
+    return smoothed / instantaneous
+
+
+def sinc_squared_filter(frequencies, delta: float) -> np.ndarray:
+    """``|sin(pi f Delta) / (pi f Delta)|^2`` — the averaging filter in
+    frequency domain (Wiener-Khintchine form quoted in section V-F)."""
+    delta = check_positive("delta", delta)
+    freqs = np.asarray(frequencies, dtype=np.float64)
+    return np.sinc(freqs * delta) ** 2

@@ -1,0 +1,349 @@
+"""Flow rate functions ("shots") — section IV and V-C/V-D of the paper.
+
+A *shot* is the rate profile ``X_n(u)`` of a single flow: the flow starts at
+``u = 0``, transmits for ``D`` seconds, delivers ``S`` bytes in total,
+
+.. math::  \\int_0^{D} X(u)\\, du = S .
+
+The paper (Figure 7) studies the *power family*
+
+.. math::  X(u) = (b+1) \\frac{S}{D} \\left(\\frac{u}{D}\\right)^b ,
+
+which contains the rectangular shot (``b = 0``, constant rate ``S/D``), the
+triangular shot (``b = 1``, TCP-inspired linear ramp), sublinear
+(``0 < b < 1``) and superlinear (``b > 1``, e.g. the "parabolic" shot
+``b = 2``) profiles.
+
+Every shot in this module exposes closed-form (or high-order quadrature)
+versions of the three integrals the model consumes:
+
+* ``moment_integral(k, S, D)``  — :math:`\\int_0^D X(u)^k\\,du`, which gives
+  the k-th cumulant of the total rate (Corollary 3);
+* ``autocovariance_integral(tau, S, D)`` —
+  :math:`\\int_0^{D-\\tau} X(u) X(u+\\tau)\\,du`, the kernel of Theorem 2;
+* ``cumulative(u, S, D)`` and its inverse — the bytes-sent curve used to
+  place packets on the wire (trace synthesis and traffic generation,
+  section VII-C).
+
+All methods broadcast over numpy arrays of flow sizes and durations.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from .._util import check_nonnegative, leggauss_nodes
+from ..exceptions import ParameterError
+
+__all__ = [
+    "Shot",
+    "PowerShot",
+    "RectangularShot",
+    "TriangularShot",
+    "ParabolicShot",
+    "GenericShot",
+    "variance_shape_factor",
+]
+
+#: Quadrature order used for shots without closed-form integrals.
+_DEFAULT_QUAD_ORDER = 64
+
+
+class Shot(ABC):
+    """Abstract flow-rate function (a "shot" in the Poisson shot-noise).
+
+    Subclasses describe a *scale family*: the same dimensionless profile
+    ``g`` on [0, 1], rescaled per flow so that a flow of size ``S`` and
+    duration ``D`` transmits at ``X(u) = (S/D) g(u/D)``.  The paper's
+    Assumption 2 (iid flow rate functions) corresponds to drawing iid
+    ``(S, D)`` pairs and applying one common profile.
+    """
+
+    #: Human-readable name used in reports and benchmark output.
+    name: str = "shot"
+
+    # ------------------------------------------------------------------
+    # profile-level quantities (dimensionless, independent of S and D)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def profile(self, v: np.ndarray) -> np.ndarray:
+        """Dimensionless rate profile ``g(v)`` on [0, 1], integral 1."""
+
+    @abstractmethod
+    def profile_moment(self, order: int) -> float:
+        """``m_k = integral_0^1 g(v)^k dv``; ``m_1 == 1`` by normalisation."""
+
+    @abstractmethod
+    def profile_autocovariance(self, theta: np.ndarray) -> np.ndarray:
+        """``a(theta) = integral_0^{1-theta} g(v) g(v+theta) dv`` for theta in [0,1]."""
+
+    @abstractmethod
+    def profile_cumulative(self, v: np.ndarray) -> np.ndarray:
+        """``G(v) = integral_0^v g``; increases from 0 to 1 on [0, 1]."""
+
+    @abstractmethod
+    def profile_quantile(self, p: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`profile_cumulative` on [0, 1]."""
+
+    # ------------------------------------------------------------------
+    # flow-level quantities (broadcast over per-flow S and D arrays)
+    # ------------------------------------------------------------------
+
+    def rate(self, u, size, duration) -> np.ndarray:
+        """Instantaneous rate ``X(u)`` of a (S, D) flow, zero outside [0, D]."""
+        u = np.asarray(u, dtype=np.float64)
+        size = np.asarray(size, dtype=np.float64)
+        duration = np.asarray(duration, dtype=np.float64)
+        v = np.clip(u / duration, 0.0, 1.0)
+        inside = (u >= 0.0) & (u <= duration)
+        return np.where(inside, (size / duration) * self.profile(v), 0.0)
+
+    def cumulative(self, u, size, duration) -> np.ndarray:
+        """Bytes delivered by flow time ``u``: ``integral_0^u X``."""
+        u = np.asarray(u, dtype=np.float64)
+        size = np.asarray(size, dtype=np.float64)
+        duration = np.asarray(duration, dtype=np.float64)
+        v = np.clip(u / duration, 0.0, 1.0)
+        return size * self.profile_cumulative(v)
+
+    def inverse_cumulative(self, volume, size, duration) -> np.ndarray:
+        """Flow time at which ``volume`` bytes have been delivered.
+
+        Used to timestamp packet boundaries when synthesising or generating
+        traffic: packet ``j`` leaves when the cumulative byte curve crosses
+        the end of its payload.
+        """
+        volume = np.asarray(volume, dtype=np.float64)
+        size = np.asarray(size, dtype=np.float64)
+        duration = np.asarray(duration, dtype=np.float64)
+        p = np.clip(volume / size, 0.0, 1.0)
+        return duration * self.profile_quantile(p)
+
+    def moment_integral(self, order, size, duration) -> np.ndarray:
+        """``integral_0^D X(u)^k du = m_k * S^k / D^(k-1)`` (Corollary 3 input)."""
+        order = int(order)
+        if order < 1:
+            raise ParameterError(f"moment order must be >= 1, got {order}")
+        size = np.asarray(size, dtype=np.float64)
+        duration = np.asarray(duration, dtype=np.float64)
+        return self.profile_moment(order) * size**order / duration ** (order - 1)
+
+    def autocovariance_integral(self, lag, size, duration) -> np.ndarray:
+        """``integral_0^{D-|tau|} X(u) X(u+|tau|) du`` (Theorem 2 kernel).
+
+        Evaluates to 0 for ``|tau| >= D``.  Broadcasts ``lag`` against the
+        flow arrays.
+        """
+        lag = np.abs(np.asarray(lag, dtype=np.float64))
+        size = np.asarray(size, dtype=np.float64)
+        duration = np.asarray(duration, dtype=np.float64)
+        theta = lag / duration
+        out = np.zeros(np.broadcast_shapes(theta.shape, size.shape), dtype=np.float64)
+        active = theta < 1.0
+        if np.any(active):
+            theta_b = np.broadcast_to(theta, out.shape)[active]
+            size_b = np.broadcast_to(size, out.shape)[active]
+            dur_b = np.broadcast_to(duration, out.shape)[active]
+            out[active] = (size_b**2 / dur_b) * self.profile_autocovariance(theta_b)
+        return out
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def variance_factor(self) -> float:
+        """Multiplier of ``lambda * E[S^2/D]`` in Corollary 2 for this shape.
+
+        Equal to ``m_2 = integral_0^1 g^2``.  Theorem 3 guarantees
+        ``variance_factor() >= 1`` with equality iff the shot is rectangular.
+        """
+        return self.profile_moment(2)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class PowerShot(Shot):
+    """Power-function shot ``X(u) = (b+1) (S/D) (u/D)^b`` (paper section V-D).
+
+    ``b = 0`` is the rectangular shot, ``b = 1`` the triangular shot and
+    ``b = 2`` the parabolic shot of Figures 9-13.  Any real ``b >= 0`` is
+    accepted (the paper fits non-integer b per 30-minute interval,
+    Figure 11).
+
+    The variance of the total rate under this shot is
+
+    .. math::  Var(R) = \\lambda \\frac{(b+1)^2}{2b+1} E[S^2/D] .
+    """
+
+    def __init__(self, power: float) -> None:
+        self.power = check_nonnegative("power", power)
+        self.name = f"power(b={self.power:g})"
+
+    def __repr__(self) -> str:
+        return f"PowerShot(power={self.power:g})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PowerShot) and other.power == self.power
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.power))
+
+    # -- profile -------------------------------------------------------
+
+    def profile(self, v):
+        v = np.asarray(v, dtype=np.float64)
+        b = self.power
+        if b == 0.0:
+            return np.ones_like(v)
+        return (b + 1.0) * np.power(v, b)
+
+    def profile_moment(self, order: int) -> float:
+        order = int(order)
+        if order < 1:
+            raise ParameterError(f"moment order must be >= 1, got {order}")
+        b = self.power
+        return (b + 1.0) ** order / (order * b + 1.0)
+
+    def profile_cumulative(self, v):
+        v = np.asarray(v, dtype=np.float64)
+        return np.power(np.clip(v, 0.0, 1.0), self.power + 1.0)
+
+    def profile_quantile(self, p):
+        p = np.asarray(p, dtype=np.float64)
+        return np.power(np.clip(p, 0.0, 1.0), 1.0 / (self.power + 1.0))
+
+    def profile_autocovariance(self, theta):
+        """``(b+1)^2 * integral_0^{1-theta} v^b (v+theta)^b dv``.
+
+        Closed form (binomial expansion) when ``b`` is a non-negative
+        integer; Gauss-Legendre quadrature otherwise.
+        """
+        theta = np.asarray(theta, dtype=np.float64)
+        b = self.power
+        length = np.clip(1.0 - theta, 0.0, 1.0)
+        if b == 0.0:
+            return length
+        if float(b).is_integer():
+            b_int = int(b)
+            total = np.zeros_like(theta)
+            for j in range(b_int + 1):
+                coeff = math.comb(b_int, j) / (b_int + j + 1.0)
+                total += coeff * theta ** (b_int - j) * length ** (b_int + j + 1)
+            return (b + 1.0) ** 2 * total
+        nodes, weights = leggauss_nodes(_DEFAULT_QUAD_ORDER)
+        v = length[..., None] * nodes
+        integrand = np.power(v, b) * np.power(v + theta[..., None], b)
+        return (b + 1.0) ** 2 * length * np.sum(weights * integrand, axis=-1)
+
+
+class RectangularShot(PowerShot):
+    """Constant-rate shot ``X(u) = S/D`` (Figure 7a, ``b = 0``).
+
+    This is the M/G/infinity-flavoured model of [3]; by Theorem 3 it is the
+    variance-minimising shot.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(0.0)
+        self.name = "rectangular"
+
+
+class TriangularShot(PowerShot):
+    """Linear-ramp shot (Figure 7b, ``b = 1``), inspired by TCP's additive
+    window growth.  Variance factor 4/3."""
+
+    def __init__(self) -> None:
+        super().__init__(1.0)
+        self.name = "triangular"
+
+
+class ParabolicShot(PowerShot):
+    """Quadratic-ramp shot (``b = 2``), the best single fit for 5-tuple
+    flows in the paper (Figure 10 and 11).  Variance factor 9/5."""
+
+    def __init__(self) -> None:
+        super().__init__(2.0)
+        self.name = "parabolic"
+
+
+class GenericShot(Shot):
+    """Shot built from an arbitrary non-negative profile callable.
+
+    ``profile_fn`` is any non-negative function on [0, 1]; it is normalised
+    internally so that its integral is 1 (constraint (5) in the paper).  All
+    integrals fall back to dense-grid quadrature, and the cumulative /
+    quantile pair is tabulated for packet placement.
+
+    Examples of profiles the paper suggests beyond powers: ``log``, square
+    root, exponential ramps.
+    """
+
+    def __init__(
+        self,
+        profile_fn: Callable[[np.ndarray], np.ndarray],
+        *,
+        name: str = "generic",
+        grid_points: int = 2048,
+    ) -> None:
+        if grid_points < 16:
+            raise ParameterError(f"grid_points must be >= 16, got {grid_points}")
+        self.name = name
+        self._grid = np.linspace(0.0, 1.0, grid_points)
+        raw = np.asarray(profile_fn(self._grid), dtype=np.float64)
+        if raw.shape != self._grid.shape:
+            raise ParameterError(
+                "profile_fn must map an array of shape (n,) to shape (n,)"
+            )
+        if np.any(raw < 0.0) or not np.all(np.isfinite(raw)):
+            raise ParameterError("profile_fn must be finite and non-negative on [0,1]")
+        total = np.trapezoid(raw, self._grid)
+        if total <= 0.0:
+            raise ParameterError("profile_fn must have a strictly positive integral")
+        self._values = raw / total
+        cum = np.concatenate(
+            [[0.0], np.cumsum(0.5 * (self._values[1:] + self._values[:-1]) * np.diff(self._grid))]
+        )
+        # guard against round-off so that G(1) == 1 exactly
+        self._cumulative = cum / cum[-1]
+
+    def profile(self, v):
+        v = np.asarray(v, dtype=np.float64)
+        return np.interp(v, self._grid, self._values)
+
+    def profile_moment(self, order: int) -> float:
+        order = int(order)
+        if order < 1:
+            raise ParameterError(f"moment order must be >= 1, got {order}")
+        return float(np.trapezoid(self._values**order, self._grid))
+
+    def profile_cumulative(self, v):
+        v = np.asarray(v, dtype=np.float64)
+        return np.interp(v, self._grid, self._cumulative)
+
+    def profile_quantile(self, p):
+        p = np.asarray(p, dtype=np.float64)
+        return np.interp(p, self._cumulative, self._grid)
+
+    def profile_autocovariance(self, theta):
+        theta = np.asarray(theta, dtype=np.float64)
+        nodes, weights = leggauss_nodes(_DEFAULT_QUAD_ORDER)
+        length = np.clip(1.0 - theta, 0.0, 1.0)
+        v = length[..., None] * nodes
+        integrand = self.profile(v) * self.profile(v + theta[..., None])
+        return length * np.sum(weights * integrand, axis=-1)
+
+
+def variance_shape_factor(power: float) -> float:
+    """``(b+1)^2 / (2b+1)``, the paper's variance multiplier for power shots.
+
+    Convenience wrapper used throughout the experiments: 1 for b=0 (lower
+    bound of Theorem 3), 4/3 for b=1, 9/5 for b=2.
+    """
+    b = check_nonnegative("power", power)
+    return (b + 1.0) ** 2 / (2.0 * b + 1.0)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised on purpose by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` from
+misuse of numpy, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "FittingError",
+    "TraceFormatError",
+    "FlowExportError",
+    "ModelError",
+    "PredictionError",
+    "TopologyError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model or workload parameter is out of its valid domain."""
+
+
+class FittingError(ReproError):
+    """A fitting routine could not produce a valid estimate."""
+
+
+class TraceFormatError(ReproError):
+    """A packet-trace file is malformed or truncated."""
+
+
+class FlowExportError(ReproError):
+    """Flow accounting received inconsistent packet input."""
+
+
+class ModelError(ReproError):
+    """The shot-noise model was asked for a quantity it cannot compute."""
+
+
+class PredictionError(ReproError):
+    """Linear prediction failed (singular normal equations, bad order...)."""
+
+
+class TopologyError(ReproError):
+    """A backbone topology operation failed (unknown node, no route...)."""

@@ -1,0 +1,45 @@
+"""Experiment harness shared by the benchmarks and examples."""
+
+from .figures import (
+    fig1_flow_splitting,
+    fig2_shot_construction,
+    fig3_4_interarrivals,
+    fig5_6_sequence_correlation,
+    fig7_shot_shapes,
+    fig8_rate_autocorrelation,
+    fig9_13_scatter,
+    fig11_power_histogram,
+)
+from .harness import (
+    DELTA,
+    SCALED_INTERVAL,
+    SCALED_TIMEOUT,
+    IntervalMeasurement,
+    measure_trace,
+    run_cov_validation,
+    utilization_class,
+    validation_workloads,
+)
+from .tables import Table1Row, build_table1, build_table2
+
+__all__ = [
+    "DELTA",
+    "SCALED_TIMEOUT",
+    "SCALED_INTERVAL",
+    "IntervalMeasurement",
+    "measure_trace",
+    "run_cov_validation",
+    "utilization_class",
+    "validation_workloads",
+    "fig1_flow_splitting",
+    "fig2_shot_construction",
+    "fig3_4_interarrivals",
+    "fig5_6_sequence_correlation",
+    "fig7_shot_shapes",
+    "fig8_rate_autocorrelation",
+    "fig9_13_scatter",
+    "fig11_power_histogram",
+    "Table1Row",
+    "build_table1",
+    "build_table2",
+]

@@ -1,0 +1,225 @@
+"""Data builders for every figure of the paper.
+
+Each ``figN_*`` function returns the numeric series the corresponding
+figure plots; the benchmark harness prints them in paper-shaped rows and
+EXPERIMENTS.md records paper-vs-measured.  Keeping the builders here (and
+out of the benchmarks) makes them importable from notebooks and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.covariance import autocorrelation as model_autocorrelation
+from ..core.ensemble import EmpiricalEnsemble
+from ..core.shots import PowerShot, Shot
+from ..flows.intervals import SplitExcess, boundary_split_excess, cumulative_arrival_curve
+from ..flows.records import FlowSet
+from ..stats.correlation import correlogram
+from ..stats.qq import QQData, qq_exponential
+from .harness import IntervalMeasurement
+
+__all__ = [
+    "fig1_flow_splitting",
+    "fig2_shot_construction",
+    "fig3_4_interarrivals",
+    "fig5_6_sequence_correlation",
+    "fig7_shot_shapes",
+    "fig8_rate_autocorrelation",
+    "fig9_13_scatter",
+    "fig11_power_histogram",
+]
+
+
+@dataclass(frozen=True)
+class FlowSplittingData:
+    """Figure 1: cumulative arrivals with the boundary-splitting spike."""
+
+    times: np.ndarray
+    cumulative: np.ndarray
+    zoom_times: np.ndarray
+    zoom_cumulative: np.ndarray
+    excess: SplitExcess
+
+
+def fig1_flow_splitting(
+    flows: FlowSet, interval_length: float, *, head_fraction: float = 0.015
+) -> FlowSplittingData:
+    """Cumulative flow-arrival curve and early-interval excess (Figure 1)."""
+    head = max(head_fraction * interval_length, 1e-6)
+    times, counts = cumulative_arrival_curve(
+        flows, 512, horizon=interval_length
+    )
+    zoom_times, zoom_counts = cumulative_arrival_curve(
+        flows, 256, horizon=interval_length / 30.0
+    )
+    excess = boundary_split_excess(flows, interval_length, head=head)
+    return FlowSplittingData(
+        times=times,
+        cumulative=counts,
+        zoom_times=zoom_times,
+        zoom_cumulative=zoom_counts,
+        excess=excess,
+    )
+
+
+@dataclass(frozen=True)
+class ShotConstructionData:
+    """Figure 2: a handful of flows and the total rate they superpose to."""
+
+    arrival_times: np.ndarray
+    sizes: np.ndarray
+    durations: np.ndarray
+    grid: np.ndarray
+    per_flow_rates: np.ndarray  # (n_flows, n_grid)
+    total_rate: np.ndarray
+
+
+def fig2_shot_construction(
+    shot: Shot | None = None, *, n_flows: int = 4, horizon: float = 10.0, seed: int = 3
+) -> ShotConstructionData:
+    """Small deterministic shot-noise construction (the Figure 2 cartoon)."""
+    shot = shot or PowerShot(1.0)
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.uniform(0.0, horizon * 0.6, n_flows))
+    sizes = rng.uniform(1e4, 5e4, n_flows)
+    durations = rng.uniform(horizon * 0.2, horizon * 0.5, n_flows)
+    grid = np.linspace(0.0, horizon, 512)
+    per_flow = np.stack(
+        [
+            shot.rate(grid - t, s, d)
+            for t, s, d in zip(arrivals, sizes, durations)
+        ]
+    )
+    return ShotConstructionData(
+        arrival_times=arrivals,
+        sizes=sizes,
+        durations=durations,
+        grid=grid,
+        per_flow_rates=per_flow,
+        total_rate=per_flow.sum(axis=0),
+    )
+
+
+@dataclass(frozen=True)
+class InterarrivalData:
+    """Figures 3-4: Poisson-ness of flow arrivals for one flow definition."""
+
+    qq: QQData
+    lags: np.ndarray
+    autocorrelation: np.ndarray
+    mean_interarrival: float
+
+
+def fig3_4_interarrivals(flows: FlowSet, *, max_lag: int = 20) -> InterarrivalData:
+    """QQ-plot vs exponential + correlogram of flow inter-arrival times."""
+    inter = flows.interarrival_times
+    lags, rho = correlogram(inter, max_lag)
+    return InterarrivalData(
+        qq=qq_exponential(inter),
+        lags=lags,
+        autocorrelation=rho,
+        mean_interarrival=float(inter.mean()),
+    )
+
+
+@dataclass(frozen=True)
+class SequenceCorrelationData:
+    """Figures 5-6: serial correlation of {D_n} and {S_n} (arrival order)."""
+
+    lags: np.ndarray
+    duration_autocorrelation: np.ndarray
+    size_autocorrelation: np.ndarray
+
+
+def fig5_6_sequence_correlation(
+    flows: FlowSet, *, max_lag: int = 20
+) -> SequenceCorrelationData:
+    """Correlograms of the duration and size sequences in arrival order."""
+    order = np.argsort(flows.starts, kind="stable")
+    lags, rho_d = correlogram(flows.durations[order], max_lag)
+    _, rho_s = correlogram(flows.sizes[order], max_lag)
+    return SequenceCorrelationData(
+        lags=lags,
+        duration_autocorrelation=rho_d,
+        size_autocorrelation=rho_s,
+    )
+
+
+def fig7_shot_shapes(
+    powers=(0.0, 1.0, 0.5, 2.0), n_points: int = 101
+) -> dict[float, np.ndarray]:
+    """Normalised shot profiles g(v) on [0,1] for the Figure 7 panels."""
+    v = np.linspace(0.0, 1.0, n_points)
+    return {float(b): PowerShot(b).profile(v) for b in powers}
+
+
+def fig8_rate_autocorrelation(
+    flows: FlowSet,
+    interval_length: float,
+    *,
+    powers=(0.0, 1.0, 2.0),
+    max_lag: float = 0.4,
+    n_points: int = 41,
+) -> tuple[np.ndarray, dict[float, np.ndarray]]:
+    """Theorem 2 autocorrelation of the total rate over [0, max_lag] s.
+
+    Reproduces Figure 8: one curve per shot power, computed from the
+    measured (S, D) sample of one interval.
+    """
+    lags = np.linspace(0.0, max_lag, n_points)
+    ensemble = flows.to_ensemble()
+    arrival_rate = len(flows) / interval_length
+    curves = {
+        float(b): model_autocorrelation(
+            arrival_rate, ensemble, PowerShot(b), lags
+        )
+        for b in powers
+    }
+    return lags, curves
+
+
+@dataclass(frozen=True)
+class ScatterData:
+    """Figures 9-13: model CoV vs measured CoV, one point per interval."""
+
+    measured: np.ndarray
+    modeled: np.ndarray
+    classes: list[str]
+    power: float
+
+    @property
+    def within_20pct(self) -> float:
+        """Fraction of points inside the paper's dashed +-20% band."""
+        rel = np.abs(self.modeled / self.measured - 1.0)
+        return float(np.mean(rel <= 0.20))
+
+    @property
+    def mean_relative_error(self) -> float:
+        return float(np.mean(self.modeled / self.measured - 1.0))
+
+
+def fig9_13_scatter(
+    measurements: list[IntervalMeasurement], power: float
+) -> ScatterData:
+    """Assemble one scatter plot from validation measurements."""
+    return ScatterData(
+        measured=np.array([m.measured_cov for m in measurements]),
+        modeled=np.array([m.model_cov[float(power)] for m in measurements]),
+        classes=[m.utilization_class for m in measurements],
+        power=float(power),
+    )
+
+
+def fig11_power_histogram(
+    measurements: list[IntervalMeasurement], bins=None
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Histogram of fitted powers b (Figure 11): (edges, share%, mean b)."""
+    powers = np.array([m.fitted_power for m in measurements])
+    if bins is None:
+        bins = np.arange(0.0, max(8.0, powers.max()) + 1.0)
+    counts, edges = np.histogram(powers, bins=bins)
+    share = 100.0 * counts / max(powers.size, 1)
+    return edges, share, float(powers.mean())

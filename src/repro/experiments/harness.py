@@ -1,0 +1,190 @@
+"""Shared experiment pipeline: synthesise -> measure -> model -> compare.
+
+Every validation experiment in the paper follows the same loop (section
+VI): take one measurement interval, export flows under one of the two
+definitions, measure the coefficient of variation of the 200 ms-averaged
+rate, parameterise the model from the flow statistics, and compare.  This
+module implements that loop once; the per-figure benchmarks drive it.
+
+Scaled constants
+----------------
+The paper's quantities and our scaled equivalents (DESIGN.md section 2):
+
+====================  ==============  =====================
+quantity              paper           here (scale 1/32-ish)
+====================  ==============  =====================
+analysis interval     30 min          120 s
+averaging Delta       200 ms          200 ms
+flow idle timeout     60 s            8 s
+link                  OC-12 622 Mb/s  19.4 Mb/s
+====================  ==============  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.fitting import fit_power_from_variance
+from ..core.model import PoissonShotNoiseModel
+from ..core.parameters import FlowStatistics
+from ..core.shots import PowerShot
+from ..flows.exporter import export_flows
+from ..flows.records import FlowSet
+from ..netsim.workloads import DEFAULT_SCALE, LinkWorkload, table_i_workloads
+from ..stats.timeseries import RateSeries
+from ..trace.packet import PacketTrace
+
+__all__ = [
+    "DELTA",
+    "SCALED_TIMEOUT",
+    "SCALED_INTERVAL",
+    "IntervalMeasurement",
+    "measure_trace",
+    "run_cov_validation",
+    "utilization_class",
+    "validation_workloads",
+]
+
+#: Averaging/sampling interval for the measured rate (paper: 200 ms).
+DELTA = 0.2
+
+#: Flow idle timeout scaled to our 120 s intervals (paper: 60 s / 30 min).
+SCALED_TIMEOUT = 8.0
+
+#: Analysis interval (paper: 30 minutes).
+SCALED_INTERVAL = 120.0
+
+
+@dataclass(frozen=True)
+class IntervalMeasurement:
+    """One point of the Figures 9-13 scatter plots."""
+
+    workload: str
+    seed: int
+    flow_kind: str  # "five_tuple" or "prefix"
+    utilization: float
+    mean_rate_bps: float
+    n_flows: int
+    statistics: FlowStatistics
+    measured_cov: float
+    measured_variance: float
+    model_cov: dict[float, float] = field(default_factory=dict)  # power -> CoV
+    fitted_power: float = float("nan")
+    fitted_kappa: float = float("nan")
+
+    def relative_error(self, power: float) -> float:
+        """(model - measured)/measured for the given shot power."""
+        return self.model_cov[power] / self.measured_cov - 1.0
+
+    def within_band(self, power: float, band: float = 0.20) -> bool:
+        """Inside the paper's +-20% dashed lines?"""
+        return abs(self.relative_error(power)) <= band
+
+    @property
+    def utilization_class(self) -> str:
+        return utilization_class(self.mean_rate_bps)
+
+
+def utilization_class(
+    mean_rate_bps: float, *, scale: float = DEFAULT_SCALE
+) -> str:
+    """The paper's three marker classes: <50, 50-125, >125 Mbps (scaled).
+
+    Figures 9-13 mark intervals by average rate: crosses below 50 Mbps,
+    triangles between 50 and 125 Mbps, dots above 125 Mbps.
+    """
+    low_edge = 50e6 * scale
+    high_edge = 125e6 * scale
+    if mean_rate_bps < low_edge:
+        return "low"
+    if mean_rate_bps < high_edge:
+        return "medium"
+    return "high"
+
+
+def measure_trace(
+    trace: PacketTrace,
+    *,
+    flow_kind: str = "five_tuple",
+    delta: float = DELTA,
+    timeout: float = SCALED_TIMEOUT,
+    powers=(0.0, 1.0, 2.0),
+    workload: str = "",
+    seed: int = -1,
+) -> tuple[IntervalMeasurement, FlowSet]:
+    """Run the section VI measurement pipeline on one interval.
+
+    Returns the measurement point plus the exported flow set (reused by
+    figure-specific diagnostics).
+    """
+    flows = export_flows(
+        trace, key=flow_kind, timeout=timeout, keep_packet_map=True
+    )
+    mask = flows.packet_flow_ids >= 0
+    series = RateSeries.from_packets(trace, delta, packet_mask=mask)
+    statistics = flows.statistics(trace.duration)
+    model = PoissonShotNoiseModel.from_flows(
+        flows.sizes, flows.durations, trace.duration
+    )
+    model_cov = {
+        float(b): model.with_shot(PowerShot(b)).coefficient_of_variation
+        for b in powers
+    }
+    fit = fit_power_from_variance(series.variance, statistics)
+    measurement = IntervalMeasurement(
+        workload=workload or trace.name,
+        seed=seed,
+        flow_kind=flow_kind,
+        utilization=trace.utilization,
+        mean_rate_bps=trace.mean_rate_bps,
+        n_flows=len(flows),
+        statistics=statistics,
+        measured_cov=series.coefficient_of_variation,
+        measured_variance=series.variance,
+        model_cov=model_cov,
+        fitted_power=fit.power,
+        fitted_kappa=fit.kappa,
+    )
+    return measurement, flows
+
+
+def validation_workloads(
+    *, interval: float = SCALED_INTERVAL, scale: float = DEFAULT_SCALE
+) -> list[LinkWorkload]:
+    """The seven Table I links, each cut to one analysis interval."""
+    return table_i_workloads(scale=scale, duration=interval)
+
+
+def run_cov_validation(
+    *,
+    flow_kind: str = "five_tuple",
+    seeds=range(4),
+    workloads: list[LinkWorkload] | None = None,
+    powers=(0.0, 1.0, 2.0),
+    delta: float = DELTA,
+    timeout: float = SCALED_TIMEOUT,
+) -> list[IntervalMeasurement]:
+    """Produce the scatter points behind Figures 9-13.
+
+    Each (workload, seed) pair is one independent interval; the paper's
+    clusters come from the spread of link utilisations in Table I.
+    """
+    if workloads is None:
+        workloads = validation_workloads()
+    points = []
+    for workload in workloads:
+        for seed in seeds:
+            synthesis = workload.synthesize(seed=seed)
+            measurement, _ = measure_trace(
+                synthesis.trace,
+                flow_kind=flow_kind,
+                delta=delta,
+                timeout=timeout,
+                powers=powers,
+                workload=workload.name,
+                seed=int(seed),
+            )
+            points.append(measurement)
+    return points

@@ -1,0 +1,127 @@
+"""Measurement intervals and boundary flow splitting — section III, Figure 1.
+
+The paper divides each trace into 30-minute intervals (a compromise between
+stationarity and sample count) and exports flows *per interval*, which
+artificially splits flows straddling a boundary.  Figure 1 quantifies the
+effect: the cumulative arrival curve jumps in the first fraction of a
+second of an interval (continuations of flows begun earlier, ~15k out of
+680k flows) and is linear afterwards.
+
+This module cuts traces into intervals, exports flows per interval, builds
+cumulative-arrival curves, and estimates the boundary-split excess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..trace.packet import PacketTrace
+from .exporter import export_flows
+from .records import FlowSet
+
+__all__ = [
+    "iter_intervals",
+    "export_interval_flows",
+    "cumulative_arrival_curve",
+    "SplitExcess",
+    "boundary_split_excess",
+]
+
+
+def iter_intervals(trace: PacketTrace, interval_length: float):
+    """Yield ``(start_time, PacketTrace)`` windows of the given length.
+
+    Windows are rebased to t=0, matching per-interval analysis.  A final
+    partial window is yielded only if it covers at least half the interval
+    (short remnants make the arrival-rate estimate noisy).
+    """
+    if interval_length <= 0:
+        raise ParameterError("interval_length must be > 0")
+    start = 0.0
+    while start < trace.duration:
+        end = min(start + interval_length, trace.duration)
+        if end - start >= 0.5 * interval_length:
+            yield start, trace.window(start, end, rebase=True)
+        start += interval_length
+
+
+def export_interval_flows(
+    trace: PacketTrace, interval_length: float, **export_kwargs
+) -> list[tuple[float, FlowSet]]:
+    """Per-interval flow export (flows split at boundaries, as in §III)."""
+    return [
+        (start, export_flows(window, **export_kwargs))
+        for start, window in iter_intervals(trace, interval_length)
+    ]
+
+
+def cumulative_arrival_curve(
+    flows: FlowSet, grid: np.ndarray | int = 512, *, horizon: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative number of flow arrivals by time t (Figure 1 curve).
+
+    Returns ``(times, counts)``; ``grid`` may be an explicit time grid or a
+    point count over ``[0, horizon]``.
+    """
+    starts = np.sort(flows.starts)
+    if isinstance(grid, (int, np.integer)):
+        if horizon is None:
+            horizon = float(starts[-1]) if starts.size else 1.0
+        times = np.linspace(0.0, horizon, int(grid))
+    else:
+        times = np.asarray(grid, dtype=np.float64)
+    counts = np.searchsorted(starts, times, side="right")
+    return times, counts.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class SplitExcess:
+    """Estimate of boundary-split flow continuations (Figure 1 zoom).
+
+    Attributes
+    ----------
+    head_count:
+        Flows whose first packet falls within the head window.
+    expected_head_count:
+        Count a stationary arrival process would put there
+        (steady rate estimated from the rest of the interval).
+    excess:
+        ``head_count - expected_head_count`` — the paper counts ~15,000
+        excess flows out of ~680,000 with /24 aggregation.
+    fraction_of_total:
+        Excess over total flows; "marginal" in the paper's wording.
+    """
+
+    head_count: int
+    expected_head_count: float
+    excess: float
+    fraction_of_total: float
+
+
+def boundary_split_excess(
+    flows: FlowSet, interval_length: float, *, head: float = 0.4
+) -> SplitExcess:
+    """Quantify the early-interval arrival spike caused by flow splitting.
+
+    ``head`` is the length (seconds) of the initial window examined; the
+    paper highlights the first ~0.4 seconds (scaled traces should scale it
+    too).  The steady arrival rate is estimated on ``[head, interval]``.
+    """
+    if not 0.0 < head < interval_length:
+        raise ParameterError("head must lie inside the interval")
+    starts = flows.starts
+    total = starts.size
+    head_count = int(np.count_nonzero(starts < head))
+    tail_count = total - head_count
+    steady_rate = tail_count / (interval_length - head)
+    expected = steady_rate * head
+    excess = head_count - expected
+    return SplitExcess(
+        head_count=head_count,
+        expected_head_count=float(expected),
+        excess=float(excess),
+        fraction_of_total=float(excess / total) if total else 0.0,
+    )

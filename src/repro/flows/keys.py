@@ -1,0 +1,115 @@
+"""Flow keys: the paper's two flow definitions (section III).
+
+1. **5-tuple**: source/destination address, source/destination port,
+   protocol — a TCP connection or UDP stream.
+2. **destination prefix**: the ``/24`` (or any ``/n``) destination address
+   prefix — a coarser aggregate that "dilutes" transport dynamics and is an
+   order of magnitude cheaper to track (section VI-A).
+
+The model itself is agnostic to the definition; these keys parameterise the
+flow exporter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "FiveTuple",
+    "PrefixKey",
+    "format_ipv4",
+    "parse_ipv4",
+    "prefix_of",
+    "PROTO_TCP",
+    "PROTO_UDP",
+]
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+
+def format_ipv4(addr: int) -> str:
+    """Dotted-quad string of a 32-bit address integer."""
+    addr = int(addr)
+    if not 0 <= addr <= 0xFFFFFFFF:
+        raise ParameterError(f"IPv4 address out of range: {addr}")
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_ipv4(text: str) -> int:
+    """32-bit integer of a dotted-quad string."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ParameterError(f"not a dotted quad: {text!r}")
+    addr = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError as exc:
+            raise ParameterError(f"not a dotted quad: {text!r}") from exc
+        if not 0 <= octet <= 255:
+            raise ParameterError(f"octet out of range in {text!r}")
+        addr = (addr << 8) | octet
+    return addr
+
+
+def prefix_of(addr, length: int = 24) -> np.ndarray:
+    """Keep the ``length`` most significant bits of address(es).
+
+    ``prefix_of(a, 24)`` groups packets by /24 destination prefix, the
+    paper's second flow definition.  Works on scalars and arrays.
+    """
+    if not 0 <= length <= 32:
+        raise ParameterError(f"prefix length must be in [0, 32], got {length}")
+    shift = 32 - length
+    return np.asarray(addr, dtype=np.uint32) >> np.uint32(shift)
+
+
+class FiveTuple(NamedTuple):
+    """Flow definition 1: (src addr, dst addr, src port, dst port, proto)."""
+
+    src_addr: int
+    dst_addr: int
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def __str__(self) -> str:
+        proto = {PROTO_TCP: "tcp", PROTO_UDP: "udp"}.get(self.protocol, str(self.protocol))
+        return (
+            f"{format_ipv4(self.src_addr)}:{self.src_port} -> "
+            f"{format_ipv4(self.dst_addr)}:{self.dst_port} ({proto})"
+        )
+
+
+@dataclass(frozen=True)
+class PrefixKey:
+    """Flow definition 2: destination address prefix (default /24)."""
+
+    prefix: int
+    length: int = 24
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ParameterError(f"prefix length must be in [0,32], got {self.length}")
+        if self.prefix >> self.length:
+            raise ParameterError(
+                f"prefix {self.prefix} does not fit in {self.length} bits"
+            )
+
+    @property
+    def network_address(self) -> int:
+        """The lowest address covered by the prefix."""
+        return self.prefix << (32 - self.length)
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.network_address)}/{self.length}"
+
+    def covers(self, addr: int) -> bool:
+        """True if ``addr`` falls inside this prefix."""
+        return int(prefix_of(addr, self.length)) == self.prefix

@@ -1,0 +1,6 @@
+"""Section VII-C: generation of backbone traffic from the model."""
+
+from .fluid import generate_rate_series
+from .packets import generate_packet_trace
+
+__all__ = ["generate_rate_series", "generate_packet_trace"]

@@ -1,0 +1,130 @@
+"""Synthetic address population for backbone traffic.
+
+Backbone links multiplex flows between very many sources and destinations
+(the paper's Assumption 2 rests on this diversity).  To make the /24-prefix
+flow definition meaningful, destinations are drawn from a finite population
+of /24 networks with Zipf-like popularity — a handful of popular prefixes
+(large server farms) attract many concurrent 5-tuple flows, which the
+prefix exporter merges into fewer, longer flows, exactly the aggregation
+effect the paper reports (section VI-A: one order of magnitude fewer flows
+to track, longer durations, rectangular shots suffice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import as_rng
+from ..exceptions import ParameterError
+from ..flows.keys import PROTO_TCP, PROTO_UDP
+
+__all__ = ["AddressSpace", "WELL_KNOWN_PORTS"]
+
+#: Popular destination ports and their relative weights (web-dominated mix,
+#: as on 2001-era backbone links).
+WELL_KNOWN_PORTS = {
+    80: 0.55,  # http
+    443: 0.15,  # https
+    25: 0.08,  # smtp
+    53: 0.06,  # dns
+    21: 0.04,  # ftp
+    110: 0.04,  # pop3
+    119: 0.03,  # nntp
+    8080: 0.05,  # http-alt
+}
+
+
+@dataclass
+class AddressSpace:
+    """Random endpoint generator with Zipf destination-prefix popularity.
+
+    Parameters
+    ----------
+    n_dst_prefixes:
+        Number of distinct /24 destination networks in the population.
+    zipf_exponent:
+        Popularity skew: weight of prefix ``k`` is ``(k+1)^-zipf_exponent``.
+        1.0 gives the classic heavy concentration on a few prefixes.
+    n_src_networks:
+        Number of distinct /16 source networks (sources are diffuse).
+    udp_fraction:
+        Fraction of flows carried over UDP; the rest is TCP.
+    """
+
+    n_dst_prefixes: int = 4096
+    zipf_exponent: float = 0.8
+    n_hot_prefixes: int = 16
+    hot_fraction: float = 0.5
+    n_src_networks: int = 8192
+    udp_fraction: float = 0.08
+    dst_base: int = field(default=0x0A000000, repr=False)  # 10.0.0.0
+    src_base: int = field(default=0x64000000, repr=False)  # 100.0.0.0
+
+    def __post_init__(self) -> None:
+        if self.n_dst_prefixes < 1:
+            raise ParameterError("n_dst_prefixes must be >= 1")
+        if not 0 <= self.n_hot_prefixes <= self.n_dst_prefixes:
+            raise ParameterError(
+                "n_hot_prefixes must lie in [0, n_dst_prefixes]"
+            )
+        if not 0.0 <= self.hot_fraction < 1.0:
+            raise ParameterError("hot_fraction must lie in [0, 1)")
+        if self.n_src_networks < 1:
+            raise ParameterError("n_src_networks must be >= 1")
+        if not 0.0 <= self.udp_fraction <= 1.0:
+            raise ParameterError("udp_fraction must lie in [0, 1]")
+        if self.zipf_exponent < 0.0:
+            raise ParameterError("zipf_exponent must be >= 0")
+        # two-tier popularity: a "hot" tier of server-farm prefixes that
+        # each attract a steady share of flows (creating genuinely
+        # concurrent flows to the same /24, like the paper's popular
+        # destinations), plus a diffuse Zipf body
+        ranks = np.arange(1, self.n_dst_prefixes + 1, dtype=np.float64)
+        weights = ranks**-self.zipf_exponent
+        weights /= weights.sum()
+        if self.n_hot_prefixes and self.hot_fraction > 0.0:
+            weights *= 1.0 - self.hot_fraction
+            weights[: self.n_hot_prefixes] += (
+                self.hot_fraction / self.n_hot_prefixes
+            )
+        self._prefix_weights = weights / weights.sum()
+        ports = np.array(list(WELL_KNOWN_PORTS.keys()), dtype=np.uint16)
+        port_weights = np.array(list(WELL_KNOWN_PORTS.values()), dtype=np.float64)
+        self._ports = ports
+        self._port_weights = port_weights / port_weights.sum()
+
+    def sample_endpoints(self, n: int, rng=None):
+        """Draw endpoint fields for ``n`` flows.
+
+        Returns ``(src_addr, dst_addr, src_port, dst_port, protocol)``
+        arrays suitable for :func:`repro.trace.packets_from_columns` after
+        per-packet expansion.
+        """
+        rng = as_rng(rng)
+        n = int(n)
+        prefix_idx = rng.choice(
+            self.n_dst_prefixes, size=n, p=self._prefix_weights
+        ).astype(np.uint32)
+        dst_host = rng.integers(1, 255, size=n, dtype=np.uint32)
+        dst_addr = (np.uint32(self.dst_base) + (prefix_idx << np.uint32(8))) | dst_host
+
+        src_net = rng.integers(0, self.n_src_networks, size=n, dtype=np.uint32)
+        src_host = rng.integers(1, 0xFFFF, size=n, dtype=np.uint32)
+        src_addr = (np.uint32(self.src_base) + (src_net << np.uint32(16))) | src_host
+
+        src_port = rng.integers(1024, 65535, size=n, dtype=np.uint16)
+        dst_port = rng.choice(self._ports, size=n, p=self._port_weights)
+
+        protocol = np.where(
+            rng.random(n) < self.udp_fraction,
+            np.uint8(PROTO_UDP),
+            np.uint8(PROTO_TCP),
+        )
+        return src_addr, dst_addr, src_port, dst_port, protocol
+
+    @property
+    def prefix_popularity(self) -> np.ndarray:
+        """Per-prefix selection probabilities (descending)."""
+        return self._prefix_weights.copy()

@@ -1,0 +1,203 @@
+"""Flow arrival processes.
+
+Assumption 1 of the paper is a homogeneous Poisson flow arrival process,
+which it justifies empirically (Figures 3-4) and by the high multiplexing
+level of backbone links ([2], [6]).  Besides the Poisson process, this
+module implements the relaxations the paper mentions:
+
+* :class:`MMPPArrivals` — a Markov-modulated Poisson process (the "MAP"
+  generalisation of section IV), for probing the model's sensitivity to
+  arrival burstiness;
+* :class:`NonHomogeneousPoissonArrivals` — deterministic rate modulation
+  (diurnal patterns, or the ramp of a flash crowd / DoS onset);
+* :class:`SessionArrivals` — Poisson *sessions* each spawning several
+  flows ([13], [20]): arrivals are Poisson at the session level but
+  clustered at the flow level.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from .._util import as_rng, check_nonnegative, check_positive
+from ..exceptions import ParameterError
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "NonHomogeneousPoissonArrivals",
+    "SessionArrivals",
+]
+
+
+class ArrivalProcess(ABC):
+    """A point process on [0, duration] generating flow start times."""
+
+    @abstractmethod
+    def times(self, duration: float, rng=None) -> np.ndarray:
+        """Sorted arrival times within ``[0, duration)``."""
+
+    @property
+    @abstractmethod
+    def mean_rate(self) -> float:
+        """Long-run arrivals per second (the model's ``lambda``)."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson process (Assumption 1)."""
+
+    def __init__(self, rate: float) -> None:
+        self.rate = check_positive("rate", rate)
+
+    def __repr__(self) -> str:
+        return f"PoissonArrivals(rate={self.rate:g})"
+
+    def times(self, duration: float, rng=None) -> np.ndarray:
+        duration = check_positive("duration", duration)
+        rng = as_rng(rng)
+        # conditional-uniform construction: exact and vectorised
+        n = rng.poisson(self.rate * duration)
+        return np.sort(rng.random(n) * duration)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+
+class MMPPArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process.
+
+    The arrival intensity alternates between ``rates[0]`` and ``rates[1]``
+    with exponential sojourn times ``mean_sojourns``.  With equal rates it
+    degenerates to a Poisson process.
+    """
+
+    def __init__(self, rates, mean_sojourns) -> None:
+        rates = tuple(float(r) for r in rates)
+        sojourns = tuple(float(s) for s in mean_sojourns)
+        if len(rates) != 2 or len(sojourns) != 2:
+            raise ParameterError("MMPP needs exactly two rates and two sojourns")
+        for r in rates:
+            check_nonnegative("rate", r)
+        if max(rates) <= 0:
+            raise ParameterError("at least one MMPP rate must be positive")
+        for s in sojourns:
+            check_positive("mean_sojourn", s)
+        self.rates = rates
+        self.mean_sojourns = sojourns
+
+    def __repr__(self) -> str:
+        return f"MMPPArrivals(rates={self.rates}, mean_sojourns={self.mean_sojourns})"
+
+    @property
+    def mean_rate(self) -> float:
+        # stationary state probabilities proportional to mean sojourns
+        s0, s1 = self.mean_sojourns
+        return (self.rates[0] * s0 + self.rates[1] * s1) / (s0 + s1)
+
+    def times(self, duration: float, rng=None) -> np.ndarray:
+        duration = check_positive("duration", duration)
+        rng = as_rng(rng)
+        out = []
+        # start in a state drawn from the stationary law
+        s0, s1 = self.mean_sojourns
+        state = 0 if rng.random() < s0 / (s0 + s1) else 1
+        t = 0.0
+        while t < duration:
+            sojourn = rng.exponential(self.mean_sojourns[state])
+            end = min(t + sojourn, duration)
+            rate = self.rates[state]
+            if rate > 0.0:
+                n = rng.poisson(rate * (end - t))
+                if n:
+                    out.append(t + rng.random(n) * (end - t))
+            t = end
+            state = 1 - state
+        if not out:
+            return np.zeros(0)
+        return np.sort(np.concatenate(out))
+
+
+class NonHomogeneousPoissonArrivals(ArrivalProcess):
+    """Poisson process with deterministic time-varying intensity.
+
+    ``rate_fn(t)`` gives the instantaneous intensity; ``rate_max`` must
+    bound it on the horizon (thinning construction).
+    """
+
+    def __init__(
+        self, rate_fn: Callable[[np.ndarray], np.ndarray], rate_max: float
+    ) -> None:
+        self.rate_fn = rate_fn
+        self.rate_max = check_positive("rate_max", rate_max)
+
+    def times(self, duration: float, rng=None) -> np.ndarray:
+        duration = check_positive("duration", duration)
+        rng = as_rng(rng)
+        n = rng.poisson(self.rate_max * duration)
+        candidates = np.sort(rng.random(n) * duration)
+        intensities = np.asarray(self.rate_fn(candidates), dtype=np.float64)
+        if np.any(intensities > self.rate_max * (1.0 + 1e-9)):
+            raise ParameterError("rate_fn exceeds rate_max; thinning is invalid")
+        keep = rng.random(candidates.size) * self.rate_max < intensities
+        return candidates[keep]
+
+    @property
+    def mean_rate(self) -> float:
+        # numeric average of the intensity over a unit-scale grid is not
+        # well-defined without a horizon; report the bound's midpoint by
+        # sampling the rate function over [0, 1] as a best effort.
+        grid = np.linspace(0.0, 1.0, 256)
+        return float(np.mean(self.rate_fn(grid)))
+
+
+class SessionArrivals(ArrivalProcess):
+    """Poisson sessions, each spawning a geometric number of flows.
+
+    Sessions arrive at ``session_rate``; a session contains ``k >= 1``
+    flows where ``k`` is geometric with mean ``flows_per_session``, spaced
+    by exponential think times of mean ``think_time``.  Flow-level
+    arrivals are then *clustered*, not Poisson — the paper's remark that
+    the model may be applied at the session level instead.
+    """
+
+    def __init__(
+        self,
+        session_rate: float,
+        flows_per_session: float = 4.0,
+        think_time: float = 2.0,
+    ) -> None:
+        self.session_rate = check_positive("session_rate", session_rate)
+        if flows_per_session < 1.0:
+            raise ParameterError("flows_per_session must be >= 1")
+        self.flows_per_session = float(flows_per_session)
+        self.think_time = check_positive("think_time", think_time)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.session_rate * self.flows_per_session
+
+    def times(self, duration: float, rng=None) -> np.ndarray:
+        duration = check_positive("duration", duration)
+        rng = as_rng(rng)
+        n_sessions = rng.poisson(self.session_rate * duration)
+        if n_sessions == 0:
+            return np.zeros(0)
+        session_starts = rng.random(n_sessions) * duration
+        p = 1.0 / self.flows_per_session
+        flows_per = rng.geometric(p, n_sessions)
+        total = int(flows_per.sum())
+        session_of_flow = np.repeat(np.arange(n_sessions), flows_per)
+        # think-time gaps; the first flow of each session starts with it
+        first_flow_idx = np.concatenate([[0], np.cumsum(flows_per)[:-1]])
+        gaps = rng.exponential(self.think_time, total)
+        gaps[first_flow_idx] = 0.0
+        cumulative = np.cumsum(gaps)
+        offsets = cumulative - np.repeat(cumulative[first_flow_idx], flows_per)
+        times = session_starts[session_of_flow] + offsets
+        times = times[times < duration]
+        return np.sort(times)

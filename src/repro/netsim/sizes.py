@@ -1,0 +1,196 @@
+"""Flow size / rate / RTT distributions for workload synthesis.
+
+The self-similarity literature the paper builds on ([9], [19], [22])
+attributes backbone traffic variability to *heavy-tailed* flow sizes, so
+the default size law here is a bounded Pareto; access rates and round-trip
+times are lognormal.  All distributions expose the small protocol
+``rvs(size=..., random_state=...)`` / ``mean()`` used by
+:class:`repro.core.SizeRateEnsemble`, so they plug into both the workload
+generator and the analytic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_rng
+from ..exceptions import ParameterError
+
+__all__ = [
+    "BoundedPareto",
+    "LogNormal",
+    "Exponential",
+    "Constant",
+    "Mixture",
+    "Empirical",
+]
+
+
+def _rng_of(random_state) -> np.random.Generator:
+    return as_rng(random_state)
+
+
+@dataclass(frozen=True)
+class BoundedPareto:
+    """Pareto law truncated to ``[minimum, maximum]``.
+
+    Density proportional to ``x^-(alpha+1)``.  Bounding the support keeps
+    every moment finite (so Monte Carlo converges) while preserving the
+    many-orders-of-magnitude size spread: mice and elephants.
+    """
+
+    alpha: float
+    minimum: float
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ParameterError(f"alpha must be > 0, got {self.alpha}")
+        if not 0 < self.minimum < self.maximum:
+            raise ParameterError("need 0 < minimum < maximum")
+
+    def rvs(self, size=1, random_state=None) -> np.ndarray:
+        rng = _rng_of(random_state)
+        u = rng.random(size)
+        a, lo, hi = self.alpha, self.minimum, self.maximum
+        ratio = (lo / hi) ** a
+        # inverse CDF of the truncated Pareto
+        return lo / (1.0 - u * (1.0 - ratio)) ** (1.0 / a)
+
+    def mean(self) -> float:
+        a, lo, hi = self.alpha, self.minimum, self.maximum
+        norm = 1.0 - (lo / hi) ** a
+        if a == 1.0:
+            return lo * np.log(hi / lo) / norm
+        return (a / (a - 1.0)) * lo * (1.0 - (lo / hi) ** (a - 1.0)) / norm
+
+    def second_moment(self) -> float:
+        a, lo, hi = self.alpha, self.minimum, self.maximum
+        norm = 1.0 - (lo / hi) ** a
+        if a == 2.0:
+            return 2.0 * lo**2 * np.log(hi / lo) / norm
+        return (a / (a - 2.0)) * lo**2 * (1.0 - (lo / hi) ** (a - 2.0)) / norm
+
+    def ccdf(self, x) -> np.ndarray:
+        """``P(X > x)`` — used by the heavy-tail diagnostics."""
+        x = np.asarray(x, dtype=np.float64)
+        a, lo, hi = self.alpha, self.minimum, self.maximum
+        norm = 1.0 - (lo / hi) ** a
+        tail = ((lo / np.clip(x, lo, hi)) ** a - (lo / hi) ** a) / norm
+        return np.where(x < lo, 1.0, np.where(x >= hi, 0.0, tail))
+
+
+@dataclass(frozen=True)
+class LogNormal:
+    """Lognormal with given *median* and log-space sigma.
+
+    ``median`` parameterisation keeps workload presets readable:
+    ``LogNormal(median=50e3, sigma=0.6)`` is a 50 kB/s typical access rate.
+    """
+
+    median: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.median <= 0:
+            raise ParameterError("median must be > 0")
+        if self.sigma < 0:
+            raise ParameterError("sigma must be >= 0")
+
+    def rvs(self, size=1, random_state=None) -> np.ndarray:
+        rng = _rng_of(random_state)
+        return rng.lognormal(np.log(self.median), self.sigma, size)
+
+    def mean(self) -> float:
+        return float(self.median * np.exp(self.sigma**2 / 2.0))
+
+
+@dataclass(frozen=True)
+class Exponential:
+    """Exponential with the given mean."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ParameterError("mean_value must be > 0")
+
+    def rvs(self, size=1, random_state=None) -> np.ndarray:
+        rng = _rng_of(random_state)
+        return rng.exponential(self.mean_value, size)
+
+    def mean(self) -> float:
+        return float(self.mean_value)
+
+
+@dataclass(frozen=True)
+class Constant:
+    """Degenerate distribution (useful for CBR streams and tests)."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ParameterError("value must be > 0")
+
+    def rvs(self, size=1, random_state=None) -> np.ndarray:
+        return np.full(size, float(self.value))
+
+    def mean(self) -> float:
+        return float(self.value)
+
+
+class Mixture:
+    """Finite mixture of component distributions.
+
+    E.g. a mice/elephants size law:
+    ``Mixture([(0.95, BoundedPareto(...small...)), (0.05, BoundedPareto(...big...))])``.
+    """
+
+    def __init__(self, components) -> None:
+        components = list(components)
+        if not components:
+            raise ParameterError("mixture needs at least one component")
+        weights = np.array([w for w, _ in components], dtype=np.float64)
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ParameterError("mixture weights must be >= 0 and not all zero")
+        self.weights = weights / weights.sum()
+        self.distributions = [d for _, d in components]
+
+    def rvs(self, size=1, random_state=None) -> np.ndarray:
+        rng = _rng_of(random_state)
+        size = int(size) if np.isscalar(size) else int(np.prod(size))
+        which = rng.choice(len(self.distributions), size=size, p=self.weights)
+        out = np.empty(size, dtype=np.float64)
+        for i, dist in enumerate(self.distributions):
+            mask = which == i
+            count = int(mask.sum())
+            if count:
+                out[mask] = dist.rvs(size=count, random_state=rng)
+        return out
+
+    def mean(self) -> float:
+        return float(
+            sum(w * d.mean() for w, d in zip(self.weights, self.distributions))
+        )
+
+
+class Empirical:
+    """Resampling distribution over observed values (bootstrap)."""
+
+    def __init__(self, values) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ParameterError("values must not be empty")
+        if np.any(~np.isfinite(values)) or np.any(values <= 0):
+            raise ParameterError("values must be finite and > 0")
+        self.values = values
+
+    def rvs(self, size=1, random_state=None) -> np.ndarray:
+        rng = _rng_of(random_state)
+        return rng.choice(self.values, size=size, replace=True)
+
+    def mean(self) -> float:
+        return float(self.values.mean())

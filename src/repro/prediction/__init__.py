@@ -1,0 +1,28 @@
+"""Section VII-B: linear prediction of the total rate."""
+
+from .evaluation import (
+    PredictionReport,
+    Table2Row,
+    compare_predictors,
+    evaluate_predictor,
+    prediction_error,
+    select_order_by_validation,
+)
+from .linear import LevinsonResult, levinson_durbin, normal_equations, theoretical_mse
+from .predictor import EmpiricalPredictor, LinearPredictor, ModelBasedPredictor
+
+__all__ = [
+    "normal_equations",
+    "levinson_durbin",
+    "LevinsonResult",
+    "theoretical_mse",
+    "LinearPredictor",
+    "ModelBasedPredictor",
+    "EmpiricalPredictor",
+    "prediction_error",
+    "PredictionReport",
+    "evaluate_predictor",
+    "select_order_by_validation",
+    "Table2Row",
+    "compare_predictors",
+]

@@ -1,0 +1,140 @@
+"""Predictor evaluation — the error metric and protocol of Table II.
+
+The paper reports, per prediction interval ``theta``, the normalised RMS
+one-step error
+
+.. math::  e = \\sqrt{E[(\\hat R_k - R_k)^2]} \\,/\\, E[R]
+
+for (i) the Moving Average predictor trained on the measured samples and
+(ii) the predictor derived from the model's autocovariance, together with
+the selected order ``M``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import PredictionError
+from ..stats.timeseries import RateSeries
+from .predictor import EmpiricalPredictor, LinearPredictor, ModelBasedPredictor
+
+__all__ = [
+    "prediction_error",
+    "PredictionReport",
+    "evaluate_predictor",
+    "select_order_by_validation",
+    "Table2Row",
+    "compare_predictors",
+]
+
+
+def prediction_error(predictor: LinearPredictor, series: RateSeries) -> float:
+    """Normalised RMS one-step error of ``predictor`` on ``series``."""
+    predictions = predictor.predict_series(series.values)
+    actual = series.values[predictor.order:]
+    mse = float(np.mean((predictions - actual) ** 2))
+    mean = series.mean
+    if mean <= 0:
+        raise PredictionError("series mean must be positive")
+    return float(np.sqrt(mse)) / mean
+
+
+@dataclass(frozen=True)
+class PredictionReport:
+    """Evaluation result for one predictor on one series."""
+
+    order: int
+    error: float
+    sample_interval: float
+    kind: str
+
+
+def evaluate_predictor(
+    predictor: LinearPredictor, series: RateSeries, kind: str = "linear"
+) -> PredictionReport:
+    """Package :func:`prediction_error` with the predictor's metadata."""
+    return PredictionReport(
+        order=predictor.order,
+        error=prediction_error(predictor, series),
+        sample_interval=predictor.sample_interval,
+        kind=kind,
+    )
+
+
+def select_order_by_validation(
+    make_predictor, series: RateSeries, max_order: int = 12
+) -> tuple[int, float]:
+    """The paper's order rule applied to realised errors.
+
+    ``make_predictor(order)`` must return a predictor of that order.
+    Orders grow from 1; the first order whose realised error exceeds its
+    predecessor's stops the search, and the predecessor wins.
+    """
+    max_order = int(max_order)
+    if max_order < 1:
+        raise PredictionError("max_order must be >= 1")
+    best_order, best_error = 0, np.inf
+    for order in range(1, max_order + 1):
+        if len(series) <= order + 1:
+            break
+        try:
+            error = prediction_error(make_predictor(order), series)
+        except PredictionError:
+            break
+        if error >= best_error:
+            break
+        best_order, best_error = order, error
+    if best_order == 0:
+        raise PredictionError("could not evaluate any predictor order")
+    return best_order, best_error
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One column of the paper's Table II for one prediction interval."""
+
+    sample_interval: float
+    empirical_order: int
+    empirical_error: float
+    model_order: int
+    model_error: float
+
+
+def compare_predictors(
+    series_by_interval: dict[float, RateSeries],
+    model,
+    *,
+    max_order: int = 12,
+) -> list[Table2Row]:
+    """Build Table II: empirical vs model-based predictors per interval.
+
+    ``series_by_interval`` maps each prediction interval ``theta`` to the
+    rate series sampled at that interval (e.g. via
+    :meth:`RateSeries.resample`); ``model`` provides the Theorem 2
+    autocovariance.
+    """
+    rows = []
+    for theta in sorted(series_by_interval):
+        series = series_by_interval[theta]
+        emp_order, emp_error = select_order_by_validation(
+            lambda order: EmpiricalPredictor(series, order=order),
+            series,
+            max_order,
+        )
+        model_order, model_error = select_order_by_validation(
+            lambda order: ModelBasedPredictor(model, theta, order=order),
+            series,
+            max_order,
+        )
+        rows.append(
+            Table2Row(
+                sample_interval=float(theta),
+                empirical_order=emp_order,
+                empirical_error=emp_error,
+                model_order=model_order,
+                model_error=model_error,
+            )
+        )
+    return rows

@@ -1,0 +1,151 @@
+"""Linear MMSE prediction machinery — section VII-B of the paper.
+
+The paper predicts the next sample of the (sampled, averaged) total rate
+as a linear combination of the last ``M`` samples.  The optimal
+coefficients solve the *normal equations* of linear prediction theory
+([14] in the paper):
+
+.. math::
+
+   \\sum_{j=0}^{M-1} a_j\\, \\rho(|i - j|) = \\rho(i + 1),
+   \\qquad i = 0, \\dots, M-1,
+
+where ``rho`` is the lag autocorrelation of the sampled process.  The
+system is Toeplitz, so we also provide the Levinson-Durbin recursion,
+which yields the coefficients *and* the theoretical mean-square error for
+every order up to ``M`` in O(M^2) — handy for the paper's order-selection
+rule (grow ``M`` until the error stops improving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import linalg
+
+from .._util import as_1d_float_array
+from ..exceptions import PredictionError
+
+__all__ = [
+    "normal_equations",
+    "levinson_durbin",
+    "LevinsonResult",
+    "theoretical_mse",
+]
+
+
+def normal_equations(rho, order: int) -> np.ndarray:
+    """Solve the normal equations for prediction coefficients.
+
+    Parameters
+    ----------
+    rho:
+        Autocorrelation sequence ``rho[0..K]`` with ``rho[0] == 1`` and
+        ``K >= order`` (lags in units of the sampling interval).
+    order:
+        Number of past samples ``M`` used by the predictor.
+
+    Returns
+    -------
+    Coefficients ``a[0..M-1]``; the prediction is
+    ``sum_i a[i] * (x[k-i] - mean) + mean``.
+    """
+    rho = as_1d_float_array("rho", rho)
+    order = int(order)
+    if order < 1:
+        raise PredictionError(f"order must be >= 1, got {order}")
+    if rho.size < order + 1:
+        raise PredictionError(
+            f"need rho up to lag {order}, got only {rho.size - 1}"
+        )
+    if not np.isclose(rho[0], 1.0):
+        raise PredictionError(f"rho[0] must be 1, got {rho[0]}")
+    first_column = rho[:order]
+    rhs = rho[1: order + 1]
+    try:
+        return linalg.solve_toeplitz(first_column, rhs)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - rare
+        raise PredictionError(f"singular normal equations: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class LevinsonResult:
+    """Levinson-Durbin output for all orders ``1..M``.
+
+    ``coefficients[m]`` are the order-(m+1) predictor coefficients and
+    ``error_power[m]`` the corresponding theoretical one-step MSE divided
+    by the process variance (so 1.0 means no predictability).
+    """
+
+    coefficients: list[np.ndarray]
+    error_power: np.ndarray
+
+    @property
+    def max_order(self) -> int:
+        return len(self.coefficients)
+
+    def best_order(self, rel_tol: float = 1e-9) -> int:
+        """The paper's rule: the lowest order preceding an error increase.
+
+        An improvement smaller than ``rel_tol`` (relative) counts as no
+        improvement, so numerically flat errors stop the search.  If the
+        error keeps decreasing, the largest order wins.
+        """
+        errors = self.error_power
+        for m in range(1, errors.size):
+            if errors[m] >= errors[m - 1] * (1.0 - rel_tol):
+                return m  # orders are 1-based: errors[m-1] is order m
+        return int(errors.size)
+
+
+def levinson_durbin(rho, max_order: int) -> LevinsonResult:
+    """Levinson-Durbin recursion on an autocorrelation sequence."""
+    rho = as_1d_float_array("rho", rho)
+    max_order = int(max_order)
+    if max_order < 1:
+        raise PredictionError(f"max_order must be >= 1, got {max_order}")
+    if rho.size < max_order + 1:
+        raise PredictionError(
+            f"need rho up to lag {max_order}, got {rho.size - 1}"
+        )
+    if not np.isclose(rho[0], 1.0):
+        raise PredictionError(f"rho[0] must be 1, got {rho[0]}")
+
+    coefficients: list[np.ndarray] = []
+    errors = np.empty(max_order)
+    a = np.zeros(0)
+    err = 1.0
+    for m in range(1, max_order + 1):
+        if err <= 0:
+            # process perfectly predictable at a lower order; freeze
+            coefficients.append(coefficients[-1].copy())
+            errors[m - 1] = 0.0
+            continue
+        acc = rho[m] - (np.dot(a, rho[m - 1: 0: -1]) if a.size else 0.0)
+        k = acc / err
+        new_a = np.empty(m)
+        new_a[: m - 1] = a - k * a[::-1]
+        new_a[m - 1] = k
+        a = new_a
+        err = err * (1.0 - k * k)
+        coefficients.append(a.copy())
+        errors[m - 1] = max(err, 0.0)
+    return LevinsonResult(coefficients=coefficients, error_power=errors)
+
+
+def theoretical_mse(rho, coefficients, variance: float = 1.0) -> float:
+    """One-step MSE of a linear predictor with the given coefficients.
+
+    ``E[(x_hat - x)^2] = sigma^2 (1 - 2 a.r + a.T R a)`` where ``r`` is
+    ``rho[1..M]`` and ``R`` the Toeplitz autocorrelation matrix.
+    """
+    rho = as_1d_float_array("rho", rho)
+    a = as_1d_float_array("coefficients", coefficients)
+    m = a.size
+    if rho.size < m + 1:
+        raise PredictionError(f"need rho up to lag {m}")
+    r = rho[1: m + 1]
+    big_r = linalg.toeplitz(rho[:m])
+    mse_ratio = 1.0 - 2.0 * float(a @ r) + float(a @ big_r @ a)
+    return float(variance) * max(mse_ratio, 0.0)

@@ -1,0 +1,147 @@
+"""Rate predictors: model-driven and measurement-driven (section VII-B).
+
+Two ways to obtain the autocorrelation the normal equations need:
+
+* :class:`ModelBasedPredictor` computes it from Theorem 2 — i.e. from flow
+  statistics only.  The paper's selling point: flow samples are plentiful,
+  so the autocorrelation (hence the predictor) stays accurate even for
+  long prediction intervals where rate samples are scarce.
+* :class:`EmpiricalPredictor` estimates it from past rate samples — the
+  natural baseline the paper compares against (Table II).
+
+Predictions are computed on centred samples:
+``x_hat[k+1] = mean + sum_i a[i] (x[k-i] - mean)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_1d_float_array, check_positive
+from ..exceptions import PredictionError
+from ..stats.correlation import autocovariance_series
+from ..stats.timeseries import RateSeries
+from .linear import levinson_durbin, normal_equations
+
+__all__ = ["LinearPredictor", "ModelBasedPredictor", "EmpiricalPredictor"]
+
+
+class LinearPredictor:
+    """One-step linear predictor with fixed coefficients.
+
+    Parameters
+    ----------
+    coefficients:
+        ``a[0..M-1]``; ``a[0]`` multiplies the most recent sample.
+    mean:
+        Process mean used for centring.
+    sample_interval:
+        Spacing of the samples this predictor was designed for (seconds);
+        informational.
+    """
+
+    def __init__(self, coefficients, mean: float, sample_interval: float) -> None:
+        self.coefficients = as_1d_float_array("coefficients", coefficients)
+        self.mean = float(mean)
+        self.sample_interval = check_positive("sample_interval", sample_interval)
+
+    @property
+    def order(self) -> int:
+        return int(self.coefficients.size)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(order={self.order}, "
+            f"interval={self.sample_interval:g}s)"
+        )
+
+    def predict_next(self, history) -> float:
+        """Predict the sample following ``history`` (oldest first)."""
+        history = as_1d_float_array("history", history)
+        if history.size < self.order:
+            raise PredictionError(
+                f"need at least {self.order} samples, got {history.size}"
+            )
+        recent = history[-self.order:][::-1] - self.mean
+        return self.mean + float(np.dot(self.coefficients, recent))
+
+    def predict_series(self, values) -> np.ndarray:
+        """One-step-ahead predictions along a sample path.
+
+        Returns predictions aligned with ``values[order:]``: entry ``k``
+        predicts ``values[order + k]`` from the preceding ``order``
+        samples.  Fully vectorised (sliding dot product).
+        """
+        x = as_1d_float_array("values", values) - self.mean
+        m = self.order
+        if x.size <= m:
+            raise PredictionError(
+                f"series of {x.size} samples too short for order {m}"
+            )
+        window = np.lib.stride_tricks.sliding_window_view(x, m)[:-1]
+        preds = window @ self.coefficients[::-1]
+        return self.mean + preds
+
+
+class ModelBasedPredictor(LinearPredictor):
+    """Predictor whose autocorrelation comes from the shot-noise model.
+
+    Built from any object exposing ``autocovariance(lags)`` and ``mean``
+    (e.g. :class:`repro.core.PoissonShotNoiseModel`); the lag grid is
+    ``sample_interval * (0..max_order)`` and the order is selected by the
+    paper's rule unless given explicitly.
+    """
+
+    def __init__(
+        self,
+        model,
+        sample_interval: float,
+        *,
+        order: int | None = None,
+        max_order: int = 12,
+    ) -> None:
+        sample_interval = check_positive("sample_interval", sample_interval)
+        max_order = int(max_order)
+        if max_order < 1:
+            raise PredictionError("max_order must be >= 1")
+        lags = sample_interval * np.arange(max_order + 1)
+        gamma = np.asarray(model.autocovariance(lags), dtype=np.float64)
+        if gamma[0] <= 0:
+            raise PredictionError("model variance must be positive")
+        rho = gamma / gamma[0]
+        self.rho = rho
+        if order is None:
+            levinson = levinson_durbin(rho, max_order)
+            order = levinson.best_order()
+        coefficients = normal_equations(rho, int(order))
+        super().__init__(coefficients, float(model.mean), sample_interval)
+
+
+class EmpiricalPredictor(LinearPredictor):
+    """Predictor trained on past rate samples (the Table II baseline)."""
+
+    def __init__(
+        self,
+        series: RateSeries,
+        *,
+        order: int | None = None,
+        max_order: int = 12,
+    ) -> None:
+        max_order = int(max_order)
+        if max_order < 1:
+            raise PredictionError("max_order must be >= 1")
+        usable = min(max_order, len(series) - 2)
+        if usable < 1:
+            raise PredictionError(
+                f"series of {len(series)} samples too short to train on"
+            )
+        gamma = autocovariance_series(series.values, usable)
+        if gamma[0] <= 0:
+            raise PredictionError("series has zero variance")
+        rho = gamma / gamma[0]
+        self.rho = rho
+        if order is None:
+            levinson = levinson_durbin(rho, usable)
+            order = levinson.best_order()
+        coefficients = normal_equations(rho, int(order))
+        super().__init__(coefficients, series.mean, series.delta)

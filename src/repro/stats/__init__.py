@@ -1,0 +1,37 @@
+"""Measurement statistics: rate series, correlograms, qq-plots, tails, EWMA."""
+
+from .correlation import (
+    autocorrelation,
+    autocovariance_series,
+    correlogram,
+    cross_correlation,
+)
+from .estimators import EwmaEstimator, OnlineFlowStatistics
+from .heavytail import (
+    ParetoTailFit,
+    empirical_ccdf,
+    fit_pareto_tail,
+    hill_estimator,
+    hill_plot,
+)
+from .qq import ExponentialityReport, QQData, exponentiality, qq_exponential
+from .timeseries import RateSeries
+
+__all__ = [
+    "RateSeries",
+    "autocorrelation",
+    "autocovariance_series",
+    "correlogram",
+    "cross_correlation",
+    "QQData",
+    "qq_exponential",
+    "ExponentialityReport",
+    "exponentiality",
+    "ParetoTailFit",
+    "fit_pareto_tail",
+    "hill_estimator",
+    "hill_plot",
+    "empirical_ccdf",
+    "EwmaEstimator",
+    "OnlineFlowStatistics",
+]

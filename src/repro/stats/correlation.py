@@ -1,0 +1,85 @@
+"""Empirical autocorrelation estimators (Figures 3-6 and 8).
+
+The paper checks its two assumptions with lag correlograms: flow
+inter-arrival times should be uncorrelated (Poisson, Figures 3-4) and the
+sequences of flow sizes and durations should be iid (Figures 5-6,
+correlation dropping to ~0 after lag 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_1d_float_array
+from ..exceptions import ParameterError
+
+__all__ = [
+    "autocorrelation",
+    "autocovariance_series",
+    "cross_correlation",
+    "correlogram",
+]
+
+
+def autocovariance_series(values, max_lag: int) -> np.ndarray:
+    """Biased empirical autocovariance ``gamma(0..max_lag)`` of a series.
+
+    The biased (1/n) normalisation keeps the estimated autocorrelation
+    sequence positive semi-definite, which the linear predictor's normal
+    equations rely on.
+    """
+    x = as_1d_float_array("values", values)
+    max_lag = int(max_lag)
+    if max_lag < 0:
+        raise ParameterError("max_lag must be >= 0")
+    if max_lag >= x.size:
+        raise ParameterError(
+            f"max_lag {max_lag} must be < series length {x.size}"
+        )
+    centred = x - x.mean()
+    n = x.size
+    out = np.empty(max_lag + 1)
+    for k in range(max_lag + 1):
+        out[k] = np.dot(centred[: n - k], centred[k:]) / n
+    return out
+
+
+def autocorrelation(values, max_lag: int) -> np.ndarray:
+    """Autocorrelation coefficients for lags ``1..max_lag``.
+
+    Matches the paper's correlograms: the lag-0 value (identically 1) is
+    omitted.
+    """
+    gamma = autocovariance_series(values, max_lag)
+    if gamma[0] <= 0.0:
+        raise ParameterError("series has zero variance")
+    return gamma[1:] / gamma[0]
+
+
+def correlogram(values, max_lag: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(lags, coefficients)`` including lag 0 — plot-ready Figure 3-6 data."""
+    gamma = autocovariance_series(values, max_lag)
+    if gamma[0] <= 0.0:
+        raise ParameterError("series has zero variance")
+    return np.arange(max_lag + 1), gamma / gamma[0]
+
+
+def cross_correlation(x, y) -> float:
+    """Pearson correlation of two equal-length sequences.
+
+    Used to confirm that sizes and durations of the *same* flow are
+    correlated (larger S, larger D — the paper notes this) even though
+    each sequence is serially uncorrelated.
+    """
+    x = as_1d_float_array("x", x)
+    y = as_1d_float_array("y", y)
+    if x.size != y.size:
+        raise ParameterError("sequences must have equal length")
+    if x.size < 2:
+        raise ParameterError("need at least two points")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt(np.dot(xc, xc) * np.dot(yc, yc))
+    if denom == 0.0:
+        raise ParameterError("a sequence has zero variance")
+    return float(np.dot(xc, yc) / denom)

@@ -1,0 +1,113 @@
+"""Heavy-tail diagnostics for flow sizes and durations.
+
+The related work the paper builds on attributes traffic burstiness and
+self-similarity to heavy-tailed size/duration distributions ([9], [19],
+[22]).  These estimators characterise the tails of the synthetic (or any
+measured) flow populations: Pareto maximum-likelihood tail index, the Hill
+estimator with its stability plot, and empirical CCDFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_1d_float_array
+from ..exceptions import FittingError, ParameterError
+
+__all__ = [
+    "ParetoTailFit",
+    "fit_pareto_tail",
+    "hill_estimator",
+    "hill_plot",
+    "empirical_ccdf",
+]
+
+
+@dataclass(frozen=True)
+class ParetoTailFit:
+    """MLE Pareto fit of a sample's upper tail.
+
+    ``alpha < 2`` means infinite variance — the regime where the paper's
+    ``E[S^2/D]`` parameter stays finite while ``E[S^2]`` does not.
+    """
+
+    alpha: float
+    xmin: float
+    n_tail: int
+
+    @property
+    def infinite_variance(self) -> bool:
+        return self.alpha <= 2.0
+
+    @property
+    def infinite_mean(self) -> bool:
+        return self.alpha <= 1.0
+
+    def ccdf(self, x) -> np.ndarray:
+        """Model tail ``P(X > x) = (xmin/x)^alpha`` for ``x >= xmin``."""
+        x = np.asarray(x, dtype=np.float64)
+        return np.where(x < self.xmin, 1.0, (self.xmin / x) ** self.alpha)
+
+
+def fit_pareto_tail(samples, *, xmin: float | None = None) -> ParetoTailFit:
+    """Maximum-likelihood Pareto tail index.
+
+    ``alpha_hat = n / sum(log(x_i / xmin))`` over samples above ``xmin``
+    (default: the sample median, fitting the upper half).
+    """
+    x = as_1d_float_array("samples", samples)
+    if np.any(x <= 0):
+        raise ParameterError("samples must be strictly positive")
+    if xmin is None:
+        xmin = float(np.median(x))
+    if xmin <= 0:
+        raise ParameterError("xmin must be > 0")
+    tail = x[x >= xmin]
+    if tail.size < 10:
+        raise FittingError(
+            f"only {tail.size} samples above xmin={xmin:g}; need >= 10"
+        )
+    log_ratios = np.log(tail / xmin)
+    total = float(log_ratios.sum())
+    if total <= 0:
+        raise FittingError("all tail samples equal xmin; alpha is undefined")
+    return ParetoTailFit(alpha=tail.size / total, xmin=float(xmin), n_tail=int(tail.size))
+
+
+def hill_estimator(samples, k: int) -> float:
+    """Hill tail-index estimate from the ``k`` largest order statistics."""
+    x = as_1d_float_array("samples", samples)
+    if np.any(x <= 0):
+        raise ParameterError("samples must be strictly positive")
+    k = int(k)
+    if not 2 <= k < x.size:
+        raise ParameterError(f"k must be in [2, n-1], got {k} for n={x.size}")
+    top = np.sort(x)[-(k + 1):]
+    logs = np.log(top)
+    hill = float(np.mean(logs[1:] - logs[0]))
+    if hill <= 0:
+        raise FittingError("degenerate order statistics; Hill undefined")
+    return 1.0 / hill
+
+
+def hill_plot(samples, k_values=None) -> tuple[np.ndarray, np.ndarray]:
+    """``(k, alpha_hat(k))`` stability plot of the Hill estimator."""
+    x = as_1d_float_array("samples", samples)
+    if k_values is None:
+        k_max = max(3, x.size // 2)
+        k_values = np.unique(
+            np.round(np.geomspace(2, k_max - 1, num=30)).astype(int)
+        )
+    k_values = np.asarray(k_values, dtype=int)
+    estimates = np.array([hill_estimator(x, int(k)) for k in k_values])
+    return k_values, estimates
+
+
+def empirical_ccdf(samples) -> tuple[np.ndarray, np.ndarray]:
+    """``(sorted values, P(X > value))`` — log-log plot data for tails."""
+    x = np.sort(as_1d_float_array("samples", samples))
+    n = x.size
+    ccdf = 1.0 - np.arange(1, n + 1) / n
+    return x, ccdf

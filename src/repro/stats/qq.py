@@ -1,0 +1,111 @@
+"""Quantile-quantile diagnostics against the exponential law (Figures 3-4).
+
+The paper validates Assumption 1 (Poisson arrivals) with qq-plots of flow
+inter-arrival times against the exponential distribution — "a stricter
+test on the tail of the distributions" than histograms.  This module
+produces the plot data and scalar goodness summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from .._util import as_1d_float_array
+from ..exceptions import ParameterError
+
+__all__ = ["QQData", "qq_exponential", "exponentiality"]
+
+
+@dataclass(frozen=True)
+class QQData:
+    """QQ-plot data: empirical quantiles vs fitted-exponential quantiles.
+
+    ``normalized_*`` rescale both axes by the largest plotted quantile so
+    the plot lives on [0, 1] x [0, 1] like the paper's figures; a perfect
+    exponential fit lies on the diagonal.
+    """
+
+    probabilities: np.ndarray
+    empirical: np.ndarray
+    theoretical: np.ndarray
+
+    @property
+    def normalized_empirical(self) -> np.ndarray:
+        return self.empirical / self.empirical[-1]
+
+    @property
+    def normalized_theoretical(self) -> np.ndarray:
+        return self.theoretical / self.theoretical[-1]
+
+    @property
+    def correlation(self) -> float:
+        """Pearson r of the qq points; 1.0 means a perfect linear match."""
+        return float(np.corrcoef(self.empirical, self.theoretical)[0, 1])
+
+    def max_relative_deviation(self) -> float:
+        """Largest |empirical - theoretical| / theoretical over the plot."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rel = np.abs(self.empirical - self.theoretical) / self.theoretical
+        return float(np.nanmax(rel))
+
+
+def qq_exponential(
+    samples, n_points: int = 100, *, p_max: float = 0.995
+) -> QQData:
+    """QQ data of ``samples`` against Exponential(mean of samples).
+
+    ``p_max`` bounds the highest plotted probability: the paper plots deep
+    into the tail but the very last order statistics are pure noise.
+    """
+    x = as_1d_float_array("samples", samples)
+    if np.any(x < 0):
+        raise ParameterError("inter-arrival samples must be >= 0")
+    if x.size < 10:
+        raise ParameterError("need at least 10 samples for a qq-plot")
+    if not 0.0 < p_max < 1.0:
+        raise ParameterError("p_max must be in (0, 1)")
+    probs = np.linspace(0.5 / n_points, p_max, n_points)
+    empirical = np.quantile(x, probs)
+    theoretical = stats.expon.ppf(probs, scale=float(x.mean()))
+    return QQData(probabilities=probs, empirical=empirical, theoretical=theoretical)
+
+
+@dataclass(frozen=True)
+class ExponentialityReport:
+    """Scalar summary of how exponential a positive sample looks."""
+
+    ks_statistic: float
+    ks_pvalue: float
+    cov: float  # exponential => 1.0
+    qq_correlation: float
+
+    @property
+    def plausibly_exponential(self) -> bool:
+        """Loose screen: qq nearly linear and CoV near 1.
+
+        The KS p-value is reported but not gated on: with tens of
+        thousands of samples even tiny deviations are "significant", yet
+        the paper's point is that the fit is close in practice.
+        """
+        return self.qq_correlation > 0.99 and 0.7 < self.cov < 1.3
+
+
+def exponentiality(samples) -> ExponentialityReport:
+    """Test a positive sample against the exponential distribution."""
+    x = as_1d_float_array("samples", samples)
+    if x.size < 10:
+        raise ParameterError("need at least 10 samples")
+    mean = float(x.mean())
+    if mean <= 0:
+        raise ParameterError("samples must have a positive mean")
+    ks = stats.kstest(x, "expon", args=(0.0, mean))
+    qq = qq_exponential(x)
+    return ExponentialityReport(
+        ks_statistic=float(ks.statistic),
+        ks_pvalue=float(ks.pvalue),
+        cov=float(x.std(ddof=1) / mean),
+        qq_correlation=qq.correlation,
+    )

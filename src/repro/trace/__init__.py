@@ -1,0 +1,25 @@
+"""Packet-trace substrate: records, binary format, streaming IO.
+
+Stand-in for the paper's passive monitoring infrastructure (44-byte packet
+captures on Sprint OC-12 links).
+"""
+
+from .format import FORMAT_VERSION, MAGIC, decode_trace, encode_trace
+from .io import TraceReader, TraceWriter, merge_packets, read_trace, write_trace
+from .packet import PACKET_DTYPE, PacketRecord, PacketTrace, packets_from_columns
+
+__all__ = [
+    "PACKET_DTYPE",
+    "PacketRecord",
+    "PacketTrace",
+    "packets_from_columns",
+    "MAGIC",
+    "FORMAT_VERSION",
+    "encode_trace",
+    "decode_trace",
+    "TraceWriter",
+    "TraceReader",
+    "write_trace",
+    "read_trace",
+    "merge_packets",
+]

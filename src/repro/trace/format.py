@@ -1,0 +1,80 @@
+"""Binary on-disk trace format (our stand-in for the 44-byte DAG captures).
+
+Layout::
+
+    +--------+---------+------------+------------------+------------------+
+    | magic  | version | reserved   | link_capacity    | duration         |
+    | 4 B    | u16     | u16        | f64 (bits/s)     | f64 (seconds)    |
+    +--------+---------+------------+------------------+------------------+
+    | packet_count u64                                                    |
+    +---------------------------------------------------------------------+
+    | packet_count x 23-byte packed PACKET_DTYPE records                  |
+    +---------------------------------------------------------------------+
+
+Everything is little-endian.  Decoding validates the magic, version and
+record count so truncated or corrupted files fail loudly with
+:class:`~repro.exceptions.TraceFormatError`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..exceptions import TraceFormatError
+from .packet import PACKET_DTYPE, PacketTrace
+
+__all__ = ["MAGIC", "FORMAT_VERSION", "HEADER_STRUCT", "encode_trace", "decode_trace"]
+
+MAGIC = b"RPTR"
+FORMAT_VERSION = 1
+HEADER_STRUCT = struct.Struct("<4sHHddQ")
+
+
+def encode_trace(trace: PacketTrace) -> bytes:
+    """Serialise a :class:`PacketTrace` to the binary format."""
+    header = HEADER_STRUCT.pack(
+        MAGIC,
+        FORMAT_VERSION,
+        0,
+        trace.link_capacity,
+        trace.duration,
+        len(trace),
+    )
+    return header + trace.packets.tobytes()
+
+
+def decode_trace(data: bytes, *, name: str = "trace") -> PacketTrace:
+    """Parse bytes produced by :func:`encode_trace`.
+
+    Raises
+    ------
+    TraceFormatError
+        On bad magic, unknown version, or a record count that does not
+        match the payload length.
+    """
+    if len(data) < HEADER_STRUCT.size:
+        raise TraceFormatError(
+            f"trace too short for header: {len(data)} < {HEADER_STRUCT.size} bytes"
+        )
+    magic, version, _reserved, capacity, duration, count = HEADER_STRUCT.unpack_from(
+        data, 0
+    )
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}, expected {MAGIC!r}")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace version {version}, expected {FORMAT_VERSION}"
+        )
+    payload = data[HEADER_STRUCT.size:]
+    expected = count * PACKET_DTYPE.itemsize
+    if len(payload) != expected:
+        raise TraceFormatError(
+            f"payload length {len(payload)} does not match "
+            f"{count} records ({expected} bytes) - truncated file?"
+        )
+    packets = np.frombuffer(payload, dtype=PACKET_DTYPE).copy()
+    return PacketTrace(
+        packets, link_capacity=capacity, duration=duration, name=name
+    )

@@ -1,0 +1,166 @@
+"""Trace file IO: streaming reader/writer and multi-trace merge.
+
+The writer streams packet chunks to disk and back-patches the header on
+close, so arbitrarily long synthetic captures never need to fit in memory
+twice.  The reader supports whole-file loads and chunked iteration.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import TraceFormatError
+from .format import FORMAT_VERSION, HEADER_STRUCT, MAGIC
+from .packet import PACKET_DTYPE, PacketTrace
+
+__all__ = ["TraceWriter", "TraceReader", "write_trace", "read_trace", "merge_packets"]
+
+
+class TraceWriter:
+    """Streaming writer for the binary trace format (context manager).
+
+    Example::
+
+        with TraceWriter(path, link_capacity=622e6) as writer:
+            for chunk in packet_chunks:
+                writer.write(chunk)
+    """
+
+    def __init__(self, path, *, link_capacity: float, duration: float = 0.0) -> None:
+        self.path = Path(path)
+        self.link_capacity = float(link_capacity)
+        self.duration = float(duration)
+        self._count = 0
+        self._max_timestamp = 0.0
+        self._file = None
+
+    def __enter__(self) -> "TraceWriter":
+        self._file = open(self.path, "wb")
+        self._write_header()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(abort=exc_type is not None)
+
+    def _write_header(self) -> None:
+        header = HEADER_STRUCT.pack(
+            MAGIC, FORMAT_VERSION, 0, self.link_capacity, self.duration, self._count
+        )
+        self._file.write(header)
+
+    def write(self, packets: np.ndarray) -> None:
+        """Append a chunk of PACKET_DTYPE records (must be time-ordered
+        relative to previously written chunks for a valid capture)."""
+        if self._file is None:
+            raise TraceFormatError("writer is not open")
+        packets = np.asarray(packets)
+        if packets.dtype != PACKET_DTYPE:
+            raise TraceFormatError(f"chunk dtype {packets.dtype} != PACKET_DTYPE")
+        if packets.size:
+            self._max_timestamp = max(
+                self._max_timestamp, float(packets["timestamp"].max())
+            )
+            self._file.write(packets.tobytes())
+            self._count += packets.size
+
+    def close(self, *, abort: bool = False) -> None:
+        """Back-patch the header with the final count/duration and close."""
+        if self._file is None:
+            return
+        if not abort:
+            if self.duration < self._max_timestamp:
+                self.duration = self._max_timestamp
+            self._file.seek(0)
+            self._write_header()
+        self._file.close()
+        self._file = None
+
+
+class TraceReader:
+    """Reader for the binary trace format.
+
+    ``read()`` loads the whole trace; ``chunks(n)`` iterates blocks of at
+    most ``n`` packets for bounded-memory processing.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        with open(self.path, "rb") as fh:
+            raw = fh.read(HEADER_STRUCT.size)
+        if len(raw) < HEADER_STRUCT.size:
+            raise TraceFormatError(f"{self.path}: too short for a trace header")
+        magic, version, _r, capacity, duration, count = HEADER_STRUCT.unpack(raw)
+        if magic != MAGIC:
+            raise TraceFormatError(f"{self.path}: bad magic {magic!r}")
+        if version != FORMAT_VERSION:
+            raise TraceFormatError(f"{self.path}: unsupported version {version}")
+        self.link_capacity = float(capacity)
+        self.duration = float(duration)
+        self.packet_count = int(count)
+        expected = HEADER_STRUCT.size + self.packet_count * PACKET_DTYPE.itemsize
+        actual = os.path.getsize(self.path)
+        if actual != expected:
+            raise TraceFormatError(
+                f"{self.path}: size {actual} != expected {expected} "
+                f"for {self.packet_count} packets - truncated file?"
+            )
+
+    def read(self) -> PacketTrace:
+        """Load the full trace into memory."""
+        with open(self.path, "rb") as fh:
+            fh.seek(HEADER_STRUCT.size)
+            packets = np.fromfile(fh, dtype=PACKET_DTYPE, count=self.packet_count)
+        return PacketTrace(
+            packets,
+            link_capacity=self.link_capacity,
+            duration=self.duration,
+            name=self.path.stem,
+        )
+
+    def chunks(self, chunk_size: int = 1_000_000):
+        """Yield consecutive PACKET_DTYPE blocks of at most ``chunk_size``."""
+        if chunk_size < 1:
+            raise TraceFormatError(f"chunk_size must be >= 1, got {chunk_size}")
+        remaining = self.packet_count
+        with open(self.path, "rb") as fh:
+            fh.seek(HEADER_STRUCT.size)
+            while remaining > 0:
+                take = min(chunk_size, remaining)
+                block = np.fromfile(fh, dtype=PACKET_DTYPE, count=take)
+                if block.size != take:
+                    raise TraceFormatError(f"{self.path}: unexpected EOF")
+                remaining -= take
+                yield block
+
+
+def write_trace(trace: PacketTrace, path) -> None:
+    """Write a whole :class:`PacketTrace` to ``path``."""
+    with TraceWriter(
+        path, link_capacity=trace.link_capacity, duration=trace.duration
+    ) as writer:
+        writer.write(trace.packets)
+
+
+def read_trace(path) -> PacketTrace:
+    """Load a trace file written by :class:`TraceWriter`."""
+    return TraceReader(path).read()
+
+
+def merge_packets(*packet_arrays: np.ndarray) -> np.ndarray:
+    """Merge several packet arrays into one timestamp-ordered capture.
+
+    Used when multiplexing traffic from several sources onto one link.
+    """
+    arrays = [np.asarray(a) for a in packet_arrays if np.asarray(a).size]
+    if not arrays:
+        return np.zeros(0, dtype=PACKET_DTYPE)
+    for a in arrays:
+        if a.dtype != PACKET_DTYPE:
+            raise TraceFormatError(f"cannot merge array with dtype {a.dtype}")
+    merged = np.concatenate(arrays)
+    order = np.argsort(merged["timestamp"], kind="stable")
+    return merged[order]

@@ -1,0 +1,124 @@
+"""Tests for repro.applications.anomaly: model-band detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.applications import (
+    AnomalyDetector,
+    inject_flood,
+    inject_outage,
+)
+from repro.core import GaussianApproximation
+from repro.exceptions import ParameterError
+from repro.stats import RateSeries
+
+
+@pytest.fixture(scope="module")
+def clean_series():
+    rng = np.random.default_rng(0)
+    return RateSeries(1e5 + rng.normal(0, 1e4, 600), 0.2)
+
+
+@pytest.fixture(scope="module")
+def gaussian():
+    return GaussianApproximation(1e5, 1e4)
+
+
+class TestDetector:
+    def test_clean_traffic_no_events(self, clean_series, gaussian):
+        detector = AnomalyDetector(gaussian, threshold_sigma=3.5, min_run=3)
+        assert detector.detect(clean_series) == []
+
+    def test_detects_flood_run(self, gaussian):
+        rng = np.random.default_rng(1)
+        values = 1e5 + rng.normal(0, 1e4, 300)
+        values[100:140] += 8e4  # +8 sigma for 40 samples
+        events = AnomalyDetector(gaussian).detect(RateSeries(values, 0.2))
+        assert len(events) == 1
+        event = events[0]
+        assert event.kind == "flood"
+        assert event.start_index == pytest.approx(100, abs=2)
+        assert event.end_index == pytest.approx(140, abs=2)
+        assert event.peak_z > 3.0
+        assert event.start_time(0.2) == pytest.approx(20.0, abs=0.5)
+
+    def test_detects_drop_run(self, gaussian):
+        rng = np.random.default_rng(2)
+        values = 1e5 + rng.normal(0, 1e4, 300)
+        values[200:260] = 1e4  # outage
+        events = AnomalyDetector(gaussian).detect(RateSeries(values, 0.2))
+        kinds = {e.kind for e in events}
+        assert "drop" in kinds
+
+    def test_min_run_suppresses_blips(self, gaussian):
+        rng = np.random.default_rng(3)
+        values = 1e5 + rng.normal(0, 1e4, 300)
+        values[50] += 9e4  # single-sample spike
+        detector = AnomalyDetector(gaussian, min_run=3)
+        assert detector.detect(RateSeries(values, 0.2)) == []
+        eager = AnomalyDetector(gaussian, min_run=1)
+        assert len(eager.detect(RateSeries(values, 0.2))) >= 1
+
+    def test_scores_are_standardised(self, clean_series, gaussian):
+        z = AnomalyDetector(gaussian).scores(clean_series)
+        assert abs(np.mean(z)) < 0.2
+        assert np.std(z) == pytest.approx(1.0, abs=0.2)
+
+    def test_validation(self, gaussian):
+        with pytest.raises(ParameterError):
+            AnomalyDetector(gaussian, threshold_sigma=0.0)
+        with pytest.raises(ParameterError):
+            AnomalyDetector(gaussian, min_run=0)
+
+
+class TestInjection:
+    def test_flood_raises_rate_in_window(self, trace):
+        flooded = inject_flood(
+            trace, start=20.0, duration=10.0,
+            rate_bytes_per_s=trace.mean_rate_bps / 8.0, rng=0,
+        )
+        assert len(flooded) > len(trace)
+        before = flooded.window(5.0, 15.0).total_bytes
+        during = flooded.window(20.0, 30.0).total_bytes
+        assert during > 1.5 * before
+
+    def test_flood_packets_are_small_udp(self, trace):
+        flooded = inject_flood(
+            trace, start=0.0, duration=5.0, rate_bytes_per_s=1e6,
+            packet_size=60, rng=1,
+        )
+        extra = len(flooded) - len(trace)
+        assert extra == pytest.approx(5.0 * 1e6 / 60, rel=0.01)
+
+    def test_outage_removes_packets(self, trace):
+        broken = inject_outage(
+            trace, start=10.0, duration=10.0, drop_fraction=1.0, rng=2
+        )
+        assert broken.window(10.0, 20.0).total_bytes == 0
+        assert broken.window(0.0, 10.0).total_bytes == pytest.approx(
+            trace.window(0.0, 10.0).total_bytes
+        )
+
+    def test_end_to_end_detection_on_trace(self, trace, five_tuple_flows):
+        """Model from clean flows detects an injected flood."""
+        stats = five_tuple_flows.statistics(trace.duration)
+        gaussian = GaussianApproximation(
+            stats.mean_rate, stats.std(1.8)
+        )
+        flooded = inject_flood(
+            trace, start=30.0, duration=15.0,
+            rate_bytes_per_s=8.0 * stats.std(1.8), rng=3,
+        )
+        series = RateSeries.from_packets(flooded, 0.2)
+        events = AnomalyDetector(gaussian, threshold_sigma=3.0).detect(series)
+        floods = [e for e in events if e.kind == "flood"]
+        assert floods
+        assert any(25.0 < e.start_time(0.2) < 40.0 for e in floods)
+
+    def test_injection_validation(self, trace):
+        with pytest.raises(ParameterError):
+            inject_flood(trace, start=999.0, duration=1.0, rate_bytes_per_s=1e5)
+        with pytest.raises(ParameterError):
+            inject_outage(trace, start=0.0, duration=1.0, drop_fraction=0.0)

@@ -1,0 +1,103 @@
+"""Tests for repro.applications.backbone: edge stats + routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications import BackboneNetwork, Demand
+from repro.core import FlowStatistics
+from repro.exceptions import TopologyError
+
+
+def stats(rate=50.0):
+    return FlowStatistics(
+        arrival_rate=rate,
+        mean_size=1e4,
+        mean_square_size_over_duration=5e7,
+        mean_duration=2.0,
+    )
+
+
+@pytest.fixture()
+def network():
+    net = BackboneNetwork()
+    for name in "ABCD":
+        net.add_router(name)
+    net.add_link("A", "B", capacity_bps=100e6)
+    net.add_link("B", "C", capacity_bps=100e6)
+    net.add_link("A", "D", capacity_bps=100e6, weight=10.0)
+    net.add_link("D", "C", capacity_bps=100e6, weight=10.0)
+    return net
+
+
+class TestRouting:
+    def test_shortest_path_by_weight(self, network):
+        demand = Demand("A", "C", stats())
+        assert network.route(demand) == ["A", "B", "C"]
+
+    def test_weight_changes_route(self, network):
+        network.graph.edges[("A", "B")]["weight"] = 100.0
+        network.graph.edges[("B", "A")]["weight"] = 100.0
+        demand = Demand("A", "C", stats())
+        assert network.route(demand) == ["A", "D", "C"]
+
+    def test_no_route_raises(self):
+        net = BackboneNetwork()
+        net.add_router("X")
+        net.add_router("Y")
+        net.add_demand.__self__  # no-op; just ensure attribute exists
+        with pytest.raises(TopologyError):
+            net.route(Demand("X", "Y", stats()))
+
+    def test_unknown_router_rejected(self, network):
+        with pytest.raises(TopologyError):
+            network.add_demand(Demand("A", "Z", stats()))
+
+    def test_self_demand_rejected(self):
+        with pytest.raises(TopologyError):
+            Demand("A", "A", stats())
+
+
+class TestLinkReports:
+    def test_superposition_adds(self, network):
+        network.add_demand(Demand("A", "C", stats(30.0)))
+        network.add_demand(Demand("B", "C", stats(20.0)))
+        report = {r.link: r for r in network.link_report(0.01)}
+        bc = report[("B", "C")]
+        assert bc.n_demands == 2
+        assert bc.arrival_rate == pytest.approx(50.0)
+        assert bc.mean_rate == pytest.approx(
+            stats(30.0).mean_rate + stats(20.0).mean_rate
+        )
+        # variances add
+        expected_var = stats(30.0).variance(1.8) + stats(20.0).variance(1.8)
+        assert bc.std**2 == pytest.approx(expected_var)
+
+    def test_unused_links_empty(self, network):
+        network.add_demand(Demand("A", "C", stats()))
+        report = {r.link: r for r in network.link_report()}
+        assert report[("D", "C")].n_demands == 0
+        assert report[("D", "C")].mean_rate == 0.0
+        assert not report[("D", "C")].overloaded
+
+    def test_overload_detection(self, network):
+        network.add_demand(Demand("A", "C", stats(2000.0)))
+        overloaded = network.overloaded_links(0.01)
+        links = {r.link for r in overloaded}
+        assert ("A", "B") in links
+        assert ("B", "C") in links
+
+    def test_utilization_vs_required(self, network):
+        network.add_demand(Demand("A", "C", stats(40.0)))
+        report = {r.link: r for r in network.link_report(0.01)}
+        ab = report[("A", "B")]
+        assert ab.required_capacity_bps > 8.0 * ab.mean_rate
+        assert 0.0 < ab.utilization < 0.5
+        assert ab.cov > 0.0
+
+    def test_cov_shrinks_with_aggregation(self, network):
+        """Two links, one carrying twice the demands: smoother traffic."""
+        network.add_demand(Demand("A", "C", stats(50.0)))
+        network.add_demand(Demand("B", "C", stats(50.0)))
+        report = {r.link: r for r in network.link_report()}
+        assert report[("B", "C")].cov < report[("A", "B")].cov

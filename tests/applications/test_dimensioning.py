@@ -1,0 +1,113 @@
+"""Tests for repro.applications.dimensioning: section VII-A."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications import (
+    bandwidth_savings,
+    provision_capacity,
+    smoothing_curve,
+    what_if,
+)
+from repro.core import FlowStatistics
+
+
+@pytest.fixture()
+def stats():
+    return FlowStatistics(
+        arrival_rate=100.0,
+        mean_size=1e4,
+        mean_square_size_over_duration=5e7,
+        mean_duration=2.0,
+        flow_count=5000,
+    )
+
+
+class TestProvisioning:
+    def test_capacity_decomposition(self, stats):
+        report = provision_capacity(stats, 0.01, shape_factor=1.8)
+        assert report.capacity == pytest.approx(
+            report.mean_rate + report.quantile * report.std
+        )
+        assert report.capacity_bps == pytest.approx(8.0 * report.capacity)
+        assert report.headroom_ratio > 1.0
+
+    def test_stricter_epsilon_more_capacity(self, stats):
+        strict = provision_capacity(stats, 0.001)
+        loose = provision_capacity(stats, 0.1)
+        assert strict.capacity > loose.capacity
+
+    def test_burstier_shots_more_capacity(self, stats):
+        rect = provision_capacity(stats, 0.01, shape_factor=1.0)
+        para = provision_capacity(stats, 0.01, shape_factor=1.8)
+        assert para.capacity > rect.capacity
+        assert para.mean_rate == rect.mean_rate
+
+
+class TestSmoothing:
+    def test_curve_shape(self, stats):
+        points = smoothing_curve(stats, [1.0, 4.0, 16.0])
+        assert len(points) == 3
+        # mean scales linearly
+        assert points[1].mean_rate == pytest.approx(4 * points[0].mean_rate)
+        # std scales as sqrt
+        assert points[1].std == pytest.approx(2 * points[0].std)
+        # CoV shrinks as 1/sqrt
+        assert points[2].cov == pytest.approx(points[0].cov / 4.0)
+
+    def test_capacity_per_mean_decreases(self, stats):
+        """The paper's conclusion: capacity need not scale linearly."""
+        points = smoothing_curve(stats, [1.0, 10.0, 100.0])
+        ratios = [p.capacity_per_mean for p in points]
+        assert ratios[0] > ratios[1] > ratios[2]
+        assert ratios[2] > 1.0
+
+    @given(st.floats(min_value=1.5, max_value=200.0))
+    @settings(max_examples=40)
+    def test_savings_positive_for_growth(self, factor):
+        stats = FlowStatistics(
+            arrival_rate=100.0,
+            mean_size=1e4,
+            mean_square_size_over_duration=5e7,
+            mean_duration=2.0,
+        )
+        saving = bandwidth_savings(stats, factor)
+        assert 0.0 < saving < 1.0
+
+    def test_no_savings_at_factor_one(self, stats):
+        assert bandwidth_savings(stats, 1.0) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestWhatIf:
+    def test_size_factor_algebra(self, stats):
+        bigger = what_if(stats, size_factor=2.0)
+        assert bigger.mean_size == pytest.approx(2 * stats.mean_size)
+        assert bigger.mean_square_size_over_duration == pytest.approx(
+            4 * stats.mean_square_size_over_duration
+        )
+
+    def test_duration_factor_reduces_burstiness(self, stats):
+        """Congested access links (longer D) smooth the backbone."""
+        slower = what_if(stats, duration_factor=4.0)
+        assert slower.mean_duration == pytest.approx(4 * stats.mean_duration)
+        assert slower.variance(1.0) == pytest.approx(stats.variance(1.0) / 4.0)
+        assert slower.mean_rate == pytest.approx(stats.mean_rate)
+
+    def test_arrival_factor_matches_scaled_arrivals(self, stats):
+        a = what_if(stats, arrival_factor=3.0)
+        b = stats.scaled_arrivals(3.0)
+        assert a.arrival_rate == b.arrival_rate
+        assert a.variance(1.8) == pytest.approx(b.variance(1.8))
+
+    def test_new_application_scenario(self, stats):
+        """A new app doubling transfer sizes at equal flow rate doubles the
+        mean but quadruples the variance contribution per flow."""
+        scenario = what_if(stats, size_factor=2.0, duration_factor=2.0)
+        assert scenario.mean_rate == pytest.approx(2 * stats.mean_rate)
+        assert scenario.variance(1.0) == pytest.approx(
+            2.0 * stats.variance(1.0)
+        )

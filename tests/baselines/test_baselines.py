@@ -1,0 +1,161 @@
+"""Tests for repro.baselines: the related-work comparison models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ConstantRateFlowModel,
+    OnOffAggregate,
+    OnOffSource,
+    PoissonPacketModel,
+    estimate_hurst,
+    variance_time_curve,
+)
+from repro.core import EmpiricalEnsemble, PoissonShotNoiseModel, RectangularShot
+from repro.exceptions import ParameterError
+from repro.stats import RateSeries
+
+
+class TestConstantRateFlowModel:
+    def test_moments(self):
+        model = ConstantRateFlowModel(10.0, mean_duration=2.0, flow_rate=1e4)
+        assert model.mean_active_flows == pytest.approx(20.0)
+        assert model.mean == pytest.approx(2e5)
+        assert model.variance == pytest.approx(20.0 * 1e8)
+        assert model.coefficient_of_variation == pytest.approx(
+            1.0 / np.sqrt(20.0)
+        )
+
+    def test_from_flows_calibration(self, flow_population):
+        sizes, durations = flow_population
+        model = ConstantRateFlowModel.from_flows(sizes, durations, 100.0)
+        assert model.flow_rate == pytest.approx(
+            sizes.mean() / durations.mean()
+        )
+
+    def test_coincides_with_shot_noise_when_rates_equal(self):
+        """The paper: [3] is our model's special case of identical rates.
+
+        Flows with D = S/r for a common r make the two models agree
+        exactly (rectangular shots, all heights r).
+        """
+        rng = np.random.default_rng(0)
+        r = 2e4
+        sizes = rng.uniform(1e3, 1e5, 5000)
+        durations = sizes / r
+        lam = 50.0
+        ours = PoissonShotNoiseModel(
+            lam, EmpiricalEnsemble(sizes, durations), RectangularShot()
+        )
+        theirs = ConstantRateFlowModel(lam, durations.mean(), r)
+        assert ours.mean == pytest.approx(theirs.mean, rel=1e-9)
+        assert ours.variance == pytest.approx(theirs.variance, rel=1e-9)
+
+    def test_underestimates_variance_with_heterogeneous_rates(
+        self, flow_population
+    ):
+        """With heterogeneous flow rates the equal-rate collapse
+        mis-estimates the variance our model captures."""
+        sizes, durations = flow_population
+        lam = 50.0
+        ours = PoissonShotNoiseModel(
+            lam, EmpiricalEnsemble(sizes, durations), RectangularShot()
+        )
+        theirs = ConstantRateFlowModel.from_flows(sizes, durations, 100.0)
+        theirs = ConstantRateFlowModel(
+            lam, durations.mean(), sizes.mean() / durations.mean()
+        )
+        assert theirs.variance != pytest.approx(ours.variance, rel=0.1)
+
+
+class TestOnOff:
+    def test_source_moments(self):
+        src = OnOffSource(peak_rate=1e4, mean_on=1.0, mean_off=3.0)
+        assert src.duty_cycle == pytest.approx(0.25)
+        assert src.mean_rate == pytest.approx(2500.0)
+
+    def test_aggregate_moments(self):
+        src = OnOffSource(peak_rate=1e4, mean_on=1.0, mean_off=1.0)
+        agg = OnOffAggregate(src, 100)
+        assert agg.mean == pytest.approx(100 * 5e3)
+        assert agg.variance == pytest.approx(100 * 1e8 * 0.25)
+
+    def test_generated_mean(self):
+        src = OnOffSource(peak_rate=1e4, mean_on=0.5, mean_off=0.5)
+        agg = OnOffAggregate(src, 30)
+        series = agg.generate(60.0, 0.25, rng=0)
+        assert series.mean == pytest.approx(agg.mean, rel=0.15)
+
+    def test_heavy_tail_gives_higher_hurst_than_shot_noise(self, ensemble):
+        """[19]'s point: heavy-tailed ON/OFF aggregates are LRD; our
+        Poisson shot-noise with light flow durations is not."""
+        src = OnOffSource(
+            peak_rate=1e4, mean_on=0.5, mean_off=0.5, alpha_on=1.2,
+            alpha_off=1.2,
+        )
+        lrd = OnOffAggregate(src, 20).generate(240.0, 0.1, rng=1)
+        hurst_lrd = estimate_hurst(lrd)
+        from repro.generation import generate_rate_series
+        from repro.core import RectangularShot
+
+        srd = generate_rate_series(
+            100.0, ensemble, RectangularShot(), duration=240.0, delta=0.1,
+            rng=2,
+        )
+        hurst_srd = estimate_hurst(srd)
+        assert hurst_lrd > hurst_srd
+
+    def test_variance_time_curve_decreasing(self):
+        rng = np.random.default_rng(3)
+        series = RateSeries(rng.normal(100, 10, 4096), 0.1)
+        ms, ratios = variance_time_curve(series)
+        assert np.all(np.diff(ratios) < 0.1)  # roughly decreasing
+        assert ratios[0] == pytest.approx(1.0, abs=0.05)
+
+    def test_iid_series_hurst_half(self):
+        rng = np.random.default_rng(4)
+        series = RateSeries(rng.normal(100, 10, 8192), 0.1)
+        assert estimate_hurst(series) == pytest.approx(0.5, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            OnOffSource(1e4, 1.0, 1.0, alpha_on=0.9)
+        with pytest.raises(ParameterError):
+            OnOffAggregate(OnOffSource(1e4, 1.0, 1.0), 0)
+
+
+class TestPoissonPacketModel:
+    def test_variance_formula(self):
+        model = PoissonPacketModel(1000.0, 500.0, 4e5)
+        delta = 0.2
+        assert model.variance(delta) == pytest.approx(1000.0 * 4e5 / 0.2)
+        assert model.mean == pytest.approx(5e5)
+
+    def test_from_trace(self, trace):
+        model = PoissonPacketModel.from_trace(trace)
+        assert model.packet_rate == pytest.approx(len(trace) / trace.duration)
+        assert model.mean == pytest.approx(
+            trace.total_bytes / trace.duration, rel=1e-6
+        )
+
+    def test_underestimates_real_burstiness(self, trace):
+        """The related-work motivation: memoryless packet models miss
+        flow-induced correlation and under-estimate variance."""
+        model = PoissonPacketModel.from_trace(trace)
+        measured = RateSeries.from_packets(trace, 0.2)
+        assert model.variance(0.2) < 0.5 * measured.variance
+
+    def test_generated_series_matches_own_model(self):
+        model = PoissonPacketModel(2000.0, 500.0, 3.5e5)
+        series = model.generate(100.0, 0.1, rng=5)
+        assert series.mean == pytest.approx(model.mean, rel=0.05)
+        assert series.variance == pytest.approx(model.variance(0.1), rel=0.2)
+
+    def test_no_correlation_across_bins(self):
+        model = PoissonPacketModel(2000.0, 500.0, 3.5e5)
+        series = model.generate(200.0, 0.1, rng=6)
+        rho = series.autocorrelation(3)
+        assert np.all(np.abs(rho) < 0.1)
+        np.testing.assert_array_equal(model.autocorrelation(4), np.zeros(4))

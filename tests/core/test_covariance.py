@@ -1,0 +1,128 @@
+"""Tests for repro.core.covariance: Theorem 2 and Campbell's theorem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EmpiricalEnsemble,
+    PoissonShotNoiseModel,
+    RectangularShot,
+    TriangularShot,
+    autocorrelation,
+    autocovariance,
+    correlation_horizon,
+    spectral_density,
+)
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def small_ensemble():
+    gen = np.random.default_rng(3)
+    sizes = gen.uniform(1e3, 1e5, 2000)
+    durations = gen.uniform(0.5, 4.0, 2000)
+    return EmpiricalEnsemble(sizes, durations)
+
+
+class TestAutocovariance:
+    def test_zero_lag_is_corollary2(self, small_ensemble):
+        model = PoissonShotNoiseModel(50.0, small_ensemble, TriangularShot())
+        gamma0 = autocovariance(50.0, small_ensemble, TriangularShot(), [0.0])
+        assert gamma0[0] == pytest.approx(model.variance, rel=1e-9)
+
+    def test_even_function(self, small_ensemble):
+        shot = TriangularShot()
+        pos = autocovariance(50.0, small_ensemble, shot, [0.5])
+        neg = autocovariance(50.0, small_ensemble, shot, [-0.5])
+        assert pos[0] == pytest.approx(neg[0])
+
+    def test_vanishes_beyond_max_duration(self, small_ensemble):
+        shot = RectangularShot()
+        far = autocovariance(50.0, small_ensemble, shot, [10.0])
+        assert far[0] == 0.0
+
+    def test_rectangular_closed_form(self):
+        # deterministic flows: Gamma(tau) = lambda * S^2/D^2 * (D - tau)+
+        ens = EmpiricalEnsemble([1e4], [2.0])
+        lam, s, d = 30.0, 1e4, 2.0
+        for tau in (0.0, 0.5, 1.5, 2.5):
+            gamma = autocovariance(lam, ens, RectangularShot(), [tau])[0]
+            expected = lam * (s / d) ** 2 * max(d - tau, 0.0)
+            assert gamma == pytest.approx(expected, rel=1e-12)
+
+    def test_monotone_decreasing_for_rectangles(self, small_ensemble):
+        taus = np.linspace(0.0, 4.0, 17)
+        gamma = autocovariance(50.0, small_ensemble, RectangularShot(), taus)
+        assert np.all(np.diff(gamma) <= 1e-9)
+
+    def test_scales_linearly_with_lambda(self, small_ensemble):
+        shot = TriangularShot()
+        g1 = autocovariance(10.0, small_ensemble, shot, [0.3])[0]
+        g2 = autocovariance(20.0, small_ensemble, shot, [0.3])[0]
+        assert g2 == pytest.approx(2.0 * g1)
+
+
+class TestAutocorrelation:
+    def test_unit_at_zero(self, small_ensemble):
+        rho = autocorrelation(50.0, small_ensemble, TriangularShot(), [0.0])
+        assert rho[0] == pytest.approx(1.0)
+
+    def test_bounded_by_one(self, small_ensemble):
+        taus = np.linspace(0.0, 3.0, 13)
+        rho = autocorrelation(50.0, small_ensemble, TriangularShot(), taus)
+        assert np.all(rho <= 1.0 + 1e-12)
+        assert np.all(rho >= 0.0)
+
+    def test_independent_of_lambda(self, small_ensemble):
+        taus = [0.2, 0.8]
+        a = autocorrelation(10.0, small_ensemble, TriangularShot(), taus)
+        b = autocorrelation(99.0, small_ensemble, TriangularShot(), taus)
+        np.testing.assert_allclose(a, b, rtol=1e-9)
+
+
+class TestSpectralDensity:
+    def test_integrates_to_variance(self, small_ensemble):
+        """Wiener-Khintchine: integral of Psi over f equals Gamma(0)."""
+        model = PoissonShotNoiseModel(50.0, small_ensemble, RectangularShot())
+        freqs = np.linspace(-12.0, 12.0, 1201)
+        psi = spectral_density(
+            50.0, small_ensemble, RectangularShot(), freqs, max_flows=400
+        )
+        variance = np.trapezoid(psi, freqs)
+        # the subsampled flow set differs from the full ensemble: loose tol
+        assert variance == pytest.approx(model.variance, rel=0.15)
+
+    def test_symmetric_and_positive(self, small_ensemble):
+        freqs = np.array([-2.0, -1.0, 1.0, 2.0])
+        psi = spectral_density(
+            50.0, small_ensemble, TriangularShot(), freqs, max_flows=200
+        )
+        assert np.all(psi > 0)
+        assert psi[0] == pytest.approx(psi[3], rel=1e-9)
+        assert psi[1] == pytest.approx(psi[2], rel=1e-9)
+
+    def test_dc_value_dominates_tail(self, small_ensemble):
+        psi = spectral_density(
+            50.0, small_ensemble, RectangularShot(), [0.0, 50.0], max_flows=200
+        )
+        assert psi[0] > 10 * psi[1]
+
+
+class TestCorrelationHorizon:
+    def test_horizon_positive_and_below_max(self, small_ensemble):
+        horizon = correlation_horizon(
+            50.0, small_ensemble, RectangularShot(), threshold=0.5
+        )
+        assert 0.0 < horizon <= 4.0 * small_ensemble.mean_duration
+
+    def test_higher_threshold_shorter_horizon(self, small_ensemble):
+        shot = RectangularShot()
+        strict = correlation_horizon(50.0, small_ensemble, shot, threshold=0.8)
+        loose = correlation_horizon(50.0, small_ensemble, shot, threshold=0.2)
+        assert strict <= loose
+
+    def test_threshold_validated(self, small_ensemble):
+        with pytest.raises(ParameterError):
+            correlation_horizon(50.0, small_ensemble, RectangularShot(), 1.5)

@@ -1,0 +1,105 @@
+"""Tests for the Edgeworth refinement of the section V-E approximation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EdgeworthApproximation,
+    EmpiricalEnsemble,
+    PoissonShotNoiseModel,
+    TriangularShot,
+)
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def skewed_model():
+    gen = np.random.default_rng(1)
+    sizes = gen.pareto(2.5, 4000) * 2e4 + 5e3
+    durations = gen.uniform(0.5, 2.0, 4000)
+    # lambda chosen so skewness ~ 0.5: visible, yet inside the regime
+    # where the (asymptotic) Edgeworth series is a valid refinement
+    return PoissonShotNoiseModel(
+        600.0, EmpiricalEnsemble(sizes, durations), TriangularShot()
+    )
+
+
+class TestConstruction:
+    def test_from_cumulants(self):
+        edge = EdgeworthApproximation.from_cumulants(10.0, 4.0, 2.0, 1.0)
+        assert edge.mean == 10.0
+        assert edge.std == 2.0
+        assert edge.skewness == pytest.approx(2.0 / 8.0)
+        assert edge.excess_kurtosis == pytest.approx(1.0 / 16.0)
+
+    def test_model_builds_it(self, skewed_model):
+        edge = skewed_model.edgeworth()
+        assert edge.mean == pytest.approx(skewed_model.mean)
+        assert edge.skewness == pytest.approx(skewed_model.skewness)
+        assert edge.skewness > 0.1  # actually right-skewed
+
+    def test_zero_corrections_reduce_to_gaussian(self):
+        edge = EdgeworthApproximation(1e5, 1e4, 0.0, 0.0)
+        gauss = edge.gaussian
+        x = np.linspace(5e4, 1.5e5, 31)
+        np.testing.assert_allclose(edge.pdf(x), gauss.pdf(x), rtol=1e-12)
+        np.testing.assert_allclose(edge.cdf(x), gauss.cdf(x), rtol=1e-9)
+        assert edge.required_capacity(0.01) == pytest.approx(
+            gauss.required_capacity(0.01)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            EdgeworthApproximation(1.0, 0.0)
+
+
+class TestAccuracy:
+    def test_matches_inverted_lst_better_than_gaussian(self, skewed_model):
+        """Against the exact pdf (numerically inverted LST), the Edgeworth
+        pdf should beat the plain Gaussian in total variation."""
+        x, exact = skewed_model.rate_pdf(n_omega=384, max_flows=None)
+        edge = skewed_model.edgeworth()
+        gauss = skewed_model.gaussian()
+        tv_edge = 0.5 * np.trapezoid(np.abs(edge.pdf(x) - exact), x)
+        tv_gauss = 0.5 * np.trapezoid(np.abs(gauss.pdf(x) - exact), x)
+        assert tv_edge < tv_gauss
+
+    def test_upper_tail_heavier_than_gaussian(self, skewed_model):
+        """Right-skew means more mass above mean + 2 sigma."""
+        edge = skewed_model.edgeworth()
+        gauss = skewed_model.gaussian()
+        level = skewed_model.mean + 2.5 * skewed_model.std
+        assert edge.tail_probability(level) > gauss.tail_probability(level)
+
+    def test_cornish_fisher_capacity_above_gaussian(self, skewed_model):
+        edge = skewed_model.edgeworth()
+        gauss = skewed_model.gaussian()
+        assert edge.required_capacity(0.01) > gauss.required_capacity(0.01)
+
+    def test_correction_vanishes_with_aggregation(self, skewed_model):
+        """Skewness ~ 1/sqrt(lambda): at high lambda the Edgeworth capacity
+        converges to the Gaussian one (the paper's CLT argument)."""
+        small_gap = None
+        for factor in (1.0, 100.0):
+            model = skewed_model.scaled_arrivals(factor)
+            edge, gauss = model.edgeworth(), model.gaussian()
+            gap = (
+                edge.required_capacity(0.01) - gauss.required_capacity(0.01)
+            ) / gauss.std
+            if factor == 1.0:
+                small_gap = gap
+            else:
+                assert gap < small_gap / 5.0
+
+    def test_pdf_nonnegative_and_normalised(self, skewed_model):
+        edge = skewed_model.edgeworth()
+        x = np.linspace(
+            max(skewed_model.mean - 6 * skewed_model.std, 0.0),
+            skewed_model.mean + 8 * skewed_model.std,
+            4001,
+        )
+        pdf = edge.pdf(x)
+        assert np.all(pdf >= 0.0)
+        assert np.trapezoid(pdf, x) == pytest.approx(1.0, abs=0.05)

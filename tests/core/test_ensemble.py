@@ -1,0 +1,134 @@
+"""Tests for repro.core.ensemble: expectations over (S, D)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import (
+    EmpiricalEnsemble,
+    MonteCarloEnsemble,
+    SizeRateEnsemble,
+)
+from repro.exceptions import ParameterError
+from repro.netsim.sizes import Constant, LogNormal
+
+
+class TestEmpiricalEnsemble:
+    def test_expect_is_sample_mean(self):
+        ens = EmpiricalEnsemble([1.0, 2.0, 3.0], [1.0, 1.0, 1.0])
+        assert ens.expect(lambda s, d: s) == pytest.approx(2.0)
+        assert ens.expect(lambda s, d: s * s / d) == pytest.approx(14.0 / 3.0)
+
+    def test_summary_properties(self):
+        sizes = np.array([10.0, 20.0])
+        durs = np.array([2.0, 5.0])
+        ens = EmpiricalEnsemble(sizes, durs)
+        assert ens.mean_size == pytest.approx(15.0)
+        assert ens.mean_duration == pytest.approx(3.5)
+        assert ens.mean_square_size_over_duration == pytest.approx(
+            np.mean(sizes**2 / durs)
+        )
+
+    def test_moment_size_over_duration(self):
+        ens = EmpiricalEnsemble([2.0, 4.0], [1.0, 2.0])
+        expected = np.mean(np.array([2.0, 4.0]) ** 3 / np.array([1.0, 2.0]) ** 2)
+        assert ens.moment_size_over_duration(3) == pytest.approx(expected)
+        with pytest.raises(ParameterError):
+            ens.moment_size_over_duration(0)
+
+    def test_len(self):
+        assert len(EmpiricalEnsemble([1, 2, 3], [1, 1, 1])) == 3
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ParameterError):
+            EmpiricalEnsemble([1.0, 2.0], [1.0])
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ParameterError):
+            EmpiricalEnsemble([1.0, 0.0], [1.0, 1.0])
+
+    def test_rejects_zero_durations(self):
+        # single-packet flows (duration 0) must have been discarded upstream
+        with pytest.raises(ParameterError):
+            EmpiricalEnsemble([1.0, 2.0], [1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            EmpiricalEnsemble([], [])
+
+    def test_sample_bootstrap(self):
+        ens = EmpiricalEnsemble([5.0, 6.0], [1.0, 2.0])
+        s, d = ens.sample(100, rng=0)
+        assert s.shape == d.shape == (100,)
+        assert set(np.unique(s)) <= {5.0, 6.0}
+        # pairing preserved: size 5 always with duration 1
+        assert np.all(d[s == 5.0] == 1.0)
+
+    def test_subsample_returns_ensemble(self):
+        ens = EmpiricalEnsemble(np.arange(1.0, 101.0), np.ones(100))
+        sub = ens.subsample(10, rng=1)
+        assert isinstance(sub, EmpiricalEnsemble)
+        assert len(sub) == 10
+
+
+class TestMonteCarloEnsemble:
+    @staticmethod
+    def _sampler(n, rng):
+        sizes = rng.uniform(1.0, 3.0, n)
+        return sizes, sizes / 2.0
+
+    def test_reference_is_deterministic(self):
+        a = MonteCarloEnsemble(self._sampler, n_reference=1000, seed=5)
+        b = MonteCarloEnsemble(self._sampler, n_reference=1000, seed=5)
+        assert a.mean_size == b.mean_size
+
+    def test_expectation_close_to_analytic(self):
+        ens = MonteCarloEnsemble(self._sampler, n_reference=200_000, seed=1)
+        assert ens.mean_size == pytest.approx(2.0, rel=0.01)
+        assert ens.mean_duration == pytest.approx(1.0, rel=0.01)
+
+    def test_sample_fresh_draws(self):
+        ens = MonteCarloEnsemble(self._sampler, n_reference=100, seed=1)
+        s, d = ens.sample(50, rng=2)
+        assert s.shape == (50,)
+        np.testing.assert_allclose(d, s / 2.0)
+
+    def test_rejects_bad_reference_size(self):
+        with pytest.raises(ParameterError):
+            MonteCarloEnsemble(self._sampler, n_reference=0)
+
+
+class TestSizeRateEnsemble:
+    def test_analytic_parameters_exact(self):
+        size_dist = LogNormal(median=1e4, sigma=0.8)
+        rate_dist = LogNormal(median=2e4, sigma=0.3)
+        ens = SizeRateEnsemble(size_dist, rate_dist, n_reference=1000, seed=0)
+        assert ens.mean_size == pytest.approx(size_dist.mean())
+        assert ens.mean_square_size_over_duration == pytest.approx(
+            size_dist.mean() * rate_dist.mean()
+        )
+
+    def test_monte_carlo_agrees_with_analytic(self):
+        ens = SizeRateEnsemble(
+            LogNormal(1e4, 0.5), Constant(2e4), n_reference=300_000, seed=3
+        )
+        mc = ens.reference.mean_square_size_over_duration
+        assert mc == pytest.approx(ens.mean_square_size_over_duration, rel=0.02)
+
+    def test_duration_is_size_over_rate(self):
+        ens = SizeRateEnsemble(Constant(1e4), Constant(5e3), n_reference=100)
+        s, d = ens.sample(10, rng=0)
+        np.testing.assert_allclose(d, s / 5e3)
+
+    def test_heavy_tail_sizes_keep_parameter_finite(self):
+        # even with a very heavy size tail, E[S^2/D] = E[S]E[r] is finite
+        class HeavySize:
+            def rvs(self, size=1, random_state=None):
+                return random_state.pareto(1.2, size) * 1e3 + 1e3
+
+            def mean(self):
+                return 1e3 * 1.2 / 0.2 + 1e3  # pareto mean + shift... approx
+
+        ens = SizeRateEnsemble(HeavySize(), Constant(1e4), n_reference=1000)
+        assert np.isfinite(ens.mean_square_size_over_duration)

@@ -1,0 +1,124 @@
+"""Tests for repro.core.fitting: the section V-D b estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EmpiricalEnsemble,
+    FlowStatistics,
+    PoissonShotNoiseModel,
+    PowerShot,
+    fit_power_averaged,
+    fit_power_from_cov,
+    fit_power_from_variance,
+    solve_power,
+    variance_shape_factor,
+)
+from repro.exceptions import FittingError
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return FlowStatistics(
+        arrival_rate=100.0,
+        mean_size=1e4,
+        mean_square_size_over_duration=5e7,
+        mean_duration=1.5,
+        flow_count=5000,
+    )
+
+
+class TestSolvePower:
+    def test_paper_anchors(self):
+        assert solve_power(1.0) == pytest.approx(0.0, abs=1e-12)
+        assert solve_power(4.0 / 3.0) == pytest.approx(1.0, rel=1e-9)
+        assert solve_power(9.0 / 5.0) == pytest.approx(2.0, rel=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=12.0))
+    @settings(max_examples=100)
+    def test_roundtrip(self, b):
+        assert solve_power(variance_shape_factor(b)) == pytest.approx(
+            b, abs=1e-7
+        )
+
+    def test_rejects_kappa_below_one(self):
+        with pytest.raises(FittingError):
+            solve_power(0.9)
+
+
+class TestFitFromVariance:
+    def test_recovers_power(self, stats):
+        for b in (0.0, 1.0, 2.0, 3.3):
+            variance = stats.variance(variance_shape_factor(b))
+            fit = fit_power_from_variance(variance, stats)
+            assert fit.power == pytest.approx(b, abs=1e-6)
+            assert not fit.clipped
+
+    def test_kappa_reported(self, stats):
+        fit = fit_power_from_variance(stats.variance(1.8), stats)
+        assert fit.kappa == pytest.approx(1.8, rel=1e-9)
+
+    def test_clipping_below_bound(self, stats):
+        fit = fit_power_from_variance(stats.variance(1.0) * 0.8, stats)
+        assert fit.clipped
+        assert fit.power == 0.0
+        assert fit.kappa == pytest.approx(0.8, rel=1e-9)
+
+    def test_strict_mode_raises(self, stats):
+        with pytest.raises(FittingError):
+            fit_power_from_variance(stats.variance(1.0) * 0.8, stats, clip=False)
+
+    def test_fit_result_shot_and_factor(self, stats):
+        fit = fit_power_from_variance(stats.variance(9.0 / 5.0), stats)
+        assert isinstance(fit.shot, PowerShot)
+        assert fit.shot.power == pytest.approx(2.0, abs=1e-6)
+        assert fit.shape_factor == pytest.approx(1.8, rel=1e-6)
+
+
+class TestFitFromCov:
+    def test_equivalent_to_variance_fit(self, stats):
+        variance = stats.variance(4.0 / 3.0)
+        cov = np.sqrt(variance) / stats.mean_rate
+        via_var = fit_power_from_variance(variance, stats)
+        via_cov = fit_power_from_cov(cov, stats)
+        assert via_cov.power == pytest.approx(via_var.power, rel=1e-9)
+
+
+class TestFitAveraged:
+    @pytest.fixture(scope="class")
+    def ens(self):
+        gen = np.random.default_rng(17)
+        sizes = gen.uniform(1e4, 1e5, 1200)
+        durations = gen.uniform(1.0, 4.0, 1200)
+        return EmpiricalEnsemble(sizes, durations)
+
+    def test_corrects_averaging_bias(self, ens):
+        """When the measured variance is the Delta-averaged one, the naive
+        fit underestimates b; the eq.(7)-based fit recovers it."""
+        lam, b_true, delta = 50.0, 2.0, 0.5
+        model = PoissonShotNoiseModel(lam, ens, PowerShot(b_true))
+        measured = model.averaged_variance(delta)
+        corrected = fit_power_averaged(measured, lam, ens, delta)
+        assert corrected.power == pytest.approx(b_true, abs=0.05)
+        naive = model.fit_power(measured)
+        assert naive.power < corrected.power
+
+    def test_clips_at_zero(self, ens):
+        lam, delta = 50.0, 0.5
+        model = PoissonShotNoiseModel(lam, ens, PowerShot(0.0))
+        too_small = 0.5 * model.averaged_variance(delta)
+        fit = fit_power_averaged(too_small, lam, ens, delta)
+        assert fit.clipped
+        assert fit.power == 0.0
+
+    def test_clips_at_bmax(self, ens):
+        lam, delta = 50.0, 0.1
+        model = PoissonShotNoiseModel(lam, ens, PowerShot(0.0))
+        huge = 100.0 * model.variance
+        fit = fit_power_averaged(huge, lam, ens, delta, b_max=4.0)
+        assert fit.clipped
+        assert fit.power == 4.0

@@ -1,0 +1,78 @@
+"""Tests for repro.core.gaussian: the section V-E approximation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianApproximation, normal_quantile
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture()
+def gauss():
+    return GaussianApproximation(mean=1e6, std=1e5)
+
+
+class TestNormalQuantile:
+    def test_known_values(self):
+        assert normal_quantile(0.05) == pytest.approx(1.6449, abs=1e-3)
+        assert normal_quantile(0.01) == pytest.approx(2.3263, abs=1e-3)
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_out_of_range(self):
+        for bad in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ParameterError):
+                normal_quantile(bad)
+
+
+class TestGaussianApproximation:
+    def test_pdf_peaks_at_mean(self, gauss):
+        x = np.array([gauss.mean - gauss.std, gauss.mean, gauss.mean + gauss.std])
+        pdf = gauss.pdf(x)
+        assert pdf[1] > pdf[0]
+        assert pdf[1] > pdf[2]
+
+    def test_cdf_half_at_mean(self, gauss):
+        assert gauss.cdf(gauss.mean) == pytest.approx(0.5)
+
+    def test_tail_probability_complements_cdf(self, gauss):
+        level = gauss.mean + 2 * gauss.std
+        assert gauss.tail_probability(level) == pytest.approx(
+            1.0 - float(gauss.cdf(level))
+        )
+
+    def test_quantile_inverts_cdf(self, gauss):
+        q = gauss.quantile(0.9)
+        assert gauss.cdf(q) == pytest.approx(0.9)
+
+    def test_required_capacity(self, gauss):
+        cap = gauss.required_capacity(0.05)
+        assert cap == pytest.approx(gauss.mean + 1.6449 * gauss.std, rel=1e-3)
+        assert gauss.tail_probability(cap) == pytest.approx(0.05, rel=1e-3)
+
+    def test_required_capacity_monotone_in_epsilon(self, gauss):
+        assert gauss.required_capacity(0.001) > gauss.required_capacity(0.1)
+
+    def test_seventy_percent_band(self, gauss):
+        """The paper's rule: ~70% of time within one sigma of the mean."""
+        lo, hi = gauss.symmetric_band(0.70)
+        k = (hi - gauss.mean) / gauss.std
+        assert k == pytest.approx(1.036, abs=1e-3)
+        assert lo == pytest.approx(2 * gauss.mean - hi)
+
+    def test_band_mass(self, gauss):
+        lo, hi = gauss.symmetric_band(0.9)
+        mass = float(gauss.cdf(hi) - gauss.cdf(lo))
+        assert mass == pytest.approx(0.9, rel=1e-9)
+
+    def test_standardize(self, gauss):
+        z = gauss.standardize([gauss.mean, gauss.mean + 3 * gauss.std])
+        np.testing.assert_allclose(z, [0.0, 3.0])
+
+    def test_cov(self, gauss):
+        assert gauss.coefficient_of_variation == pytest.approx(0.1)
+
+    def test_rejects_nonpositive_std(self):
+        with pytest.raises(ParameterError):
+            GaussianApproximation(1e6, 0.0)

@@ -1,0 +1,176 @@
+"""Tests for repro.core.lst: Theorem 1, cumulants, distribution, tails."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EmpiricalEnsemble,
+    PoissonShotNoiseModel,
+    RectangularShot,
+    TriangularShot,
+)
+from repro.core.lst import (
+    characteristic_function,
+    chernoff_tail_bound,
+    cumulant,
+    cumulants,
+    excess_kurtosis,
+    laplace_transform,
+    log_laplace_transform,
+    rate_pdf,
+    skewness,
+)
+from repro.exceptions import ParameterError
+
+LAM = 60.0
+
+
+@pytest.fixture(scope="module")
+def ens():
+    gen = np.random.default_rng(9)
+    sizes = gen.uniform(5e3, 5e4, 3000)
+    durations = gen.uniform(0.5, 3.0, 3000)
+    return EmpiricalEnsemble(sizes, durations)
+
+
+class TestCumulants:
+    def test_first_cumulant_is_mean(self, ens):
+        assert cumulant(1, LAM, ens, TriangularShot()) == pytest.approx(
+            LAM * ens.mean_size
+        )
+
+    def test_second_cumulant_is_variance(self, ens):
+        model = PoissonShotNoiseModel(LAM, ens, TriangularShot())
+        assert cumulant(2, LAM, ens, TriangularShot()) == pytest.approx(
+            model.variance
+        )
+
+    def test_cumulants_vector(self, ens):
+        ks = cumulants(4, LAM, ens, RectangularShot())
+        assert ks.shape == (4,)
+        assert np.all(ks > 0)
+        with pytest.raises(ParameterError):
+            cumulants(0, LAM, ens, RectangularShot())
+
+    def test_rectangular_cumulants_closed_form(self, ens):
+        # integral X^k = (S/D)^k * D = S^k / D^(k-1)
+        for k in (1, 2, 3, 4):
+            expected = LAM * ens.expect(lambda s, d: s**k / d ** (k - 1))
+            assert cumulant(k, LAM, ens, RectangularShot()) == pytest.approx(
+                expected, rel=1e-9
+            )
+
+    def test_shape_measures_scale_with_lambda(self, ens):
+        shot = TriangularShot()
+        assert skewness(4 * LAM, ens, shot) == pytest.approx(
+            skewness(LAM, ens, shot) / 2.0, rel=1e-9
+        )
+        assert excess_kurtosis(4 * LAM, ens, shot) == pytest.approx(
+            excess_kurtosis(LAM, ens, shot) / 4.0, rel=1e-9
+        )
+
+
+class TestLaplaceTransform:
+    def test_unity_at_zero(self, ens):
+        assert laplace_transform(0.0, LAM, ens, TriangularShot()) == pytest.approx(1.0)
+
+    def test_derivative_gives_mean(self, ens):
+        mean = LAM * ens.mean_size
+        eps = 1e-4 / mean
+        log_lst = log_laplace_transform(
+            eps, LAM, ens, TriangularShot(), max_flows=None
+        )
+        assert -log_lst / eps == pytest.approx(mean, rel=1e-3)
+
+    def test_second_derivative_gives_second_moment(self, ens):
+        model = PoissonShotNoiseModel(LAM, ens, RectangularShot())
+        mean, var = model.mean, model.variance
+        h = 1e-3 / mean
+        f = lambda s: log_laplace_transform(
+            s, LAM, ens, RectangularShot(), max_flows=None
+        )
+        second = (f(2 * h) - 2 * f(h) + f(0.0)) / h**2
+        assert second == pytest.approx(var, rel=1e-2)
+
+    def test_monotone_decreasing(self, ens):
+        scale = 1.0 / (LAM * ens.mean_size)
+        vals = [
+            laplace_transform(s * scale, LAM, ens, TriangularShot())
+            for s in (0.0, 1.0, 3.0)
+        ]
+        assert vals[0] > vals[1] > vals[2] > 0.0
+
+    def test_negative_s_rejected(self, ens):
+        with pytest.raises(ParameterError):
+            log_laplace_transform(-1.0, LAM, ens, TriangularShot())
+
+
+class TestCharacteristicFunction:
+    def test_unit_modulus_at_zero(self, ens):
+        phi = characteristic_function(0.0, LAM, ens, TriangularShot())
+        assert phi[0] == pytest.approx(1.0 + 0j)
+
+    def test_modulus_bounded(self, ens):
+        sigma = PoissonShotNoiseModel(LAM, ens, TriangularShot()).std
+        omegas = np.linspace(0.0, 5.0 / sigma, 9)
+        phi = characteristic_function(omegas, LAM, ens, TriangularShot())
+        assert np.all(np.abs(phi) <= 1.0 + 1e-12)
+
+    def test_decays_like_gaussian(self, ens):
+        model = PoissonShotNoiseModel(LAM, ens, TriangularShot())
+        omega = 2.0 / model.std
+        phi = characteristic_function(omega, LAM, ens, TriangularShot())
+        gaussian = np.exp(-0.5 * (omega * model.std) ** 2)
+        assert abs(phi[0]) == pytest.approx(gaussian, rel=0.2)
+
+
+class TestRatePdf:
+    def test_integrates_to_one_with_correct_moments(self, ens):
+        model = PoissonShotNoiseModel(LAM, ens, TriangularShot())
+        x, pdf = rate_pdf(
+            LAM, ens, TriangularShot(), n_omega=256, max_flows=1500
+        )
+        mass = np.trapezoid(pdf, x)
+        mean = np.trapezoid(x * pdf, x)
+        var = np.trapezoid((x - mean) ** 2 * pdf, x)
+        assert mass == pytest.approx(1.0, abs=0.02)
+        assert mean == pytest.approx(model.mean, rel=0.03)
+        assert var == pytest.approx(model.variance, rel=0.15)
+
+    def test_close_to_gaussian_at_high_aggregation(self, ens):
+        model = PoissonShotNoiseModel(LAM, ens, TriangularShot())
+        x, pdf = rate_pdf(
+            LAM, ens, TriangularShot(), n_omega=256, max_flows=1500
+        )
+        gaussian = model.gaussian().pdf(x)
+        # total variation distance should be small (section V-E)
+        tv = 0.5 * np.trapezoid(np.abs(pdf - gaussian), x)
+        assert tv < 0.1
+
+
+class TestChernoffBound:
+    def test_vacuous_below_mean(self, ens):
+        model = PoissonShotNoiseModel(LAM, ens, TriangularShot())
+        assert chernoff_tail_bound(
+            model.mean * 0.5, LAM, ens, TriangularShot(), max_flows=500
+        ) == pytest.approx(1.0)
+
+    def test_decreasing_in_level(self, ens):
+        model = PoissonShotNoiseModel(LAM, ens, TriangularShot())
+        levels = model.mean + np.array([2.0, 4.0, 6.0]) * model.std
+        bounds = [
+            chernoff_tail_bound(lv, LAM, ens, TriangularShot(), max_flows=500)
+            for lv in levels
+        ]
+        assert bounds[0] > bounds[1] > bounds[2]
+
+    def test_valid_upper_bound_vs_gaussian(self, ens):
+        # at moderate levels the Chernoff bound must lie above the true
+        # (approximately Gaussian) tail, i.e. it is a bound, not an estimate
+        model = PoissonShotNoiseModel(LAM, ens, TriangularShot())
+        level = model.mean + 3.0 * model.std
+        bound = chernoff_tail_bound(level, LAM, ens, TriangularShot(), max_flows=500)
+        assert bound <= 1.0
+        assert bound > 0.0

@@ -1,0 +1,117 @@
+"""Tests for repro.core.mginf: the M/G/infinity active-flow model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MGInfinityModel
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture()
+def durations():
+    gen = np.random.default_rng(2)
+    return gen.exponential(2.0, 4000)
+
+
+class TestStationaryCount:
+    def test_load(self):
+        model = MGInfinityModel(10.0, mean_duration=3.0)
+        assert model.load == pytest.approx(30.0)
+
+    def test_poisson_marginal(self):
+        model = MGInfinityModel(5.0, mean_duration=2.0)
+        dist = model.count_distribution
+        assert dist.mean() == pytest.approx(10.0)
+        assert dist.var() == pytest.approx(10.0)
+
+    def test_pmf_sums_to_one(self):
+        model = MGInfinityModel(5.0, mean_duration=2.0)
+        ks = np.arange(0, 200)
+        assert model.pmf(ks).sum() == pytest.approx(1.0, rel=1e-9)
+
+    def test_pgf_matches_pmf(self):
+        model = MGInfinityModel(3.0, mean_duration=1.0)
+        z = 0.7
+        ks = np.arange(0, 100)
+        direct = float(np.sum(model.pmf(ks) * z**ks))
+        assert model.pgf(z) == pytest.approx(direct, rel=1e-9)
+
+    def test_pgf_at_one(self):
+        model = MGInfinityModel(3.0, mean_duration=1.0)
+        assert model.pgf(1.0) == pytest.approx(1.0)
+
+    def test_probability_at_least(self):
+        model = MGInfinityModel(5.0, mean_duration=2.0)
+        assert model.probability_at_least(0) == 1.0
+        assert 0.0 < model.probability_at_least(10) < 1.0
+        assert model.probability_at_least(10) == pytest.approx(
+            1.0 - float(model.count_distribution.cdf(9)), rel=1e-9
+        )
+
+    def test_quantile_for_flow_table_sizing(self):
+        model = MGInfinityModel(100.0, mean_duration=2.0)
+        k = model.quantile(0.999)
+        assert model.count_distribution.cdf(k) >= 0.999
+        assert k >= model.load
+
+    def test_duration_inference_from_samples(self, durations):
+        model = MGInfinityModel(10.0, durations=durations)
+        assert model.mean_duration == pytest.approx(durations.mean())
+
+    def test_needs_some_duration_info(self):
+        with pytest.raises(ParameterError):
+            MGInfinityModel(10.0)
+
+
+class TestSecondOrder:
+    def test_autocovariance_at_zero_is_load(self, durations):
+        model = MGInfinityModel(10.0, durations=durations)
+        gamma0 = model.count_autocovariance([0.0])[0]
+        assert gamma0 == pytest.approx(model.load, rel=1e-9)
+
+    def test_autocovariance_decreasing(self, durations):
+        model = MGInfinityModel(10.0, durations=durations)
+        gamma = model.count_autocovariance(np.linspace(0, 8, 9))
+        assert np.all(np.diff(gamma) <= 1e-9)
+
+    def test_autocorrelation_normalised(self, durations):
+        model = MGInfinityModel(10.0, durations=durations)
+        rho = model.count_autocorrelation([1.0, 4.0])
+        assert np.all(rho <= 1.0)
+        assert rho[0] > rho[1]
+
+    def test_exponential_durations_give_exponential_decay(self):
+        # for exp(mean=m) durations: E[(D-t)+] = m * exp(-t/m)
+        gen = np.random.default_rng(8)
+        mean = 2.0
+        durations = gen.exponential(mean, 200_000)
+        model = MGInfinityModel(1.0, durations=durations)
+        rho = model.count_autocorrelation([1.0, 2.0])
+        np.testing.assert_allclose(
+            rho, np.exp(-np.array([1.0, 2.0]) / mean), rtol=0.03
+        )
+
+    def test_requires_samples(self):
+        model = MGInfinityModel(10.0, mean_duration=1.0)
+        with pytest.raises(ParameterError):
+            model.count_autocovariance([0.0])
+
+
+class TestLengthBias:
+    def test_inspection_paradox(self, durations):
+        model = MGInfinityModel(10.0, durations=durations)
+        assert model.length_biased_mean_duration >= model.mean_duration
+
+    def test_length_biased_formula(self, durations):
+        model = MGInfinityModel(10.0, durations=durations)
+        expected = np.mean(durations**2) / np.mean(durations)
+        assert model.length_biased_mean_duration == pytest.approx(expected)
+
+    def test_length_biased_sample_mean(self, durations):
+        model = MGInfinityModel(10.0, durations=durations)
+        sample = model.length_biased_sample(50_000, rng=4)
+        assert sample.mean() == pytest.approx(
+            model.length_biased_mean_duration, rel=0.05
+        )

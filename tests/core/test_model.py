@@ -1,0 +1,198 @@
+"""Tests for repro.core.model: Corollaries 1-2, Theorem 3, superposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EmpiricalEnsemble,
+    GenericShot,
+    ParabolicShot,
+    PoissonShotNoiseModel,
+    PowerShot,
+    RectangularShot,
+    SuperposedModel,
+    ThreeParameterModel,
+    TriangularShot,
+    variance_shape_factor,
+)
+from repro.exceptions import ModelError, ParameterError
+
+
+@pytest.fixture()
+def model(ensemble):
+    return PoissonShotNoiseModel(80.0, ensemble, TriangularShot())
+
+
+class TestFirstTwoMoments:
+    def test_corollary1_mean(self, ensemble):
+        model = PoissonShotNoiseModel(80.0, ensemble)
+        assert model.mean == pytest.approx(80.0 * ensemble.mean_size)
+
+    def test_corollary2_power_shots(self, ensemble):
+        for b in (0.0, 1.0, 2.0, 3.5):
+            model = PoissonShotNoiseModel(80.0, ensemble, PowerShot(b))
+            expected = (
+                variance_shape_factor(b)
+                * 80.0
+                * ensemble.mean_square_size_over_duration
+            )
+            assert model.variance == pytest.approx(expected, rel=1e-9)
+
+    def test_mean_independent_of_shot(self, ensemble):
+        m0 = PoissonShotNoiseModel(80.0, ensemble, RectangularShot())
+        m2 = PoissonShotNoiseModel(80.0, ensemble, ParabolicShot())
+        assert m0.mean == pytest.approx(m2.mean)
+
+    def test_cov_consistency(self, model):
+        assert model.coefficient_of_variation == pytest.approx(
+            model.std / model.mean
+        )
+
+    def test_from_flows(self, flow_population):
+        sizes, durations = flow_population
+        model = PoissonShotNoiseModel.from_flows(sizes, durations, 50.0)
+        assert model.arrival_rate == pytest.approx(len(sizes) / 50.0)
+        assert model.mean == pytest.approx(model.arrival_rate * np.mean(sizes))
+
+    def test_rejects_nonpositive_rate(self, ensemble):
+        with pytest.raises(ParameterError):
+            PoissonShotNoiseModel(0.0, ensemble)
+
+
+class TestTheorem3:
+    def test_rectangular_attains_bound(self, ensemble):
+        model = PoissonShotNoiseModel(80.0, ensemble, RectangularShot())
+        assert model.variance == pytest.approx(model.variance_lower_bound)
+
+    @pytest.mark.parametrize("b", [0.5, 1.0, 2.0, 5.0])
+    def test_power_shots_above_bound(self, ensemble, b):
+        model = PoissonShotNoiseModel(80.0, ensemble, PowerShot(b))
+        assert model.variance >= model.variance_lower_bound
+
+    @given(st.integers(min_value=0, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_generic_shots_above_bound(self, ensemble, profile_index):
+        profiles = [
+            lambda v: np.exp(1.5 * v),
+            lambda v: 1.0 + 0.9 * np.sin(2 * np.pi * v),
+            lambda v: np.sqrt(v + 1e-9),
+            lambda v: (1.0 - v) ** 2 + 0.01,
+        ]
+        shot = GenericShot(profiles[profile_index])
+        model = PoissonShotNoiseModel(80.0, ensemble, shot)
+        assert model.variance >= model.variance_lower_bound * (1 - 1e-6)
+
+
+class TestHigherOrder:
+    def test_cumulant_2_is_variance(self, model):
+        assert model.cumulant(2) == pytest.approx(model.variance, rel=1e-9)
+
+    def test_skewness_positive(self, model):
+        # shot noise of non-negative shots is right-skewed
+        assert model.skewness > 0
+
+    def test_skewness_shrinks_with_aggregation(self, model):
+        # Poisson cumulants scale linearly in lambda: skew ~ 1/sqrt(lambda)
+        big = model.scaled_arrivals(4.0)
+        assert big.skewness == pytest.approx(model.skewness / 2.0, rel=1e-9)
+
+    def test_laplace_transform_at_zero(self, model):
+        assert model.laplace_transform(0.0) == pytest.approx(1.0)
+
+    def test_laplace_transform_decreasing(self, model):
+        scale = 1.0 / model.mean
+        values = [model.laplace_transform(s * scale) for s in (0.0, 0.5, 1.0)]
+        assert values[0] > values[1] > values[2]
+
+
+class TestDerivedViews:
+    def test_gaussian_matches_moments(self, model):
+        g = model.gaussian()
+        assert g.mean == pytest.approx(model.mean)
+        assert g.std == pytest.approx(model.std)
+
+    def test_required_capacity_above_mean(self, model):
+        assert model.required_capacity(0.01) > model.mean
+
+    def test_active_flows_load(self, model, ensemble):
+        mg = model.active_flows()
+        assert mg.load == pytest.approx(80.0 * ensemble.mean_duration)
+
+    def test_statistics_roundtrip(self, model, ensemble):
+        stats = model.statistics()
+        assert stats.arrival_rate == model.arrival_rate
+        assert stats.mean_size == pytest.approx(ensemble.mean_size)
+        assert stats.flow_count == len(ensemble)
+
+    def test_with_shot_keeps_traffic(self, model):
+        other = model.with_shot(ParabolicShot())
+        assert other.mean == pytest.approx(model.mean)
+        assert other.variance > model.variance
+
+    def test_fit_power_roundtrip(self, model):
+        fit = model.fit_power(model.variance)
+        assert fit.power == pytest.approx(1.0, abs=1e-6)
+
+
+class TestThreeParameterModel:
+    def test_matches_full_model(self, model):
+        reduced = ThreeParameterModel(
+            model.statistics(), shape_factor=variance_shape_factor(1.0)
+        )
+        assert reduced.mean == pytest.approx(model.mean)
+        assert reduced.variance == pytest.approx(model.variance, rel=1e-9)
+        assert reduced.coefficient_of_variation == pytest.approx(
+            model.coefficient_of_variation, rel=1e-9
+        )
+
+    def test_scaled_arrivals(self, model):
+        reduced = ThreeParameterModel(model.statistics(), 1.8)
+        scaled = reduced.scaled_arrivals(9.0)
+        assert scaled.mean == pytest.approx(9.0 * reduced.mean)
+        assert scaled.std == pytest.approx(3.0 * reduced.std)
+
+    def test_rejects_bad_shape_factor(self, model):
+        with pytest.raises(ParameterError):
+            ThreeParameterModel(model.statistics(), 0.0)
+
+
+class TestSuperposition:
+    def test_moments_add(self, ensemble):
+        a = PoissonShotNoiseModel(40.0, ensemble, TriangularShot())
+        b = PoissonShotNoiseModel(60.0, ensemble, RectangularShot())
+        total = a.superpose(b)
+        assert total.mean == pytest.approx(a.mean + b.mean)
+        assert total.variance == pytest.approx(a.variance + b.variance)
+        assert total.cumulant(3) == pytest.approx(a.cumulant(3) + b.cumulant(3))
+
+    def test_equivalent_to_single_class_when_same_shot(self, ensemble):
+        # superposing two half-rate copies == one full-rate model
+        half = PoissonShotNoiseModel(40.0, ensemble, TriangularShot())
+        full = PoissonShotNoiseModel(80.0, ensemble, TriangularShot())
+        total = SuperposedModel([half, half])
+        assert total.mean == pytest.approx(full.mean)
+        assert total.variance == pytest.approx(full.variance)
+
+    def test_autocovariance_adds(self, ensemble):
+        a = PoissonShotNoiseModel(40.0, ensemble, TriangularShot())
+        b = PoissonShotNoiseModel(60.0, ensemble, ParabolicShot())
+        total = a.superpose(b)
+        lags = np.array([0.0, 0.1])
+        np.testing.assert_allclose(
+            total.autocovariance(lags),
+            a.autocovariance(lags) + b.autocovariance(lags),
+            rtol=1e-9,
+        )
+
+    def test_autocorrelation_normalised(self, ensemble):
+        a = PoissonShotNoiseModel(40.0, ensemble, TriangularShot())
+        total = SuperposedModel([a, a])
+        assert total.autocorrelation([0.0])[0] == pytest.approx(1.0)
+
+    def test_empty_superposition_rejected(self):
+        with pytest.raises(ModelError):
+            SuperposedModel([])

@@ -1,0 +1,108 @@
+"""Tests for the section VIII multi-class extension end to end.
+
+Mice/elephants partitioning of measured flows + per-class shots +
+superposition — the "different shot for each class" future work the paper
+sketches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ParabolicShot,
+    PoissonShotNoiseModel,
+    RectangularShot,
+    SuperposedModel,
+)
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def partitioned(five_tuple_flows):
+    threshold = float(np.quantile(five_tuple_flows.sizes, 0.9))
+    return five_tuple_flows.partition_by_size(threshold)
+
+
+class TestPartition:
+    def test_split_covers_everything(self, five_tuple_flows, partitioned):
+        mice, elephants = partitioned
+        assert len(mice) + len(elephants) == len(five_tuple_flows)
+        assert mice.sizes.max() < elephants.sizes.min() + 1e-9
+
+    def test_elephants_carry_disproportionate_bytes(self, partitioned):
+        mice, elephants = partitioned
+        byte_share = elephants.total_bytes / (
+            mice.total_bytes + elephants.total_bytes
+        )
+        count_share = len(elephants) / (len(mice) + len(elephants))
+        assert byte_share > 3 * count_share  # heavy-tailed sizes
+
+    def test_bad_threshold_rejected(self, five_tuple_flows):
+        with pytest.raises(ParameterError):
+            five_tuple_flows.partition_by_size(1e12)
+        with pytest.raises(ParameterError):
+            five_tuple_flows.partition_by_size(-1.0)
+
+
+class TestMultiClassModel:
+    def test_superposition_reproduces_single_class_mean(
+        self, five_tuple_flows, partitioned, trace
+    ):
+        """Per-class models with any shots must reproduce the aggregate
+        mean (Corollary 1 is shape-free and additive)."""
+        mice, elephants = partitioned
+        single = PoissonShotNoiseModel.from_flows(
+            five_tuple_flows.sizes, five_tuple_flows.durations, trace.duration
+        )
+        multi = SuperposedModel(
+            [
+                PoissonShotNoiseModel.from_flows(
+                    mice.sizes, mice.durations, trace.duration,
+                    ParabolicShot(),
+                ),
+                PoissonShotNoiseModel.from_flows(
+                    elephants.sizes, elephants.durations, trace.duration,
+                    RectangularShot(),
+                ),
+            ]
+        )
+        assert multi.mean == pytest.approx(single.mean, rel=1e-9)
+
+    def test_per_class_shots_interpolate_variance(
+        self, five_tuple_flows, partitioned, trace
+    ):
+        """Parabolic mice + rectangular elephants lies between the all-
+        rectangular and all-parabolic single-class variances."""
+        mice, elephants = partitioned
+        make = PoissonShotNoiseModel.from_flows
+        all_rect = make(
+            five_tuple_flows.sizes, five_tuple_flows.durations,
+            trace.duration, RectangularShot(),
+        )
+        all_para = all_rect.with_shot(ParabolicShot())
+        multi = SuperposedModel(
+            [
+                make(mice.sizes, mice.durations, trace.duration, ParabolicShot()),
+                make(elephants.sizes, elephants.durations, trace.duration,
+                     RectangularShot()),
+            ]
+        )
+        assert all_rect.variance < multi.variance < all_para.variance
+
+    def test_gaussian_of_superposition(self, partitioned, trace):
+        mice, elephants = partitioned
+        multi = SuperposedModel(
+            [
+                PoissonShotNoiseModel.from_flows(
+                    mice.sizes, mice.durations, trace.duration
+                ),
+                PoissonShotNoiseModel.from_flows(
+                    elephants.sizes, elephants.durations, trace.duration
+                ),
+            ]
+        )
+        gauss = multi.gaussian()
+        assert gauss.mean == pytest.approx(multi.mean)
+        assert multi.required_capacity(0.01) > multi.mean

@@ -1,0 +1,106 @@
+"""Tests for repro.core.parameters: the three-parameter summary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import FlowStatistics
+from repro.exceptions import ParameterError
+
+
+def make_stats(**overrides):
+    defaults = dict(
+        arrival_rate=100.0,
+        mean_size=1e4,
+        mean_square_size_over_duration=5e7,
+        mean_duration=2.0,
+        flow_count=1000,
+    )
+    defaults.update(overrides)
+    return FlowStatistics(**defaults)
+
+
+class TestConstruction:
+    def test_from_flows(self):
+        sizes = np.array([1e3, 2e3, 3e3])
+        durs = np.array([1.0, 2.0, 3.0])
+        stats = FlowStatistics.from_flows(sizes, durs, interval_length=10.0)
+        assert stats.arrival_rate == pytest.approx(0.3)
+        assert stats.mean_size == pytest.approx(2e3)
+        assert stats.mean_square_size_over_duration == pytest.approx(
+            np.mean(sizes**2 / durs)
+        )
+        assert stats.mean_duration == pytest.approx(2.0)
+        assert stats.flow_count == 3
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("arrival_rate", 0.0),
+            ("arrival_rate", -1.0),
+            ("mean_size", 0.0),
+            ("mean_square_size_over_duration", -5.0),
+        ],
+    )
+    def test_rejects_nonpositive(self, field, value):
+        with pytest.raises(ParameterError):
+            make_stats(**{field: value})
+
+    def test_rejects_negative_flow_count(self):
+        with pytest.raises(ParameterError):
+            make_stats(flow_count=-1)
+
+
+class TestMoments:
+    def test_mean_rate_corollary1(self):
+        stats = make_stats(arrival_rate=50.0, mean_size=2e4)
+        assert stats.mean_rate == pytest.approx(1e6)
+
+    def test_variance_shape_factor(self):
+        stats = make_stats()
+        assert stats.variance(1.0) == pytest.approx(100.0 * 5e7)
+        assert stats.variance(1.8) == pytest.approx(1.8 * 100.0 * 5e7)
+
+    def test_std_and_cov(self):
+        stats = make_stats()
+        assert stats.std(1.0) == pytest.approx(np.sqrt(stats.variance(1.0)))
+        assert stats.coefficient_of_variation(1.0) == pytest.approx(
+            stats.std(1.0) / stats.mean_rate
+        )
+
+    def test_offered_load(self):
+        stats = make_stats(arrival_rate=10.0, mean_duration=3.0)
+        assert stats.offered_load == pytest.approx(30.0)
+
+    def test_variance_rejects_bad_factor(self):
+        with pytest.raises(ParameterError):
+            make_stats().variance(0.0)
+
+
+class TestScaling:
+    def test_scaled_arrivals_mean_linear(self):
+        stats = make_stats()
+        scaled = stats.scaled_arrivals(4.0)
+        assert scaled.mean_rate == pytest.approx(4.0 * stats.mean_rate)
+
+    def test_scaled_arrivals_std_sqrt(self):
+        stats = make_stats()
+        scaled = stats.scaled_arrivals(4.0)
+        assert scaled.std(1.8) == pytest.approx(2.0 * stats.std(1.8))
+
+    @given(st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=50)
+    def test_smoothing_law(self, factor):
+        """CoV scales exactly as 1/sqrt(lambda) — the section VII-A law."""
+        stats = make_stats()
+        scaled = stats.scaled_arrivals(factor)
+        assert scaled.coefficient_of_variation() == pytest.approx(
+            stats.coefficient_of_variation() / np.sqrt(factor), rel=1e-9
+        )
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            make_stats().scaled_arrivals(0.0)

@@ -1,0 +1,113 @@
+"""Tests for repro.core.sampling: eq. (7), the averaging-window effect."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EmpiricalEnsemble,
+    PoissonShotNoiseModel,
+    RectangularShot,
+    TriangularShot,
+    averaged_variance,
+    averaged_variance_from_autocovariance,
+    averaging_correction_factor,
+    sinc_squared_filter,
+)
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def ens():
+    gen = np.random.default_rng(21)
+    sizes = gen.uniform(1e3, 1e5, 1500)
+    durations = gen.uniform(1.0, 5.0, 1500)
+    return EmpiricalEnsemble(sizes, durations)
+
+
+class TestAveragedVariance:
+    def test_tiny_delta_recovers_variance(self, ens):
+        model = PoissonShotNoiseModel(40.0, ens, TriangularShot())
+        smoothed = averaged_variance(40.0, ens, TriangularShot(), 1e-4)
+        assert smoothed == pytest.approx(model.variance, rel=1e-3)
+
+    def test_always_below_instantaneous(self, ens):
+        model = PoissonShotNoiseModel(40.0, ens, TriangularShot())
+        for delta in (0.1, 0.5, 2.0):
+            assert averaged_variance(40.0, ens, TriangularShot(), delta) < (
+                model.variance
+            )
+
+    def test_monotone_decreasing_in_delta(self, ens):
+        deltas = [0.05, 0.2, 1.0, 3.0]
+        values = [
+            averaged_variance(40.0, ens, RectangularShot(), d) for d in deltas
+        ]
+        assert np.all(np.diff(values) < 0)
+
+    def test_closed_form_deterministic_rectangles(self):
+        """Single deterministic rectangular flow: analytic eq. (7).
+
+        Gamma(tau) = lam r^2 (D - tau) with r = S/D; for Delta <= D,
+        sigma_bar^2 = lam r^2 (D - Delta/3).
+        """
+        lam, s, d = 25.0, 1e4, 2.0
+        ens = EmpiricalEnsemble([s], [d])
+        r = s / d
+        for delta in (0.2, 1.0, 2.0):
+            expected = lam * r**2 * (d - delta / 3.0)
+            got = averaged_variance(lam, ens, RectangularShot(), delta)
+            assert got == pytest.approx(expected, rel=1e-6)
+
+    def test_from_autocovariance_callable(self):
+        # triangular autocovariance Gamma(tau) = (1 - tau)+ over Delta = 1:
+        # 2 * integral_0^1 (1 - tau)^2 dtau = 2/3
+        gamma = lambda taus: np.maximum(1.0 - taus, 0.0)
+        got = averaged_variance_from_autocovariance(gamma, 1.0)
+        assert got == pytest.approx(2.0 / 3.0, rel=1e-9)
+
+    def test_rejects_bad_delta(self, ens):
+        with pytest.raises(ParameterError):
+            averaged_variance(40.0, ens, TriangularShot(), 0.0)
+
+    def test_curve_matches_pointwise(self, ens):
+        from repro.core import averaged_variance_curve
+
+        deltas = [0.1, 1.0, 4.0]
+        curve = averaged_variance_curve(
+            40.0, ens, TriangularShot(), deltas, quad_order=64
+        )
+        assert curve.shape == (3,)
+        for d, value in zip(deltas, curve):
+            assert value == pytest.approx(
+                averaged_variance(40.0, ens, TriangularShot(), d, quad_order=64),
+                rel=1e-9,
+            )
+        assert np.all(np.diff(curve) < 0)
+
+
+class TestCorrectionFactor:
+    def test_in_unit_interval(self, ens):
+        for delta in (0.01, 0.5, 5.0):
+            factor = averaging_correction_factor(
+                40.0, ens, TriangularShot(), delta
+            )
+            assert 0.0 < factor <= 1.0
+
+    def test_close_to_one_when_delta_small_vs_durations(self, ens):
+        factor = averaging_correction_factor(40.0, ens, TriangularShot(), 0.01)
+        assert factor > 0.99
+
+
+class TestSincFilter:
+    def test_unity_at_dc(self):
+        assert sinc_squared_filter(0.0, 0.2) == pytest.approx(1.0)
+
+    def test_zero_at_inverse_delta(self):
+        assert sinc_squared_filter(5.0, 0.2) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bounded(self):
+        f = np.linspace(-20, 20, 401)
+        h = sinc_squared_filter(f, 0.2)
+        assert np.all((h >= 0) & (h <= 1.0 + 1e-12))

@@ -1,0 +1,283 @@
+"""Tests for repro.core.shots: the flow rate functions of section V-C/D."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shots import (
+    GenericShot,
+    ParabolicShot,
+    PowerShot,
+    RectangularShot,
+    TriangularShot,
+    variance_shape_factor,
+)
+from repro.exceptions import ParameterError
+
+POWERS = [0.0, 0.5, 1.0, 2.0, 3.7]
+
+
+class TestVarianceShapeFactor:
+    def test_paper_anchor_values(self):
+        assert variance_shape_factor(0.0) == pytest.approx(1.0)
+        assert variance_shape_factor(1.0) == pytest.approx(4.0 / 3.0)
+        assert variance_shape_factor(2.0) == pytest.approx(9.0 / 5.0)
+
+    def test_increasing_in_b(self):
+        values = [variance_shape_factor(b) for b in np.linspace(0, 8, 33)]
+        assert np.all(np.diff(values) > 0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ParameterError):
+            variance_shape_factor(-0.5)
+
+    @given(st.floats(min_value=0.0, max_value=50.0))
+    def test_theorem3_lower_bound(self, b):
+        # every power shot has variance factor >= 1 (Theorem 3)
+        assert variance_shape_factor(b) >= 1.0 - 1e-12
+
+
+class TestPowerShotProfile:
+    @pytest.mark.parametrize("b", POWERS)
+    def test_profile_integrates_to_one(self, b):
+        v = np.linspace(0.0, 1.0, 20001)
+        integral = np.trapezoid(PowerShot(b).profile(v), v)
+        assert integral == pytest.approx(1.0, rel=1e-4)
+
+    @pytest.mark.parametrize("b", POWERS)
+    def test_profile_moment_matches_quadrature(self, b):
+        shot = PowerShot(b)
+        v = np.linspace(0.0, 1.0, 200001)
+        for k in (1, 2, 3, 4):
+            numeric = np.trapezoid(shot.profile(v) ** k, v)
+            assert shot.profile_moment(k) == pytest.approx(numeric, rel=1e-3)
+
+    def test_profile_moment_one_is_one(self):
+        for b in POWERS:
+            assert PowerShot(b).profile_moment(1) == pytest.approx(1.0)
+
+    def test_moment_order_validated(self):
+        with pytest.raises(ParameterError):
+            PowerShot(1.0).profile_moment(0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ParameterError):
+            PowerShot(-0.1)
+
+    def test_equality_and_hash(self):
+        assert PowerShot(1.0) == PowerShot(1.0)
+        assert PowerShot(1.0) != PowerShot(2.0)
+        assert hash(PowerShot(2.0)) == hash(PowerShot(2.0))
+
+    def test_named_subclasses(self):
+        assert RectangularShot().power == 0.0
+        assert TriangularShot().power == 1.0
+        assert ParabolicShot().power == 2.0
+
+
+class TestCumulativeAndQuantile:
+    @pytest.mark.parametrize("b", POWERS)
+    def test_cumulative_endpoints(self, b):
+        shot = PowerShot(b)
+        assert shot.cumulative(0.0, 1e4, 2.0) == pytest.approx(0.0)
+        assert shot.cumulative(2.0, 1e4, 2.0) == pytest.approx(1e4)
+
+    @pytest.mark.parametrize("b", POWERS)
+    def test_roundtrip(self, b):
+        shot = PowerShot(b)
+        size, dur = 5e4, 3.0
+        u = np.linspace(0.01, dur, 57)
+        vol = shot.cumulative(u, size, dur)
+        back = shot.inverse_cumulative(vol, size, dur)
+        np.testing.assert_allclose(back, u, rtol=1e-9)
+
+    @given(
+        b=st.floats(min_value=0.0, max_value=8.0),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80)
+    def test_quantile_in_unit_interval(self, b, p):
+        q = PowerShot(b).profile_quantile(p)
+        assert 0.0 <= q <= 1.0
+
+    def test_quantile_monotone(self):
+        shot = PowerShot(2.5)
+        p = np.linspace(0.0, 1.0, 101)
+        q = shot.profile_quantile(p)
+        assert np.all(np.diff(q) >= 0)
+
+
+class TestRate:
+    def test_zero_outside_support(self):
+        shot = TriangularShot()
+        assert shot.rate(-0.1, 1e4, 2.0) == 0.0
+        assert shot.rate(2.1, 1e4, 2.0) == 0.0
+
+    def test_rate_integrates_to_size(self):
+        shot = ParabolicShot()
+        u = np.linspace(0.0, 2.0, 40001)
+        total = np.trapezoid(shot.rate(u, 1e4, 2.0), u)
+        assert total == pytest.approx(1e4, rel=1e-4)
+
+    def test_rectangular_height(self):
+        shot = RectangularShot()
+        assert shot.rate(1.0, 1e4, 2.0) == pytest.approx(5e3)
+
+    def test_triangular_peak_is_twice_mean_rate(self):
+        shot = TriangularShot()
+        assert shot.rate(2.0, 1e4, 2.0) == pytest.approx(2 * 1e4 / 2.0)
+
+    def test_broadcasts_over_flows(self):
+        shot = TriangularShot()
+        sizes = np.array([1e4, 2e4, 3e4])
+        durs = np.array([1.0, 2.0, 3.0])
+        rates = shot.rate(0.5, sizes, durs)
+        assert rates.shape == (3,)
+        assert np.all(rates > 0)
+
+
+class TestMomentIntegral:
+    @pytest.mark.parametrize("b", POWERS)
+    def test_first_moment_is_size(self, b):
+        shot = PowerShot(b)
+        sizes = np.array([1e3, 5e4])
+        durs = np.array([0.5, 7.0])
+        np.testing.assert_allclose(shot.moment_integral(1, sizes, durs), sizes)
+
+    @pytest.mark.parametrize("b", [0.0, 1.0, 2.0])
+    def test_second_moment_closed_form(self, b):
+        shot = PowerShot(b)
+        s, d = 2e4, 4.0
+        expected = variance_shape_factor(b) * s**2 / d
+        assert shot.moment_integral(2, s, d) == pytest.approx(expected)
+
+    def test_order_validation(self):
+        with pytest.raises(ParameterError):
+            TriangularShot().moment_integral(0, 1e4, 1.0)
+
+
+class TestAutocovarianceIntegral:
+    def test_zero_lag_equals_second_moment(self):
+        for b in POWERS:
+            shot = PowerShot(b)
+            s, d = 3e4, 2.0
+            assert shot.autocovariance_integral(0.0, s, d) == pytest.approx(
+                shot.moment_integral(2, s, d), rel=1e-9
+            )
+
+    def test_zero_beyond_duration(self):
+        shot = TriangularShot()
+        assert shot.autocovariance_integral(2.5, 1e4, 2.0) == 0.0
+        assert shot.autocovariance_integral(2.0, 1e4, 2.0) == 0.0
+
+    def test_even_in_lag(self):
+        shot = ParabolicShot()
+        a = shot.autocovariance_integral(0.7, 1e4, 2.0)
+        b = shot.autocovariance_integral(-0.7, 1e4, 2.0)
+        assert a == pytest.approx(b)
+
+    def test_rectangular_closed_form(self):
+        shot = RectangularShot()
+        s, d, tau = 1e4, 2.0, 0.5
+        expected = (s / d) ** 2 * (d - tau)
+        assert shot.autocovariance_integral(tau, s, d) == pytest.approx(expected)
+
+    def test_triangular_closed_form_vs_quadrature(self):
+        s, d = 1e4, 2.0
+        shot = TriangularShot()
+        for tau in (0.1, 0.9, 1.7):
+            u = np.linspace(0.0, d - tau, 100001)
+            numeric = np.trapezoid(
+                shot.rate(u, s, d) * shot.rate(u + tau, s, d), u
+            )
+            assert shot.autocovariance_integral(tau, s, d) == pytest.approx(
+                numeric, rel=1e-5
+            )
+
+    def test_noninteger_power_vs_quadrature(self):
+        s, d = 1e4, 2.0
+        shot = PowerShot(1.5)
+        for tau in (0.2, 1.0):
+            u = np.linspace(0.0, d - tau, 100001)
+            numeric = np.trapezoid(
+                shot.rate(u, s, d) * shot.rate(u + tau, s, d), u
+            )
+            assert shot.autocovariance_integral(tau, s, d) == pytest.approx(
+                numeric, rel=1e-4
+            )
+
+    def test_decreasing_in_lag(self):
+        shot = ParabolicShot()
+        taus = np.linspace(0.0, 1.9, 20)
+        vals = shot.autocovariance_integral(taus, 1e4, 2.0)
+        assert np.all(np.diff(vals) <= 1e-9)
+
+    def test_broadcast_lags_and_flows(self):
+        shot = TriangularShot()
+        taus = np.array([[0.0], [0.5], [1.0]])
+        sizes = np.array([1e4, 2e4])
+        durs = np.array([1.5, 3.0])
+        out = shot.autocovariance_integral(taus, sizes, durs)
+        assert out.shape == (3, 2)
+
+
+class TestGenericShot:
+    def test_matches_power_shot(self):
+        b = 2.0
+        generic = GenericShot(lambda v: (b + 1) * v**b, name="pow2")
+        power = PowerShot(b)
+        assert generic.profile_moment(2) == pytest.approx(
+            power.profile_moment(2), rel=1e-3
+        )
+        s, d = 1e4, 2.0
+        for tau in (0.0, 0.5, 1.5):
+            assert generic.autocovariance_integral(
+                tau, s, d
+            ) == pytest.approx(power.autocovariance_integral(tau, s, d), rel=5e-3)
+
+    def test_normalises_arbitrary_scale(self):
+        shot = GenericShot(lambda v: 42.0 * np.ones_like(v))
+        v = np.linspace(0, 1, 1001)
+        assert np.trapezoid(shot.profile(v), v) == pytest.approx(1.0, rel=1e-6)
+
+    def test_cumulative_quantile_roundtrip(self):
+        shot = GenericShot(lambda v: 1.0 + np.sin(np.pi * v))
+        p = np.linspace(0.01, 0.99, 33)
+        v = shot.profile_quantile(p)
+        back = shot.profile_cumulative(v)
+        np.testing.assert_allclose(back, p, atol=2e-3)
+
+    def test_rejects_negative_profile(self):
+        with pytest.raises(ParameterError):
+            GenericShot(lambda v: v - 0.5)
+
+    def test_rejects_zero_profile(self):
+        with pytest.raises(ParameterError):
+            GenericShot(lambda v: np.zeros_like(v))
+
+    def test_variance_factor_at_least_one(self):
+        # Cauchy-Schwarz: m2 >= (m1)^2 = 1 for any profile (Theorem 3)
+        for fn in (
+            lambda v: np.exp(2 * v),
+            lambda v: 1.0 + np.cos(3 * v),
+            lambda v: np.sqrt(v + 1e-9),
+        ):
+            assert GenericShot(fn).variance_factor() >= 1.0 - 1e-6
+
+
+@given(
+    b=st.floats(min_value=0.0, max_value=6.0),
+    size=st.floats(min_value=100.0, max_value=1e8),
+    duration=st.floats(min_value=1e-3, max_value=1e4),
+)
+@settings(max_examples=60)
+def test_property_moment_relations(b, size, duration):
+    """Invariants: integral X = S; integral X^2 in [S^2/D, ...] (Thm 3)."""
+    shot = PowerShot(b)
+    first = float(shot.moment_integral(1, size, duration))
+    second = float(shot.moment_integral(2, size, duration))
+    assert first == pytest.approx(size, rel=1e-9)
+    assert second >= size**2 / duration * (1 - 1e-9)

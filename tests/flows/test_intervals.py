@@ -1,0 +1,136 @@
+"""Tests for repro.flows.intervals: interval cutting and Figure 1 effects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.flows import (
+    boundary_split_excess,
+    cumulative_arrival_curve,
+    export_interval_flows,
+    export_five_tuple_flows,
+    iter_intervals,
+)
+from repro.trace import PacketTrace, packets_from_columns
+
+
+def long_flow_trace(n_flows=40, flow_len=30.0, duration=120.0, seed=0):
+    """Flows spanning interval boundaries: many packets over flow_len."""
+    rng = np.random.default_rng(seed)
+    rows_t, rows_src = [], []
+    for i in range(n_flows):
+        start = rng.random() * (duration - flow_len)
+        times = start + np.sort(rng.random(20)) * flow_len
+        rows_t.append(times)
+        rows_src.append(np.full(20, 1000 + i, dtype=np.uint32))
+    t = np.concatenate(rows_t)
+    src = np.concatenate(rows_src)
+    n = t.size
+    pkts = packets_from_columns(
+        t, src, np.full(n, 0x0B000001), np.full(n, 1234), np.full(n, 80),
+        np.full(n, 6), np.full(n, 500),
+    )
+    order = np.argsort(pkts["timestamp"])
+    return PacketTrace(pkts[order], link_capacity=1e8, duration=duration)
+
+
+class TestIterIntervals:
+    def test_window_count_and_rebase(self):
+        trace = long_flow_trace()
+        windows = list(iter_intervals(trace, 30.0))
+        assert len(windows) == 4
+        for start, window in windows:
+            assert window.duration == pytest.approx(30.0)
+            if len(window):
+                assert window.packets["timestamp"].min() >= 0.0
+                assert window.packets["timestamp"].max() < 30.0
+
+    def test_short_remnant_dropped(self):
+        trace = long_flow_trace(duration=100.0)
+        windows = list(iter_intervals(trace, 30.0))
+        # 100 = 3 x 30 + 10; the 10 s remnant (< half interval) is dropped
+        assert len(windows) == 3
+
+    def test_rejects_bad_interval(self):
+        trace = long_flow_trace()
+        with pytest.raises(ParameterError):
+            list(iter_intervals(trace, 0.0))
+
+
+class TestIntervalExport:
+    def test_flows_split_at_boundaries(self):
+        trace = long_flow_trace()
+        whole = export_five_tuple_flows(trace, timeout=60.0)
+        per_interval = export_interval_flows(
+            trace, 30.0, key="five_tuple", timeout=60.0
+        )
+        total_split = sum(len(fs) for _, fs in per_interval)
+        # splitting can only create more flows
+        assert total_split >= len(whole)
+
+    def test_byte_conservation_across_intervals(self):
+        trace = long_flow_trace()
+        per_interval = export_interval_flows(
+            trace, 30.0, key="five_tuple", timeout=60.0
+        )
+        split_bytes = sum(fs.total_bytes for _, fs in per_interval)
+        whole_bytes = export_five_tuple_flows(trace, timeout=60.0).total_bytes
+        # single-packet fragments may be discarded; allow small loss
+        assert split_bytes <= whole_bytes
+        assert split_bytes >= 0.9 * whole_bytes
+
+
+class TestCumulativeCurve:
+    def test_monotone_and_total(self):
+        trace = long_flow_trace()
+        flows = export_five_tuple_flows(trace, timeout=60.0)
+        times, counts = cumulative_arrival_curve(flows, 128, horizon=120.0)
+        assert np.all(np.diff(counts) >= 0)
+        assert counts[-1] == len(flows)
+
+    def test_explicit_grid(self):
+        trace = long_flow_trace()
+        flows = export_five_tuple_flows(trace, timeout=60.0)
+        grid = np.array([0.0, 60.0, 120.0])
+        times, counts = cumulative_arrival_curve(flows, grid)
+        assert times.shape == counts.shape == (3,)
+        assert counts[0] == 0
+
+
+class TestSplitExcess:
+    def test_detects_continuation_spike(self):
+        """Interval-2 flows that are continuations inflate the head count."""
+        trace = long_flow_trace(n_flows=150, flow_len=40.0)
+        per_interval = export_interval_flows(
+            trace, 40.0, key="five_tuple", timeout=60.0
+        )
+        _, second = per_interval[1]
+        excess = boundary_split_excess(second, 40.0, head=2.0)
+        # many flows straddle the boundary, so the head is way above steady
+        assert excess.excess > 0
+        assert excess.head_count > excess.expected_head_count
+
+    def test_no_spike_on_fresh_arrivals(self):
+        rng = np.random.default_rng(1)
+        n = 400
+        t = np.sort(rng.random(n) * 40.0)
+        pkts = packets_from_columns(
+            np.repeat(t, 2) + np.tile([0.0, 0.5], n),
+            np.repeat(np.arange(n, dtype=np.uint32), 2),
+            np.full(2 * n, 0x0B000001),
+            np.full(2 * n, 1), np.full(2 * n, 80), np.full(2 * n, 6),
+            np.full(2 * n, 500),
+        )
+        order = np.argsort(pkts["timestamp"])
+        trace = PacketTrace(pkts[order], link_capacity=1e8, duration=41.0)
+        flows = export_five_tuple_flows(trace, timeout=60.0)
+        excess = boundary_split_excess(flows, 41.0, head=2.0)
+        assert abs(excess.fraction_of_total) < 0.1
+
+    def test_head_validation(self):
+        trace = long_flow_trace()
+        flows = export_five_tuple_flows(trace, timeout=60.0)
+        with pytest.raises(ParameterError):
+            boundary_split_excess(flows, 120.0, head=200.0)

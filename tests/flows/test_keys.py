@@ -1,0 +1,103 @@
+"""Tests for repro.flows.keys: flow definitions and address helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.flows import (
+    PROTO_TCP,
+    PROTO_UDP,
+    FiveTuple,
+    PrefixKey,
+    format_ipv4,
+    parse_ipv4,
+    prefix_of,
+)
+
+
+class TestIpv4Text:
+    def test_format_known(self):
+        assert format_ipv4(0x0A000001) == "10.0.0.1"
+        assert format_ipv4(0xFFFFFFFF) == "255.255.255.255"
+        assert format_ipv4(0) == "0.0.0.0"
+
+    def test_parse_known(self):
+        assert parse_ipv4("10.0.0.1") == 0x0A000001
+        assert parse_ipv4("192.168.1.254") == 0xC0A801FE
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    @settings(max_examples=200)
+    def test_roundtrip(self, addr):
+        assert parse_ipv4(format_ipv4(addr)) == addr
+
+    @pytest.mark.parametrize(
+        "bad", ["10.0.0", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", ""]
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ParameterError):
+            parse_ipv4(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ParameterError):
+            format_ipv4(2**32)
+
+
+class TestPrefixOf:
+    def test_slash24(self):
+        assert int(prefix_of(parse_ipv4("10.1.2.3"), 24)) == 0x0A0102
+
+    def test_slash16(self):
+        assert int(prefix_of(parse_ipv4("10.1.2.3"), 16)) == 0x0A01
+
+    def test_slash32_identity(self):
+        addr = parse_ipv4("1.2.3.4")
+        assert int(prefix_of(addr, 32)) == addr
+
+    def test_vectorised(self):
+        addrs = np.array([0x0A010203, 0x0A010299, 0x0A020000], dtype=np.uint32)
+        prefixes = prefix_of(addrs, 24)
+        assert prefixes[0] == prefixes[1]
+        assert prefixes[0] != prefixes[2]
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ParameterError):
+            prefix_of(0, 33)
+
+
+class TestFiveTuple:
+    def test_str_formatting(self):
+        ft = FiveTuple(0x0A000001, 0x0A000002, 1234, 80, PROTO_TCP)
+        assert str(ft) == "10.0.0.1:1234 -> 10.0.0.2:80 (tcp)"
+
+    def test_udp_label(self):
+        ft = FiveTuple(0, 0, 1, 53, PROTO_UDP)
+        assert "(udp)" in str(ft)
+
+    def test_is_hashable_key(self):
+        a = FiveTuple(1, 2, 3, 4, 6)
+        b = FiveTuple(1, 2, 3, 4, 6)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestPrefixKey:
+    def test_str(self):
+        key = PrefixKey(0x0A0102, 24)
+        assert str(key) == "10.1.2.0/24"
+
+    def test_covers(self):
+        key = PrefixKey(0x0A0102, 24)
+        assert key.covers(parse_ipv4("10.1.2.200"))
+        assert not key.covers(parse_ipv4("10.1.3.1"))
+
+    def test_rejects_oversized_prefix(self):
+        with pytest.raises(ParameterError):
+            PrefixKey(0x1FFFFFF, 24)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ParameterError):
+            PrefixKey(0, 40)

@@ -1,0 +1,102 @@
+"""Tests for repro.flows.records: FlowRecord and FlowSet."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EmpiricalEnsemble
+from repro.exceptions import ParameterError
+from repro.flows import FlowRecord, FiveTuple
+from repro.flows.records import FlowSet
+
+
+def make_flowset(n=5):
+    starts = np.linspace(0.0, 4.0, n)
+    ends = starts + np.linspace(1.0, 2.0, n)
+    sizes = np.full(n, 1e4)
+    counts = np.full(n, 7, dtype=np.int64)
+    keys = np.arange(n, dtype=np.uint32)
+    return FlowSet(
+        starts, ends, sizes, counts, key_kind="prefix", keys=keys,
+        prefix_length=24,
+    )
+
+
+class TestFlowRecord:
+    def test_duration_and_rate(self):
+        rec = FlowRecord(FiveTuple(1, 2, 3, 4, 6), 1.0, 3.0, 10_000, 8)
+        assert rec.duration == pytest.approx(2.0)
+        assert rec.mean_rate == pytest.approx(5000.0)
+
+
+class TestFlowSet:
+    def test_len_and_totals(self):
+        fs = make_flowset(5)
+        assert len(fs) == 5
+        assert fs.total_bytes == pytest.approx(5e4)
+
+    def test_durations_positive(self):
+        fs = make_flowset()
+        assert np.all(fs.durations > 0)
+
+    def test_interarrival_times(self):
+        fs = make_flowset(5)
+        inter = fs.interarrival_times
+        assert inter.shape == (4,)
+        np.testing.assert_allclose(inter, 1.0)
+
+    def test_records_iterator(self):
+        fs = make_flowset(3)
+        records = list(fs.records())
+        assert len(records) == 3
+        assert records[0].size_bytes == 10_000
+        assert str(records[0].key).endswith("/24")
+
+    def test_to_ensemble(self):
+        fs = make_flowset()
+        ens = fs.to_ensemble()
+        assert isinstance(ens, EmpiricalEnsemble)
+        assert ens.mean_size == pytest.approx(1e4)
+
+    def test_statistics(self):
+        fs = make_flowset(10)
+        stats = fs.statistics(interval_length=20.0)
+        assert stats.arrival_rate == pytest.approx(0.5)
+        assert stats.flow_count == 10
+
+    def test_filter(self):
+        fs = make_flowset(6)
+        kept = fs.filter(fs.starts < 2.0)
+        assert len(kept) < 6
+        assert np.all(kept.starts < 2.0)
+        with pytest.raises(ParameterError):
+            fs.filter(np.ones(3, dtype=bool))
+
+    def test_rejects_inconsistent_columns(self):
+        with pytest.raises(ParameterError):
+            FlowSet(
+                np.zeros(3), np.zeros(2), np.ones(3), np.ones(3, dtype=int),
+                key_kind="prefix", keys=np.zeros(3, dtype=np.uint32),
+            )
+
+    def test_rejects_end_before_start(self):
+        with pytest.raises(ParameterError):
+            FlowSet(
+                np.array([1.0]), np.array([0.5]), np.array([1.0]),
+                np.array([2]), key_kind="prefix",
+                keys=np.zeros(1, dtype=np.uint32),
+            )
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ParameterError):
+            FlowSet(
+                np.array([0.0]), np.array([1.0]), np.array([1.0]),
+                np.array([2]), key_kind="weird",
+                keys=np.zeros(1, dtype=np.uint32),
+            )
+
+    def test_empty_ensemble_rejected(self):
+        fs = make_flowset(3).filter(np.zeros(3, dtype=bool))
+        with pytest.raises(ParameterError):
+            fs.to_ensemble()

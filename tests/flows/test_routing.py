@@ -1,0 +1,111 @@
+"""Tests for repro.flows.routing: routable-prefix flows (section VI-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.flows import PrefixKey, RoutingTable, export_routable_flows, parse_ipv4
+from repro.flows.exporter import export_prefix_flows
+from repro.netsim import AddressSpace
+from repro.trace import packets_from_columns
+
+
+def simple_table():
+    return RoutingTable(
+        [
+            PrefixKey(parse_ipv4("10.1.0.0") >> 16, 16),
+            PrefixKey(parse_ipv4("10.1.2.0") >> 8, 24),  # more specific
+            PrefixKey(parse_ipv4("10.2.0.0") >> 16, 16),
+        ]
+    )
+
+
+class TestLookup:
+    def test_longest_prefix_wins(self):
+        table = simple_table()
+        idx = table.lookup([parse_ipv4("10.1.2.99")])
+        assert table.entry_of(int(idx[0])).length == 24
+
+    def test_covering_supernet(self):
+        table = simple_table()
+        idx = table.lookup([parse_ipv4("10.1.3.99")])
+        entry = table.entry_of(int(idx[0]))
+        assert entry.length == 16
+        assert str(entry) == "10.1.0.0/16"
+
+    def test_no_match_is_minus_one(self):
+        table = simple_table()
+        idx = table.lookup([parse_ipv4("192.168.0.1")])
+        assert idx[0] == -1
+        with pytest.raises(ParameterError):
+            table.entry_of(-1)
+
+    def test_default_route_catches_all(self):
+        table = RoutingTable([PrefixKey(0, 0)])
+        idx = table.lookup([0, 2**32 - 1, parse_ipv4("8.8.8.8")])
+        assert np.all(idx == 0)
+
+    def test_vectorised_lookup(self):
+        table = simple_table()
+        rng = np.random.default_rng(0)
+        addrs = (parse_ipv4("10.1.0.0") + rng.integers(0, 2**16, 5000)).astype(
+            np.uint32
+        )
+        idx = table.lookup(addrs)
+        assert idx.shape == (5000,)
+        assert np.all(idx >= 0)
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ParameterError):
+            RoutingTable([])
+        with pytest.raises(ParameterError):
+            RoutingTable([PrefixKey(1, 24), PrefixKey(1, 24)])
+
+
+class TestSyntheticTable:
+    def test_covers_address_space(self):
+        space = AddressSpace(n_dst_prefixes=256)
+        table = RoutingTable.synthetic(space, rng=0)
+        _, dst, *_ = space.sample_endpoints(2000, rng=1)
+        idx = table.lookup(dst)
+        assert np.all(idx >= 0)  # default route guarantees coverage
+
+    def test_coarse_aggregation_shrinks_table(self):
+        space = AddressSpace(n_dst_prefixes=1024)
+        fine = RoutingTable.synthetic(space, coarse_fraction=0.0, rng=0)
+        coarse = RoutingTable.synthetic(space, coarse_fraction=0.9, rng=0)
+        assert len(coarse) < len(fine)
+
+
+class TestRoutableExport:
+    def test_aggregates_at_least_as_much_as_slash24(self, trace):
+        space = AddressSpace()  # the workload default
+        table = RoutingTable.synthetic(space, coarse_fraction=0.5, rng=2)
+        routable = export_routable_flows(trace, table, timeout=8.0)
+        by24 = export_prefix_flows(trace, timeout=8.0)
+        # /16 supernets merge several /24 streams: fewer or equal flows
+        assert 0 < len(routable) <= len(by24)
+
+    def test_unrouted_packets_dropped(self):
+        pkts = packets_from_columns(
+            [0.0, 1.0, 0.5, 1.5],
+            [1, 1, 2, 2],
+            [parse_ipv4("10.1.2.3")] * 2 + [parse_ipv4("99.9.9.9")] * 2,
+            [1, 1, 2, 2],
+            [80] * 4,
+            [6] * 4,
+            [500] * 4,
+        )
+        table = simple_table()  # does not cover 99.0.0.0
+        flows = export_routable_flows(pkts, table, timeout=60.0)
+        assert len(flows) == 1
+        assert flows.total_bytes == 1000.0
+
+    def test_packet_map_spans_original_packets(self, trace):
+        table = RoutingTable.synthetic(AddressSpace(), rng=3)
+        flows = export_routable_flows(
+            trace, table, timeout=8.0, keep_packet_map=True
+        )
+        assert flows.packet_flow_ids.shape[0] == len(trace)

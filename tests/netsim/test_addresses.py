@@ -1,0 +1,91 @@
+"""Tests for repro.netsim.addresses: the synthetic endpoint population."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.flows import PROTO_TCP, PROTO_UDP, prefix_of
+from repro.netsim import AddressSpace
+
+
+class TestSampling:
+    def test_shapes_and_dtypes(self):
+        space = AddressSpace()
+        src, dst, sport, dport, proto = space.sample_endpoints(100, rng=0)
+        for arr in (src, dst):
+            assert arr.dtype == np.uint32
+        for arr in (sport, dport):
+            assert arr.dtype == np.uint16
+        assert proto.dtype == np.uint8
+        assert src.shape == (100,)
+
+    def test_ports_in_valid_ranges(self):
+        space = AddressSpace()
+        _, _, sport, dport, _ = space.sample_endpoints(2000, rng=1)
+        assert np.all(sport >= 1024)
+        assert np.all(dport > 0)
+
+    def test_protocol_mix(self):
+        space = AddressSpace(udp_fraction=0.3)
+        *_, proto = space.sample_endpoints(20_000, rng=2)
+        udp_share = np.mean(proto == PROTO_UDP)
+        assert udp_share == pytest.approx(0.3, abs=0.02)
+        assert set(np.unique(proto)) <= {PROTO_TCP, PROTO_UDP}
+
+    def test_deterministic_given_seed(self):
+        space = AddressSpace()
+        a = space.sample_endpoints(50, rng=7)
+        b = space.sample_endpoints(50, rng=7)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_destinations_within_population(self):
+        space = AddressSpace(n_dst_prefixes=64)
+        _, dst, *_ = space.sample_endpoints(5000, rng=3)
+        prefixes = np.unique(prefix_of(dst, 24))
+        assert prefixes.size <= 64
+
+
+class TestPopularity:
+    def test_weights_sum_to_one(self):
+        space = AddressSpace()
+        assert space.prefix_popularity.sum() == pytest.approx(1.0)
+
+    def test_hot_tier_receives_hot_fraction(self):
+        space = AddressSpace(
+            n_dst_prefixes=1024, n_hot_prefixes=16, hot_fraction=0.5
+        )
+        hot_share = space.prefix_popularity[:16].sum()
+        assert hot_share > 0.5  # hot fraction plus their Zipf share
+
+    def test_no_hot_tier(self):
+        space = AddressSpace(n_hot_prefixes=0, hot_fraction=0.0)
+        weights = space.prefix_popularity
+        # pure Zipf: strictly decreasing
+        assert np.all(np.diff(weights) < 0)
+
+    def test_hot_concentration_in_samples(self):
+        space = AddressSpace(n_hot_prefixes=8, hot_fraction=0.6)
+        _, dst, *_ = space.sample_endpoints(20_000, rng=4)
+        prefixes = prefix_of(dst, 24)
+        top8 = np.sort(np.bincount(prefixes - prefixes.min()))[-8:].sum()
+        assert top8 / 20_000 > 0.55
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_dst_prefixes=0),
+            dict(udp_fraction=1.5),
+            dict(zipf_exponent=-1.0),
+            dict(n_hot_prefixes=10_000),
+            dict(hot_fraction=1.0),
+            dict(n_src_networks=0),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            AddressSpace(**kwargs)

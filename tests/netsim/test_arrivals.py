@@ -1,0 +1,136 @@
+"""Tests for repro.netsim.arrivals: arrival point processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.netsim import (
+    MMPPArrivals,
+    NonHomogeneousPoissonArrivals,
+    PoissonArrivals,
+    SessionArrivals,
+)
+from repro.stats import exponentiality
+
+
+class TestPoisson:
+    def test_times_sorted_in_range(self):
+        proc = PoissonArrivals(50.0)
+        t = proc.times(10.0, rng=0)
+        assert np.all(np.diff(t) >= 0)
+        assert t.min() >= 0.0
+        assert t.max() < 10.0
+
+    def test_count_matches_rate(self):
+        proc = PoissonArrivals(200.0)
+        counts = [proc.times(10.0, rng=seed).size for seed in range(30)]
+        assert np.mean(counts) == pytest.approx(2000.0, rel=0.05)
+
+    def test_interarrivals_exponential(self):
+        proc = PoissonArrivals(500.0)
+        t = proc.times(100.0, rng=1)
+        report = exponentiality(np.diff(t))
+        assert report.plausibly_exponential
+
+    def test_mean_rate(self):
+        assert PoissonArrivals(7.0).mean_rate == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ParameterError):
+            PoissonArrivals(5.0).times(0.0)
+
+
+class TestMMPP:
+    def test_mean_rate_stationary_mix(self):
+        proc = MMPPArrivals(rates=(10.0, 90.0), mean_sojourns=(1.0, 3.0))
+        expected = (10.0 * 1.0 + 90.0 * 3.0) / 4.0
+        assert proc.mean_rate == pytest.approx(expected)
+
+    def test_count_matches_mean_rate(self):
+        proc = MMPPArrivals(rates=(20.0, 200.0), mean_sojourns=(2.0, 2.0))
+        counts = [proc.times(50.0, rng=seed).size for seed in range(40)]
+        assert np.mean(counts) == pytest.approx(50.0 * proc.mean_rate, rel=0.1)
+
+    def test_burstier_than_poisson(self):
+        """MMPP inter-arrivals have CoV > 1 (the Poisson value)."""
+        proc = MMPPArrivals(rates=(5.0, 300.0), mean_sojourns=(3.0, 3.0))
+        t = proc.times(300.0, rng=2)
+        inter = np.diff(t)
+        cov = inter.std() / inter.mean()
+        assert cov > 1.3
+
+    def test_degenerates_to_poisson(self):
+        proc = MMPPArrivals(rates=(50.0, 50.0), mean_sojourns=(1.0, 1.0))
+        t = proc.times(100.0, rng=3)
+        report = exponentiality(np.diff(t))
+        assert report.plausibly_exponential
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MMPPArrivals(rates=(1.0,), mean_sojourns=(1.0, 1.0))
+        with pytest.raises(ParameterError):
+            MMPPArrivals(rates=(0.0, 0.0), mean_sojourns=(1.0, 1.0))
+        with pytest.raises(ParameterError):
+            MMPPArrivals(rates=(1.0, 2.0), mean_sojourns=(0.0, 1.0))
+
+
+class TestNonHomogeneous:
+    def test_ramp_intensity(self):
+        proc = NonHomogeneousPoissonArrivals(
+            rate_fn=lambda t: 10.0 + 90.0 * (t / 100.0), rate_max=100.0
+        )
+        t = proc.times(100.0, rng=4)
+        first_half = np.sum(t < 50.0)
+        second_half = np.sum(t >= 50.0)
+        assert second_half > 1.5 * first_half
+
+    def test_total_count(self):
+        proc = NonHomogeneousPoissonArrivals(
+            rate_fn=lambda t: np.full_like(t, 40.0), rate_max=40.0
+        )
+        counts = [proc.times(25.0, rng=seed).size for seed in range(30)]
+        assert np.mean(counts) == pytest.approx(1000.0, rel=0.07)
+
+    def test_rejects_rate_above_bound(self):
+        proc = NonHomogeneousPoissonArrivals(
+            rate_fn=lambda t: np.full_like(t, 100.0), rate_max=10.0
+        )
+        with pytest.raises(ParameterError):
+            proc.times(10.0, rng=0)
+
+
+class TestSessions:
+    def test_mean_rate(self):
+        proc = SessionArrivals(5.0, flows_per_session=4.0)
+        assert proc.mean_rate == pytest.approx(20.0)
+
+    def test_flow_count(self):
+        proc = SessionArrivals(10.0, flows_per_session=3.0, think_time=0.5)
+        counts = [proc.times(60.0, rng=seed).size for seed in range(20)]
+        # flows spill past the horizon; expect slightly under rate * T
+        assert np.mean(counts) == pytest.approx(
+            60.0 * proc.mean_rate, rel=0.15
+        )
+
+    def test_clustering_departs_from_poisson(self):
+        proc = SessionArrivals(4.0, flows_per_session=8.0, think_time=0.05)
+        t = proc.times(300.0, rng=5)
+        inter = np.diff(t)
+        cov = inter.std() / inter.mean()
+        assert cov > 1.2  # clustered, super-Poisson variability
+
+    def test_times_sorted_within_horizon(self):
+        proc = SessionArrivals(5.0)
+        t = proc.times(30.0, rng=6)
+        assert np.all(np.diff(t) >= 0)
+        assert t.max() < 30.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SessionArrivals(0.0)
+        with pytest.raises(ParameterError):
+            SessionArrivals(1.0, flows_per_session=0.5)

@@ -1,0 +1,78 @@
+"""Tests for repro.netsim.packetize: shot-driven packet placement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ParabolicShot, RectangularShot, TriangularShot
+from repro.exceptions import ParameterError
+from repro.netsim import packetize_shots
+
+
+class TestConservation:
+    def test_payload_sums_to_size(self):
+        sizes = np.array([5000.0, 1460.0, 30_000.0])
+        durations = np.array([1.0, 0.2, 3.0])
+        sched = packetize_shots(sizes, durations, TriangularShot())
+        payload = sched.wire_size.astype(float) - 40.0
+        for i, size in enumerate(sizes):
+            assert payload[sched.flow_index == i].sum() == pytest.approx(size)
+
+    def test_offsets_within_duration(self):
+        sizes = np.full(20, 2e4)
+        durations = np.linspace(0.5, 5.0, 20)
+        sched = packetize_shots(sizes, durations, ParabolicShot())
+        assert np.all(sched.offset >= 0.0)
+        assert np.all(sched.offset <= durations[sched.flow_index] + 1e-9)
+
+    def test_last_packet_at_duration(self):
+        sched = packetize_shots([14_600.0], [2.0], RectangularShot())
+        assert sched.offset.max() == pytest.approx(2.0)
+
+
+class TestShotShapeEffects:
+    def test_rectangular_evenly_spaced(self):
+        sched = packetize_shots([14_600.0], [2.0], RectangularShot())
+        gaps = np.diff(np.sort(sched.offset))
+        np.testing.assert_allclose(gaps, gaps[0], rtol=1e-9)
+
+    def test_parabolic_backloaded(self):
+        """Superlinear shots send most bytes late in the flow."""
+        sched = packetize_shots([146_000.0], [10.0], ParabolicShot())
+        early = np.sum(sched.offset < 5.0)
+        late = np.sum(sched.offset >= 5.0)
+        assert late > 3 * early
+
+    def test_triangular_median_at_sqrt_half(self):
+        # cumulative (u/D)^2 = 0.5 at u = D/sqrt(2)
+        sched = packetize_shots([1_460_000.0], [1.0], TriangularShot())
+        median = np.median(sched.offset)
+        assert median == pytest.approx(1.0 / np.sqrt(2.0), abs=0.02)
+
+
+class TestJitter:
+    def test_jitter_zero_is_deterministic(self):
+        a = packetize_shots([2e4], [1.0], TriangularShot(), jitter=0.0)
+        b = packetize_shots([2e4], [1.0], TriangularShot(), jitter=0.0)
+        np.testing.assert_array_equal(a.offset, b.offset)
+
+    def test_jitter_perturbs_but_stays_in_bounds(self):
+        base = packetize_shots([2e4], [1.0], TriangularShot(), jitter=0.0)
+        jit = packetize_shots([2e4], [1.0], TriangularShot(), jitter=0.9, rng=1)
+        assert not np.allclose(base.offset, jit.offset)
+        assert np.all((jit.offset >= 0.0) & (jit.offset <= 1.0))
+
+
+class TestValidation:
+    def test_rejects_bad_mss(self):
+        with pytest.raises(ParameterError):
+            packetize_shots([1e4], [1.0], RectangularShot(), mss=0)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ParameterError):
+            packetize_shots([1e4], [1.0], RectangularShot(), jitter=-1.0)
+
+    def test_rejects_bad_flows(self):
+        with pytest.raises(ParameterError):
+            packetize_shots([1e4], [0.0], RectangularShot())

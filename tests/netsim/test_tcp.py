@@ -1,0 +1,116 @@
+"""Tests for repro.netsim.tcp: the round-based TCP dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.netsim import TcpParameters, simulate_tcp_flows
+
+
+PARAMS = TcpParameters(rtt_jitter=0.0)  # deterministic for assertions
+
+
+class TestPacketConservation:
+    def test_payload_bytes_conserved(self):
+        sizes = np.array([10_000.0, 1461.0, 2e6])
+        rtts = np.full(3, 0.5)
+        sched = simulate_tcp_flows(sizes, rtts, PARAMS, rng=0)
+        payload = sched.wire_size.astype(float) - PARAMS.header_bytes
+        for i, size in enumerate(sizes):
+            assert payload[sched.flow_index == i].sum() == pytest.approx(size)
+
+    def test_packet_count_is_ceil(self):
+        sizes = np.array([1460.0, 1461.0, 14600.0])
+        sched = simulate_tcp_flows(sizes, np.full(3, 0.1), PARAMS, rng=0)
+        counts = np.bincount(sched.flow_index)
+        np.testing.assert_array_equal(counts, [1, 2, 10])
+
+    def test_wire_size_includes_header(self):
+        sched = simulate_tcp_flows([2920.0], [0.1], PARAMS, rng=0)
+        assert set(sched.wire_size.tolist()) == {1500}
+
+
+class TestWindowDynamics:
+    def test_slow_start_round_sizes(self):
+        """14 packets with iw=2: rounds of 2, 4, 8 packets."""
+        params = TcpParameters(
+            initial_window=2, ssthresh=64, max_window=64, rtt_jitter=0.0
+        )
+        size = 14 * params.mss
+        sched = simulate_tcp_flows([float(size)], [1.0], params, rng=0)
+        # packets in round k start at t = k (rtt = 1)
+        rounds = np.floor(sched.offset + 1e-9).astype(int)
+        counts = np.bincount(rounds)
+        np.testing.assert_array_equal(counts, [2, 4, 8])
+
+    def test_congestion_avoidance_linear_growth(self):
+        params = TcpParameters(
+            initial_window=2, ssthresh=4, max_window=1000, rtt_jitter=0.0
+        )
+        size = 30 * params.mss
+        sched = simulate_tcp_flows([float(size)], [1.0], params, rng=0)
+        rounds = np.floor(sched.offset + 1e-9).astype(int)
+        counts = np.bincount(rounds)
+        # 2, 4 (= ssthresh), then +1 per round: 5, 6, 7, remainder
+        np.testing.assert_array_equal(counts, [2, 4, 5, 6, 7, 6])
+
+    def test_receiver_window_caps(self):
+        params = TcpParameters(
+            initial_window=2, ssthresh=4, max_window=6, rtt_jitter=0.0
+        )
+        size = 40 * params.mss
+        sched = simulate_tcp_flows([float(size)], [1.0], params, rng=0)
+        rounds = np.floor(sched.offset + 1e-9).astype(int)
+        counts = np.bincount(rounds)
+        assert counts.max() == 6
+
+    def test_larger_flows_take_longer(self):
+        sizes = np.array([5e3, 5e5])
+        sched = simulate_tcp_flows(sizes, np.full(2, 0.2), PARAMS, rng=0)
+        end_small = sched.offset[sched.flow_index == 0].max()
+        end_big = sched.offset[sched.flow_index == 1].max()
+        assert end_big > end_small
+
+    def test_shorter_rtt_faster(self):
+        sizes = np.full(2, 1e5)
+        rtts = np.array([0.1, 1.0])
+        sched = simulate_tcp_flows(sizes, rtts, PARAMS, rng=0)
+        fast = sched.offset[sched.flow_index == 0].max()
+        slow = sched.offset[sched.flow_index == 1].max()
+        assert slow > 5 * fast
+
+
+class TestScheduleShape:
+    def test_offsets_nonnegative_and_ordered_per_flow(self):
+        rng = np.random.default_rng(5)
+        sizes = rng.uniform(2e3, 1e5, 50)
+        rtts = rng.uniform(0.1, 1.0, 50)
+        sched = simulate_tcp_flows(sizes, rtts, TcpParameters(), rng=1)
+        assert np.all(sched.offset >= 0.0)
+        for i in range(50):
+            offs = sched.offset[sched.flow_index == i]
+            assert np.all(np.diff(offs) >= -1e-12)
+
+    def test_first_packet_at_time_zero(self):
+        sched = simulate_tcp_flows([1e4], [0.3], PARAMS, rng=0)
+        assert sched.offset.min() == pytest.approx(0.0)
+
+    def test_concatenate_empty(self):
+        from repro.netsim import PacketSchedule
+
+        empty = PacketSchedule.concatenate([])
+        assert len(empty) == 0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            simulate_tcp_flows([1e4], [0.1, 0.2], PARAMS)
+        with pytest.raises(ParameterError):
+            simulate_tcp_flows([-1.0], [0.1], PARAMS)
+        with pytest.raises(ParameterError):
+            TcpParameters(initial_window=0)
+        with pytest.raises(ParameterError):
+            TcpParameters(ssthresh=1, initial_window=2)
+        with pytest.raises(ParameterError):
+            TcpParameters(max_window=4, ssthresh=8)

@@ -1,0 +1,108 @@
+"""Tests for repro.prediction.linear: normal equations + Levinson-Durbin."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PredictionError
+from repro.prediction import (
+    levinson_durbin,
+    normal_equations,
+    theoretical_mse,
+)
+
+
+def ar1_rho(phi: float, max_lag: int) -> np.ndarray:
+    return phi ** np.arange(max_lag + 1)
+
+
+class TestNormalEquations:
+    def test_ar1_order1(self):
+        """For an AR(1) the optimal one-tap predictor is a = rho(1)."""
+        rho = ar1_rho(0.7, 5)
+        a = normal_equations(rho, 1)
+        assert a[0] == pytest.approx(0.7)
+
+    def test_ar1_higher_order_puts_weight_on_first_tap(self):
+        rho = ar1_rho(0.7, 5)
+        a = normal_equations(rho, 3)
+        np.testing.assert_allclose(a, [0.7, 0.0, 0.0], atol=1e-10)
+
+    def test_white_noise_zero_coefficients(self):
+        rho = np.array([1.0, 0.0, 0.0, 0.0])
+        a = normal_equations(rho, 3)
+        np.testing.assert_allclose(a, 0.0, atol=1e-12)
+
+    def test_validation(self):
+        rho = ar1_rho(0.5, 2)
+        with pytest.raises(PredictionError):
+            normal_equations(rho, 5)  # not enough lags
+        with pytest.raises(PredictionError):
+            normal_equations(rho, 0)
+        with pytest.raises(PredictionError):
+            normal_equations(np.array([2.0, 1.0]), 1)  # rho[0] != 1
+
+
+class TestLevinsonDurbin:
+    def test_matches_normal_equations(self):
+        rho = np.array([1.0, 0.6, 0.3, 0.1, 0.05])
+        result = levinson_durbin(rho, 4)
+        for order in range(1, 5):
+            np.testing.assert_allclose(
+                result.coefficients[order - 1],
+                normal_equations(rho, order),
+                atol=1e-10,
+            )
+
+    def test_error_power_decreasing(self):
+        rho = np.array([1.0, 0.6, 0.3, 0.1, 0.05])
+        result = levinson_durbin(rho, 4)
+        assert np.all(np.diff(result.error_power) <= 1e-12)
+
+    def test_ar1_error_power(self):
+        """For AR(1), the order-1 error is 1 - phi^2 and higher orders add
+        nothing."""
+        phi = 0.8
+        result = levinson_durbin(ar1_rho(phi, 6), 6)
+        assert result.error_power[0] == pytest.approx(1 - phi**2)
+        assert result.error_power[5] == pytest.approx(1 - phi**2, rel=1e-9)
+
+    def test_best_order_ar1(self):
+        # error is flat beyond order 1, so order 1 precedes the "increase"
+        result = levinson_durbin(ar1_rho(0.8, 6), 6)
+        assert result.best_order() == 1
+
+    def test_best_order_monotone_process(self):
+        # slowly decaying (long-memory-ish) rho keeps improving
+        rho = 1.0 / (1.0 + np.arange(7)) ** 0.3
+        result = levinson_durbin(rho, 6)
+        assert result.best_order() >= 2
+
+    def test_validation(self):
+        with pytest.raises(PredictionError):
+            levinson_durbin(ar1_rho(0.5, 2), 5)
+
+
+class TestTheoreticalMse:
+    def test_optimal_coefficients_minimise(self):
+        rho = np.array([1.0, 0.6, 0.3, 0.2])
+        best = normal_equations(rho, 2)
+        mse_best = theoretical_mse(rho, best)
+        for wiggle in ([0.1, 0.0], [-0.1, 0.05], [0.0, 0.2]):
+            mse_other = theoretical_mse(rho, best + np.array(wiggle))
+            assert mse_other >= mse_best - 1e-12
+
+    def test_matches_levinson_error(self):
+        rho = np.array([1.0, 0.6, 0.3, 0.2])
+        result = levinson_durbin(rho, 3)
+        for order in range(1, 4):
+            mse = theoretical_mse(rho, result.coefficients[order - 1])
+            assert mse == pytest.approx(result.error_power[order - 1], abs=1e-10)
+
+    def test_scales_with_variance(self):
+        rho = ar1_rho(0.5, 3)
+        a = normal_equations(rho, 1)
+        assert theoretical_mse(rho, a, variance=4.0) == pytest.approx(
+            4.0 * theoretical_mse(rho, a, variance=1.0)
+        )

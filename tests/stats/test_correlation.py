@@ -1,0 +1,83 @@
+"""Tests for repro.stats.correlation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.stats import (
+    autocorrelation,
+    autocovariance_series,
+    correlogram,
+    cross_correlation,
+)
+
+
+class TestAutocovariance:
+    def test_lag_zero_is_biased_variance(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        gamma = autocovariance_series(x, 0)
+        assert gamma[0] == pytest.approx(np.var(x))  # ddof=0
+
+    def test_ar1_structure(self):
+        rng = np.random.default_rng(0)
+        phi = 0.8
+        x = np.zeros(200_000)
+        eps = rng.normal(size=x.size)
+        for i in range(1, x.size):
+            x[i] = phi * x[i - 1] + eps[i]
+        rho = autocorrelation(x, 3)
+        np.testing.assert_allclose(rho, [phi, phi**2, phi**3], atol=0.02)
+
+    def test_iid_near_zero(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=100_000)
+        rho = autocorrelation(x, 5)
+        assert np.all(np.abs(rho) < 0.02)
+
+    def test_correlogram_includes_lag_zero(self):
+        lags, rho = correlogram(np.array([1.0, 2.0, 1.0, 2.0]), 2)
+        assert rho[0] == pytest.approx(1.0)
+        assert lags.tolist() == [0, 1, 2]
+
+    def test_alternating_sequence_negative_lag1(self):
+        _, rho = correlogram(np.array([1.0, -1.0] * 50), 1)
+        assert rho[1] < -0.9
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            autocovariance_series([1.0, 2.0], 5)
+        with pytest.raises(ParameterError):
+            autocorrelation(np.ones(10), 2)  # zero variance
+        with pytest.raises(ParameterError):
+            autocovariance_series([1.0, 2.0, 3.0], -1)
+
+
+class TestCrossCorrelation:
+    def test_identical_is_one(self):
+        x = np.array([1.0, 5.0, 2.0, 8.0])
+        assert cross_correlation(x, x) == pytest.approx(1.0)
+
+    def test_negated_is_minus_one(self):
+        x = np.array([1.0, 5.0, 2.0, 8.0])
+        assert cross_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(2)
+        assert abs(
+            cross_correlation(rng.normal(size=50_000), rng.normal(size=50_000))
+        ) < 0.02
+
+    def test_sizes_and_durations_of_same_flow_correlate(self, five_tuple_flows):
+        """The paper's remark: larger S goes with larger D (per flow)."""
+        corr = cross_correlation(
+            np.log(five_tuple_flows.sizes), np.log(five_tuple_flows.durations)
+        )
+        assert corr > 0.4
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            cross_correlation([1.0], [1.0, 2.0])
+        with pytest.raises(ParameterError):
+            cross_correlation([1.0, 1.0], [1.0, 2.0])

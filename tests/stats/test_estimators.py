@@ -1,0 +1,106 @@
+"""Tests for repro.stats.estimators: the section V-G online estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.stats import EwmaEstimator, OnlineFlowStatistics
+
+
+class TestEwma:
+    def test_first_value_initialises(self):
+        est = EwmaEstimator(0.1)
+        assert est.update(5.0) == 5.0
+        assert est.value == 5.0
+
+    def test_recursion(self):
+        est = EwmaEstimator(0.25)
+        est.update(4.0)
+        assert est.update(8.0) == pytest.approx(0.75 * 4.0 + 0.25 * 8.0)
+
+    def test_converges_to_constant(self):
+        est = EwmaEstimator(0.2)
+        for _ in range(200):
+            est.update(7.0)
+        assert est.value == pytest.approx(7.0)
+
+    def test_converges_to_mean_of_noise(self):
+        rng = np.random.default_rng(0)
+        est = EwmaEstimator(0.01)
+        for x in rng.normal(3.0, 1.0, 50_000):
+            est.update(x)
+        assert est.value == pytest.approx(3.0, abs=0.2)
+
+    def test_smaller_eps_slower(self):
+        slow, fast = EwmaEstimator(0.01), EwmaEstimator(0.5)
+        for est in (slow, fast):
+            est.update(0.0)
+            est.update(10.0)
+        assert fast.value > slow.value
+
+    def test_reset(self):
+        est = EwmaEstimator(0.5)
+        est.update(1.0)
+        est.reset()
+        assert not est.initialized
+        with pytest.raises(ParameterError):
+            est.value
+
+    def test_eps_validated(self):
+        for bad in (0.0, 1.5, -0.1):
+            with pytest.raises(ParameterError):
+                EwmaEstimator(bad)
+
+
+class TestOnlineFlowStatistics:
+    def test_not_ready_until_fed(self):
+        online = OnlineFlowStatistics(0.1)
+        assert not online.ready
+        with pytest.raises(ParameterError):
+            online.snapshot()
+
+    def test_converges_to_batch_statistics(self, flow_population):
+        sizes, durations = flow_population
+        rng = np.random.default_rng(1)
+        arrivals = np.sort(rng.random(sizes.size)) * 100.0
+        online = OnlineFlowStatistics(eps=0.002)
+        for t, s, d in zip(arrivals, sizes, durations):
+            online.observe_arrival(t)
+            online.observe_departure(s, d)
+        snap = online.snapshot()
+        assert snap.arrival_rate == pytest.approx(sizes.size / 100.0, rel=0.25)
+        assert snap.mean_size == pytest.approx(sizes.mean(), rel=0.25)
+        assert snap.mean_square_size_over_duration == pytest.approx(
+            np.mean(sizes**2 / durations), rel=0.5
+        )
+
+    def test_tracks_regime_change(self):
+        online = OnlineFlowStatistics(eps=0.05)
+        t = 0.0
+        for _ in range(500):
+            t += 0.1
+            online.observe_arrival(t)
+            online.observe_departure(1000.0, 1.0)
+        before = online.snapshot().mean_size
+        for _ in range(500):
+            t += 0.1
+            online.observe_arrival(t)
+            online.observe_departure(9000.0, 1.0)
+        after = online.snapshot().mean_size
+        assert before == pytest.approx(1000.0, rel=0.05)
+        assert after == pytest.approx(9000.0, rel=0.05)
+
+    def test_rejects_time_reversal(self):
+        online = OnlineFlowStatistics()
+        online.observe_arrival(5.0)
+        with pytest.raises(ParameterError):
+            online.observe_arrival(4.0)
+
+    def test_rejects_bad_departures(self):
+        online = OnlineFlowStatistics()
+        with pytest.raises(ParameterError):
+            online.observe_departure(0.0, 1.0)
+        with pytest.raises(ParameterError):
+            online.observe_departure(100.0, 0.0)

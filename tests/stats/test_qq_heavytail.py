@@ -1,0 +1,131 @@
+"""Tests for repro.stats.qq and repro.stats.heavytail."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FittingError, ParameterError
+from repro.stats import (
+    empirical_ccdf,
+    exponentiality,
+    fit_pareto_tail,
+    hill_estimator,
+    hill_plot,
+    qq_exponential,
+)
+
+
+class TestQQExponential:
+    def test_exponential_sample_on_diagonal(self):
+        rng = np.random.default_rng(0)
+        x = rng.exponential(2.0, 100_000)
+        qq = qq_exponential(x)
+        assert qq.correlation > 0.999
+        # the p ~ 0.995 tail quantile is noisy even at n = 1e5
+        assert qq.max_relative_deviation() < 0.2
+
+    def test_heavy_tail_departs(self):
+        rng = np.random.default_rng(1)
+        x = rng.pareto(1.3, 100_000) + 0.1
+        qq = qq_exponential(x)
+        assert qq.max_relative_deviation() > 0.5
+
+    def test_normalized_axes_end_at_one(self):
+        rng = np.random.default_rng(2)
+        qq = qq_exponential(rng.exponential(1.0, 1000))
+        assert qq.normalized_empirical[-1] == pytest.approx(1.0)
+        assert qq.normalized_theoretical[-1] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            qq_exponential([1.0, 2.0])  # too few
+        with pytest.raises(ParameterError):
+            qq_exponential(np.full(100, -1.0))
+
+
+class TestExponentiality:
+    def test_accepts_exponential(self):
+        rng = np.random.default_rng(3)
+        report = exponentiality(rng.exponential(0.5, 50_000))
+        assert report.plausibly_exponential
+        assert report.cov == pytest.approx(1.0, abs=0.05)
+
+    def test_rejects_constant_gaps(self):
+        report = exponentiality(np.full(1000, 2.0) + np.arange(1000) * 1e-9)
+        assert not report.plausibly_exponential  # CoV ~ 0
+
+    def test_rejects_heavy_tail(self):
+        rng = np.random.default_rng(4)
+        report = exponentiality(rng.pareto(1.1, 50_000) + 0.01)
+        assert not report.plausibly_exponential
+
+
+class TestParetoFit:
+    def test_recovers_alpha(self):
+        rng = np.random.default_rng(5)
+        alpha = 1.5
+        x = (1.0 / rng.random(200_000)) ** (1.0 / alpha)  # Pareto(alpha, 1)
+        fit = fit_pareto_tail(x, xmin=1.0)
+        assert fit.alpha == pytest.approx(alpha, rel=0.02)
+
+    def test_flags_infinite_variance(self):
+        rng = np.random.default_rng(6)
+        x = (1.0 / rng.random(50_000)) ** (1.0 / 1.5)
+        fit = fit_pareto_tail(x, xmin=1.0)
+        assert fit.infinite_variance
+        assert not fit.infinite_mean
+
+    def test_model_ccdf(self):
+        fit = fit_pareto_tail(
+            (1.0 / np.random.default_rng(7).random(50_000)) ** (1.0 / 2.0),
+            xmin=1.0,
+        )
+        assert fit.ccdf(1.0) == pytest.approx(1.0)
+        assert fit.ccdf(10.0) == pytest.approx(0.01, rel=0.2)
+
+    def test_default_xmin_is_median(self):
+        rng = np.random.default_rng(8)
+        x = rng.pareto(2.0, 10_000) + 1.0
+        fit = fit_pareto_tail(x)
+        assert fit.xmin == pytest.approx(np.median(x))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            fit_pareto_tail([-1.0, 2.0])
+        with pytest.raises(FittingError):
+            fit_pareto_tail(np.linspace(1, 2, 100), xmin=100.0)
+
+
+class TestHill:
+    def test_close_to_mle_on_pure_pareto(self):
+        rng = np.random.default_rng(9)
+        alpha = 2.0
+        x = (1.0 / rng.random(100_000)) ** (1.0 / alpha)
+        assert hill_estimator(x, 20_000) == pytest.approx(alpha, rel=0.05)
+
+    def test_hill_plot_shapes(self):
+        rng = np.random.default_rng(10)
+        x = rng.pareto(1.5, 5000) + 1.0
+        ks, estimates = hill_plot(x)
+        assert ks.shape == estimates.shape
+        assert np.all(estimates > 0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            hill_estimator(np.ones(100), 200)
+
+
+class TestCcdf:
+    def test_monotone_decreasing(self):
+        rng = np.random.default_rng(11)
+        x, ccdf = empirical_ccdf(rng.exponential(1.0, 1000))
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(ccdf) <= 0)
+        assert ccdf[-1] == pytest.approx(0.0)
+
+    def test_median_at_half(self):
+        rng = np.random.default_rng(12)
+        x, ccdf = empirical_ccdf(rng.normal(10.0, 1.0, 100_001))
+        idx = np.searchsorted(x, np.median(x))
+        assert ccdf[idx] == pytest.approx(0.5, abs=0.01)

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.trace import read_trace
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    path = tmp_path / "link.rptr"
+    code = main(
+        ["synthesize", str(path), "--preset", "medium", "--duration", "30",
+         "--seed", "3"]
+    )
+    assert code == 0
+    return path
+
+
+class TestSynthesize:
+    def test_writes_readable_trace(self, trace_file):
+        trace = read_trace(trace_file)
+        assert len(trace) > 1000
+        assert trace.duration == pytest.approx(30.0)
+
+    def test_table_i_row_preset(self, tmp_path, capsys):
+        path = tmp_path / "row3.rptr"
+        assert main(["synthesize", str(path), "--preset", "3",
+                     "--duration", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        trace = read_trace(path)
+        assert trace.utilization < 0.1  # the 26 Mbps-class link
+
+
+class TestMeasure:
+    def test_report_contents(self, trace_file, capsys):
+        assert main(["measure", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "lambda" in out
+        assert "CoV" in out
+        assert "shot fit" in out
+        assert "capacity" in out
+
+    def test_prefix_kind(self, trace_file, capsys):
+        assert main(
+            ["measure", str(trace_file), "--flow-kind", "prefix"]
+        ) == 0
+        assert "prefix" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_generates_calibrated_trace(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "generated.rptr"
+        assert main(
+            ["generate", str(trace_file), str(out_path), "--duration", "20",
+             "--seed", "1"]
+        ) == 0
+        original = read_trace(trace_file)
+        generated = read_trace(out_path)
+        assert len(generated) > 500
+        # calibrated generation lands near the original rate
+        assert generated.mean_rate_bps == pytest.approx(
+            original.mean_rate_bps, rel=0.3
+        )
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

@@ -1,0 +1,126 @@
+"""Tests for repro._util: validation and quadrature helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_1d_float_array,
+    as_rng,
+    broadcast_flows,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    leggauss_nodes,
+)
+from repro.exceptions import (
+    FittingError,
+    FlowExportError,
+    ModelError,
+    ParameterError,
+    PredictionError,
+    ReproError,
+    TopologyError,
+    TraceFormatError,
+)
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 2) == 2.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ParameterError):
+            check_positive("x", bad)
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+        with pytest.raises(ParameterError):
+            check_nonnegative("x", -0.1)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        for bad in (0.0, 1.0, -0.2, 1.5):
+            with pytest.raises(ParameterError):
+                check_probability("p", bad)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 1.0, 0.0, 2.0) == 1.0
+        assert check_in_range("x", 0.0, 0.0, 2.0) == 0.0
+        with pytest.raises(ParameterError):
+            check_in_range("x", 0.0, 0.0, 2.0, inclusive=False)
+
+    def test_as_1d_float_array(self):
+        arr = as_1d_float_array("x", [1, 2, 3])
+        assert arr.dtype == np.float64
+        with pytest.raises(ParameterError):
+            as_1d_float_array("x", [])
+        with pytest.raises(ParameterError):
+            as_1d_float_array("x", [1.0, float("nan")])
+
+    def test_broadcast_flows(self):
+        s, d = broadcast_flows([1.0, 2.0], [0.5, 0.5])
+        assert s.shape == d.shape == (2,)
+        with pytest.raises(ParameterError):
+            broadcast_flows([1.0], [0.5, 0.5])
+        with pytest.raises(ParameterError):
+            broadcast_flows([1.0, -1.0], [0.5, 0.5])
+        with pytest.raises(ParameterError):
+            broadcast_flows([1.0, 1.0], [0.5, 0.0])
+
+
+class TestRng:
+    def test_from_seed(self):
+        a = as_rng(42)
+        b = as_rng(42)
+        assert a.random() == b.random()
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestQuadrature:
+    def test_integrates_polynomials_exactly(self):
+        x, w = leggauss_nodes(8)
+        # order-8 Gauss-Legendre is exact up to degree 15
+        for k in range(0, 15):
+            assert np.sum(w * x**k) == pytest.approx(1.0 / (k + 1), rel=1e-12)
+
+    def test_nodes_in_unit_interval(self):
+        x, w = leggauss_nodes(32)
+        assert np.all((x > 0) & (x < 1))
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_cached(self):
+        assert leggauss_nodes(16)[0] is leggauss_nodes(16)[0]
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ParameterError):
+            leggauss_nodes(0)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ParameterError,
+            FittingError,
+            TraceFormatError,
+            FlowExportError,
+            ModelError,
+            PredictionError,
+            TopologyError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_parameter_error_is_value_error(self):
+        assert issubclass(ParameterError, ValueError)

@@ -1,0 +1,136 @@
+"""Tests for the binary trace format and streaming IO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceFormatError
+from repro.trace import (
+    PACKET_DTYPE,
+    PacketTrace,
+    TraceReader,
+    TraceWriter,
+    decode_trace,
+    encode_trace,
+    merge_packets,
+    read_trace,
+    write_trace,
+)
+from repro.trace.format import HEADER_STRUCT, MAGIC
+
+from .test_packet import make_packets
+
+
+@pytest.fixture()
+def trace():
+    return PacketTrace(
+        make_packets(100, spacing=0.01), link_capacity=622e6, duration=1.0,
+        name="t",
+    )
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self, trace):
+        blob = encode_trace(trace)
+        back = decode_trace(blob)
+        assert len(back) == len(trace)
+        assert back.link_capacity == trace.link_capacity
+        assert back.duration == trace.duration
+        np.testing.assert_array_equal(back.packets, trace.packets)
+
+    def test_bad_magic(self, trace):
+        blob = bytearray(encode_trace(trace))
+        blob[:4] = b"XXXX"
+        with pytest.raises(TraceFormatError, match="magic"):
+            decode_trace(bytes(blob))
+
+    def test_bad_version(self, trace):
+        blob = bytearray(encode_trace(trace))
+        blob[4] = 99
+        with pytest.raises(TraceFormatError, match="version"):
+            decode_trace(bytes(blob))
+
+    def test_truncated_payload(self, trace):
+        blob = encode_trace(trace)
+        with pytest.raises(TraceFormatError, match="truncated"):
+            decode_trace(blob[:-5])
+
+    def test_too_short_for_header(self):
+        with pytest.raises(TraceFormatError, match="short"):
+            decode_trace(b"RP")
+
+    def test_header_size(self):
+        assert HEADER_STRUCT.size == 32
+        assert MAGIC == b"RPTR"
+
+
+class TestFileIO:
+    def test_write_read_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.rptr"
+        write_trace(trace, path)
+        back = read_trace(path)
+        np.testing.assert_array_equal(back.packets, trace.packets)
+        assert back.duration == trace.duration
+
+    def test_streaming_writer_chunks(self, tmp_path):
+        path = tmp_path / "s.rptr"
+        chunks = [make_packets(10, start=i, spacing=0.05) for i in range(5)]
+        with TraceWriter(path, link_capacity=1e6) as writer:
+            for chunk in chunks:
+                writer.write(chunk)
+        reader = TraceReader(path)
+        assert reader.packet_count == 50
+        full = reader.read()
+        assert len(full) == 50
+        # duration back-patched to the max timestamp
+        assert full.duration == pytest.approx(4.45)
+
+    def test_reader_chunk_iteration(self, trace, tmp_path):
+        path = tmp_path / "c.rptr"
+        write_trace(trace, path)
+        blocks = list(TraceReader(path).chunks(chunk_size=33))
+        assert [b.size for b in blocks] == [33, 33, 33, 1]
+        np.testing.assert_array_equal(np.concatenate(blocks), trace.packets)
+
+    def test_reader_rejects_truncated_file(self, trace, tmp_path):
+        path = tmp_path / "bad.rptr"
+        write_trace(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            TraceReader(path)
+
+    def test_writer_rejects_wrong_dtype(self, tmp_path):
+        with TraceWriter(tmp_path / "w.rptr", link_capacity=1e6) as writer:
+            with pytest.raises(TraceFormatError):
+                writer.write(np.zeros(3, dtype=np.float64))
+
+    def test_writer_abort_on_exception(self, tmp_path):
+        path = tmp_path / "a.rptr"
+        with pytest.raises(RuntimeError):
+            with TraceWriter(path, link_capacity=1e6) as writer:
+                writer.write(make_packets(5))
+                raise RuntimeError("boom")
+        # header still says zero packets: reading fails loudly
+        with pytest.raises(TraceFormatError):
+            TraceReader(path)
+
+
+class TestMerge:
+    def test_merges_sorted(self):
+        a = make_packets(5, start=0.0, spacing=1.0)
+        b = make_packets(5, start=0.5, spacing=1.0)
+        merged = merge_packets(a, b)
+        assert merged.size == 10
+        assert np.all(np.diff(merged["timestamp"]) >= 0)
+
+    def test_empty_inputs(self):
+        assert merge_packets().size == 0
+        a = make_packets(3)
+        out = merge_packets(a, np.zeros(0, dtype=PACKET_DTYPE))
+        assert out.size == 3
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TraceFormatError):
+            merge_packets(np.zeros(3, dtype=np.float32))

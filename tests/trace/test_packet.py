@@ -1,0 +1,108 @@
+"""Tests for repro.trace.packet: records and traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.trace import PACKET_DTYPE, PacketRecord, PacketTrace, packets_from_columns
+
+
+def make_packets(n=10, *, start=0.0, spacing=0.1, size=1000):
+    return packets_from_columns(
+        start + spacing * np.arange(n),
+        np.full(n, 0x0A000001),
+        np.full(n, 0x0A000002),
+        np.full(n, 1234),
+        np.full(n, 80),
+        np.full(n, 6),
+        np.full(n, size),
+    )
+
+
+class TestPacketRecord:
+    def test_roundtrip_through_row(self):
+        rec = PacketRecord(1.5, 0x01020304, 0x05060708, 1000, 80, 6, 1500)
+        row = rec.to_row()
+        assert row.dtype == PACKET_DTYPE
+        back = PacketRecord.from_row(row[0])
+        assert back == rec
+
+    def test_dtype_is_packed(self):
+        # 8 (ts) + 4 + 4 (addrs) + 2 + 2 (ports) + 1 (proto) + 2 (size)
+        assert PACKET_DTYPE.itemsize == 23
+
+
+class TestPacketsFromColumns:
+    def test_shapes_and_fields(self):
+        pkts = make_packets(5)
+        assert pkts.shape == (5,)
+        assert pkts["size"][0] == 1000
+        assert pkts["protocol"][0] == 6
+
+    def test_timestamp_precision(self):
+        pkts = make_packets(3, spacing=1e-6)
+        assert np.all(np.diff(pkts["timestamp"]) > 0)
+
+
+class TestPacketTrace:
+    def test_basic_stats(self):
+        trace = PacketTrace(
+            make_packets(10, spacing=0.1, size=1250),
+            link_capacity=1e6,
+            duration=1.0,
+        )
+        assert len(trace) == 10
+        assert trace.total_bytes == 12_500
+        assert trace.mean_rate_bps == pytest.approx(8 * 12_500 / 1.0)
+        assert trace.utilization == pytest.approx(0.1)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(ParameterError):
+            PacketTrace(np.zeros(3), link_capacity=1e6)
+
+    def test_rejects_duration_before_last_packet(self):
+        with pytest.raises(ParameterError):
+            PacketTrace(make_packets(10), link_capacity=1e6, duration=0.1)
+
+    def test_default_duration_is_last_timestamp(self):
+        trace = PacketTrace(make_packets(10, spacing=0.5), link_capacity=1e6)
+        assert trace.duration == pytest.approx(4.5)
+
+    def test_sorted_detection_and_fix(self):
+        pkts = make_packets(5)
+        pkts["timestamp"] = pkts["timestamp"][::-1].copy()
+        trace = PacketTrace(pkts, link_capacity=1e6, duration=1.0)
+        assert not trace.is_sorted()
+        fixed = trace.sorted()
+        assert fixed.is_sorted()
+        assert len(fixed) == 5
+
+    def test_window_selects_and_rebases(self):
+        trace = PacketTrace(
+            make_packets(10, spacing=1.0), link_capacity=1e6, duration=10.0
+        )
+        cut = trace.window(2.0, 5.0, rebase=True)
+        assert len(cut) == 3
+        assert cut.packets["timestamp"].min() == pytest.approx(0.0)
+        assert cut.duration == pytest.approx(3.0)
+
+    def test_window_half_open(self):
+        trace = PacketTrace(
+            make_packets(10, spacing=1.0), link_capacity=1e6, duration=10.0
+        )
+        cut = trace.window(0.0, 3.0)
+        assert len(cut) == 3  # t = 0, 1, 2
+
+    def test_window_rejects_empty_interval(self):
+        trace = PacketTrace(make_packets(3), link_capacity=1e6, duration=1.0)
+        with pytest.raises(ParameterError):
+            trace.window(1.0, 1.0)
+
+    def test_empty_trace_is_fine(self):
+        trace = PacketTrace(
+            np.zeros(0, dtype=PACKET_DTYPE), link_capacity=1e6, duration=1.0
+        )
+        assert len(trace) == 0
+        assert trace.mean_rate_bps == 0.0
