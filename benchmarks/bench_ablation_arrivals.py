@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-import numpy as np
 from conftest import print_header, run_once
 
 from repro.experiments import measure_trace

@@ -12,7 +12,6 @@ accuracy at each level.
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import print_header, run_once
 
 from repro.core import PoissonShotNoiseModel

@@ -13,14 +13,16 @@ rectangular generator.
 
 from __future__ import annotations
 
-import numpy as np
-from conftest import print_header, run_once
+from conftest import QUICK, print_header, run_once
 
 from repro.core import PoissonShotNoiseModel, RectangularShot
 from repro.experiments import DELTA, SCALED_TIMEOUT
 from repro.flows import export_five_tuple_flows
 from repro.generation import generate_rate_series
 from repro.stats import RateSeries
+
+#: Generated-path length; shorter in CI smoke mode (REPRO_BENCH_QUICK=1).
+GENERATION_DURATION = 120.0 if QUICK else 240.0
 
 
 def test_sec7c_generation_matches_measured_statistics(benchmark, reference_trace):
@@ -37,11 +39,11 @@ def test_sec7c_generation_matches_measured_statistics(benchmark, reference_trace
         fit = model.fit_power(measured.variance)
         fitted = generate_rate_series(
             model.arrival_rate, model.ensemble, fit.shot,
-            duration=240.0, delta=DELTA, rng=1,
+            duration=GENERATION_DURATION, delta=DELTA, rng=1,
         )
         naive = generate_rate_series(
             model.arrival_rate, model.ensemble, RectangularShot(),
-            duration=240.0, delta=DELTA, rng=1,
+            duration=GENERATION_DURATION, delta=DELTA, rng=1,
         )
         return measured, fit, fitted, naive
 

@@ -8,14 +8,22 @@ the corresponding paper exhibit reports, so `pytest benchmarks/
 
 from __future__ import annotations
 
-import numpy as np
+import os
+
 import pytest
 
 from repro.experiments import run_cov_validation
 from repro.netsim import medium_utilization_link
 
+#: ``REPRO_BENCH_QUICK=1`` shrinks the heavy fixtures so a benchmark can
+#: double as a CI smoke stage (shorter intervals, one seed per workload).
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
 #: Seeds per workload for the validation scatter (more points, more runtime).
-VALIDATION_SEEDS = (0, 1)
+VALIDATION_SEEDS = (0,) if QUICK else (0, 1)
+
+#: Length (seconds) of the shared reference interval.
+REFERENCE_DURATION = 60.0 if QUICK else 120.0
 
 
 def print_header(title: str) -> None:
@@ -37,8 +45,10 @@ def validation_points_prefix():
 
 @pytest.fixture(scope="session")
 def reference_synthesis():
-    """One 120 s medium-utilisation interval shared by figure benches."""
-    return medium_utilization_link(duration=120.0).synthesize(seed=42)
+    """One medium-utilisation interval shared by the figure benches."""
+    return medium_utilization_link(duration=REFERENCE_DURATION).synthesize(
+        seed=42
+    )
 
 
 @pytest.fixture(scope="session")

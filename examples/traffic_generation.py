@@ -18,7 +18,11 @@ import tempfile
 from repro.core import PoissonShotNoiseModel, RectangularShot
 from repro.experiments import DELTA, SCALED_TIMEOUT
 from repro.flows import export_five_tuple_flows
-from repro.generation import generate_packet_trace, generate_rate_series
+from repro.generation import (
+    GenerationEngine,
+    generate_packet_trace,
+    generate_rate_series,
+)
 from repro.netsim import medium_utilization_link
 from repro.stats import RateSeries
 from repro.trace import read_trace, write_trace
@@ -44,14 +48,26 @@ def main() -> None:
           f"CoV = {measured.coefficient_of_variation:.2%}\n")
 
     # -- fluid generation: right shot vs naive constant rate -------------
+    # chunk/workers route through the generation engine: bounded memory,
+    # parallel accumulation, same output bit-for-bit for any setting.
     for shot, label in ((fit.shot, f"fitted b={fit.power:.2f}"),
                         (RectangularShot(), "naive constant-rate")):
         generated = generate_rate_series(
             model.arrival_rate, model.ensemble, shot,
-            duration=240.0, delta=DELTA, rng=1,
+            duration=240.0, delta=DELTA, rng=1, chunk=30.0, workers=2,
         )
         print(f"generated ({label:22s}): mean = {generated.mean / 1e3:7.1f} kB/s, "
               f"CoV = {generated.coefficient_of_variation:.2%}")
+
+    # -- long-horizon fluid generation in bounded memory ------------------
+    engine = GenerationEngine(chunk=60.0, workers=2)
+    long_series = engine.rate_series_streamed(
+        model.arrival_rate, model.ensemble, fit.shot,
+        duration=1800.0, delta=DELTA, seed=3,
+    )
+    print(f"\nstreamed 30-minute path: mean = {long_series.mean / 1e3:.1f} kB/s, "
+          f"CoV = {long_series.coefficient_of_variation:.2%} "
+          f"({len(long_series)} bins, memory bounded by the 60 s chunk)")
 
     # -- packet-level generation + capture round trip --------------------
     trace = generate_packet_trace(

@@ -1,34 +1,42 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three operator-facing commands wrapping the library:
+Operator-facing commands wrapping the library:
 
 * ``synthesize`` — generate a scaled backbone capture to a trace file;
 * ``measure``    — run the full section VI pipeline on a trace file:
   flow accounting, three-parameter summary, measured vs model CoV,
   fitted shot power, provisioning recommendation;
 * ``generate``   — produce model-driven traffic (section VII-C) from the
-  statistics of an input trace.
+  statistics of an input trace, routed through the chunked generation
+  engine (``--chunk`` bounds peak memory);
+* ``scenario``   — synthesize all seven Table I links in parallel
+  (``--workers``).
 
 Examples::
 
     python -m repro synthesize /tmp/link.rptr --preset medium --seed 7
     python -m repro measure /tmp/link.rptr --flow-kind five_tuple
-    python -m repro generate /tmp/link.rptr /tmp/synthetic.rptr
+    python -m repro generate /tmp/link.rptr /tmp/synthetic.rptr \\
+        --chunk 30 --workers 4
+    python -m repro scenario /tmp/links --workers 4 --seed 3
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .core import PoissonShotNoiseModel
 from .flows import export_flows
-from .generation import generate_packet_trace
+from .generation import GenerationEngine, generate_packet_trace
 from .netsim import (
     high_utilization_link,
     low_utilization_link,
     medium_utilization_link,
+    synthesize_scenario,
     table_i_workload,
+    table_i_workloads,
 )
 from .stats import RateSeries
 from .trace import read_trace, write_trace
@@ -97,6 +105,9 @@ def _cmd_measure(args: argparse.Namespace) -> int:
 def _cmd_generate(args: argparse.Namespace) -> int:
     trace, flows, series, model = _measure(args)
     fit = model.fit_power(series.variance)
+    engine = GenerationEngine(
+        chunk=args.chunk if args.chunk > 0 else None, workers=args.workers
+    )
     generated = generate_packet_trace(
         model.arrival_rate,
         model.ensemble,
@@ -105,9 +116,27 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         link_capacity=trace.link_capacity,
         rng=args.seed,
         name="generated",
+        engine=engine,
     )
     write_trace(generated, args.output)
     print(f"calibrated b = {fit.power:.2f}; wrote {generated} -> {args.output}")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    outdir = Path(args.output_dir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    workloads = table_i_workloads(duration=args.duration)
+    syntheses = synthesize_scenario(
+        workloads, seed=args.seed, workers=args.workers
+    )
+    for i, (workload, synthesis) in enumerate(zip(workloads, syntheses)):
+        path = outdir / f"link{i}.rptr"
+        write_trace(synthesis.trace, path)
+        print(
+            f"link {i} ({workload.name}): {len(synthesis.trace)} packets, "
+            f"utilization {synthesis.trace.utilization:.1%} -> {path}"
+        )
     return 0
 
 
@@ -160,7 +189,30 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("output", help="output trace file (.rptr)")
     gen.add_argument("--duration", type=float, default=None)
     gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--chunk", type=float, default=0.0,
+        help="engine chunk window in seconds (bounds peak memory; "
+        "0 = whole horizon at once)",
+    )
+    gen.add_argument(
+        "--workers", type=int, default=1,
+        help="engine worker threads; packet generation itself is bound to "
+        "one RNG stream and runs sequentially, so this only validates the "
+        "engine config today (never changes the output)",
+    )
     gen.set_defaults(func=_cmd_generate)
+
+    scen = sub.add_parser(
+        "scenario", help="synthesize all Table I links in parallel"
+    )
+    scen.add_argument("output_dir", help="directory for linkN.rptr files")
+    scen.add_argument("--duration", type=float, default=120.0)
+    scen.add_argument("--seed", type=int, default=0)
+    scen.add_argument(
+        "--workers", type=int, default=1,
+        help="links synthesized concurrently (never changes the output)",
+    )
+    scen.set_defaults(func=_cmd_scenario)
 
     return parser
 

@@ -18,7 +18,7 @@ This module implements that engineering loop on a networkx topology:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 import numpy as np

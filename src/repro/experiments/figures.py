@@ -13,7 +13,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.covariance import autocorrelation as model_autocorrelation
-from ..core.ensemble import EmpiricalEnsemble
 from ..core.shots import PowerShot, Shot
 from ..flows.intervals import SplitExcess, boundary_split_excess, cumulative_arrival_curve
 from ..flows.records import FlowSet

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..core.fitting import fit_power_from_variance
 from ..core.model import PoissonShotNoiseModel

@@ -8,7 +8,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..core.model import PoissonShotNoiseModel
 from ..core.shots import TriangularShot

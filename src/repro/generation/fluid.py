@@ -11,17 +11,20 @@ The path is produced as exact bin averages: each flow's contribution to a
 bin is the increment of its cumulative byte curve over the bin, divided by
 the bin length — so the generated series is directly comparable to a
 :class:`~repro.stats.timeseries.RateSeries` measured with the same Delta.
+
+Since the engine refactor this module is a thin front-end over
+:class:`~repro.generation.engine.GenerationEngine`: the same seed produces
+the same series as the original per-flow loop (kept as
+:func:`~repro.generation.reference.reference_rate_series`), bit for bit,
+for any ``chunk`` / ``workers`` setting.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from .._util import as_rng, check_positive
 from ..core.ensemble import FlowEnsemble
 from ..core.shots import Shot
-from ..exceptions import ParameterError
 from ..stats.timeseries import RateSeries
+from .engine import GenerationEngine, default_engine
 
 __all__ = ["generate_rate_series"]
 
@@ -35,6 +38,9 @@ def generate_rate_series(
     *,
     warmup: float | None = None,
     rng=None,
+    chunk: float | None = None,
+    workers: int | None = None,
+    engine: GenerationEngine | None = None,
 ) -> RateSeries:
     """Simulate the Delta-averaged total rate of the shot-noise model.
 
@@ -55,50 +61,20 @@ def generate_rate_series(
         to a high quantile of the sampled flow durations.
     rng:
         Seed or Generator.
+    chunk:
+        Accumulate in windows of this many seconds (bounds peak memory of
+        the vectorized scatter).  ``None`` processes the horizon at once.
+    workers:
+        Thread-pool width for independent chunks; never changes the result.
+    engine:
+        Pre-configured :class:`GenerationEngine` to route through
+        (overrides ``chunk`` / ``workers``).
     """
-    arrival_rate = check_positive("arrival_rate", arrival_rate)
-    duration = check_positive("duration", duration)
-    delta = check_positive("delta", delta)
-    if delta > duration:
-        raise ParameterError("delta must not exceed duration")
-    rng = as_rng(rng)
-
-    # draw a provisional sample to size the warm-up
-    if warmup is None:
-        _, probe_durations = ensemble.sample(2048, rng)
-        warmup = float(np.quantile(probe_durations, 0.99))
-    warmup = max(float(warmup), 0.0)
-
-    horizon = duration + warmup
-    n_flows = rng.poisson(arrival_rate * horizon)
-    if n_flows == 0:
-        raise ParameterError(
-            "no flows generated; increase arrival_rate or duration"
-        )
-    starts = rng.random(n_flows) * horizon - warmup
-    sizes, flow_durations = ensemble.sample(n_flows, rng)
-
-    n_bins = int(np.floor(duration / delta))
-    edges = delta * np.arange(n_bins + 1)
-    volumes = np.zeros(n_bins)
-
-    # Each flow adds C(t1 - T) - C(t0 - T) bytes to bin [t0, t1): exact.
-    first_bin = np.clip(np.floor(starts / delta).astype(np.int64), 0, n_bins)
-    last_bin = np.clip(
-        np.ceil((starts + flow_durations) / delta).astype(np.int64), 0, n_bins
+    if engine is None:
+        if chunk is None and workers is None:
+            engine = default_engine()
+        else:
+            engine = GenerationEngine(chunk=chunk, workers=workers)
+    return engine.rate_series(
+        arrival_rate, ensemble, shot, duration, delta, warmup=warmup, rng=rng
     )
-    for i in range(n_flows):
-        lo, hi = first_bin[i], last_bin[i]
-        if hi <= 0 or lo >= n_bins or hi <= lo:
-            # entirely outside the observation window, or zero-width
-            if lo >= n_bins or hi <= 0:
-                continue
-        lo = max(lo, 0)
-        hi = min(max(hi, lo + 1), n_bins)
-        local_edges = edges[lo: hi + 1]
-        cumulative = shot.cumulative(
-            local_edges - starts[i], sizes[i], flow_durations[i]
-        )
-        volumes[lo:hi] += np.diff(cumulative)
-
-    return RateSeries(volumes / delta, delta)

@@ -6,19 +6,19 @@ transmit their packets along the chosen shot.  Unlike
 :mod:`repro.netsim.link` (which simulates TCP dynamics the model does not
 know), this generator *is* the model — it is meant for feeding simulators
 traffic with prescribed statistics, the third application of the paper.
+
+Since the engine refactor this module is a thin front-end over
+:class:`~repro.generation.engine.GenerationEngine`; ``chunk`` bounds the
+per-packet expansion without changing the generated trace.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from .._util import as_rng, check_positive
 from ..core.ensemble import FlowEnsemble
 from ..core.shots import Shot
-from ..exceptions import ParameterError
 from ..netsim.addresses import AddressSpace
-from ..netsim.packetize import packetize_shots
-from ..trace.packet import PacketTrace, packets_from_columns
+from ..trace.packet import PacketTrace
+from .engine import GenerationEngine, default_engine
 
 __all__ = ["generate_packet_trace"]
 
@@ -37,6 +37,8 @@ def generate_packet_trace(
     warmup: float | None = None,
     name: str = "generated",
     rng=None,
+    chunk: float | None = None,
+    engine: GenerationEngine | None = None,
 ) -> PacketTrace:
     """Generate a packet trace whose flows follow the shot-noise model.
 
@@ -45,53 +47,26 @@ def generate_packet_trace(
     tails of earlier flows compensate the end-of-capture truncation and
     the generated mean rate matches the model's.  Flows that would extend
     past ``duration`` are truncated at the capture end, like a real trace.
+
+    ``chunk`` packetizes that many seconds of arrivals at a time (bounding
+    the intermediate per-packet arrays); the output is identical for any
+    chunking.  For horizons whose packets do not fit in memory at all, use
+    :meth:`GenerationEngine.write_packet_trace` to stream the capture to
+    disk instead.
     """
-    arrival_rate = check_positive("arrival_rate", arrival_rate)
-    duration = check_positive("duration", duration)
-    rng = as_rng(rng)
-    if address_space is None:
-        address_space = AddressSpace()
-
-    if warmup is None:
-        _, probe = ensemble.sample(2048, rng)
-        warmup = float(np.quantile(probe, 0.99))
-    warmup = max(float(warmup), 0.0)
-
-    n_flows = rng.poisson(arrival_rate * (duration + warmup))
-    if n_flows == 0:
-        raise ParameterError("no flows generated; increase rate or duration")
-    starts = np.sort(rng.random(n_flows) * (duration + warmup) - warmup)
-    sizes, durations = ensemble.sample(n_flows, rng)
-
-    schedule = packetize_shots(
-        sizes,
-        durations,
+    if engine is None:
+        engine = default_engine() if chunk is None else GenerationEngine(chunk=chunk)
+    return engine.packet_trace(
+        arrival_rate,
+        ensemble,
         shot,
+        duration,
+        link_capacity=link_capacity,
+        address_space=address_space,
         mss=mss,
         header_bytes=header_bytes,
         jitter=jitter,
-        rng=rng,
-    )
-    timestamps = starts[schedule.flow_index] + schedule.offset
-    keep = (timestamps >= 0.0) & (timestamps < duration)
-    timestamps = timestamps[keep]
-    flow_of_packet = schedule.flow_index[keep]
-    wire_sizes = schedule.wire_size[keep]
-
-    src, dst, sport, dport, proto = address_space.sample_endpoints(n_flows, rng)
-    packets = packets_from_columns(
-        timestamps,
-        src[flow_of_packet],
-        dst[flow_of_packet],
-        sport[flow_of_packet],
-        dport[flow_of_packet],
-        proto[flow_of_packet],
-        wire_sizes,
-    )
-    order = np.argsort(packets["timestamp"], kind="stable")
-    return PacketTrace(
-        packets[order],
-        link_capacity=link_capacity,
-        duration=duration,
+        warmup=warmup,
         name=name,
+        rng=rng,
     )

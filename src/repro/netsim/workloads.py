@@ -40,6 +40,8 @@ __all__ = [
     "low_utilization_link",
     "medium_utilization_link",
     "high_utilization_link",
+    "synthesize_scenario",
+    "multi_link_rate_series",
 ]
 
 #: An OC-12 link in bits/second (the paper's monitored links).
@@ -139,6 +141,19 @@ class LinkWorkload:
     def with_duration(self, duration: float) -> "LinkWorkload":
         return replace(self, duration=duration)
 
+    def model_ensemble(self):
+        """Flow (size, duration) law for model-driven generation.
+
+        Pairs the workload's size distribution with its access-rate law
+        (``D = S / r``), the analytically convenient
+        :class:`~repro.core.SizeRateEnsemble` of section V — this is the
+        ensemble the generation engine feeds from when the workload is
+        generated by the shot-noise model rather than the TCP simulator.
+        """
+        from ..core.ensemble import SizeRateEnsemble
+
+        return SizeRateEnsemble(self.size_dist, self.cbr_rate_dist)
+
     def synthesize(self, seed=None) -> LinkSynthesis:
         """Generate a packet trace for this workload."""
         arrivals = self.arrivals or PoissonArrivals(self.arrival_rate)
@@ -209,3 +224,76 @@ def high_utilization_link(
 ) -> LinkWorkload:
     """A 262 Mbps-class link: smooth traffic (bottom-left cluster)."""
     return table_i_workload(2, scale=scale, duration=duration)
+
+
+# -- multi-link scenarios (engine-parallel) ------------------------------
+
+
+def synthesize_scenario(
+    workloads,
+    *,
+    seed: int = 0,
+    workers: int = 1,
+) -> list[LinkSynthesis]:
+    """Synthesize many independent links in parallel.
+
+    Each link draws from its own ``SeedSequence`` child keyed by position,
+    so the result list is deterministic for a given ``seed`` regardless of
+    ``workers`` — the engine's multi-seed fan-out applied to the TCP-level
+    synthesiser.  This is how whole Table I campaigns (seven links, many
+    seeds) are produced in one call.
+    """
+    from ..generation.engine import GenerationEngine
+
+    workloads = list(workloads)
+    if not workloads:
+        raise ParameterError("workloads must not be empty")
+    engine = GenerationEngine(workers=workers)
+
+    def run(index, child):
+        return workloads[index].synthesize(seed=as_rng(child))
+
+    return engine.map_seeded(run, len(workloads), seed=seed)
+
+
+def multi_link_rate_series(
+    workloads,
+    shot,
+    *,
+    delta: float = 0.2,
+    seed: int = 0,
+    chunk: float | None = None,
+    workers: int = 1,
+):
+    """Model-driven rate paths for many links, generated by the engine.
+
+    For each workload, feeds its implied arrival rate and
+    :meth:`LinkWorkload.model_ensemble` flow law through
+    :meth:`~repro.generation.engine.GenerationEngine.rate_series` with a
+    per-link ``SeedSequence`` child.  Returns one
+    :class:`~repro.stats.timeseries.RateSeries` of byte rates per link,
+    in workload order, deterministic for a given ``seed`` regardless of
+    ``workers`` or ``chunk``.
+    """
+    from ..generation.engine import GenerationEngine
+
+    workloads = list(workloads)
+    if not workloads:
+        raise ParameterError("workloads must not be empty")
+    # parallelism lives at the link level; the per-link engine stays
+    # single-worker so pools do not nest (workers^2 threads otherwise)
+    outer = GenerationEngine(workers=workers)
+    per_link = GenerationEngine(chunk=chunk)
+
+    def run(index, child):
+        workload = workloads[index]
+        return per_link.rate_series(
+            workload.arrival_rate,
+            workload.model_ensemble(),
+            shot,
+            workload.duration,
+            delta,
+            rng=as_rng(child),
+        )
+
+    return outer.map_seeded(run, len(workloads), seed=seed)

@@ -8,7 +8,6 @@ twice.  The reader supports whole-file loads and chunked iteration.
 from __future__ import annotations
 
 import os
-import struct
 from pathlib import Path
 
 import numpy as np

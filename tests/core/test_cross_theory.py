@@ -18,7 +18,6 @@ from repro.core import (
     PoissonShotNoiseModel,
     RectangularShot,
     TriangularShot,
-    averaged_variance_from_autocovariance,
     sinc_squared_filter,
 )
 from repro.generation import generate_rate_series

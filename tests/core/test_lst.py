@@ -88,9 +88,10 @@ class TestLaplaceTransform:
         model = PoissonShotNoiseModel(LAM, ens, RectangularShot())
         mean, var = model.mean, model.variance
         h = 1e-3 / mean
-        f = lambda s: log_laplace_transform(
-            s, LAM, ens, RectangularShot(), max_flows=None
-        )
+        def f(s):
+            return log_laplace_transform(
+                s, LAM, ens, RectangularShot(), max_flows=None
+            )
         second = (f(2 * h) - 2 * f(h) + f(0.0)) / h**2
         assert second == pytest.approx(var, rel=1e-2)
 

@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
-    EmpiricalEnsemble,
     GenericShot,
     ParabolicShot,
     PoissonShotNoiseModel,

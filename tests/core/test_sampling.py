@@ -63,7 +63,8 @@ class TestAveragedVariance:
     def test_from_autocovariance_callable(self):
         # triangular autocovariance Gamma(tau) = (1 - tau)+ over Delta = 1:
         # 2 * integral_0^1 (1 - tau)^2 dtau = 2/3
-        gamma = lambda taus: np.maximum(1.0 - taus, 0.0)
+        def gamma(taus):
+            return np.maximum(1.0 - taus, 0.0)
         got = averaged_variance_from_autocovariance(gamma, 1.0)
         assert got == pytest.approx(2.0 / 3.0, rel=1e-9)
 

@@ -1,0 +1,1 @@
+"""Test package marker (enables intra-suite relative imports)."""
