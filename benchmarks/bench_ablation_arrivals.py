@@ -14,7 +14,7 @@ from dataclasses import replace
 
 from conftest import print_header, run_once
 
-from repro.experiments import measure_trace
+from repro.experiments import cov_validation_points
 from repro.netsim import (
     MMPPArrivals,
     PoissonArrivals,
@@ -37,13 +37,15 @@ def test_ablation_arrival_process_sensitivity(benchmark):
     }
 
     def build():
-        rows = []
-        for name, arrivals in scenarios.items():
-            workload = replace(base, arrivals=arrivals)
-            trace = workload.synthesize(seed=5).trace
-            measurement, _ = measure_trace(trace, flow_kind="five_tuple")
-            rows.append((name, measurement))
-        return rows
+        names = list(scenarios)
+        workloads = [
+            replace(base, name=name, arrivals=arrivals)
+            for name, arrivals in scenarios.items()
+        ]
+        points = cov_validation_points(
+            flow_kind="five_tuple", seeds=(5,), workloads=workloads
+        )
+        return list(zip(names, points))
 
     rows = run_once(benchmark, build)
 

@@ -12,7 +12,7 @@ import os
 
 import pytest
 
-from repro.experiments import run_cov_validation
+from repro.experiments import cov_validation_points
 from repro.netsim import medium_utilization_link
 
 #: ``REPRO_BENCH_QUICK=1`` shrinks the heavy fixtures so a benchmark can
@@ -35,12 +35,16 @@ def print_header(title: str) -> None:
 
 @pytest.fixture(scope="session")
 def validation_points_5tuple():
-    return run_cov_validation(flow_kind="five_tuple", seeds=VALIDATION_SEEDS)
+    return cov_validation_points(
+        flow_kind="five_tuple", seeds=VALIDATION_SEEDS, workers=2
+    )
 
 
 @pytest.fixture(scope="session")
 def validation_points_prefix():
-    return run_cov_validation(flow_kind="prefix", seeds=VALIDATION_SEEDS)
+    return cov_validation_points(
+        flow_kind="prefix", seeds=VALIDATION_SEEDS, workers=2
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,66 +1,54 @@
 #!/usr/bin/env python
-"""Quickstart: model a backbone link from its flow measurements.
+"""Quickstart: the scenario pipeline, end to end, in a dozen lines.
 
-The full paper pipeline in ~60 lines:
+One :class:`repro.pipeline.ScenarioSpec` describes the paper's whole loop
+— synthesize a backbone capture, run NetFlow-style accounting, estimate
+the three parameters (lambda, E[S], E[S^2/D]), fit the shot power,
+generate model-driven traffic through the engine, and validate measured
+vs model — and :func:`repro.pipeline.run_scenario` executes it.
 
-1. synthesise an uncongested backbone link capture (stand-in for a Sprint
-   OC-12 trace);
-2. run NetFlow-style accounting to get per-flow sizes and durations;
-3. parameterise the Poisson shot-noise model with the three parameters
-   (lambda, E[S], E[S^2/D]);
-4. compare the model's coefficient of variation against the measured one
-   for the three canonical shots; fit the best power;
-5. use the Gaussian approximation to provision the link.
+The same spec can be saved as JSON and run from the command line::
+
+    python -m repro run medium --report report.json
+    python -m repro list-scenarios
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import PoissonShotNoiseModel, PowerShot
-from repro.experiments import DELTA, SCALED_TIMEOUT
-from repro.flows import export_five_tuple_flows
-from repro.netsim import medium_utilization_link
-from repro.stats import RateSeries
+from repro.pipeline import default_registry, run_scenario
 
 
 def main() -> None:
-    # 1. a 120-second capture of a ~4 Mbps backbone link (scaled OC-12)
-    workload = medium_utilization_link(duration=120.0)
-    trace = workload.synthesize(seed=7).trace
-    print(f"trace: {trace}")
+    # 1. pick a named scenario (Table I medium-utilisation link); any
+    #    spec is plain data — print spec.to_json() to seed your own file
+    spec = default_registry().get("medium")
+    print(f"scenario: {spec.name} — {spec.description}")
 
-    # 2. flow accounting (5-tuple, idle timeout, single-packet discard)
-    flows = export_five_tuple_flows(
-        trace, timeout=SCALED_TIMEOUT, keep_packet_map=True
-    )
-    stats = flows.statistics(trace.duration)
-    print(f"flows: {len(flows)}   lambda = {stats.arrival_rate:.1f}/s   "
+    # 2. run the whole pipeline: synthesize -> account flows -> estimate
+    #    -> fit -> generate -> validate
+    result = run_scenario(spec)
+
+    # 3. every stage leaves a typed result object
+    trace = result.trace
+    stats = result.estimation.statistics
+    print(f"trace: {trace}")
+    print(f"flows: {len(result.accounting.flows)}   "
+          f"lambda = {stats.arrival_rate:.1f}/s   "
           f"E[S] = {stats.mean_size / 1e3:.1f} kB   "
           f"E[S^2/D] = {stats.mean_square_size_over_duration:.3g} B^2/s")
 
-    # 3. the measured rate at the paper's 200 ms averaging interval
-    series = RateSeries.from_packets(
-        trace, DELTA, packet_mask=flows.packet_flow_ids >= 0
-    )
-    print(f"measured: mean = {series.mean / 1e3:.1f} kB/s   "
-          f"CoV = {series.coefficient_of_variation:.1%}")
-
-    # 4. the model, under the three canonical shot assumptions
-    model = PoissonShotNoiseModel.from_flows(
-        flows.sizes, flows.durations, trace.duration
-    )
-    print(f"model mean (Corollary 1): {model.mean / 1e3:.1f} kB/s")
-    for b, name in ((0.0, "rectangular"), (1.0, "triangular"), (2.0, "parabolic")):
-        cov = model.with_shot(PowerShot(b)).coefficient_of_variation
-        print(f"  model CoV, {name:12s} (b={b:g}): {cov:.1%}")
-    fit = model.fit_power(series.variance)
-    print(f"fitted power b = {fit.power:.2f} (kappa = {fit.kappa:.2f})")
-
-    # 5. provision the link for 1% congestion probability
-    capacity = model.with_shot(fit.shot).required_capacity(0.01)
-    print(f"capacity for 1% congestion: {8 * capacity / 1e6:.2f} Mbps "
-          f"({capacity / model.mean:.2f}x the mean)")
+    # 4. the validation report is the pipeline's final artifact
+    report = result.validation
+    print(f"measured CoV {report.measured_cov:.1%}   "
+          f"fitted (b={report.fitted_power:.2f}) {report.fitted_cov:.1%}   "
+          f"{'within' if report.within_band else 'OUTSIDE'} "
+          f"+-{report.cov_band:.0%} band")
+    print(f"generated CoV {report.generated_cov:.1%} "
+          f"({report.generated_vs_measured_error:+.1%} vs measured)")
+    print(f"capacity for {report.epsilon:.0%} congestion: "
+          f"{report.required_capacity_bps / 1e6:.2f} Mbps")
 
 
 if __name__ == "__main__":

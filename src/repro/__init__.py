@@ -21,6 +21,9 @@ Quickstart::
 
 Subpackages
 -----------
+pipeline
+    The declarative scenario pipeline: specs, stages, runner, registry —
+    the canonical public API (``repro.run_scenario``).
 core
     The shot-noise model: Theorems 1-3, Corollaries 1-3, fitting, Gaussian
     approximation (the paper's primary contribution).
@@ -50,6 +53,7 @@ from . import (
     flows,
     generation,
     netsim,
+    pipeline,
     prediction,
     stats,
     trace,
@@ -77,6 +81,14 @@ from .core import (
     solve_power,
     variance_shape_factor,
 )
+from .pipeline import (
+    ScenarioRegistry,
+    ScenarioResult,
+    ScenarioSpec,
+    default_registry,
+    run_scenario,
+    run_scenarios,
+)
 from .exceptions import (
     FittingError,
     FlowExportError,
@@ -102,6 +114,14 @@ __all__ = [
     "applications",
     "baselines",
     "experiments",
+    "pipeline",
+    # re-exported pipeline API
+    "ScenarioSpec",
+    "ScenarioResult",
+    "ScenarioRegistry",
+    "default_registry",
+    "run_scenario",
+    "run_scenarios",
     # re-exported core API
     "PoissonShotNoiseModel",
     "ThreeParameterModel",

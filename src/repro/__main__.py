@@ -1,116 +1,133 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Operator-facing commands wrapping the library:
+Operator-facing commands wrapping the library.  The scenario pipeline is
+the canonical path:
 
-* ``synthesize`` — generate a scaled backbone capture to a trace file;
-* ``measure``    — run the full section VI pipeline on a trace file:
-  flow accounting, three-parameter summary, measured vs model CoV,
-  fitted shot power, provisioning recommendation;
-* ``generate``   — produce model-driven traffic (section VII-C) from the
-  statistics of an input trace, routed through the chunked generation
-  engine (``--chunk`` bounds peak memory);
-* ``scenario``   — synthesize all seven Table I links in parallel
-  (``--workers``).
+* ``run``            — run a scenario end-to-end (synthesize → measure →
+  fit → generate → validate) from a JSON spec file or a registry name,
+  optionally writing the validation report as JSON;
+* ``list-scenarios`` — show the built-in scenario registry;
+* ``synthesize``     — generate a scaled backbone capture to a trace file;
+* ``measure``        — run the section VI measurement pipeline on an
+  existing trace file;
+* ``generate``       — produce model-driven traffic (section VII-C)
+  calibrated on an input trace, via the chunked generation engine;
+* ``scenario``       — synthesize all seven Table I links in parallel.
 
 Examples::
 
+    python -m repro run medium --report report.json
+    python -m repro run my-scenario.json
+    python -m repro list-scenarios
     python -m repro synthesize /tmp/link.rptr --preset medium --seed 7
     python -m repro measure /tmp/link.rptr --flow-kind five_tuple
-    python -m repro generate /tmp/link.rptr /tmp/synthetic.rptr \\
-        --chunk 30 --workers 4
+    python -m repro generate /tmp/link.rptr /tmp/synthetic.rptr --chunk 30
     python -m repro scenario /tmp/links --workers 4 --seed 3
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from .core import PoissonShotNoiseModel
-from .flows import export_flows
+from .exceptions import ParameterError, ReproError
 from .generation import GenerationEngine, generate_packet_trace
-from .netsim import (
-    high_utilization_link,
-    low_utilization_link,
-    medium_utilization_link,
-    synthesize_scenario,
-    table_i_workload,
-    table_i_workloads,
+from .netsim import synthesize_scenario, table_i_workloads
+from .pipeline import (
+    EstimationSpec,
+    FlowAccountingSpec,
+    MEASUREMENT_STAGES,
+    ScenarioSpec,
+    Synthesize,
+    ValidationSpec,
+    WorkloadSpec,
+    apply_quick_mode,
+    default_registry,
+    run_scenario,
 )
-from .stats import RateSeries
+from .pipeline.stages import PipelineContext
 from .trace import read_trace, write_trace
 
-_PRESETS = {
-    "low": low_utilization_link,
-    "medium": medium_utilization_link,
-    "high": high_utilization_link,
-}
+
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
-    if args.preset in _PRESETS:
-        workload = _PRESETS[args.preset](duration=args.duration)
-    else:
-        workload = table_i_workload(int(args.preset), duration=args.duration)
-    trace = workload.synthesize(seed=args.seed).trace
+    try:
+        spec = ScenarioSpec(
+            name=f"synthesize-{args.preset}",
+            seed=args.seed,
+            workload=WorkloadSpec(preset=args.preset, duration=args.duration),
+            generation=None,
+        )
+    except ParameterError as exc:
+        return _fail(str(exc))
+    context = PipelineContext(spec=spec)
+    trace = Synthesize().run(context).trace
     write_trace(trace, args.output)
     print(f"wrote {trace} -> {args.output}")
     return 0
 
 
-def _measure(args: argparse.Namespace):
-    trace = read_trace(args.trace)
-    flows = export_flows(
-        trace,
-        key=args.flow_kind,
-        timeout=args.timeout,
-        prefix_length=args.prefix_length,
-        keep_packet_map=True,
+def _measure_spec(args: argparse.Namespace, *, name: str) -> ScenarioSpec:
+    """Scenario spec equivalent of the measure-style CLI flags."""
+    return ScenarioSpec(
+        name=name,
+        workload=None,
+        flows=FlowAccountingSpec(
+            kind=args.flow_kind,
+            timeout=args.timeout,
+            prefix_length=args.prefix_length,
+        ),
+        estimation=EstimationSpec(delta=args.delta),
+        validation=ValidationSpec(epsilon=getattr(args, "epsilon", 0.01)),
+        generation=None,
     )
-    series = RateSeries.from_packets(
-        trace, args.delta, packet_mask=flows.packet_flow_ids >= 0
-    )
-    model = PoissonShotNoiseModel.from_flows(
-        flows.sizes, flows.durations, trace.duration
-    )
-    return trace, flows, series, model
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
-    trace, flows, series, model = _measure(args)
-    stats = model.statistics()
-    fit = model.fit_power(series.variance)
-    fitted = model.with_shot(fit.shot)
-    capacity = fitted.required_capacity(args.epsilon)
+    trace = read_trace(args.trace)
+    spec = _measure_spec(args, name=Path(args.trace).stem)
+    result = run_scenario(spec, trace=trace, stages=MEASUREMENT_STAGES)
+    flows = result.accounting.flows
+    stats = result.estimation.statistics
+    fit = result.fit.power_fit
+    report = result.validation
 
-    print(f"trace      : {trace}")
+    print(f"trace      : {result.trace}")
     print(f"flows      : {len(flows)} ({args.flow_kind}, "
           f"timeout {args.timeout:g} s, {flows.discarded_packets} pkts "
           "discarded as single-packet flows)")
     print(f"parameters : lambda = {stats.arrival_rate:.2f}/s   "
           f"E[S] = {stats.mean_size:.0f} B   "
           f"E[S^2/D] = {stats.mean_square_size_over_duration:.4g} B^2/s")
-    print(f"mean rate  : model {model.mean * 8 / 1e6:.3f} Mbps   "
-          f"measured {series.mean * 8 / 1e6:.3f} Mbps")
-    print(f"CoV        : measured {series.coefficient_of_variation:.2%}   "
-          f"model(b={fit.power:.2f}) {fitted.coefficient_of_variation:.2%}")
+    print(f"mean rate  : model {result.fit.model.mean * 8 / 1e6:.3f} Mbps   "
+          f"measured {result.estimation.series.mean * 8 / 1e6:.3f} Mbps")
+    print(f"CoV        : measured {report.measured_cov:.2%}   "
+          f"model(b={fit.power:.2f}) {report.fitted_cov:.2%}")
     print(f"shot fit   : b = {fit.power:.2f}  (kappa = {fit.kappa:.2f}"
           f"{', clipped' if fit.clipped else ''})")
-    print(f"capacity   : {8 * capacity / 1e6:.3f} Mbps for "
+    print(f"capacity   : {report.required_capacity_bps / 1e6:.3f} Mbps for "
           f"P(congestion) <= {args.epsilon:g}")
     return 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    trace, flows, series, model = _measure(args)
-    fit = model.fit_power(series.variance)
+    trace = read_trace(args.trace)
+    spec = _measure_spec(args, name=Path(args.trace).stem)
+    # generate only needs the fit — skip the Validate stage's report work
+    result = run_scenario(spec, trace=trace, stages=MEASUREMENT_STAGES[:-1])
+    fit = result.fit.power_fit
     engine = GenerationEngine(
         chunk=args.chunk if args.chunk > 0 else None, workers=args.workers
     )
     generated = generate_packet_trace(
-        model.arrival_rate,
-        model.ensemble,
+        result.fit.model.arrival_rate,
+        result.fit.model.ensemble,
         fit.shot,
         duration=args.duration or trace.duration,
         link_capacity=trace.link_capacity,
@@ -120,6 +137,81 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     )
     write_trace(generated, args.output)
     print(f"calibrated b = {fit.power:.2f}; wrote {generated} -> {args.output}")
+    return 0
+
+
+def _load_spec(target: str) -> ScenarioSpec:
+    """A spec file path, or a registry scenario name.
+
+    ``*.json`` (and any explicit path that is not a registry name) loads
+    a spec file; bare registry names always win over same-named files in
+    the working directory — write ``./medium`` to force the file.
+    """
+    path = Path(target)
+    if path.suffix == ".json" or (
+        path.is_file() and target not in default_registry()
+    ):
+        return ScenarioSpec.from_file(path)
+    return default_registry().get(target)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = _load_spec(args.spec)
+    except ReproError as exc:
+        return _fail(str(exc))
+    if args.seed is not None:
+        spec = spec.with_overrides(seed=args.seed)
+    spec = apply_quick_mode(spec)
+    try:
+        result = run_scenario(spec)
+    except ReproError as exc:
+        return _fail(f"scenario {spec.name!r} failed: {exc}")
+    report = result.validation
+
+    print(f"scenario   : {spec.name}"
+          + (f" — {spec.description}" if spec.description else ""))
+    print(f"trace      : {result.trace}")
+    print(f"flows      : {len(result.accounting.flows)} "
+          f"({spec.flows.kind}, timeout {spec.flows.timeout:g} s)")
+    stats = result.estimation.statistics
+    print(f"parameters : lambda = {stats.arrival_rate:.2f}/s   "
+          f"E[S] = {stats.mean_size:.0f} B   "
+          f"E[S^2/D] = {stats.mean_square_size_over_duration:.4g} B^2/s")
+    print(f"CoV        : measured {report.measured_cov:.2%}   "
+          f"model(b={report.fitted_power:.2f}) {report.fitted_cov:.2%}   "
+          f"{'within' if report.within_band else 'OUTSIDE'} "
+          f"+-{report.cov_band:.0%} band")
+    print(f"capacity   : {report.required_capacity_bps / 1e6:.3f} Mbps for "
+          f"P(congestion) <= {report.epsilon:g}")
+    if report.generated_cov is not None:
+        print(f"generated  : CoV {report.generated_cov:.2%} "
+              f"({report.generated_vs_measured_error:+.1%} vs measured)")
+    if report.superposed_cov is not None:
+        print(f"superposed : CoV {report.superposed_cov:.2%} "
+              "(multi-class mix)")
+    if report.anomaly_delta_s is not None:
+        if report.anomalies:
+            for event in report.anomalies:
+                print(f"anomaly    : {event.kind} at "
+                      f"{event.start_time(report.anomaly_delta_s):.1f} s "
+                      f"for {event.n_samples * report.anomaly_delta_s:.1f} s "
+                      f"(peak z = {event.peak_z:+.1f})")
+        else:
+            print("anomaly    : none detected")
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(result.report(), indent=2) + "\n"
+        )
+        print(f"report     : wrote {args.report}")
+    return 0
+
+
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    width = max(len(name) for name in registry.names())
+    for name, description in registry.describe():
+        print(f"{name:<{width}}  {description}")
     return 0
 
 
@@ -163,6 +255,30 @@ def build_parser() -> argparse.ArgumentParser:
         "(Barakat et al., IMC 2002)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run a scenario spec end-to-end (the pipeline API)"
+    )
+    run.add_argument(
+        "spec",
+        help="a scenario spec JSON file, or a registry name "
+        "(see list-scenarios)",
+    )
+    run.add_argument(
+        "--report", default=None,
+        help="write the full pipeline report (spec + stage summaries + "
+        "validation) to this JSON file",
+    )
+    run.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's seed",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    lst = sub.add_parser(
+        "list-scenarios", help="list the built-in scenario registry"
+    )
+    lst.set_defaults(func=_cmd_list_scenarios)
 
     syn = sub.add_parser("synthesize", help="generate a synthetic capture")
     syn.add_argument("output", help="output trace file (.rptr)")

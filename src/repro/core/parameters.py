@@ -39,7 +39,9 @@ class FlowStatistics:
     mean_duration:
         ``E[D]`` in seconds (not needed by the mean/variance formulas, but
         required by the M/G/infinity active-flow count and useful for
-        choosing prediction horizons).
+        choosing prediction horizons).  Defaults to NaN when unknown;
+        quantities that need it (:attr:`offered_load`) raise a
+        :class:`ParameterError` instead of silently propagating NaN.
     flow_count:
         Number of flows the statistics were estimated from (0 if analytic).
     """
@@ -58,6 +60,9 @@ class FlowStatistics:
         )
         if self.flow_count < 0:
             raise ParameterError(f"flow_count must be >= 0, got {self.flow_count}")
+        # NaN marks "duration unknown"; anything else must be a valid E[D]
+        if not np.isnan(self.mean_duration):
+            check_positive("mean_duration", self.mean_duration)
         # Cauchy-Schwarz: E[S^2/D] >= E[S]^2 / E[D]; warn-level check only
         # possible when E[D] is known, and sampling error can violate it
         # slightly, so we do not enforce it here.
@@ -88,8 +93,24 @@ class FlowStatistics:
         return self.arrival_rate * self.mean_size
 
     @property
+    def has_mean_duration(self) -> bool:
+        """True when ``E[D]`` was supplied (it defaults to NaN)."""
+        return not np.isnan(self.mean_duration)
+
+    @property
     def offered_load(self) -> float:
-        """M/G/infinity load ``lambda * E[D]``: mean number of active flows."""
+        """M/G/infinity load ``lambda * E[D]``: mean number of active flows.
+
+        Raises :class:`ParameterError` when ``mean_duration`` was never
+        supplied — previously the NaN default silently poisoned the
+        active-flow count.
+        """
+        if not self.has_mean_duration:
+            raise ParameterError(
+                "offered_load needs mean_duration (E[D]), which this "
+                "FlowStatistics was built without; construct it with "
+                "mean_duration=... or use FlowStatistics.from_flows"
+            )
         return self.arrival_rate * self.mean_duration
 
     def variance(self, shape_factor: float = 1.0) -> float:

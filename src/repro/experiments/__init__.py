@@ -15,7 +15,9 @@ from .harness import (
     SCALED_INTERVAL,
     SCALED_TIMEOUT,
     IntervalMeasurement,
+    cov_validation_points,
     measure_trace,
+    measurement_from_result,
     run_cov_validation,
     utilization_class,
     validation_workloads,
@@ -27,7 +29,9 @@ __all__ = [
     "SCALED_TIMEOUT",
     "SCALED_INTERVAL",
     "IntervalMeasurement",
+    "cov_validation_points",
     "measure_trace",
+    "measurement_from_result",
     "run_cov_validation",
     "utilization_class",
     "validation_workloads",

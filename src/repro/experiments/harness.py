@@ -3,8 +3,12 @@
 Every validation experiment in the paper follows the same loop (section
 VI): take one measurement interval, export flows under one of the two
 definitions, measure the coefficient of variation of the 200 ms-averaged
-rate, parameterise the model from the flow statistics, and compare.  This
-module implements that loop once; the per-figure benchmarks drive it.
+rate, parameterise the model from the flow statistics, and compare.  The
+loop itself now lives in the scenario pipeline
+(:mod:`repro.pipeline`); this module adapts pipeline results into the
+:class:`IntervalMeasurement` scatter points the per-figure benchmarks
+consume, and keeps the historical free functions as thin deprecation
+shims.
 
 Scaled constants
 ----------------
@@ -22,17 +26,21 @@ link                  OC-12 622 Mb/s  19.4 Mb/s
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
-
-from ..core.fitting import fit_power_from_variance
-from ..core.model import PoissonShotNoiseModel
 from ..core.parameters import FlowStatistics
-from ..core.shots import PowerShot
-from ..flows.exporter import export_flows
 from ..flows.records import FlowSet
+from ..generation.engine import GenerationEngine
 from ..netsim.workloads import DEFAULT_SCALE, LinkWorkload, table_i_workloads
-from ..stats.timeseries import RateSeries
+from ..pipeline.runner import ScenarioResult, ScenarioRunner
+from ..pipeline.spec import (
+    EstimationSpec,
+    FitSpec,
+    FlowAccountingSpec,
+    ScenarioSpec,
+)
+from ..pipeline.stages import AccountFlows, Estimate, FitModel, Synthesize
 from ..trace.packet import PacketTrace
 
 __all__ = [
@@ -41,6 +49,8 @@ __all__ = [
     "SCALED_INTERVAL",
     "IntervalMeasurement",
     "measure_trace",
+    "measurement_from_result",
+    "cov_validation_points",
     "run_cov_validation",
     "utilization_class",
     "validation_workloads",
@@ -103,6 +113,68 @@ def utilization_class(
     return "high"
 
 
+#: The measurement stage chain behind :func:`measure_trace` — no
+#: generation, no validation report, exactly the section VI loop.
+_MEASURE_STAGES = (Synthesize(), AccountFlows(), Estimate(), FitModel())
+
+
+def _measurement_spec(
+    *, name: str, flow_kind: str, delta: float, timeout: float, powers
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name or "interval",
+        workload=None,
+        flows=FlowAccountingSpec(kind=flow_kind, timeout=timeout),
+        estimation=EstimationSpec(delta=delta),
+        fit=FitSpec(powers=tuple(float(b) for b in powers)),
+        generation=None,
+    )
+
+
+def measurement_from_result(
+    result: ScenarioResult, *, seed: int = -1, workload: str = ""
+) -> IntervalMeasurement:
+    """Convert a pipeline :class:`ScenarioResult` into a scatter point."""
+    trace = result.trace
+    fit = result.fit.power_fit
+    return IntervalMeasurement(
+        workload=workload or trace.name,
+        seed=seed,
+        flow_kind=result.accounting.flows.key_kind,
+        utilization=trace.utilization,
+        mean_rate_bps=trace.mean_rate_bps,
+        n_flows=len(result.accounting.flows),
+        statistics=result.estimation.statistics,
+        measured_cov=result.estimation.series.coefficient_of_variation,
+        measured_variance=result.estimation.series.variance,
+        model_cov=dict(result.fit.model_cov),
+        fitted_power=fit.power,
+        fitted_kappa=fit.kappa,
+    )
+
+
+def _measure_interval(
+    trace: PacketTrace,
+    *,
+    flow_kind: str,
+    delta: float,
+    timeout: float,
+    powers,
+    workload: str = "",
+    seed: int = -1,
+) -> tuple[IntervalMeasurement, FlowSet]:
+    spec = _measurement_spec(
+        name=workload or trace.name,
+        flow_kind=flow_kind,
+        delta=delta,
+        timeout=timeout,
+        powers=powers,
+    )
+    result = ScenarioRunner(_MEASURE_STAGES).run(spec, trace=trace)
+    measurement = measurement_from_result(result, seed=seed, workload=workload)
+    return measurement, result.accounting.flows
+
+
 def measure_trace(
     trace: PacketTrace,
     *,
@@ -115,38 +187,29 @@ def measure_trace(
 ) -> tuple[IntervalMeasurement, FlowSet]:
     """Run the section VI measurement pipeline on one interval.
 
+    .. deprecated:: 1.1
+        Thin shim over the scenario pipeline; use
+        :func:`repro.pipeline.run_scenario` (with
+        ``repro.pipeline.MEASUREMENT_STAGES`` and ``trace=...``) instead.
+
     Returns the measurement point plus the exported flow set (reused by
     figure-specific diagnostics).
     """
-    flows = export_flows(
-        trace, key=flow_kind, timeout=timeout, keep_packet_map=True
+    warnings.warn(
+        "measure_trace is deprecated; use repro.pipeline.run_scenario("
+        "spec, trace=..., stages=repro.pipeline.MEASUREMENT_STAGES)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    mask = flows.packet_flow_ids >= 0
-    series = RateSeries.from_packets(trace, delta, packet_mask=mask)
-    statistics = flows.statistics(trace.duration)
-    model = PoissonShotNoiseModel.from_flows(
-        flows.sizes, flows.durations, trace.duration
-    )
-    model_cov = {
-        float(b): model.with_shot(PowerShot(b)).coefficient_of_variation
-        for b in powers
-    }
-    fit = fit_power_from_variance(series.variance, statistics)
-    measurement = IntervalMeasurement(
-        workload=workload or trace.name,
-        seed=seed,
+    return _measure_interval(
+        trace,
         flow_kind=flow_kind,
-        utilization=trace.utilization,
-        mean_rate_bps=trace.mean_rate_bps,
-        n_flows=len(flows),
-        statistics=statistics,
-        measured_cov=series.coefficient_of_variation,
-        measured_variance=series.variance,
-        model_cov=model_cov,
-        fitted_power=fit.power,
-        fitted_kappa=fit.kappa,
+        delta=delta,
+        timeout=timeout,
+        powers=powers,
+        workload=workload,
+        seed=seed,
     )
-    return measurement, flows
 
 
 def validation_workloads(
@@ -154,6 +217,46 @@ def validation_workloads(
 ) -> list[LinkWorkload]:
     """The seven Table I links, each cut to one analysis interval."""
     return table_i_workloads(scale=scale, duration=interval)
+
+
+def cov_validation_points(
+    *,
+    flow_kind: str = "five_tuple",
+    seeds=range(4),
+    workloads: list[LinkWorkload] | None = None,
+    powers=(0.0, 1.0, 2.0),
+    delta: float = DELTA,
+    timeout: float = SCALED_TIMEOUT,
+    workers: int = 1,
+) -> list[IntervalMeasurement]:
+    """Produce the scatter points behind Figures 9-13 (pipeline-backed).
+
+    Each (workload, seed) pair is one independent interval; the paper's
+    clusters come from the spread of link utilisations in Table I.  Pairs
+    fan out over the generation engine's worker pool (``workers``); each
+    carries its own seed, so the point list is deterministic regardless
+    of the worker count.
+    """
+    if workloads is None:
+        workloads = validation_workloads()
+
+    def one(task):
+        workload, seed = task
+        trace = workload.synthesize(seed=seed).trace
+        measurement, _ = _measure_interval(
+            trace,
+            flow_kind=flow_kind,
+            delta=delta,
+            timeout=timeout,
+            powers=powers,
+            workload=workload.name,
+            seed=int(seed),
+        )
+        return measurement
+
+    tasks = [(w, s) for w in workloads for s in seeds]
+    engine = GenerationEngine(workers=int(workers))
+    return engine.map_ordered(one, tasks)
 
 
 def run_cov_validation(
@@ -165,25 +268,23 @@ def run_cov_validation(
     delta: float = DELTA,
     timeout: float = SCALED_TIMEOUT,
 ) -> list[IntervalMeasurement]:
-    """Produce the scatter points behind Figures 9-13.
+    """Deprecated alias of :func:`cov_validation_points`.
 
-    Each (workload, seed) pair is one independent interval; the paper's
-    clusters come from the spread of link utilisations in Table I.
+    .. deprecated:: 1.1
+        Use :func:`cov_validation_points` (same output, engine-parallel)
+        or run registry scenarios via :func:`repro.pipeline.run_scenarios`.
     """
-    if workloads is None:
-        workloads = validation_workloads()
-    points = []
-    for workload in workloads:
-        for seed in seeds:
-            synthesis = workload.synthesize(seed=seed)
-            measurement, _ = measure_trace(
-                synthesis.trace,
-                flow_kind=flow_kind,
-                delta=delta,
-                timeout=timeout,
-                powers=powers,
-                workload=workload.name,
-                seed=int(seed),
-            )
-            points.append(measurement)
-    return points
+    warnings.warn(
+        "run_cov_validation is deprecated; use cov_validation_points or "
+        "repro.pipeline.run_scenarios",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return cov_validation_points(
+        flow_kind=flow_kind,
+        seeds=seeds,
+        workloads=workloads,
+        powers=powers,
+        delta=delta,
+        timeout=timeout,
+    )

@@ -374,6 +374,16 @@ class GenerationEngine:
         with ThreadPoolExecutor(max_workers=width) as pool:
             return list(pool.map(lambda task: fn(*task), tasks))
 
+    def map_ordered(self, fn, items) -> list:
+        """Run ``fn(item)`` for independent items, preserving input order.
+
+        The scenario-pipeline fan-out: items carry their own seeds (or no
+        randomness at all), so the engine only supplies the worker pool —
+        results never depend on ``workers``.  Use :meth:`map_seeded` when
+        the tasks need engine-managed per-task seed streams instead.
+        """
+        return self._run_ordered(fn, [(item,) for item in items])
+
     def map_seeded(self, fn, n_tasks: int, seed=0) -> list:
         """Run ``fn(index, seed_sequence_child)`` for independent tasks.
 

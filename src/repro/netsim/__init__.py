@@ -8,6 +8,7 @@ CBR transmission dynamics, Zipf destination prefixes, full packetization.
 from .addresses import WELL_KNOWN_PORTS, AddressSpace
 from .arrivals import (
     ArrivalProcess,
+    DiurnalArrivals,
     MMPPArrivals,
     NonHomogeneousPoissonArrivals,
     PoissonArrivals,
@@ -38,6 +39,7 @@ __all__ = [
     "WELL_KNOWN_PORTS",
     "ArrivalProcess",
     "PoissonArrivals",
+    "DiurnalArrivals",
     "MMPPArrivals",
     "NonHomogeneousPoissonArrivals",
     "SessionArrivals",

@@ -30,6 +30,7 @@ __all__ = [
     "PoissonArrivals",
     "MMPPArrivals",
     "NonHomogeneousPoissonArrivals",
+    "DiurnalArrivals",
     "SessionArrivals",
 ]
 
@@ -153,6 +154,56 @@ class NonHomogeneousPoissonArrivals(ArrivalProcess):
         # sampling the rate function over [0, 1] as a best effort.
         grid = np.linspace(0.0, 1.0, 256)
         return float(np.mean(self.rate_fn(grid)))
+
+
+class DiurnalArrivals(NonHomogeneousPoissonArrivals):
+    """Sinusoidal time-of-day intensity ramp around a base rate.
+
+    The intensity is ``base_rate * (1 + a * sin(2 pi t / period + phase))``
+    with relative amplitude ``0 <= a < 1``, so it stays positive and
+    averages to ``base_rate`` over whole periods — the diurnal pattern the
+    paper's per-interval analysis sidesteps by treating each 30-minute
+    window as stationary.  Unlike the free-form
+    :class:`NonHomogeneousPoissonArrivals`, this process is fully described
+    by four scalars, which makes it expressible in a serialized
+    :class:`~repro.pipeline.ScenarioSpec`.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        relative_amplitude: float = 0.5,
+        period: float = 86400.0,
+        phase: float = 0.0,
+    ) -> None:
+        self.base_rate = check_positive("base_rate", base_rate)
+        if not 0.0 <= relative_amplitude < 1.0:
+            raise ParameterError(
+                "relative_amplitude must lie in [0, 1) so the intensity "
+                f"stays positive, got {relative_amplitude!r}"
+            )
+        self.relative_amplitude = float(relative_amplitude)
+        self.period = check_positive("period", period)
+        self.phase = float(phase)
+
+        def rate_fn(t: np.ndarray) -> np.ndarray:
+            angle = 2.0 * np.pi * np.asarray(t, dtype=np.float64) / self.period
+            return self.base_rate * (
+                1.0 + self.relative_amplitude * np.sin(angle + self.phase)
+            )
+
+        super().__init__(rate_fn, self.base_rate * (1.0 + self.relative_amplitude))
+
+    def __repr__(self) -> str:
+        return (
+            f"DiurnalArrivals(base_rate={self.base_rate:g}, "
+            f"relative_amplitude={self.relative_amplitude:g}, "
+            f"period={self.period:g})"
+        )
+
+    @property
+    def mean_rate(self) -> float:
+        return self.base_rate
 
 
 class SessionArrivals(ArrivalProcess):

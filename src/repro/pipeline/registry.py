@@ -1,0 +1,222 @@
+"""Named scenario registry — the paper's presets plus new families.
+
+The default registry carries one spec per Table I link (``table-i-0`` …
+``table-i-6``), the three utilisation aliases (``low``/``medium``/
+``high``) the CLI has always exposed, and scenario families the pre-
+pipeline API could not express at all:
+
+* ``mice-elephants`` — the section VIII multi-class extension: flows are
+  split at a byte threshold and a per-class :class:`SuperposedModel` is
+  fitted next to the single-class model;
+* ``diurnal-ramp`` — a time-of-day sinusoidal arrival-rate ramp
+  (:class:`~repro.netsim.arrivals.DiurnalArrivals`), probing Assumption 1
+  under non-stationarity;
+* ``session-arrivals`` — Poisson sessions spawning clustered flows, the
+  paper's remark that the model may be applied at the session level;
+* ``flash-flood`` / ``link-outage`` — anomaly injection plus the model-
+  based detector of :mod:`repro.applications.anomaly`, validating the
+  introduction's anomaly-detection motivation end-to-end.
+
+All registry scenarios are plain :class:`ScenarioSpec` values: serialize
+one with ``spec.to_json()`` to seed a custom spec file.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ParameterError
+from ..netsim.workloads import TABLE_I_ROWS
+from .spec import (
+    AnomalySpec,
+    ArrivalSpec,
+    FitSpec,
+    PRESET_ALIASES,
+    ScenarioSpec,
+    ValidationSpec,
+    WorkloadSpec,
+)
+
+__all__ = ["ScenarioRegistry", "default_registry"]
+
+
+class ScenarioRegistry:
+    """Name → :class:`ScenarioSpec` mapping with friendly failure modes."""
+
+    def __init__(self, specs=()) -> None:
+        self._specs: dict[str, ScenarioSpec] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(
+        self, spec: ScenarioSpec, *, overwrite: bool = False
+    ) -> ScenarioSpec:
+        """Add a spec under its own name; duplicate names are errors."""
+        if not isinstance(spec, ScenarioSpec):
+            raise ParameterError(
+                f"registry entries must be ScenarioSpec, got {type(spec).__name__}"
+            )
+        if spec.name in self._specs and not overwrite:
+            raise ParameterError(
+                f"scenario {spec.name!r} is already registered; pass "
+                "overwrite=True to replace it"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> ScenarioSpec:
+        """Look a scenario up by name; unknown names list the valid ones."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            known = ", ".join(self.names())
+            raise ParameterError(
+                f"unknown scenario {name!r}; registered scenarios: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._specs)
+
+    def specs(self) -> tuple[ScenarioSpec, ...]:
+        return tuple(self._specs.values())
+
+    def describe(self) -> list[tuple[str, str]]:
+        """(name, description) pairs in registration order."""
+        return [(s.name, s.description) for s in self._specs.values()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self):
+        return iter(self._specs)
+
+    def run(self, name: str, **run_kwargs):
+        """Run one registered scenario (see :func:`run_scenario`)."""
+        from .runner import run_scenario
+
+        return run_scenario(self.get(name), **run_kwargs)
+
+    def run_all(self, names=None, *, workers: int = 1, stages=None):
+        """Run several registered scenarios over the engine worker pool."""
+        from .runner import run_scenarios
+
+        picked = self.names() if names is None else tuple(names)
+        return run_scenarios(
+            [self.get(name) for name in picked],
+            workers=workers,
+            stages=stages,
+        )
+
+
+def _builtin_specs() -> list[ScenarioSpec]:
+    specs: list[ScenarioSpec] = []
+
+    for alias, row_index in sorted(PRESET_ALIASES.items()):
+        row = TABLE_I_ROWS[row_index]
+        specs.append(
+            ScenarioSpec(
+                name=alias,
+                description=(
+                    f"Table I row {row_index} ({row.avg_utilization_mbps:g} "
+                    f"Mbps class), the classic {alias}-utilisation preset"
+                ),
+                workload=WorkloadSpec(preset=alias),
+            )
+        )
+
+    for index, row in enumerate(TABLE_I_ROWS):
+        specs.append(
+            ScenarioSpec(
+                name=f"table-i-{index}",
+                description=(
+                    f"Table I row {index}: {row.date}, "
+                    f"{row.avg_utilization_mbps:g} Mbps average utilisation"
+                ),
+                workload=WorkloadSpec(preset=f"table-i-{index}"),
+            )
+        )
+
+    specs.append(
+        ScenarioSpec(
+            name="mice-elephants",
+            description=(
+                "section VIII multi-class mix: mice/elephants split at "
+                "20 kB, per-class models superposed"
+            ),
+            workload=WorkloadSpec(preset="medium"),
+            fit=FitSpec(class_split_bytes=20e3),
+        )
+    )
+
+    specs.append(
+        ScenarioSpec(
+            name="diurnal-ramp",
+            description=(
+                "time-of-day lambda ramp: sinusoidal arrival intensity, "
+                "+-60% around the medium preset's rate"
+            ),
+            workload=WorkloadSpec(
+                preset="medium",
+                arrivals=ArrivalSpec(kind="diurnal", relative_amplitude=0.6),
+            ),
+        )
+    )
+
+    specs.append(
+        ScenarioSpec(
+            name="session-arrivals",
+            description=(
+                "clustered flow arrivals: Poisson sessions spawning ~4 "
+                "flows each (the paper's session-level remark)"
+            ),
+            workload=WorkloadSpec(
+                preset="medium",
+                arrivals=ArrivalSpec(
+                    kind="sessions", flows_per_session=4.0, think_time=1.0
+                ),
+            ),
+        )
+    )
+
+    specs.append(
+        ScenarioSpec(
+            name="flash-flood",
+            description=(
+                "DoS-like small-packet flood injected into the low-"
+                "utilisation link; model-based detector must flag it"
+            ),
+            workload=WorkloadSpec(preset="low"),
+            anomaly=AnomalySpec(
+                kind="flood", start=40.0, duration=20.0,
+                rate_bytes_per_s=250e3,
+            ),
+            validation=ValidationSpec(detect_anomalies=True),
+        )
+    )
+
+    specs.append(
+        ScenarioSpec(
+            name="link-outage",
+            description=(
+                "link failure: 90% of packets dropped for 15 s on the "
+                "medium link; detector must flag the rate drop"
+            ),
+            workload=WorkloadSpec(preset="medium"),
+            anomaly=AnomalySpec(kind="outage", start=60.0, duration=15.0),
+            validation=ValidationSpec(detect_anomalies=True),
+        )
+    )
+
+    return specs
+
+
+_DEFAULT_REGISTRY: ScenarioRegistry | None = None
+
+
+def default_registry() -> ScenarioRegistry:
+    """The shared built-in registry (constructed once, then cached)."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = ScenarioRegistry(_builtin_specs())
+    return _DEFAULT_REGISTRY

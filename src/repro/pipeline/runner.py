@@ -1,0 +1,217 @@
+"""Scenario runner: compose stages, run specs, fan out over the engine.
+
+:func:`run_scenario` is the canonical single-scenario entry point;
+:func:`run_scenarios` runs many specs in parallel on the generation
+engine's worker pool (each spec carries its own seed, so the result list
+is deterministic for any ``workers``).  The default stage chain is the
+paper's full loop; pass a custom ``stages`` tuple to run a prefix (e.g.
+measurement only) or to splice in project-specific stages.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from ..exceptions import ParameterError
+from ..generation.engine import GenerationEngine
+from ..trace.packet import PacketTrace
+from .spec import ScenarioSpec
+from .stages import (
+    AccountFlows,
+    AccountingResult,
+    Estimate,
+    EstimationResult,
+    FitModel,
+    FitResult,
+    Generate,
+    GenerationResult,
+    PipelineContext,
+    Stage,
+    SynthesisResult,
+    Synthesize,
+    Validate,
+    ValidationReport,
+)
+
+__all__ = [
+    "DEFAULT_STAGES",
+    "MEASUREMENT_STAGES",
+    "QUICK_MODE_ENV",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "run_scenario",
+    "run_scenarios",
+    "apply_quick_mode",
+]
+
+#: The full synthesize → measure → fit → generate → validate chain.
+DEFAULT_STAGES: tuple[Stage, ...] = (
+    Synthesize(),
+    AccountFlows(),
+    Estimate(),
+    FitModel(),
+    Generate(),
+    Validate(),
+)
+
+#: The section VI measurement prefix (no generation) — what ``measure``
+#: and the experiment harness run.
+MEASUREMENT_STAGES: tuple[Stage, ...] = (
+    Synthesize(),
+    AccountFlows(),
+    Estimate(),
+    FitModel(),
+    Validate(),
+)
+
+#: Environment variable that shrinks scenario horizons for CI smoke runs.
+QUICK_MODE_ENV = "REPRO_BENCH_QUICK"
+
+#: Workload/generation horizon cap (seconds) under quick mode.
+_QUICK_DURATION = 30.0
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one scenario run produced, stage by stage."""
+
+    spec: ScenarioSpec
+    synthesis: SynthesisResult
+    accounting: AccountingResult
+    estimation: EstimationResult
+    fit: FitResult
+    validation: ValidationReport | None = None
+    generation: GenerationResult | None = None
+
+    @property
+    def trace(self) -> PacketTrace:
+        return self.synthesis.trace
+
+    def report(self) -> dict:
+        """JSON-safe report: the spec, per-stage summaries, validation."""
+        out = {
+            "spec": self.spec.to_dict(),
+            "stages": {
+                "synthesize": self.synthesis.summary(),
+                "account_flows": self.accounting.summary(),
+                "estimate": self.estimation.summary(),
+                "fit_model": self.fit.summary(),
+            },
+        }
+        if self.generation is not None:
+            out["stages"]["generate"] = self.generation.summary()
+        if self.validation is not None:
+            out["validation"] = self.validation.to_dict()
+        return out
+
+
+class ScenarioRunner:
+    """Run scenario specs through a (customisable) stage chain."""
+
+    def __init__(self, stages: tuple[Stage, ...] | None = None) -> None:
+        self.stages: tuple[Stage, ...] = (
+            tuple(stages) if stages is not None else DEFAULT_STAGES
+        )
+        for stage in self.stages:
+            if not isinstance(stage, Stage):
+                raise ParameterError(
+                    f"{stage!r} does not implement the Stage protocol "
+                    "(needs a 'name' attribute and a run(context) method)"
+                )
+
+    def run(
+        self, spec: ScenarioSpec, *, trace: PacketTrace | None = None
+    ) -> ScenarioResult:
+        """Run one scenario; ``trace`` measures an existing capture."""
+        context = PipelineContext(spec=spec, trace=trace)
+        for stage in self.stages:
+            stage.run(context)
+        for required in ("synthesis", "accounting", "estimation", "fit"):
+            context.require(required, "run_scenario")
+        return ScenarioResult(
+            spec=spec,
+            synthesis=context.synthesis,
+            accounting=context.accounting,
+            estimation=context.estimation,
+            fit=context.fit,
+            generation=context.generation,
+            validation=context.validation,
+        )
+
+    def run_many(
+        self, specs, *, workers: int = 1
+    ) -> list[ScenarioResult]:
+        """Run many specs in parallel over the engine's worker pool.
+
+        Each spec carries its own seed, so results are deterministic and
+        independent of ``workers``.
+        """
+        specs = list(specs)
+        if not specs:
+            raise ParameterError("run_many needs at least one scenario spec")
+        engine = GenerationEngine(workers=int(workers))
+        return engine.map_ordered(self.run, specs)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    trace: PacketTrace | None = None,
+    stages: tuple[Stage, ...] | None = None,
+) -> ScenarioResult:
+    """Run one scenario spec end-to-end (the canonical public API)."""
+    return ScenarioRunner(stages).run(spec, trace=trace)
+
+
+def run_scenarios(
+    specs,
+    *,
+    workers: int = 1,
+    stages: tuple[Stage, ...] | None = None,
+) -> list[ScenarioResult]:
+    """Run many scenario specs, fanned out over ``workers`` threads."""
+    return ScenarioRunner(stages).run_many(specs, workers=workers)
+
+
+def apply_quick_mode(
+    spec: ScenarioSpec, *, force: bool | None = None
+) -> ScenarioSpec:
+    """Cap scenario horizons when ``REPRO_BENCH_QUICK`` is set.
+
+    CI smoke jobs run registry scenarios end-to-end but cannot afford the
+    full 120 s intervals; quick mode trims workload and generation
+    durations to 30 s without touching any other knob.  ``force`` overrides
+    the environment check (True/False); the spec is returned unchanged
+    when quick mode is off.
+    """
+    if force is None:
+        # same convention as benchmarks/conftest.py: "" and "0" mean off
+        quick = os.environ.get(QUICK_MODE_ENV, "") not in ("", "0")
+    else:
+        quick = force
+    if not quick:
+        return spec
+    changes = {}
+    if spec.workload is not None and spec.workload.duration > _QUICK_DURATION:
+        changes["workload"] = replace(
+            spec.workload, duration=_QUICK_DURATION
+        )
+        if spec.anomaly is not None:
+            # keep the injected event inside the shortened capture
+            start = min(spec.anomaly.start, _QUICK_DURATION / 3.0)
+            duration = min(
+                spec.anomaly.duration, _QUICK_DURATION - start - 1.0
+            )
+            changes["anomaly"] = replace(
+                spec.anomaly, start=start, duration=duration
+            )
+    if (
+        spec.generation is not None
+        and spec.generation.duration is not None
+        and spec.generation.duration > _QUICK_DURATION
+    ):
+        changes["generation"] = replace(
+            spec.generation, duration=_QUICK_DURATION
+        )
+    return replace(spec, **changes) if changes else spec

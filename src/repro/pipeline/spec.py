@@ -1,0 +1,584 @@
+"""Declarative scenario specifications — the pipeline's serializable layer.
+
+A :class:`ScenarioSpec` is a frozen, validated, JSON-round-trippable
+description of one end-to-end experiment: which link/workload to
+synthesize (or which trace to measure), how to account flows, how to
+estimate the three-parameter summary (``lambda``, ``E[S]``, ``E[S^2/D]``),
+which shot powers to compare, how to generate model-driven traffic, and
+what to validate.  Specs are plain data — no callables, no live objects —
+so they can live in version-controlled JSON files, be listed in a
+:class:`~repro.pipeline.registry.ScenarioRegistry`, and be fanned out in
+parallel over the generation engine's worker pool.
+
+Every nested section is itself a frozen dataclass with its own validation;
+``ScenarioSpec.from_dict`` rejects unknown keys with a message listing the
+valid ones, so a typo in a spec file fails loudly instead of silently
+falling back to a default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+
+import numpy as np
+
+from .._util import check_positive
+from ..exceptions import ParameterError
+from ..netsim.arrivals import (
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    SessionArrivals,
+)
+from ..netsim.workloads import (
+    DEFAULT_SCALE,
+    OC12_BPS,
+    TABLE_I_ROWS,
+    LinkWorkload,
+    table_i_workload,
+)
+
+__all__ = [
+    "PRESET_ALIASES",
+    "resolve_preset",
+    "ArrivalSpec",
+    "WorkloadSpec",
+    "FlowAccountingSpec",
+    "EstimationSpec",
+    "FitSpec",
+    "GenerationSpec",
+    "AnomalySpec",
+    "ValidationSpec",
+    "ScenarioSpec",
+]
+
+#: Named presets mapping to Table I rows (matches the original CLI names:
+#: ``low`` is the 26 Mbps-class link, ``medium`` the 136 Mbps-class one,
+#: ``high`` the 262 Mbps-class one).
+PRESET_ALIASES: dict[str, int] = {"low": 3, "medium": 4, "high": 2}
+
+
+def resolve_preset(preset) -> int:
+    """Map a preset name or Table I row reference to a row index.
+
+    Accepts ``"low" | "medium" | "high"``, a row index ``0..6`` (as int or
+    string), or ``"table-i-<row>"``.  Raises :class:`ParameterError` with
+    the full list of valid choices on anything else — no bare
+    ``int(...)`` crashes on unknown names.
+    """
+    n_rows = len(TABLE_I_ROWS)
+    if isinstance(preset, (int, np.integer)):
+        index = int(preset)
+    else:
+        text = str(preset).strip().lower()
+        if text in PRESET_ALIASES:
+            return PRESET_ALIASES[text]
+        tail = text[len("table-i-"):] if text.startswith("table-i-") else text
+        try:
+            index = int(tail)
+        except ValueError:
+            choices = ", ".join(sorted(PRESET_ALIASES))
+            raise ParameterError(
+                f"unknown preset {preset!r}; valid presets are {choices}, "
+                f"a Table I row index 0-{n_rows - 1}, or 'table-i-<row>'"
+            ) from None
+    if not 0 <= index < n_rows:
+        raise ParameterError(
+            f"Table I row index must lie in 0-{n_rows - 1}, got {index}"
+        )
+    return index
+
+
+# -- serialization helpers -------------------------------------------------
+
+#: Nested spec types, keyed by (owner class name, field name); used by the
+#: strict dict decoder to rebuild sub-specs.
+_NESTED: dict[tuple[str, str], type] = {}
+
+
+def _register_nested(owner: str, name: str, spec_type: type) -> None:
+    _NESTED[(owner, name)] = spec_type
+
+
+def _to_jsonable(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _to_jsonable(getattr(value, f.name)) for f in fields(value)
+        }
+    if isinstance(value, (tuple, list)):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value
+
+
+def _spec_from_dict(cls, data, *, path: str):
+    """Strictly decode ``data`` into spec dataclass ``cls``.
+
+    Unknown keys raise with the list of valid keys; nested sections recurse
+    with a dotted path so the error pinpoints the offending entry.
+    """
+    if not isinstance(data, dict):
+        raise ParameterError(
+            f"{path} must be a JSON object, got {type(data).__name__}"
+        )
+    valid = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        raise ParameterError(
+            f"{path}: unknown key(s) {unknown}; valid keys are {sorted(valid)}"
+        )
+    kwargs = {}
+    for name in valid:
+        if name not in data:
+            continue
+        value = data[name]
+        nested = _NESTED.get((cls.__name__, name))
+        if nested is not None and value is not None:
+            value = _spec_from_dict(nested, value, path=f"{path}.{name}")
+        kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        # ParameterError is a ValueError; plain ValueError/TypeError come
+        # from mistyped values (e.g. "duration": "long") hitting float()
+        # casts — wrap them all so a bad spec file fails with the path,
+        # never a raw traceback.
+        raise ParameterError(f"{path}: {exc}") from None
+
+
+def _freeze_tuple(spec, name: str, cast=float) -> None:
+    value = getattr(spec, name)
+    object.__setattr__(spec, name, tuple(cast(v) for v in value))
+
+
+def _check_choice(path: str, value: str, choices: tuple[str, ...]) -> str:
+    if value not in choices:
+        raise ParameterError(
+            f"{path} must be one of {sorted(choices)}, got {value!r}"
+        )
+    return value
+
+
+# -- spec sections ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Serializable flow-arrival process description.
+
+    ``kind`` selects the process; only the parameters of that kind are
+    consulted.  Rates are *relative* to the workload's derived arrival rate
+    so the spec stays valid when the target utilisation changes:
+
+    * ``poisson`` — homogeneous Poisson (Assumption 1; the default).
+    * ``mmpp`` — two-state MMPP at ``rate_factors x lambda`` with the given
+      mean sojourns (seconds).
+    * ``diurnal`` — sinusoidal time-of-day ramp of relative amplitude
+      ``relative_amplitude`` and ``period`` seconds (``None`` = one full
+      period per workload duration).
+    * ``sessions`` — Poisson sessions each spawning a geometric number of
+      flows; the session rate is scaled so the mean *flow* rate stays
+      ``lambda``.
+    """
+
+    kind: str = "poisson"
+    rate_factors: tuple[float, float] = (0.5, 2.0)
+    mean_sojourns: tuple[float, float] = (10.0, 10.0)
+    relative_amplitude: float = 0.5
+    period: float | None = None
+    phase: float = 0.0
+    flows_per_session: float = 4.0
+    think_time: float = 2.0
+
+    def __post_init__(self) -> None:
+        _check_choice(
+            "arrivals.kind", self.kind, ("poisson", "mmpp", "diurnal", "sessions")
+        )
+        _freeze_tuple(self, "rate_factors")
+        _freeze_tuple(self, "mean_sojourns")
+        if len(self.rate_factors) != 2 or len(self.mean_sojourns) != 2:
+            raise ParameterError(
+                "arrivals.rate_factors and arrivals.mean_sojourns must each "
+                "have exactly two entries (two MMPP states)"
+            )
+        if not 0.0 <= float(self.relative_amplitude) < 1.0:
+            raise ParameterError(
+                "arrivals.relative_amplitude must lie in [0, 1), got "
+                f"{self.relative_amplitude!r}"
+            )
+        if self.period is not None:
+            check_positive("arrivals.period", self.period)
+        if self.flows_per_session < 1.0:
+            raise ParameterError(
+                "arrivals.flows_per_session must be >= 1, got "
+                f"{self.flows_per_session!r}"
+            )
+        check_positive("arrivals.think_time", self.think_time)
+
+    def build(self, arrival_rate: float, duration: float):
+        """Materialise the arrival process for a derived flow rate."""
+        if self.kind == "poisson":
+            return PoissonArrivals(arrival_rate)
+        if self.kind == "mmpp":
+            return MMPPArrivals(
+                [arrival_rate * f for f in self.rate_factors],
+                self.mean_sojourns,
+            )
+        if self.kind == "diurnal":
+            return DiurnalArrivals(
+                arrival_rate,
+                relative_amplitude=self.relative_amplitude,
+                period=self.period if self.period is not None else duration,
+                phase=self.phase,
+            )
+        return SessionArrivals(
+            arrival_rate / self.flows_per_session,
+            flows_per_session=self.flows_per_session,
+            think_time=self.think_time,
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Which link to synthesize: a Table I preset or custom rates.
+
+    Exactly one of ``preset`` and ``target_mean_rate_bps`` must be set.
+    ``arrivals`` optionally replaces the default Poisson flow arrivals.
+    """
+
+    preset: str | None = None
+    target_mean_rate_bps: float | None = None
+    link_capacity_bps: float | None = None
+    scale: float = DEFAULT_SCALE
+    duration: float = 120.0
+    name: str = ""
+    arrivals: ArrivalSpec | None = None
+
+    def __post_init__(self) -> None:
+        if (self.preset is None) == (self.target_mean_rate_bps is None):
+            raise ParameterError(
+                "workload needs exactly one of 'preset' (low/medium/high or "
+                "a Table I row) or 'target_mean_rate_bps' (a custom link)"
+            )
+        if self.preset is not None:
+            resolve_preset(self.preset)  # fail fast on unknown presets
+        else:
+            check_positive(
+                "workload.target_mean_rate_bps", self.target_mean_rate_bps
+            )
+        if self.link_capacity_bps is not None:
+            check_positive("workload.link_capacity_bps", self.link_capacity_bps)
+        check_positive("workload.scale", self.scale)
+        check_positive("workload.duration", self.duration)
+
+    def build(self) -> LinkWorkload:
+        """Materialise the :class:`LinkWorkload` this spec describes."""
+        if self.preset is not None:
+            workload = table_i_workload(
+                resolve_preset(self.preset),
+                scale=self.scale,
+                duration=self.duration,
+            )
+            if self.link_capacity_bps is not None:
+                workload = dataclasses.replace(
+                    workload, link_capacity_bps=self.link_capacity_bps
+                )
+        else:
+            workload = LinkWorkload(
+                name=self.name or "custom",
+                target_mean_rate_bps=self.target_mean_rate_bps,
+                link_capacity_bps=(
+                    self.link_capacity_bps
+                    if self.link_capacity_bps is not None
+                    else OC12_BPS * self.scale
+                ),
+                duration=self.duration,
+            )
+        if self.name:
+            workload = dataclasses.replace(workload, name=self.name)
+        if self.arrivals is not None and self.arrivals.kind != "poisson":
+            workload = dataclasses.replace(
+                workload,
+                arrivals=self.arrivals.build(
+                    workload.arrival_rate, self.duration
+                ),
+            )
+        return workload
+
+
+_register_nested("WorkloadSpec", "arrivals", ArrivalSpec)
+
+
+@dataclass(frozen=True)
+class FlowAccountingSpec:
+    """Flow-definition knobs for the NetFlow-style exporter (section III)."""
+
+    kind: str = "five_tuple"
+    timeout: float = 8.0
+    prefix_length: int = 24
+    min_packets: int = 2
+
+    def __post_init__(self) -> None:
+        _check_choice("flows.kind", self.kind, ("five_tuple", "prefix"))
+        check_positive("flows.timeout", self.timeout)
+        if not 1 <= int(self.prefix_length) <= 32:
+            raise ParameterError(
+                f"flows.prefix_length must lie in 1-32, got {self.prefix_length!r}"
+            )
+        if int(self.min_packets) < 1:
+            raise ParameterError(
+                f"flows.min_packets must be >= 1, got {self.min_packets!r}"
+            )
+
+
+@dataclass(frozen=True)
+class EstimationSpec:
+    """Rate measurement and parameter estimation (sections V-F and V-G).
+
+    ``estimator`` chooses how the three-parameter summary is reported:
+    ``"batch"`` computes the interval means the paper uses; ``"ewma"``
+    additionally replays the flows through the router-style
+    :class:`~repro.stats.estimators.OnlineFlowStatistics` EWMA loop and
+    reports its snapshot alongside (the batch summary always feeds the
+    fit, so the two estimators can be compared on equal footing).
+    """
+
+    delta: float = 0.2
+    estimator: str = "batch"
+    ewma_eps: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_positive("estimation.delta", self.delta)
+        _check_choice("estimation.estimator", self.estimator, ("batch", "ewma"))
+        if not 0.0 < float(self.ewma_eps) <= 1.0:
+            raise ParameterError(
+                f"estimation.ewma_eps must lie in (0, 1], got {self.ewma_eps!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FitSpec:
+    """Shot comparison and fitting (section V-D).
+
+    ``powers`` are the shot exponents whose model CoV is reported next to
+    the fitted one.  ``class_split_bytes`` enables the section VIII
+    multi-class extension: flows are partitioned into mice/elephants at
+    the byte threshold and a per-class :class:`SuperposedModel` is built
+    alongside the single-class fit.
+    """
+
+    powers: tuple[float, ...] = (0.0, 1.0, 2.0)
+    class_split_bytes: float | None = None
+
+    def __post_init__(self) -> None:
+        _freeze_tuple(self, "powers")
+        if not self.powers:
+            raise ParameterError("fit.powers must name at least one shot power")
+        for p in self.powers:
+            if not np.isfinite(p) or p < 0.0:
+                raise ParameterError(
+                    f"fit.powers entries must be finite and >= 0, got {p!r}"
+                )
+        if self.class_split_bytes is not None:
+            check_positive("fit.class_split_bytes", self.class_split_bytes)
+
+
+@dataclass(frozen=True)
+class GenerationSpec:
+    """Model-driven generation of section VII-C traffic via the engine.
+
+    ``mode``: ``"exact"`` reproduces the reference sampler bit-for-bit,
+    ``"fast"`` allows the rectangular closed-form path, ``"streamed"``
+    uses the bounded-memory cell sampler (chunk/worker invariant).
+    ``duration``/``delta``/``seed`` default to the workload duration, the
+    estimation delta and the scenario seed respectively.
+    """
+
+    duration: float | None = None
+    delta: float | None = None
+    chunk: float | None = None
+    workers: int = 1
+    mode: str = "exact"
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration is not None:
+            check_positive("generation.duration", self.duration)
+        if self.delta is not None:
+            check_positive("generation.delta", self.delta)
+        if self.chunk is not None:
+            check_positive("generation.chunk", self.chunk)
+        if int(self.workers) < 1:
+            raise ParameterError(
+                f"generation.workers must be >= 1, got {self.workers!r}"
+            )
+        _check_choice(
+            "generation.mode", self.mode, ("exact", "fast", "streamed")
+        )
+        if self.seed is not None and int(self.seed) < 0:
+            raise ParameterError(
+                f"generation.seed must be >= 0, got {self.seed!r}"
+            )
+
+
+@dataclass(frozen=True)
+class AnomalySpec:
+    """Anomaly injected into the synthesized trace (flood or outage)."""
+
+    kind: str = "flood"
+    start: float = 40.0
+    duration: float = 20.0
+    rate_bytes_per_s: float = 250e3
+    packet_size: int = 60
+    drop_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        _check_choice("anomaly.kind", self.kind, ("flood", "outage"))
+        if float(self.start) < 0.0:
+            raise ParameterError(
+                f"anomaly.start must be >= 0, got {self.start!r}"
+            )
+        check_positive("anomaly.duration", self.duration)
+        if self.kind == "flood":
+            check_positive("anomaly.rate_bytes_per_s", self.rate_bytes_per_s)
+            if int(self.packet_size) < 1:
+                raise ParameterError(
+                    f"anomaly.packet_size must be >= 1, got {self.packet_size!r}"
+                )
+        else:
+            if not 0.0 < float(self.drop_fraction) <= 1.0:
+                raise ParameterError(
+                    "anomaly.drop_fraction must lie in (0, 1], got "
+                    f"{self.drop_fraction!r}"
+                )
+
+
+@dataclass(frozen=True)
+class ValidationSpec:
+    """What the final stage checks and reports."""
+
+    epsilon: float = 0.01
+    cov_band: float = 0.20
+    max_lag: int = 25
+    qq_points: int = 50
+    detect_anomalies: bool = False
+    threshold_sigma: float = 3.0
+    min_run: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < float(self.epsilon) < 1.0:
+            raise ParameterError(
+                f"validation.epsilon must lie in (0, 1), got {self.epsilon!r}"
+            )
+        check_positive("validation.cov_band", self.cov_band)
+        if int(self.max_lag) < 1:
+            raise ParameterError(
+                f"validation.max_lag must be >= 1, got {self.max_lag!r}"
+            )
+        if int(self.qq_points) < 10:
+            raise ParameterError(
+                f"validation.qq_points must be >= 10, got {self.qq_points!r}"
+            )
+        check_positive("validation.threshold_sigma", self.threshold_sigma)
+        if int(self.min_run) < 1:
+            raise ParameterError(
+                f"validation.min_run must be >= 1, got {self.min_run!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative synthesize → measure → fit → generate → validate run.
+
+    ``workload`` may be ``None`` only when the pipeline is run on an
+    externally provided trace (``run_scenario(spec, trace=...)``);
+    ``generation: null`` in JSON skips the generation stage.
+    """
+
+    name: str
+    description: str = ""
+    seed: int = 0
+    workload: WorkloadSpec | None = None
+    flows: FlowAccountingSpec = field(default_factory=FlowAccountingSpec)
+    estimation: EstimationSpec = field(default_factory=EstimationSpec)
+    fit: FitSpec = field(default_factory=FitSpec)
+    generation: GenerationSpec | None = field(default_factory=GenerationSpec)
+    anomaly: AnomalySpec | None = None
+    validation: ValidationSpec = field(default_factory=ValidationSpec)
+
+    def __post_init__(self) -> None:
+        if not str(self.name).strip():
+            raise ParameterError("scenario name must be a non-empty string")
+        if int(self.seed) < 0:
+            raise ParameterError(f"seed must be >= 0, got {self.seed!r}")
+        if self.anomaly is not None and self.workload is None:
+            raise ParameterError(
+                "anomaly injection needs a synthesized workload; give the "
+                "spec a 'workload' section"
+            )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain JSON-safe dict; ``from_dict`` inverts it exactly."""
+        return _to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Strict inverse of :meth:`to_dict` (unknown keys are errors)."""
+        return _spec_from_dict(cls, data, path="spec")
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(f"spec is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def to_file(self, path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_file(cls, path) -> "ScenarioSpec":
+        path = Path(path)
+        if not path.is_file():
+            raise ParameterError(
+                f"spec file {path} does not exist or is not a regular file"
+            )
+        return cls.from_json(path.read_text())
+
+    # -- convenience -----------------------------------------------------
+
+    def with_overrides(self, **changes) -> "ScenarioSpec":
+        """A copy with top-level fields replaced (dicts are decoded)."""
+        decoded = {}
+        for key, value in changes.items():
+            nested = _NESTED.get(("ScenarioSpec", key))
+            if nested is not None and isinstance(value, dict):
+                value = _spec_from_dict(nested, value, path=f"spec.{key}")
+            decoded[key] = value
+        return dataclasses.replace(self, **decoded)
+
+
+for _name, _type in (
+    ("workload", WorkloadSpec),
+    ("flows", FlowAccountingSpec),
+    ("estimation", EstimationSpec),
+    ("fit", FitSpec),
+    ("generation", GenerationSpec),
+    ("anomaly", AnomalySpec),
+    ("validation", ValidationSpec),
+):
+    _register_nested("ScenarioSpec", _name, _type)

@@ -1,0 +1,636 @@
+"""Composable pipeline stages: synthesize → measure → fit → generate → validate.
+
+Each stage is a small object with a ``name`` and a ``run(context)`` method
+(the :class:`Stage` protocol).  Stages read and write a shared
+:class:`PipelineContext` and return a typed result object; the default
+stage chain reproduces the paper's section VI/VII loop exactly — the same
+calls in the same order as the pre-pipeline CLI and harness, so Table I
+presets produce bit-for-bit identical traces and statistics through the
+new front door.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from .._util import as_rng
+from ..applications.anomaly import (
+    AnomalyDetector,
+    AnomalyEvent,
+    inject_flood,
+    inject_outage,
+)
+from ..core.fitting import PowerFit
+from ..core.model import PoissonShotNoiseModel, SuperposedModel
+from ..core.shots import PowerShot
+from ..exceptions import ParameterError, ReproError
+from ..flows.exporter import export_flows
+from ..flows.records import FlowSet
+from ..generation.engine import GenerationEngine
+from ..netsim.workloads import LinkWorkload
+from ..stats.estimators import OnlineFlowStatistics
+from ..stats.qq import ExponentialityReport, exponentiality
+from ..stats.timeseries import RateSeries
+from ..trace.packet import PacketTrace
+from .spec import ScenarioSpec
+
+__all__ = [
+    "Stage",
+    "PipelineContext",
+    "SynthesisResult",
+    "AccountingResult",
+    "EstimationResult",
+    "FitResult",
+    "GenerationResult",
+    "ValidationReport",
+    "Synthesize",
+    "AccountFlows",
+    "Estimate",
+    "FitModel",
+    "Generate",
+    "Validate",
+]
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One pipeline step: consumes/extends the context, returns a result."""
+
+    name: str
+
+    def run(self, context: "PipelineContext"): ...
+
+
+@dataclass
+class PipelineContext:
+    """Mutable bag of artifacts shared by the stages of one scenario run."""
+
+    spec: ScenarioSpec
+    trace: PacketTrace | None = None
+    workload: LinkWorkload | None = None
+    synthesis: "SynthesisResult | None" = None
+    accounting: "AccountingResult | None" = None
+    estimation: "EstimationResult | None" = None
+    fit: "FitResult | None" = None
+    generation: "GenerationResult | None" = None
+    validation: "ValidationReport | None" = None
+
+    def require(self, attribute: str, needed_by: str):
+        value = getattr(self, attribute)
+        if value is None:
+            raise ParameterError(
+                f"stage {needed_by!r} needs {attribute!r}; run the producing "
+                "stage first (or pass trace=... to run_scenario)"
+            )
+        return value
+
+
+# -- typed stage results ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Output of :class:`Synthesize`."""
+
+    trace: PacketTrace
+    workload: LinkWorkload | None
+    source: str  # "synthesized" or "provided"
+    anomaly: str | None = None
+
+    def summary(self) -> dict:
+        return {
+            "name": self.trace.name,
+            "source": self.source,
+            "packets": int(len(self.trace)),
+            "duration_s": float(self.trace.duration),
+            "mean_rate_bps": float(self.trace.mean_rate_bps),
+            "utilization": float(self.trace.utilization),
+            "anomaly": self.anomaly,
+        }
+
+
+@dataclass(frozen=True)
+class AccountingResult:
+    """Output of :class:`AccountFlows`."""
+
+    flows: FlowSet
+
+    def summary(self) -> dict:
+        return {
+            "kind": self.flows.key_kind,
+            "n_flows": int(len(self.flows)),
+            "timeout_s": float(self.flows.timeout),
+            "discarded_packets": int(self.flows.discarded_packets),
+        }
+
+
+@dataclass(frozen=True)
+class EstimationResult:
+    """Output of :class:`Estimate`: the measured series + the summary."""
+
+    series: RateSeries
+    statistics: "object"  # FlowStatistics
+    online_statistics: "object | None" = None  # EWMA snapshot when requested
+
+    def summary(self) -> dict:
+        stats = self.statistics
+        out = {
+            "delta_s": float(self.series.delta),
+            "n_samples": int(len(self.series)),
+            "measured_mean_bps": float(self.series.mean * 8.0),
+            "measured_cov": float(self.series.coefficient_of_variation),
+            "arrival_rate": float(stats.arrival_rate),
+            "mean_size_bytes": float(stats.mean_size),
+            "mean_square_size_over_duration": float(
+                stats.mean_square_size_over_duration
+            ),
+            "mean_duration_s": (
+                float(stats.mean_duration)
+                if np.isfinite(stats.mean_duration)
+                else None
+            ),
+        }
+        if self.online_statistics is not None:
+            online = self.online_statistics
+            out["ewma"] = {
+                "arrival_rate": float(online.arrival_rate),
+                "mean_size_bytes": float(online.mean_size),
+                "mean_square_size_over_duration": float(
+                    online.mean_square_size_over_duration
+                ),
+            }
+        return out
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Output of :class:`FitModel`."""
+
+    model: PoissonShotNoiseModel
+    power_fit: PowerFit
+    fitted: PoissonShotNoiseModel
+    model_cov: dict[float, float]
+    superposed: SuperposedModel | None = None
+    class_note: str | None = None
+
+    def summary(self) -> dict:
+        out = {
+            "fitted_power": float(self.power_fit.power),
+            "kappa": float(self.power_fit.kappa),
+            "clipped": bool(self.power_fit.clipped),
+            "model_mean_bps": float(self.model.mean * 8.0),
+            "model_cov": {
+                f"{power:g}": float(cov)
+                for power, cov in self.model_cov.items()
+            },
+            "fitted_cov": float(self.fitted.coefficient_of_variation),
+        }
+        if self.superposed is not None:
+            out["superposed"] = {
+                "n_classes": len(self.superposed.components),
+                "mean_bps": float(self.superposed.mean * 8.0),
+                "cov": float(self.superposed.coefficient_of_variation),
+            }
+        if self.class_note:
+            out["class_note"] = self.class_note
+        return out
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Output of :class:`Generate`: the model-driven rate path."""
+
+    series: RateSeries
+    mode: str
+    seed: int
+    chunk: float | None
+    workers: int
+
+    def summary(self) -> dict:
+        return {
+            "mode": self.mode,
+            "seed": int(self.seed),
+            "chunk_s": None if self.chunk is None else float(self.chunk),
+            "workers": int(self.workers),
+            "n_samples": int(len(self.series)),
+            "generated_mean_bps": float(self.series.mean * 8.0),
+            "generated_cov": float(self.series.coefficient_of_variation),
+        }
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Measured-vs-model comparison: the pipeline's final artifact."""
+
+    scenario: str
+    seed: int
+    measured_cov: float
+    measured_mean_bps: float
+    model_cov: dict[float, float]
+    fitted_power: float
+    fitted_cov: float
+    relative_error: float
+    cov_band: float
+    within_band: bool
+    required_capacity_bps: float
+    epsilon: float
+    autocorrelation_lags_s: tuple[float, ...] = ()
+    autocorrelation_measured: tuple[float, ...] = ()
+    autocorrelation_model: tuple[float, ...] = ()
+    autocorrelation_rmse: float = float("nan")
+    interarrivals: ExponentialityReport | None = None
+    generated_cov: float | None = None
+    generated_vs_measured_error: float | None = None
+    superposed_cov: float | None = None
+    anomalies: tuple[AnomalyEvent, ...] = ()
+    anomaly_delta_s: float | None = None
+
+    @property
+    def passed(self) -> bool:
+        """The paper's headline check: fitted CoV inside the ±band."""
+        return self.within_band
+
+    def to_dict(self) -> dict:
+        """JSON-safe report (what ``python -m repro run --report`` writes)."""
+        out = {
+            "scenario": self.scenario,
+            "seed": int(self.seed),
+            "passed": bool(self.passed),
+            "measured": {
+                "cov": float(self.measured_cov),
+                "mean_bps": float(self.measured_mean_bps),
+            },
+            "model": {
+                "cov_by_power": {
+                    f"{p:g}": float(c) for p, c in self.model_cov.items()
+                },
+                "fitted_power": float(self.fitted_power),
+                "fitted_cov": float(self.fitted_cov),
+            },
+            "cov_relative_error": float(self.relative_error),
+            "cov_band": float(self.cov_band),
+            "within_band": bool(self.within_band),
+            "provisioning": {
+                "epsilon": float(self.epsilon),
+                "required_capacity_bps": float(self.required_capacity_bps),
+            },
+            "autocorrelation": {
+                "lags_s": [float(v) for v in self.autocorrelation_lags_s],
+                "measured": [float(v) for v in self.autocorrelation_measured],
+                "model": [float(v) for v in self.autocorrelation_model],
+                "rmse": float(self.autocorrelation_rmse),
+            },
+        }
+        if self.interarrivals is not None:
+            out["interarrivals"] = {
+                "ks_statistic": float(self.interarrivals.ks_statistic),
+                "ks_pvalue": float(self.interarrivals.ks_pvalue),
+                "cov": float(self.interarrivals.cov),
+                "qq_correlation": float(self.interarrivals.qq_correlation),
+                "plausibly_exponential": bool(
+                    self.interarrivals.plausibly_exponential
+                ),
+            }
+        if self.generated_cov is not None:
+            out["generation"] = {
+                "cov": float(self.generated_cov),
+                "vs_measured_error": float(self.generated_vs_measured_error),
+            }
+        if self.superposed_cov is not None:
+            out["superposed_cov"] = float(self.superposed_cov)
+        if self.anomaly_delta_s is not None:
+            out["anomalies"] = [
+                {
+                    "kind": event.kind,
+                    "start_s": float(event.start_time(self.anomaly_delta_s)),
+                    "duration_s": float(event.n_samples * self.anomaly_delta_s),
+                    "peak_z": float(event.peak_z),
+                }
+                for event in self.anomalies
+            ]
+        return out
+
+
+# -- built-in stages --------------------------------------------------------
+
+
+class Synthesize:
+    """Materialise the workload and synthesize (or adopt) a packet trace.
+
+    When the context already carries a trace (measuring an external
+    capture) the stage records it as ``source="provided"`` and skips
+    synthesis — anomaly injection still applies.
+    """
+
+    name = "synthesize"
+
+    def run(self, context: PipelineContext) -> SynthesisResult:
+        spec = context.spec
+        anomaly_label = None
+        if context.trace is not None:
+            trace = context.trace
+            source = "provided"
+        else:
+            if spec.workload is None:
+                raise ParameterError(
+                    f"scenario {spec.name!r} has no workload section and no "
+                    "trace was provided; add a 'workload' to the spec or "
+                    "call run_scenario(spec, trace=...)"
+                )
+            context.workload = spec.workload.build()
+            trace = context.workload.synthesize(seed=spec.seed).trace
+            source = "synthesized"
+        if spec.anomaly is not None:
+            trace = _apply_anomaly(trace, spec)
+            anomaly_label = spec.anomaly.kind
+        context.trace = trace
+        context.synthesis = SynthesisResult(
+            trace=trace,
+            workload=context.workload,
+            source=source,
+            anomaly=anomaly_label,
+        )
+        return context.synthesis
+
+
+def _apply_anomaly(trace: PacketTrace, spec: ScenarioSpec) -> PacketTrace:
+    anomaly = spec.anomaly
+    # dedicated child stream so injection never perturbs synthesis draws
+    rng = as_rng(np.random.default_rng([int(spec.seed), 0xA40]))
+    if anomaly.kind == "flood":
+        return inject_flood(
+            trace,
+            start=anomaly.start,
+            duration=anomaly.duration,
+            rate_bytes_per_s=anomaly.rate_bytes_per_s,
+            packet_size=int(anomaly.packet_size),
+            rng=rng,
+        )
+    return inject_outage(
+        trace,
+        start=anomaly.start,
+        duration=anomaly.duration,
+        drop_fraction=anomaly.drop_fraction,
+        rng=rng,
+    )
+
+
+class AccountFlows:
+    """NetFlow-style flow accounting over the trace (section III)."""
+
+    name = "account_flows"
+
+    def run(self, context: PipelineContext) -> AccountingResult:
+        spec = context.spec
+        trace = context.require("trace", self.name)
+        flows = export_flows(
+            trace,
+            key=spec.flows.kind,
+            timeout=spec.flows.timeout,
+            min_packets=int(spec.flows.min_packets),
+            prefix_length=int(spec.flows.prefix_length),
+            keep_packet_map=True,
+        )
+        context.accounting = AccountingResult(flows=flows)
+        return context.accounting
+
+
+class Estimate:
+    """Measured rate series + three-parameter summary (sections V-F/V-G)."""
+
+    name = "estimate"
+
+    def run(self, context: PipelineContext) -> EstimationResult:
+        spec = context.spec
+        trace = context.require("trace", self.name)
+        flows = context.require("accounting", self.name).flows
+        series = RateSeries.from_packets(
+            trace,
+            spec.estimation.delta,
+            packet_mask=flows.packet_flow_ids >= 0,
+        )
+        statistics = flows.statistics(trace.duration)
+        online = None
+        if spec.estimation.estimator == "ewma":
+            online = _ewma_replay(flows, spec.estimation.ewma_eps)
+        context.estimation = EstimationResult(
+            series=series, statistics=statistics, online_statistics=online
+        )
+        return context.estimation
+
+
+def _ewma_replay(flows: FlowSet, eps: float):
+    """Replay the flow set through the router-style EWMA estimators."""
+    online = OnlineFlowStatistics(eps=eps)
+    for start in np.sort(flows.starts):
+        online.observe_arrival(float(start))
+    order = np.argsort(flows.ends, kind="stable")
+    for size, duration in zip(flows.sizes[order], flows.durations[order]):
+        online.observe_departure(float(size), float(duration))
+    return online.snapshot() if online.ready else None
+
+
+class FitModel:
+    """Parameterise the shot-noise model and fit the shot power."""
+
+    name = "fit_model"
+
+    def run(self, context: PipelineContext) -> FitResult:
+        spec = context.spec
+        trace = context.require("trace", self.name)
+        flows = context.require("accounting", self.name).flows
+        series = context.require("estimation", self.name).series
+        model = PoissonShotNoiseModel.from_flows(
+            flows.sizes, flows.durations, trace.duration
+        )
+        power_fit = model.fit_power(series.variance)
+        fitted = model.with_shot(power_fit.shot)
+        model_cov = {
+            float(b): model.with_shot(PowerShot(b)).coefficient_of_variation
+            for b in spec.fit.powers
+        }
+        superposed, note = None, None
+        if spec.fit.class_split_bytes is not None:
+            superposed, note = _fit_classes(
+                flows, trace.duration, spec.fit.class_split_bytes,
+                power_fit.shot,
+            )
+        context.fit = FitResult(
+            model=model,
+            power_fit=power_fit,
+            fitted=fitted,
+            model_cov=model_cov,
+            superposed=superposed,
+            class_note=note,
+        )
+        return context.fit
+
+
+def _fit_classes(flows, duration, threshold, shot):
+    """Mice/elephants split → per-class models → SuperposedModel."""
+    try:
+        mice, elephants = flows.partition_by_size(threshold)
+    except ParameterError:
+        return None, (
+            f"class split at {threshold:g} B left one class empty; "
+            "superposition skipped"
+        )
+    components = [
+        PoissonShotNoiseModel.from_flows(
+            part.sizes, part.durations, duration, shot=shot
+        )
+        for part in (mice, elephants)
+    ]
+    return SuperposedModel(components), None
+
+
+class Generate:
+    """Model-driven rate generation through the engine (section VII-C)."""
+
+    name = "generate"
+
+    def run(self, context: PipelineContext) -> GenerationResult | None:
+        spec = context.spec
+        if spec.generation is None:
+            return None
+        trace = context.require("trace", self.name)
+        fitted = context.require("fit", self.name).fitted
+        gen = spec.generation
+        duration = gen.duration if gen.duration is not None else trace.duration
+        delta = gen.delta if gen.delta is not None else spec.estimation.delta
+        seed = gen.seed if gen.seed is not None else spec.seed
+        engine = GenerationEngine(
+            chunk=gen.chunk, workers=int(gen.workers)
+        )
+        if gen.mode == "streamed":
+            series = engine.rate_series_streamed(
+                fitted.arrival_rate,
+                fitted.ensemble,
+                fitted.shot,
+                duration,
+                delta,
+                seed=int(seed),
+            )
+        else:
+            series = engine.rate_series(
+                fitted.arrival_rate,
+                fitted.ensemble,
+                fitted.shot,
+                duration,
+                delta,
+                rng=as_rng(int(seed)),
+                exact=gen.mode == "exact",
+            )
+        context.generation = GenerationResult(
+            series=series,
+            mode=gen.mode,
+            seed=int(seed),
+            chunk=gen.chunk,
+            workers=int(gen.workers),
+        )
+        return context.generation
+
+
+class Validate:
+    """Measured-vs-model comparison: CoV band, autocorrelation, QQ."""
+
+    name = "validate"
+
+    def run(self, context: PipelineContext) -> ValidationReport:
+        spec = context.spec
+        trace = context.require("trace", self.name)
+        flows = context.require("accounting", self.name).flows
+        estimation = context.require("estimation", self.name)
+        fit = context.require("fit", self.name)
+        series = estimation.series
+
+        measured_cov = series.coefficient_of_variation
+        fitted_cov = fit.fitted.coefficient_of_variation
+        relative_error = fitted_cov / measured_cov - 1.0
+
+        max_lag = min(int(spec.validation.max_lag), len(series) - 1)
+        lags_s: tuple[float, ...] = ()
+        acf_measured: tuple[float, ...] = ()
+        acf_model: tuple[float, ...] = ()
+        rmse = float("nan")
+        if max_lag >= 1:
+            lag_axis = np.arange(1, max_lag + 1) * series.delta
+            measured_acf = series.autocorrelation(max_lag)
+            model_acf = np.asarray(fit.fitted.autocorrelation(lag_axis))
+            lags_s = tuple(float(v) for v in lag_axis)
+            acf_measured = tuple(float(v) for v in measured_acf)
+            acf_model = tuple(float(v) for v in model_acf)
+            rmse = float(
+                np.sqrt(np.mean((measured_acf - model_acf) ** 2))
+            )
+
+        interarrivals = None
+        gaps = np.diff(np.sort(flows.starts))
+        gaps = gaps[gaps > 0.0]
+        if gaps.size >= max(10, int(spec.validation.qq_points) // 5):
+            try:
+                interarrivals = exponentiality(gaps)
+            except ReproError:
+                interarrivals = None
+
+        generated_cov = None
+        generated_error = None
+        if context.generation is not None:
+            generated_cov = (
+                context.generation.series.coefficient_of_variation
+            )
+            generated_error = generated_cov / measured_cov - 1.0
+
+        superposed_cov = None
+        if fit.superposed is not None:
+            superposed_cov = fit.superposed.coefficient_of_variation
+
+        anomalies: tuple[AnomalyEvent, ...] = ()
+        anomaly_delta = None
+        if spec.validation.detect_anomalies:
+            # A router watches the raw link rate: detection runs on the
+            # unmasked series (floods of single-packet flows are excluded
+            # from the *measured* series by the exporter's discard rule).
+            # The baseline is the rectangular-shot model — its variance
+            # comes from flow statistics alone (Theorem 3), so an anomaly
+            # that inflates the measured variance cannot widen the fitted
+            # band and mask itself.
+            raw = RateSeries.from_packets(trace, spec.estimation.delta)
+            detector = AnomalyDetector(
+                fit.model.gaussian(),
+                threshold_sigma=spec.validation.threshold_sigma,
+                min_run=int(spec.validation.min_run),
+            )
+            anomalies = tuple(detector.detect(raw))
+            anomaly_delta = float(spec.estimation.delta)
+
+        context.validation = ValidationReport(
+            scenario=spec.name,
+            seed=int(spec.seed),
+            measured_cov=float(measured_cov),
+            measured_mean_bps=float(series.mean * 8.0),
+            model_cov=dict(fit.model_cov),
+            fitted_power=float(fit.power_fit.power),
+            fitted_cov=float(fitted_cov),
+            relative_error=float(relative_error),
+            cov_band=float(spec.validation.cov_band),
+            within_band=bool(abs(relative_error) <= spec.validation.cov_band),
+            required_capacity_bps=float(
+                8.0 * fit.fitted.required_capacity(spec.validation.epsilon)
+            ),
+            epsilon=float(spec.validation.epsilon),
+            autocorrelation_lags_s=lags_s,
+            autocorrelation_measured=acf_measured,
+            autocorrelation_model=acf_model,
+            autocorrelation_rmse=rmse,
+            interarrivals=interarrivals,
+            generated_cov=generated_cov,
+            generated_vs_measured_error=generated_error,
+            superposed_cov=superposed_cov,
+            anomalies=anomalies,
+            anomaly_delta_s=anomaly_delta,
+        )
+        return context.validation

@@ -75,6 +75,22 @@ class TestMoments:
         stats = make_stats(arrival_rate=10.0, mean_duration=3.0)
         assert stats.offered_load == pytest.approx(30.0)
 
+    def test_offered_load_without_duration_raises(self):
+        """The NaN default must not silently poison the M/G/inf load."""
+        stats = make_stats(mean_duration=float("nan"))
+        assert not stats.has_mean_duration
+        with pytest.raises(ParameterError, match="mean_duration"):
+            stats.offered_load
+
+    def test_has_mean_duration(self):
+        assert make_stats().has_mean_duration
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf")])
+    def test_rejects_invalid_mean_duration(self, bad):
+        """NaN means "unknown"; anything else must be a valid E[D]."""
+        with pytest.raises(ParameterError):
+            make_stats(mean_duration=bad)
+
     def test_variance_rejects_bad_factor(self):
         with pytest.raises(ParameterError):
             make_stats().variance(0.0)

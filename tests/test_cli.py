@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
+from repro.pipeline import ScenarioSpec, WorkloadSpec
 from repro.trace import read_trace
 
 
@@ -33,6 +36,22 @@ class TestSynthesize:
         assert "wrote" in out
         trace = read_trace(path)
         assert trace.utilization < 0.1  # the 26 Mbps-class link
+
+    def test_unknown_preset_friendly_error(self, tmp_path, capsys):
+        """No bare int() crash: list the valid presets instead."""
+        code = main(["synthesize", str(tmp_path / "x.rptr"),
+                     "--preset", "enormous"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown preset 'enormous'" in err
+        assert "low" in err and "medium" in err and "high" in err
+        assert "0-6" in err
+
+    def test_out_of_range_row_friendly_error(self, tmp_path, capsys):
+        code = main(["synthesize", str(tmp_path / "x.rptr"),
+                     "--preset", "9"])
+        assert code == 2
+        assert "0-6" in capsys.readouterr().err
 
 
 class TestMeasure:
@@ -65,6 +84,82 @@ class TestGenerate:
         assert generated.mean_rate_bps == pytest.approx(
             original.mean_rate_bps, rel=0.3
         )
+
+
+class TestRun:
+    def test_registry_scenario_with_report(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        report_path = tmp_path / "report.json"
+        assert main(["run", "medium", "--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario   : medium" in out
+        assert "CoV" in out
+        report = json.loads(report_path.read_text())
+        assert report["spec"]["name"] == "medium"
+        assert report["spec"]["workload"]["duration"] == 30.0  # quick mode
+        assert "within_band" in report["validation"]
+        assert "generate" in report["stages"]
+
+    def test_spec_file(self, tmp_path, capsys):
+        spec = ScenarioSpec(
+            name="custom-file",
+            workload=WorkloadSpec(preset="low", duration=20.0),
+            generation=None,
+        )
+        path = spec.to_file(tmp_path / "custom.json")
+        assert main(["run", str(path)]) == 0
+        assert "custom-file" in capsys.readouterr().out
+
+    def test_seed_override(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        assert main(["run", "low", "--seed", "5"]) == 0
+        assert "scenario   : low" in capsys.readouterr().out
+
+    def test_unknown_scenario_lists_names(self, capsys):
+        assert main(["run", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario 'nope'" in err
+        assert "medium" in err
+
+    def test_bad_spec_file_is_friendly(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"name": "x", "bogus": 1}')
+        assert main(["run", str(path)]) == 2
+        assert "unknown key" in capsys.readouterr().err
+
+    def test_mistyped_spec_value_is_friendly(self, tmp_path, capsys):
+        path = tmp_path / "typed.json"
+        path.write_text(
+            '{"name": "x", "workload": {"preset": "low", '
+            '"duration": "long"}}'
+        )
+        assert main(["run", str(path)]) == 2
+        assert "spec.workload" in capsys.readouterr().err
+
+    def test_registry_name_wins_over_same_named_directory(
+            self, tmp_path, capsys, monkeypatch):
+        """A ./medium directory must not shadow the registry scenario."""
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "medium").mkdir()
+        assert main(["run", "medium"]) == 0
+        assert "scenario   : medium" in capsys.readouterr().out
+
+    def test_spec_path_that_is_a_directory_is_friendly(self, tmp_path,
+                                                       capsys):
+        (tmp_path / "spec.json").mkdir()
+        assert main(["run", str(tmp_path / "spec.json")]) == 2
+        assert "not a regular file" in capsys.readouterr().err
+
+
+class TestListScenarios:
+    def test_lists_registry(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("medium", "table-i-0", "mice-elephants",
+                     "diurnal-ramp", "flash-flood"):
+            assert name in out
 
 
 class TestParser:
