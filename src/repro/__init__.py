@@ -38,7 +38,10 @@ stats
 prediction
     Section VII-B linear (moving-average) rate predictors.
 generation
-    Section VII-C shot-noise traffic generation.
+    Section VII-C shot-noise traffic generation (the generation engine).
+measurement
+    Streaming, sharded measurement engine: out-of-core flow accounting
+    and rate measurement, chunk/worker invariant.
 applications
     Section VII-A dimensioning, anomaly detection, edge+routing monitoring.
 baselines
@@ -52,6 +55,7 @@ from . import (
     experiments,
     flows,
     generation,
+    measurement,
     netsim,
     pipeline,
     prediction,
@@ -111,6 +115,7 @@ __all__ = [
     "stats",
     "prediction",
     "generation",
+    "measurement",
     "applications",
     "baselines",
     "experiments",

@@ -21,6 +21,7 @@ Examples::
     python -m repro list-scenarios
     python -m repro synthesize /tmp/link.rptr --preset medium --seed 7
     python -m repro measure /tmp/link.rptr --flow-kind five_tuple
+    python -m repro measure /tmp/link.rptr --chunk 500000 --workers 4
     python -m repro generate /tmp/link.rptr /tmp/synthetic.rptr --chunk 30
     python -m repro scenario /tmp/links --workers 4 --seed 3
 """
@@ -32,13 +33,16 @@ import json
 import sys
 from pathlib import Path
 
+from .core import PoissonShotNoiseModel
 from .exceptions import ParameterError, ReproError
 from .generation import GenerationEngine, generate_packet_trace
+from .measurement import MeasurementEngine
 from .netsim import synthesize_scenario, table_i_workloads
 from .pipeline import (
     EstimationSpec,
     FlowAccountingSpec,
     MEASUREMENT_STAGES,
+    MeasurementSpec,
     ScenarioSpec,
     Synthesize,
     ValidationSpec,
@@ -73,8 +77,18 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _measure_spec(args: argparse.Namespace, *, name: str) -> ScenarioSpec:
-    """Scenario spec equivalent of the measure-style CLI flags."""
+def _measure_spec(
+    args: argparse.Namespace,
+    *,
+    name: str,
+    workers: int = 1,
+) -> ScenarioSpec:
+    """Scenario spec equivalent of the measure-style CLI flags.
+
+    ``measure --chunk N`` does not pass through here: the streaming path
+    (:func:`_cmd_measure_streaming`) bypasses the pipeline so the trace
+    file is never materialised.
+    """
     return ScenarioSpec(
         name=name,
         workload=None,
@@ -83,36 +97,115 @@ def _measure_spec(args: argparse.Namespace, *, name: str) -> ScenarioSpec:
             timeout=args.timeout,
             prefix_length=args.prefix_length,
         ),
+        measurement=MeasurementSpec(workers=workers),
         estimation=EstimationSpec(delta=args.delta),
         validation=ValidationSpec(epsilon=getattr(args, "epsilon", 0.01)),
         generation=None,
     )
 
 
-def _cmd_measure(args: argparse.Namespace) -> int:
-    trace = read_trace(args.trace)
-    spec = _measure_spec(args, name=Path(args.trace).stem)
-    result = run_scenario(spec, trace=trace, stages=MEASUREMENT_STAGES)
-    flows = result.accounting.flows
-    stats = result.estimation.statistics
-    fit = result.fit.power_fit
-    report = result.validation
+def _trace_line(name, packet_count, duration, utilization) -> str:
+    """The ``trace :`` report line, shared by both measure paths.
 
-    print(f"trace      : {result.trace}")
+    One format string for the in-memory and streaming branches keeps the
+    CLI outputs byte-identical by construction (pinned by the CLI tests)
+    without tying the report to ``PacketTrace.__repr__``.
+    """
+    return (
+        f"PacketTrace(name={name!r}, packets={packet_count}, "
+        f"duration={duration:g}s, utilization={utilization:.1%})"
+    )
+
+
+def _print_measurement(
+    args, trace_line, flows, stats, model, fit, series, fitted_cov,
+    capacity_bps,
+) -> None:
+    """Shared section VI report printer (in-memory and streaming paths)."""
+    print(f"trace      : {trace_line}")
     print(f"flows      : {len(flows)} ({args.flow_kind}, "
           f"timeout {args.timeout:g} s, {flows.discarded_packets} pkts "
           "discarded as single-packet flows)")
     print(f"parameters : lambda = {stats.arrival_rate:.2f}/s   "
           f"E[S] = {stats.mean_size:.0f} B   "
           f"E[S^2/D] = {stats.mean_square_size_over_duration:.4g} B^2/s")
-    print(f"mean rate  : model {result.fit.model.mean * 8 / 1e6:.3f} Mbps   "
-          f"measured {result.estimation.series.mean * 8 / 1e6:.3f} Mbps")
-    print(f"CoV        : measured {report.measured_cov:.2%}   "
-          f"model(b={fit.power:.2f}) {report.fitted_cov:.2%}")
+    print(f"mean rate  : model {model.mean * 8 / 1e6:.3f} Mbps   "
+          f"measured {series.mean * 8 / 1e6:.3f} Mbps")
+    print(f"CoV        : measured {series.coefficient_of_variation:.2%}   "
+          f"model(b={fit.power:.2f}) {fitted_cov:.2%}")
     print(f"shot fit   : b = {fit.power:.2f}  (kappa = {fit.kappa:.2f}"
           f"{', clipped' if fit.clipped else ''})")
-    print(f"capacity   : {report.required_capacity_bps / 1e6:.3f} Mbps for "
+    print(f"capacity   : {capacity_bps / 1e6:.3f} Mbps for "
           f"P(congestion) <= {args.epsilon:g}")
+
+
+def _cmd_measure_streaming(args: argparse.Namespace) -> int:
+    """Out-of-core ``measure --chunk N``: the capture never leaves disk.
+
+    Packets stream through :meth:`MeasurementEngine.measure_file`, so
+    peak memory is bounded by the chunk (plus the open-flow carry
+    tables) — and the printed report is byte-identical to the in-memory
+    path, which the CLI tests pin.
+    """
+    engine = MeasurementEngine(chunk=args.chunk, workers=args.workers)
+    measured = engine.measure_file(
+        args.trace,
+        delta=args.delta,
+        key=args.flow_kind,
+        timeout=args.timeout,
+        prefix_length=args.prefix_length,
+    )
+    flows = measured.flows
+    stats = flows.statistics(measured.duration)
+    # mirrors FitModel.run / Validate's required_capacity_bps; the CLI
+    # byte-equality test pins the two branches together
+    model = PoissonShotNoiseModel.from_flows(
+        flows.sizes, flows.durations, measured.duration
+    )
+    fit = model.fit_power(measured.series.variance)
+    fitted = model.with_shot(fit.shot)
+    _print_measurement(
+        args,
+        _trace_line(
+            Path(args.trace).stem, measured.packet_count,
+            measured.duration, measured.utilization,
+        ),
+        flows, stats, model, fit, measured.series,
+        fitted.coefficient_of_variation,
+        8.0 * fitted.required_capacity(args.epsilon),
+    )
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    if args.chunk < 0:
+        return _fail(
+            f"--chunk must be >= 0 (0 = in-memory path), got {args.chunk}"
+        )
+    if args.workers < 1:
+        return _fail(f"--workers must be >= 1, got {args.workers}")
+    if args.chunk > 0:
+        return _cmd_measure_streaming(args)
+    trace = read_trace(args.trace)
+    spec = _measure_spec(
+        args, name=Path(args.trace).stem, workers=args.workers
+    )
+    result = run_scenario(spec, trace=trace, stages=MEASUREMENT_STAGES)
+    report = result.validation
+    _print_measurement(
+        args,
+        _trace_line(
+            result.trace.name, len(result.trace), result.trace.duration,
+            result.trace.utilization,
+        ),
+        result.accounting.flows,
+        result.estimation.statistics,
+        result.fit.model,
+        result.fit.power_fit,
+        result.estimation.series,
+        report.fitted_cov,
+        report.required_capacity_bps,
+    )
     return 0
 
 
@@ -295,6 +388,18 @@ def build_parser() -> argparse.ArgumentParser:
     meas.add_argument(
         "--epsilon", type=float, default=0.01,
         help="target congestion probability for provisioning",
+    )
+    meas.add_argument(
+        "--chunk", type=int, default=0,
+        help="measurement-engine chunk in packets: stream the capture "
+        "off disk block by block (peak memory bounded by the chunk, the "
+        "trace file is never loaded whole); 0 = classic in-memory path; "
+        "the printed report is identical either way",
+    )
+    meas.add_argument(
+        "--workers", type=int, default=1,
+        help="measurement-engine key-space shards processed in parallel "
+        "(never changes the output)",
     )
     meas.set_defaults(func=_cmd_measure)
 

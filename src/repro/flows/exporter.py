@@ -9,19 +9,26 @@ Rules reproduced from the paper's methodology:
 * single-packet flows are discarded (their duration would be zero) and
   their packets are also excluded from rate measurement.
 
-The implementation is fully vectorised: packets are grouped by key with
-``np.unique``, ordered with a lexsort on (group, time), split at
-inter-packet gaps exceeding the timeout, and aggregated with ``bincount`` /
-``reduceat`` — no per-packet Python loop.
+The implementation is fully vectorised: flow keys are packed into two
+uint64 words (order-isomorphic to the structured lexicographic order, see
+:func:`repro.flows.keys.pack_packet_keys`), packets are ordered with a
+single lexsort on (key words, time), split at inter-packet gaps exceeding
+the timeout, and aggregated with ``bincount`` — no per-packet Python loop
+and no structured-dtype ``np.unique`` pass.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..exceptions import FlowExportError
+from ..exceptions import FlowExportError, ParameterError
 from ..trace.packet import PACKET_DTYPE, PacketTrace
-from .keys import prefix_of
+from .keys import (
+    five_tuple_key_dtype,
+    pack_packet_keys,
+    packed_key_order,
+    unpack_packet_keys,
+)
 from .records import FlowSet
 
 __all__ = [
@@ -33,8 +40,6 @@ __all__ = [
 
 #: Idle timeout ending a flow, as in the paper (60 seconds).
 DEFAULT_TIMEOUT = 60.0
-
-_FIVE_TUPLE_FIELDS = ["src_addr", "dst_addr", "src_port", "dst_port", "protocol"]
 
 
 def _as_packet_array(packets) -> np.ndarray:
@@ -48,22 +53,11 @@ def _as_packet_array(packets) -> np.ndarray:
     return packets
 
 
-def _group_indices(packets: np.ndarray, key: str, prefix_length: int):
-    """Return (unique_keys, inverse) grouping packets by flow key."""
-    if key == "five_tuple":
-        # A packed contiguous copy of the key fields; np.unique sorts
-        # structured arrays lexicographically.
-        key_view = np.empty(
-            packets.size,
-            dtype=[(f, packets.dtype[f]) for f in _FIVE_TUPLE_FIELDS],
-        )
-        for field in _FIVE_TUPLE_FIELDS:
-            key_view[field] = packets[field]
-        return np.unique(key_view, return_inverse=True)
-    if key == "prefix":
-        prefixes = prefix_of(packets["dst_addr"], prefix_length)
-        return np.unique(prefixes, return_inverse=True)
-    raise FlowExportError(f"unknown flow key {key!r}; use 'five_tuple' or 'prefix'")
+def _packed_keys(packets: np.ndarray, key: str, prefix_length: int):
+    try:
+        return pack_packet_keys(packets, key, prefix_length)
+    except ParameterError as exc:
+        raise FlowExportError(str(exc)) from None
 
 
 def export_flows(
@@ -103,23 +97,31 @@ def export_flows(
 
     if packets.size == 0:
         keys = (
-            np.zeros(0, dtype=[(f, PACKET_DTYPE[f]) for f in _FIVE_TUPLE_FIELDS])
+            np.zeros(0, dtype=five_tuple_key_dtype(PACKET_DTYPE))
             if key == "five_tuple"
             else np.zeros(0, dtype=np.uint32)
         )
+        if key not in ("five_tuple", "prefix"):
+            raise FlowExportError(
+                f"unknown flow key {key!r}; use 'five_tuple' or 'prefix'"
+            )
         return FlowSet(
             np.zeros(0), np.zeros(0), np.zeros(0), np.zeros(0, dtype=np.int64),
             key_kind=key, keys=keys, prefix_length=prefix_length, timeout=timeout,
         )
 
-    unique_keys, inverse = _group_indices(packets, key, prefix_length)
+    hi, lo = _packed_keys(packets, key, prefix_length)
     timestamps = packets["timestamp"]
 
-    # Order by (flow group, time); split groups at gaps > timeout.
-    order = np.lexsort((timestamps, inverse))
-    grp = inverse[order]
+    # One radix-digit lexsort orders by (key hi, key lo, time) — the same
+    # order the legacy structured np.unique + (group, time) lexsort
+    # produced, since the pack is order-isomorphic and every sort pass is
+    # stable.  Split key runs at gaps > timeout.
+    order = packed_key_order(hi, lo, within=timestamps)
+    h = hi[order]
+    l = lo[order]
     ts = timestamps[order]
-    same_group = grp[1:] == grp[:-1]
+    same_group = (h[1:] == h[:-1]) & (l[1:] == l[:-1])
     gap_ok = (ts[1:] - ts[:-1]) <= timeout
     new_flow = np.concatenate([[True], ~(same_group & gap_ok)])
     flow_ids = np.cumsum(new_flow) - 1
@@ -135,7 +137,6 @@ def export_flows(
         minlength=n_flows,
     )
     counts = np.bincount(flow_ids, minlength=n_flows)
-    key_index = grp[first_idx]
 
     keep = (counts >= min_packets) & (ends > starts)
     discarded_packets = int(counts[~keep].sum())
@@ -147,13 +148,16 @@ def export_flows(
         packet_flow_ids = np.empty(packets.size, dtype=np.int64)
         packet_flow_ids[order] = renumber[flow_ids]
 
+    kept_first = first_idx[keep]
     return FlowSet(
         starts[keep],
         ends[keep],
         sizes[keep],
         counts[keep],
         key_kind=key,
-        keys=unique_keys[key_index[keep]],
+        keys=unpack_packet_keys(
+            h[kept_first], l[kept_first], key, packets.dtype, prefix_length
+        ),
         prefix_length=prefix_length,
         timeout=timeout,
         discarded_packets=discarded_packets,

@@ -22,15 +22,124 @@ from ..exceptions import ParameterError
 __all__ = [
     "FiveTuple",
     "PrefixKey",
+    "FIVE_TUPLE_FIELDS",
+    "five_tuple_key_dtype",
     "format_ipv4",
     "parse_ipv4",
     "prefix_of",
+    "pack_packet_keys",
+    "packed_key_order",
+    "unpack_packet_keys",
     "PROTO_TCP",
     "PROTO_UDP",
 ]
 
 PROTO_TCP = 6
 PROTO_UDP = 17
+
+#: Field order of the 5-tuple — also the lexicographic comparison order the
+#: exporter's flow grouping sorts by.
+FIVE_TUPLE_FIELDS = ("src_addr", "dst_addr", "src_port", "dst_port", "protocol")
+
+
+def five_tuple_key_dtype(packet_dtype: np.dtype) -> np.dtype:
+    """Structured per-flow key dtype matching the packet field widths."""
+    return np.dtype([(f, packet_dtype[f]) for f in FIVE_TUPLE_FIELDS])
+
+
+def pack_packet_keys(packets: np.ndarray, key: str, prefix_length: int = 24):
+    """Pack flow keys into two uint64 words ``(hi, lo)``.
+
+    The pack is order-isomorphic to lexicographic comparison of the key
+    fields: for ``key="five_tuple"``, ``hi = src_addr << 32 | dst_addr``
+    and ``lo = src_port << 24 | dst_port << 8 | protocol``, so sorting by
+    ``(hi, lo)`` orders keys exactly like ``np.unique`` on the structured
+    five-tuple view — but with two machine-word comparisons instead of a
+    23-byte struct compare.  For ``key="prefix"``, ``hi`` is the /n
+    destination prefix and ``lo`` is zero.
+    """
+    if key == "five_tuple":
+        hi = (
+            packets["src_addr"].astype(np.uint64) << np.uint64(32)
+        ) | packets["dst_addr"].astype(np.uint64)
+        lo = (
+            (packets["src_port"].astype(np.uint64) << np.uint64(24))
+            | (packets["dst_port"].astype(np.uint64) << np.uint64(8))
+            | packets["protocol"].astype(np.uint64)
+        )
+        return hi, lo
+    if key == "prefix":
+        hi = prefix_of(packets["dst_addr"], prefix_length).astype(np.uint64)
+        return hi, np.zeros(hi.size, dtype=np.uint64)
+    raise ParameterError(
+        f"unknown flow key {key!r}; use 'five_tuple' or 'prefix'"
+    )
+
+
+def packed_key_order(hi: np.ndarray, lo: np.ndarray, within=None) -> np.ndarray:
+    """Stable order by ``(hi, lo)`` — or ``(hi, lo, within)`` — via radix.
+
+    ``np.argsort`` falls back to comparison sorting for 64-bit integers
+    but uses an O(n) radix sort for 16-bit ones, so the two packed key
+    words are decomposed into uint16 digits and sorted
+    least-significant-digit first (``np.lexsort`` with the primary key
+    last *is* an LSD radix sort when every pass is stable).  Constant
+    digits — fixed address-pool prefixes, the all-zero upper half of
+    prefix keys — are skipped outright.  Because every pass is stable,
+    the permutation is **identical** to ``np.lexsort((within, lo, hi))``,
+    just several times faster on packet-scale inputs.
+
+    ``within`` (e.g. timestamps) is the least significant sort key; omit
+    it when rows of equal key are already in the desired relative order
+    (stability preserves it).
+    """
+    n = hi.size
+    digits = []
+    for word in (lo, hi):  # significance ascending: lo below hi
+        cols = np.ascontiguousarray(word, dtype=np.uint64).view(
+            np.uint16
+        ).reshape(n, 4)
+        order = range(4) if np.little_endian else range(3, -1, -1)
+        for j in order:
+            col = cols[:, j]
+            if n and col.size and int(col.min()) != int(col.max()):
+                digits.append(col)
+    if within is not None:
+        digits.insert(0, within)
+    if not digits:
+        return np.arange(n, dtype=np.intp)
+    if len(digits) == 1:
+        return np.argsort(digits[0], kind="stable")
+    return np.lexsort(tuple(digits))
+
+
+def unpack_packet_keys(
+    hi: np.ndarray,
+    lo: np.ndarray,
+    key: str,
+    packet_dtype: np.dtype,
+    prefix_length: int = 24,
+) -> np.ndarray:
+    """Invert :func:`pack_packet_keys` into the exporter's key payload.
+
+    Returns a structured five-tuple array (same dtype as the legacy
+    ``np.unique`` grouping produced) or a uint32 prefix array.
+    """
+    if key == "five_tuple":
+        out = np.empty(hi.size, dtype=five_tuple_key_dtype(packet_dtype))
+        out["src_addr"] = (hi >> np.uint64(32)).astype(np.uint32)
+        out["dst_addr"] = (hi & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        out["src_port"] = (lo >> np.uint64(24)).astype(np.uint16)
+        out["dst_port"] = ((lo >> np.uint64(8)) & np.uint64(0xFFFF)).astype(
+            np.uint16
+        )
+        out["protocol"] = (lo & np.uint64(0xFF)).astype(np.uint8)
+        return out
+    if key == "prefix":
+        return hi.astype(np.uint32)
+    raise ParameterError(
+        f"unknown flow key {key!r}; use 'five_tuple' or 'prefix'"
+    )
 
 
 def format_ipv4(addr: int) -> str:

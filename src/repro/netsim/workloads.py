@@ -170,6 +170,26 @@ class LinkWorkload:
             seed=seed,
         )
 
+    def synthesize_chunks(self, seed=None, *, chunk: int = 1_000_000):
+        """Synthesize and yield time-ordered packet blocks of ``chunk``.
+
+        The synthesize-to-chunks bridge: the trace this workload's
+        :meth:`synthesize` produces, delivered as consecutive
+        ``PACKET_DTYPE`` views ready for the streaming measurement
+        engine (:meth:`repro.measurement.MeasurementEngine.measure_chunks`)
+        or a :class:`~repro.trace.TraceWriter` — the same shape a
+        chunked :class:`~repro.trace.TraceReader` yields, so measurement
+        code is agnostic to whether its input was captured or
+        synthesized.  This is an *interface* bridge, not a memory bound:
+        the TCP-level synthesizer itself materialises the whole trace
+        before the views are cut (for bounded-memory synthetic captures
+        use the generation engine's ``write_packet_trace`` and measure
+        the file).
+        """
+        from ..measurement.engine import iter_packet_chunks
+
+        yield from iter_packet_chunks(self.synthesize(seed=seed).trace, chunk)
+
 
 def table_i_workload(
     row: int | TableIRow,

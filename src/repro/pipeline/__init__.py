@@ -43,6 +43,7 @@ from .spec import (
     FitSpec,
     FlowAccountingSpec,
     GenerationSpec,
+    MeasurementSpec,
     PRESET_ALIASES,
     ScenarioSpec,
     ValidationSpec,
@@ -72,6 +73,7 @@ __all__ = [
     "WorkloadSpec",
     "ArrivalSpec",
     "FlowAccountingSpec",
+    "MeasurementSpec",
     "EstimationSpec",
     "FitSpec",
     "GenerationSpec",

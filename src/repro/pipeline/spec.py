@@ -47,6 +47,7 @@ __all__ = [
     "ArrivalSpec",
     "WorkloadSpec",
     "FlowAccountingSpec",
+    "MeasurementSpec",
     "EstimationSpec",
     "FitSpec",
     "GenerationSpec",
@@ -338,6 +339,42 @@ class FlowAccountingSpec:
 
 
 @dataclass(frozen=True)
+class MeasurementSpec:
+    """How the measurement stages execute (not *what* they measure).
+
+    ``chunk`` (packets) and ``workers`` drive the streaming
+    :class:`~repro.measurement.MeasurementEngine`: flow accounting and
+    rate measurement run chunk by chunk with the key space sharded over
+    a worker pool.  The defaults (``chunk: null``, ``workers: 1``) keep
+    the classic in-memory path; either knob switches to the engine,
+    whose output is bit-for-bit identical for any setting — this section
+    is pure execution strategy, so it never changes a scenario's results.
+    """
+
+    chunk: int | None = None
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.chunk is not None and (
+            int(self.chunk) != self.chunk or int(self.chunk) < 1
+        ):
+            raise ParameterError(
+                f"measurement.chunk must be an integer >= 1 packet, "
+                f"got {self.chunk!r}"
+            )
+        if int(self.workers) != self.workers or int(self.workers) < 1:
+            raise ParameterError(
+                f"measurement.workers must be an integer >= 1, "
+                f"got {self.workers!r}"
+            )
+
+    @property
+    def uses_engine(self) -> bool:
+        """True when the streaming measurement engine should run."""
+        return self.chunk is not None or int(self.workers) > 1
+
+
+@dataclass(frozen=True)
 class EstimationSpec:
     """Rate measurement and parameter estimation (sections V-F and V-G).
 
@@ -506,6 +543,7 @@ class ScenarioSpec:
     seed: int = 0
     workload: WorkloadSpec | None = None
     flows: FlowAccountingSpec = field(default_factory=FlowAccountingSpec)
+    measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
     estimation: EstimationSpec = field(default_factory=EstimationSpec)
     fit: FitSpec = field(default_factory=FitSpec)
     generation: GenerationSpec | None = field(default_factory=GenerationSpec)
@@ -575,6 +613,7 @@ class ScenarioSpec:
 for _name, _type in (
     ("workload", WorkloadSpec),
     ("flows", FlowAccountingSpec),
+    ("measurement", MeasurementSpec),
     ("estimation", EstimationSpec),
     ("fit", FitSpec),
     ("generation", GenerationSpec),

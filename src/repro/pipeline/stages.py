@@ -30,8 +30,9 @@ from ..exceptions import ParameterError, ReproError
 from ..flows.exporter import export_flows
 from ..flows.records import FlowSet
 from ..generation.engine import GenerationEngine
+from ..measurement.engine import MeasurementEngine
 from ..netsim.workloads import LinkWorkload
-from ..stats.estimators import OnlineFlowStatistics
+from ..stats.estimators import replay_flow_statistics
 from ..stats.qq import ExponentialityReport, exponentiality
 from ..stats.timeseries import RateSeries
 from ..trace.packet import PacketTrace
@@ -114,9 +115,17 @@ class SynthesisResult:
 
 @dataclass(frozen=True)
 class AccountingResult:
-    """Output of :class:`AccountFlows`."""
+    """Output of :class:`AccountFlows`.
+
+    ``series`` is set when the streaming measurement engine ran: the
+    single-packet-filtered rate series it accumulated in the same pass
+    (bit-for-bit what :class:`Estimate` would compute from the packet
+    map), so the estimation stage need not touch the packets again.
+    """
 
     flows: FlowSet
+    series: RateSeries | None = None
+    engine: str = "in_memory"
 
     def summary(self) -> dict:
         return {
@@ -124,6 +133,7 @@ class AccountingResult:
             "n_flows": int(len(self.flows)),
             "timeout_s": float(self.flows.timeout),
             "discarded_packets": int(self.flows.discarded_packets),
+            "engine": self.engine,
         }
 
 
@@ -379,22 +389,44 @@ def _apply_anomaly(trace: PacketTrace, spec: ScenarioSpec) -> PacketTrace:
 
 
 class AccountFlows:
-    """NetFlow-style flow accounting over the trace (section III)."""
+    """NetFlow-style flow accounting over the trace (section III).
+
+    With the spec's ``measurement`` section at its defaults this is the
+    classic in-memory exporter.  When ``measurement.chunk`` or
+    ``measurement.workers`` is set, the streaming
+    :class:`~repro.measurement.MeasurementEngine` runs instead — chunked
+    accounting plus the filtered rate series in one pass, bit-for-bit
+    equal to the in-memory path — and the series is handed to
+    :class:`Estimate` through the :class:`AccountingResult`.
+    """
 
     name = "account_flows"
 
     def run(self, context: PipelineContext) -> AccountingResult:
         spec = context.spec
         trace = context.require("trace", self.name)
-        flows = export_flows(
-            trace,
+        flow_kwargs = dict(
             key=spec.flows.kind,
             timeout=spec.flows.timeout,
             min_packets=int(spec.flows.min_packets),
             prefix_length=int(spec.flows.prefix_length),
-            keep_packet_map=True,
         )
-        context.accounting = AccountingResult(flows=flows)
+        if spec.measurement.uses_engine:
+            engine = MeasurementEngine(
+                chunk=spec.measurement.chunk,
+                workers=int(spec.measurement.workers),
+            )
+            measured = engine.measure_trace(
+                trace, delta=spec.estimation.delta, **flow_kwargs
+            )
+            context.accounting = AccountingResult(
+                flows=measured.flows,
+                series=measured.series,
+                engine="streaming",
+            )
+        else:
+            flows = export_flows(trace, keep_packet_map=True, **flow_kwargs)
+            context.accounting = AccountingResult(flows=flows)
         return context.accounting
 
 
@@ -406,12 +438,24 @@ class Estimate:
     def run(self, context: PipelineContext) -> EstimationResult:
         spec = context.spec
         trace = context.require("trace", self.name)
-        flows = context.require("accounting", self.name).flows
-        series = RateSeries.from_packets(
-            trace,
-            spec.estimation.delta,
-            packet_mask=flows.packet_flow_ids >= 0,
-        )
+        accounting = context.require("accounting", self.name)
+        flows = accounting.flows
+        if accounting.series is not None:
+            series = accounting.series
+        else:
+            if flows.packet_flow_ids is None:
+                raise ParameterError(
+                    "the FlowSet carries no packet map, so the measured "
+                    "rate series cannot exclude discarded single-packet "
+                    "flows; rebuild it with export_flows(..., "
+                    "keep_packet_map=True), or run the AccountFlows stage "
+                    "(or the measurement engine) which does so for you"
+                )
+            series = RateSeries.from_packets(
+                trace,
+                spec.estimation.delta,
+                packet_mask=flows.packet_flow_ids >= 0,
+            )
         statistics = flows.statistics(trace.duration)
         online = None
         if spec.estimation.estimator == "ewma":
@@ -423,14 +467,14 @@ class Estimate:
 
 
 def _ewma_replay(flows: FlowSet, eps: float):
-    """Replay the flow set through the router-style EWMA estimators."""
-    online = OnlineFlowStatistics(eps=eps)
-    for start in np.sort(flows.starts):
-        online.observe_arrival(float(start))
-    order = np.argsort(flows.ends, kind="stable")
-    for size, duration in zip(flows.sizes[order], flows.durations[order]):
-        online.observe_departure(float(size), float(duration))
-    return online.snapshot() if online.ready else None
+    """Replay the flow set through the router-style EWMA estimators.
+
+    Closed-form vectorized replay (see
+    :func:`repro.stats.estimators.replay_flow_statistics`); the per-flow
+    loop it replaces is kept as
+    :func:`repro.measurement.reference.reference_ewma_replay`.
+    """
+    return replay_flow_statistics(flows, eps)
 
 
 class FitModel:

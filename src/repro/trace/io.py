@@ -27,12 +27,32 @@ class TraceWriter:
         with TraceWriter(path, link_capacity=622e6) as writer:
             for chunk in packet_chunks:
                 writer.write(chunk)
+
+    Chunks must arrive in time order (every timestamp at or after the
+    latest already written) so the file is a valid capture — chunked
+    readers and the streaming measurement engine rely on it.  An
+    out-of-order chunk raises :class:`TraceFormatError`; pass
+    ``allow_unsorted=True`` to deliberately write an unsorted capture
+    (e.g. raw multi-source packets to be merged later).
     """
 
-    def __init__(self, path, *, link_capacity: float, duration: float = 0.0) -> None:
+    def __init__(
+        self,
+        path,
+        *,
+        link_capacity: float,
+        duration: float = 0.0,
+        allow_unsorted: bool = False,
+    ) -> None:
         self.path = Path(path)
         self.link_capacity = float(link_capacity)
+        if self.link_capacity <= 0:
+            # PacketTrace refuses such captures on read; fail at write time
+            raise TraceFormatError(
+                f"link_capacity must be > 0 bits/s, got {link_capacity!r}"
+            )
         self.duration = float(duration)
+        self.allow_unsorted = bool(allow_unsorted)
         self._count = 0
         self._max_timestamp = 0.0
         self._file = None
@@ -60,8 +80,25 @@ class TraceWriter:
         if packets.dtype != PACKET_DTYPE:
             raise TraceFormatError(f"chunk dtype {packets.dtype} != PACKET_DTYPE")
         if packets.size:
+            timestamps = packets["timestamp"]
+            if not self.allow_unsorted:
+                first = float(timestamps[0])
+                if self._count > 0 and first < self._max_timestamp:
+                    raise TraceFormatError(
+                        f"out-of-order chunk: packet at {first:g}s after "
+                        f"the writer already saw {self._max_timestamp:g}s; "
+                        "write chunks in time order, or pass "
+                        "allow_unsorted=True for an intentionally "
+                        "unsorted capture"
+                    )
+                if not bool(np.all(timestamps[1:] >= timestamps[:-1])):
+                    raise TraceFormatError(
+                        "chunk is not internally time-ordered; sort it "
+                        "first, or pass allow_unsorted=True for an "
+                        "intentionally unsorted capture"
+                    )
             self._max_timestamp = max(
-                self._max_timestamp, float(packets["timestamp"].max())
+                self._max_timestamp, float(timestamps.max())
             )
             self._file.write(packets.tobytes())
             self._count += packets.size

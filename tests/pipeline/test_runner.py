@@ -16,6 +16,7 @@ from repro.pipeline import (
     FitSpec,
     GenerationSpec,
     MEASUREMENT_STAGES,
+    MeasurementSpec,
     ScenarioSpec,
     WorkloadSpec,
     apply_quick_mode,
@@ -76,6 +77,56 @@ class TestEquivalence:
         )
         assert result.fit.power_fit.power == fit.power
         assert result.fit.power_fit.kappa == fit.kappa
+
+
+class TestStreamingMeasurement:
+    """The measurement section is execution strategy, never semantics."""
+
+    @pytest.mark.parametrize("chunk,workers", [(2048, 1), (999, 3), (None, 4)])
+    def test_streaming_measurement_identical_report(self, chunk, workers):
+        base_spec = _short("medium")
+        streamed_spec = base_spec.with_overrides(
+            measurement=MeasurementSpec(chunk=chunk, workers=workers)
+        )
+        base = run_scenario(base_spec, stages=MEASUREMENT_STAGES)
+        streamed = run_scenario(streamed_spec, stages=MEASUREMENT_STAGES)
+        assert streamed.accounting.engine == "streaming"
+        assert base.accounting.engine == "in_memory"
+        np.testing.assert_array_equal(
+            base.accounting.flows.sizes, streamed.accounting.flows.sizes
+        )
+        np.testing.assert_array_equal(
+            base.estimation.series.values, streamed.estimation.series.values
+        )
+        assert base.validation.to_dict() == streamed.validation.to_dict()
+
+    def test_estimate_without_packet_map_raises_clear_error(self):
+        """A FlowSet built without keep_packet_map=True used to crash
+        Estimate with a bare TypeError ('>=' on None)."""
+        from repro.pipeline.stages import (
+            AccountingResult,
+            Estimate,
+            PipelineContext,
+        )
+
+        trace = medium_utilization_link(duration=DURATION).synthesize(
+            seed=0
+        ).trace
+        flows = export_flows(trace, timeout=8.0)  # no packet map
+        context = PipelineContext(spec=_short("medium"), trace=trace)
+        context.accounting = AccountingResult(flows=flows)
+        with pytest.raises(ParameterError, match="keep_packet_map"):
+            Estimate().run(context)
+
+    def test_estimate_uses_streamed_series_without_packet_map(self):
+        """The streaming engine provides the series directly, so the
+        missing packet map is not an error on that path."""
+        spec = _short(
+            "medium", measurement=MeasurementSpec(chunk=4096)
+        )
+        result = run_scenario(spec, stages=MEASUREMENT_STAGES)
+        assert result.accounting.flows.packet_flow_ids is None
+        assert result.estimation.series is result.accounting.series
 
 
 class TestDeterminism:

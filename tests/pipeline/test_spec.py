@@ -18,6 +18,7 @@ from repro.pipeline import (
     EstimationSpec,
     FitSpec,
     GenerationSpec,
+    MeasurementSpec,
     ScenarioSpec,
     ValidationSpec,
     WorkloadSpec,
@@ -37,6 +38,7 @@ def _rich_spec() -> ScenarioSpec:
             duration=60.0,
             arrivals=ArrivalSpec(kind="diurnal", relative_amplitude=0.3),
         ),
+        measurement=MeasurementSpec(chunk=100_000, workers=4),
         estimation=EstimationSpec(delta=0.1, estimator="ewma"),
         fit=FitSpec(powers=(0.0, 1.5), class_split_bytes=10e3),
         generation=GenerationSpec(mode="streamed", chunk=5.0, workers=2),
@@ -78,6 +80,22 @@ class TestRoundTrip:
         back = ScenarioSpec.from_dict(spec.to_dict())
         assert back.generation is None
         assert back == spec
+
+    def test_measurement_section(self):
+        default = MeasurementSpec()
+        assert not default.uses_engine
+        assert MeasurementSpec(chunk=1000).uses_engine
+        assert MeasurementSpec(workers=2).uses_engine
+        with pytest.raises(ParameterError, match="measurement.chunk"):
+            MeasurementSpec(chunk=0)
+        with pytest.raises(ParameterError, match="measurement.workers"):
+            MeasurementSpec(workers=0)
+        with pytest.raises(ParameterError, match="measurement.workers"):
+            MeasurementSpec(workers=1.5)  # silently truthy if truncated
+        data = default_registry().get("medium").to_dict()
+        data["measurement"] = {"chunk": 5000, "workers": 2, "typo": 1}
+        with pytest.raises(ParameterError, match=r"spec\.measurement"):
+            ScenarioSpec.from_dict(data)
 
 
 class TestRejection:

@@ -52,6 +52,57 @@ class TestAutocovariance:
             autocorrelation(np.ones(10), 2)  # zero variance
         with pytest.raises(ParameterError):
             autocovariance_series([1.0, 2.0, 3.0], -1)
+        with pytest.raises(ParameterError):
+            autocovariance_series([1.0, 2.0, 3.0], 1, method="welch")
+
+
+class TestFftAutocovariance:
+    """The O(n log n) FFT path must match the dot-product loop."""
+
+    def test_matches_direct_within_1e9_absolute(self):
+        rng = np.random.default_rng(3)
+        for n, max_lag in ((64, 63), (1000, 200), (5000, 4999)):
+            x = rng.normal(size=n)  # O(1)-magnitude series
+            direct = autocovariance_series(x, max_lag, method="direct")
+            fft = autocovariance_series(x, max_lag, method="fft")
+            assert np.max(np.abs(direct - fft)) <= 1e-9
+
+    def test_matches_direct_relative_on_large_magnitudes(self):
+        # byte-rate-scale values: agreement stays relative to gamma(0)
+        rng = np.random.default_rng(4)
+        x = rng.lognormal(12.0, 1.0, 20_000)
+        direct = autocovariance_series(x, 1500, method="direct")
+        fft = autocovariance_series(x, 1500, method="fft")
+        assert np.max(np.abs(direct - fft)) <= 1e-9 * direct[0]
+
+    def test_auto_switches_by_work(self):
+        rng = np.random.default_rng(5)
+        small = rng.normal(size=100)
+        big = rng.normal(size=100_000)
+        # both routes agree with the loop regardless of which one ran
+        np.testing.assert_allclose(
+            autocovariance_series(small, 10),
+            autocovariance_series(small, 10, method="direct"),
+            rtol=0, atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            autocovariance_series(big, 50),
+            autocovariance_series(big, 50, method="direct"),
+            rtol=0, atol=1e-9,
+        )
+
+    def test_constant_series_is_zero(self):
+        gamma = autocovariance_series(np.full(100, 7.0), 10, method="fft")
+        np.testing.assert_array_equal(gamma, np.zeros(11))
+
+    def test_autocorrelation_accepts_method(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=512)
+        np.testing.assert_allclose(
+            autocorrelation(x, 20, method="fft"),
+            autocorrelation(x, 20, method="direct"),
+            rtol=0, atol=1e-12,
+        )
 
 
 class TestCrossCorrelation:

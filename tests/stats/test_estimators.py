@@ -7,6 +7,7 @@ import pytest
 
 from repro.exceptions import ParameterError
 from repro.stats import EwmaEstimator, OnlineFlowStatistics
+from repro.stats.estimators import ewma_final, replay_flow_statistics
 
 
 class TestEwma:
@@ -104,3 +105,60 @@ class TestOnlineFlowStatistics:
             online.observe_departure(0.0, 1.0)
         with pytest.raises(ParameterError):
             online.observe_departure(100.0, 0.0)
+
+
+class TestVectorizedEwma:
+    """Closed-form EWMA replay vs the sequential estimator loop."""
+
+    @pytest.mark.parametrize("eps", [0.003, 0.1, 0.5, 1.0])
+    @pytest.mark.parametrize("n", [1, 2, 100, 4096, 4097, 20_000])
+    def test_ewma_final_matches_sequential(self, eps, n):
+        rng = np.random.default_rng(42)
+        x = rng.lognormal(8.0, 1.0, n)
+        est = EwmaEstimator(eps)
+        for v in x:
+            est.update(v)
+        assert ewma_final(x, eps) == pytest.approx(est.value, rel=1e-10)
+
+    def test_ewma_final_validation(self):
+        with pytest.raises(ParameterError):
+            ewma_final(np.zeros(0), 0.1)
+        with pytest.raises(ParameterError):
+            ewma_final([1.0, 2.0], 0.0)
+
+    def test_replay_matches_online_loop(self, five_tuple_flows):
+        flows = five_tuple_flows
+        for eps in (0.01, 0.3):
+            online = OnlineFlowStatistics(eps=eps)
+            for start in np.sort(flows.starts):
+                online.observe_arrival(float(start))
+            order = np.argsort(flows.ends, kind="stable")
+            for size, duration in zip(
+                flows.sizes[order], flows.durations[order]
+            ):
+                online.observe_departure(float(size), float(duration))
+            loop = online.snapshot()
+            fast = replay_flow_statistics(flows, eps)
+            assert fast.arrival_rate == pytest.approx(
+                loop.arrival_rate, rel=1e-9
+            )
+            assert fast.mean_size == pytest.approx(loop.mean_size, rel=1e-9)
+            assert fast.mean_square_size_over_duration == pytest.approx(
+                loop.mean_square_size_over_duration, rel=1e-9
+            )
+            assert fast.mean_duration == pytest.approx(
+                loop.mean_duration, rel=1e-9
+            )
+            assert fast.flow_count == loop.flow_count
+
+    def test_replay_not_ready_returns_none(self):
+        class _One:
+            starts = np.array([1.0])
+            ends = np.array([2.0])
+            sizes = np.array([100.0])
+            durations = np.array([1.0])
+
+            def __len__(self):
+                return 1
+
+        assert replay_flow_statistics(_One(), 0.1) is None

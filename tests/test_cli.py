@@ -69,6 +69,20 @@ class TestMeasure:
         ) == 0
         assert "prefix" in capsys.readouterr().out
 
+    def test_chunked_measurement_same_output(self, trace_file, capsys):
+        """--chunk/--workers route through the streaming engine without
+        changing a single reported number."""
+        assert main(["measure", str(trace_file)]) == 0
+        baseline = capsys.readouterr().out
+        assert main(
+            ["measure", str(trace_file), "--chunk", "2000", "--workers", "2"]
+        ) == 0
+        assert capsys.readouterr().out == baseline
+
+    def test_negative_chunk_rejected(self, trace_file, capsys):
+        assert main(["measure", str(trace_file), "--chunk", "-5"]) == 2
+        assert "--chunk must be >= 0" in capsys.readouterr().err
+
 
 class TestGenerate:
     def test_generates_calibrated_trace(self, trace_file, tmp_path, capsys):

@@ -106,6 +106,36 @@ class TestFileIO:
             with pytest.raises(TraceFormatError):
                 writer.write(np.zeros(3, dtype=np.float64))
 
+    def test_writer_rejects_out_of_order_chunks(self, tmp_path):
+        path = tmp_path / "o.rptr"
+        with TraceWriter(path, link_capacity=1e6) as writer:
+            writer.write(make_packets(10, start=5.0, spacing=0.1))
+            with pytest.raises(TraceFormatError, match="out-of-order"):
+                writer.write(make_packets(10, start=0.0, spacing=0.1))
+
+    def test_writer_accepts_tied_boundary_timestamps(self, tmp_path):
+        path = tmp_path / "tie.rptr"
+        with TraceWriter(path, link_capacity=1e6) as writer:
+            writer.write(make_packets(5, start=0.0, spacing=0.5))
+            # next chunk starts exactly at the previous max: still a
+            # valid (weakly ordered) capture
+            writer.write(make_packets(5, start=2.0, spacing=0.5))
+        assert TraceReader(path).packet_count == 10
+
+    def test_writer_rejects_internally_unsorted_chunk(self, tmp_path):
+        chunk = make_packets(10, start=0.0, spacing=0.1)
+        chunk["timestamp"][3] = 5.0  # out of order inside the chunk
+        with TraceWriter(tmp_path / "i.rptr", link_capacity=1e6) as writer:
+            with pytest.raises(TraceFormatError, match="time-ordered"):
+                writer.write(chunk)
+
+    def test_writer_allow_unsorted_opt_out(self, tmp_path):
+        path = tmp_path / "u.rptr"
+        with TraceWriter(path, link_capacity=1e6, allow_unsorted=True) as writer:
+            writer.write(make_packets(5, start=5.0, spacing=0.1))
+            writer.write(make_packets(5, start=0.0, spacing=0.1))
+        assert TraceReader(path).packet_count == 10
+
     def test_writer_abort_on_exception(self, tmp_path):
         path = tmp_path / "a.rptr"
         with pytest.raises(RuntimeError):
