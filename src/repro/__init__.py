@@ -60,6 +60,7 @@ from . import (
     pipeline,
     prediction,
     stats,
+    synthesis,
     trace,
 )
 from .core import (
@@ -116,6 +117,7 @@ __all__ = [
     "prediction",
     "generation",
     "measurement",
+    "synthesis",
     "applications",
     "baselines",
     "experiments",

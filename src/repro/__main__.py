@@ -61,19 +61,60 @@ def _fail(message: str) -> int:
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
+    if args.chunk < 0:
+        return _fail(
+            f"--chunk must be >= 0 (0 = in-memory path), got {args.chunk}"
+        )
+    if args.workers < 1:
+        return _fail(f"--workers must be >= 1, got {args.workers}")
+    workload_kwargs = dict(preset=args.preset, duration=args.duration)
+    if args.scale is not None:
+        workload_kwargs["scale"] = args.scale
     try:
+        workload_spec = WorkloadSpec(**workload_kwargs)
         spec = ScenarioSpec(
             name=f"synthesize-{args.preset}",
             seed=args.seed,
-            workload=WorkloadSpec(preset=args.preset, duration=args.duration),
+            workload=workload_spec,
             generation=None,
         )
     except ParameterError as exc:
         return _fail(str(exc))
+    if args.chunk > 0 or args.workers > 1:
+        return _cmd_synthesize_streaming(args, workload_spec)
     context = PipelineContext(spec=spec)
     trace = Synthesize().run(context).trace
     write_trace(trace, args.output)
     print(f"wrote {trace} -> {args.output}")
+    return 0
+
+
+def _cmd_synthesize_streaming(args, workload_spec: WorkloadSpec) -> int:
+    """Out-of-core ``synthesize --chunk N``: cells stream to the writer.
+
+    The capture never exists in memory — synthesis cells are merged into
+    ``--chunk``-packet blocks and appended to the trace file as they
+    complete, so a full-rate (``--scale 1``) OC-12 preset writes a
+    10^7-packet capture in bounded memory.  The file contents are
+    bit-for-bit what the in-memory path writes, for any chunk/workers.
+    """
+    workload = workload_spec.build()
+    stream = workload.synthesize_chunks(
+        seed=args.seed,
+        chunk=args.chunk or 1_000_000,
+        workers=args.workers,
+    )
+    try:
+        stream.write_trace(args.output)
+    except ParameterError as exc:
+        return _fail(str(exc))
+    utilization = (
+        8.0 * stream.total_bytes / stream.duration / stream.link_capacity
+    )
+    line = _trace_line(
+        workload.name, stream.packet_count, stream.duration, utilization
+    )
+    print(f"wrote {line} -> {args.output}")
     return 0
 
 
@@ -255,6 +296,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _fail(str(exc))
     if args.seed is not None:
         spec = spec.with_overrides(seed=args.seed)
+    if args.chunk or args.workers > 1:
+        if args.chunk < 0:
+            return _fail(f"--chunk must be >= 0, got {args.chunk}")
+        if args.workers < 1:
+            return _fail(f"--workers must be >= 1, got {args.workers}")
+        # stream synthesize → measure: the trace is never materialised,
+        # and (chunk, workers) never change the scenario's results.
+        # Flags at their defaults keep the spec's own synthesis values
+        # (--chunk 0 must not clobber a spec-configured chunk).
+        spec = spec.with_overrides(
+            synthesis={
+                "chunk": args.chunk or spec.synthesis.chunk,
+                "workers": (
+                    args.workers
+                    if args.workers > 1
+                    else int(spec.synthesis.workers)
+                ),
+            },
+        )
     spec = apply_quick_mode(spec)
     try:
         result = run_scenario(spec)
@@ -264,7 +324,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     print(f"scenario   : {spec.name}"
           + (f" — {spec.description}" if spec.description else ""))
-    print(f"trace      : {result.trace}")
+    if result.trace is not None:
+        print(f"trace      : {result.trace}")
+    else:
+        summary = result.synthesis.summary()
+        print("trace      : "
+              + _trace_line(
+                  summary["name"], summary["packets"],
+                  summary["duration_s"], summary["utilization"],
+              )
+              + "  [streamed]")
     print(f"flows      : {len(result.accounting.flows)} "
           f"({spec.flows.kind}, timeout {spec.flows.timeout:g} s)")
     stats = result.estimation.statistics
@@ -366,6 +435,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="override the spec's seed",
     )
+    run.add_argument(
+        "--chunk", type=int, default=0,
+        help="stream synthesize → measure with this synthesis chunk "
+        "(packets): the trace is never materialised; 0 = keep the "
+        "spec's synthesis section; results are identical either way",
+    )
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="synthesis cells processed in parallel when streaming "
+        "(never changes the results)",
+    )
     run.set_defaults(func=_cmd_run)
 
     lst = sub.add_parser(
@@ -381,6 +461,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     syn.add_argument("--duration", type=float, default=120.0)
     syn.add_argument("--seed", type=int, default=0)
+    syn.add_argument(
+        "--scale", type=float, default=None,
+        help="rate scale relative to the paper's OC-12 links "
+        "(default 1/32; --scale 1 synthesizes the full-rate link — "
+        "combine with --chunk so the capture streams to disk)",
+    )
+    syn.add_argument(
+        "--chunk", type=int, default=0,
+        help="synthesis-engine chunk in packets: stream the capture to "
+        "disk block by block (peak memory bounded by the active flows "
+        "plus one merge window, the trace is never materialised); "
+        "0 = in-memory path; the file is identical either way",
+    )
+    syn.add_argument(
+        "--workers", type=int, default=1,
+        help="synthesis-engine cells synthesized in parallel (never "
+        "changes the output)",
+    )
     syn.set_defaults(func=_cmd_synthesize)
 
     meas = sub.add_parser("measure", help="model a capture (section VI)")

@@ -120,6 +120,9 @@ class MeasurementResult:
     packet_count: int
     link_capacity: float | None = None
     total_bytes: float = 0.0
+    #: Pre-discard rate series (``keep_raw_series=True``): what a router
+    #: watching the raw link rate sees — the anomaly detector's input.
+    raw_series: RateSeries | None = None
 
     def statistics(self):
         """The paper's three-parameter summary over the measured interval."""
@@ -165,11 +168,12 @@ class MeasurementEngine:
         c = self.config
         return f"MeasurementEngine(chunk={c.chunk}, workers={c.workers})"
 
-    def _streamer(self, *, delta, duration, **flow_kwargs):
+    def _streamer(self, *, delta, duration, keep_raw_series=False, **flow_kwargs):
         return StreamingMeasurement(
             delta=delta,
             duration=duration,
             shards=self.config.workers,
+            keep_raw_series=keep_raw_series,
             **flow_kwargs,
         )
 
@@ -179,23 +183,43 @@ class MeasurementEngine:
         self,
         chunks,
         *,
-        duration: float,
+        duration: float | None = None,
         delta: float | None = None,
         key: str = "five_tuple",
         timeout: float = DEFAULT_TIMEOUT,
         min_packets: int = 2,
         prefix_length: int = 24,
         link_capacity: float | None = None,
+        keep_raw_series: bool = False,
     ) -> MeasurementResult:
         """Measure an iterable of time-ordered packet chunks.
 
         The most general entry point: anything yielding ``PACKET_DTYPE``
         blocks in time order works — :meth:`TraceReader.chunks`,
-        :func:`iter_packet_chunks`, or a synthesize-to-chunks bridge like
-        :meth:`~repro.netsim.workloads.LinkWorkload.synthesize_chunks`.
-        With ``delta`` set, the single-packet-filtered rate series is
-        accumulated in the same pass.
+        :func:`iter_packet_chunks`, or the synthesis engine's
+        :class:`~repro.synthesis.StreamingSynthesis` (via
+        :meth:`~repro.netsim.workloads.LinkWorkload.synthesize_chunks`),
+        which is how a scenario synthesizes → measures without ever
+        materialising the trace.  With ``delta`` set, the
+        single-packet-filtered rate series is accumulated in the same
+        pass; ``keep_raw_series=True`` additionally accumulates the
+        pre-discard series (the anomaly detector's input).
+
+        ``duration`` and ``link_capacity`` default to the chunk source's
+        own attributes when it carries them (a ``StreamingSynthesis``
+        does, mirroring how :meth:`measure_file` reads the trace
+        header), so utilisation comes out right without re-plumbing
+        workload metadata by hand.
         """
+        if duration is None:
+            duration = getattr(chunks, "duration", None)
+            if duration is None:
+                raise ParameterError(
+                    "measure_chunks needs a duration: pass duration=... "
+                    "(the chunk source carries none)"
+                )
+        if link_capacity is None:
+            link_capacity = getattr(chunks, "link_capacity", None)
         streamer = self._streamer(
             delta=delta,
             duration=duration,
@@ -203,6 +227,7 @@ class MeasurementEngine:
             timeout=timeout,
             min_packets=min_packets,
             prefix_length=prefix_length,
+            keep_raw_series=keep_raw_series,
         )
         try:
             for block in chunks:
@@ -218,6 +243,7 @@ class MeasurementEngine:
             packet_count=streamer.packet_count,
             link_capacity=link_capacity,
             total_bytes=streamer.total_bytes,
+            raw_series=streamer.raw_series,
         )
 
     def measure_trace(

@@ -192,6 +192,7 @@ class StreamingMeasurement:
         duration: float | None = None,
         shards: int = 1,
         pool=None,
+        keep_raw_series: bool = False,
     ) -> None:
         if key not in ("five_tuple", "prefix"):
             raise FlowExportError(
@@ -225,11 +226,20 @@ class StreamingMeasurement:
                 raise FlowExportError(
                     f"duration {duration} shorter than one bin of {delta}s"
                 )
+        if keep_raw_series and self.delta is None:
+            raise FlowExportError(
+                "keep_raw_series needs a rate series; pass delta (and "
+                "duration) alongside it"
+            )
         self._pend_width = max(1, self.min_packets - 1)
         self._states = [_ShardState(self._pend_width) for _ in range(shards)]
         self._pool = pool
         self._executor: ThreadPoolExecutor | None = None
         self._volumes = np.zeros(self.n_bins)
+        # pre-discard volumes: what RateSeries.from_packets with no mask
+        # sees — a router watching the raw link rate (anomaly detection)
+        self._raw_volumes = np.zeros(self.n_bins) if keep_raw_series else None
+        self.raw_series: RateSeries | None = None
         self._flows: list[tuple] = []
         self._discarded = 0
         self._prev_max = -np.inf
@@ -272,10 +282,15 @@ class StreamingMeasurement:
             bins = np.floor(ts / self.delta).astype(np.int64)
             in_range = (bins >= 0) & (bins < self.n_bins)
             if in_range.any():
-                self._volumes += np.bincount(
+                increment = np.bincount(
                     bins[in_range], weights=sizes[in_range],
                     minlength=self.n_bins,
                 )
+                self._volumes += increment
+                if self._raw_volumes is not None:
+                    # raw accumulation: same packets, no later discard
+                    # subtraction — equals the unmasked from_packets bins
+                    self._raw_volumes += increment
             bins = np.where(in_range, bins, _NO_BIN)
 
         # a time-sorted chunk lets the shard sort drop its timestamp pass
@@ -348,6 +363,10 @@ class StreamingMeasurement:
         series = None
         if self.delta is not None:
             series = RateSeries(self._volumes / self.delta, self.delta)
+            if self._raw_volumes is not None:
+                self.raw_series = RateSeries(
+                    self._raw_volumes / self.delta, self.delta
+                )
         return flows, series
 
     # -- internals --------------------------------------------------------

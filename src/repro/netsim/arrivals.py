@@ -38,9 +38,33 @@ __all__ = [
 class ArrivalProcess(ABC):
     """A point process on [0, duration] generating flow start times."""
 
+    #: Whether :meth:`cell_times` can sample one cell independently of all
+    #: others (the restriction property).  Poisson and its deterministic-
+    #: intensity and session generalisations are cellable; processes with
+    #: sequential hidden state (MMPP) are not — the synthesis engine
+    #: pre-samples those once from a reserved seed child instead.
+    cellable: bool = False
+
     @abstractmethod
     def times(self, duration: float, rng=None) -> np.ndarray:
         """Sorted arrival times within ``[0, duration)``."""
+
+    def cell_times(self, t0: float, t1: float, horizon: float, rng) -> np.ndarray:
+        """Sorted arrival times of the cell ``[t0, t1)`` of a
+        ``[0, horizon)`` timeline.
+
+        All randomness of the returned flows must come from ``rng`` and
+        be independent of every other cell, so that sampling cells in any
+        order (or in parallel) reproduces the process — the contract the
+        streaming synthesis engine builds on.  Session-style processes
+        may return times beyond ``t1`` (a session *starting* in the cell
+        owns its whole flow train) but never at or beyond ``horizon``.
+        """
+        raise ParameterError(
+            f"{type(self).__name__} cannot be sampled per arrival cell "
+            "(it has sequential state); the synthesis engine pre-samples "
+            "such processes from a dedicated seed stream instead"
+        )
 
     @property
     @abstractmethod
@@ -50,6 +74,8 @@ class ArrivalProcess(ABC):
 
 class PoissonArrivals(ArrivalProcess):
     """Homogeneous Poisson process (Assumption 1)."""
+
+    cellable = True
 
     def __init__(self, rate: float) -> None:
         self.rate = check_positive("rate", rate)
@@ -63,6 +89,15 @@ class PoissonArrivals(ArrivalProcess):
         # conditional-uniform construction: exact and vectorised
         n = rng.poisson(self.rate * duration)
         return np.sort(rng.random(n) * duration)
+
+    def cell_times(self, t0, t1, horizon, rng) -> np.ndarray:
+        # the Poisson restriction property: counts and positions on
+        # disjoint cells are independent
+        width = t1 - t0
+        if width <= 0.0:
+            return np.zeros(0)
+        n = rng.poisson(self.rate * width)
+        return t0 + np.sort(rng.random(n)) * width
 
     @property
     def mean_rate(self) -> float:
@@ -130,11 +165,27 @@ class NonHomogeneousPoissonArrivals(ArrivalProcess):
     bound it on the horizon (thinning construction).
     """
 
+    cellable = True
+
     def __init__(
         self, rate_fn: Callable[[np.ndarray], np.ndarray], rate_max: float
     ) -> None:
         self.rate_fn = rate_fn
         self.rate_max = check_positive("rate_max", rate_max)
+
+    def cell_times(self, t0, t1, horizon, rng) -> np.ndarray:
+        # thinning restricted to the cell: candidate uniforms on [t0, t1)
+        # thinned against the same deterministic intensity
+        width = t1 - t0
+        if width <= 0.0:
+            return np.zeros(0)
+        n = rng.poisson(self.rate_max * width)
+        candidates = t0 + np.sort(rng.random(n)) * width
+        intensities = np.asarray(self.rate_fn(candidates), dtype=np.float64)
+        if np.any(intensities > self.rate_max * (1.0 + 1e-9)):
+            raise ParameterError("rate_fn exceeds rate_max; thinning is invalid")
+        keep = rng.random(candidates.size) * self.rate_max < intensities
+        return candidates[keep]
 
     def times(self, duration: float, rng=None) -> np.ndarray:
         duration = check_positive("duration", duration)
@@ -216,6 +267,8 @@ class SessionArrivals(ArrivalProcess):
     the model may be applied at the session level instead.
     """
 
+    cellable = True
+
     def __init__(
         self,
         session_rate: float,
@@ -235,10 +288,22 @@ class SessionArrivals(ArrivalProcess):
     def times(self, duration: float, rng=None) -> np.ndarray:
         duration = check_positive("duration", duration)
         rng = as_rng(rng)
-        n_sessions = rng.poisson(self.session_rate * duration)
+        return self._session_flow_times(0.0, duration, duration, rng)
+
+    def cell_times(self, t0, t1, horizon, rng) -> np.ndarray:
+        # sessions are Poisson, so session *starts* restrict to cells
+        # independently; a session starting in the cell owns its whole
+        # flow train (which may spill past t1, but never past horizon)
+        if t1 - t0 <= 0.0:
+            return np.zeros(0)
+        return self._session_flow_times(t0, t1, horizon, rng)
+
+    def _session_flow_times(self, t0, t1, horizon, rng) -> np.ndarray:
+        """Flows of the sessions starting in [t0, t1), cut at ``horizon``."""
+        n_sessions = rng.poisson(self.session_rate * (t1 - t0))
         if n_sessions == 0:
             return np.zeros(0)
-        session_starts = rng.random(n_sessions) * duration
+        session_starts = t0 + rng.random(n_sessions) * (t1 - t0)
         p = 1.0 / self.flows_per_session
         flows_per = rng.geometric(p, n_sessions)
         total = int(flows_per.sum())
@@ -250,5 +315,5 @@ class SessionArrivals(ArrivalProcess):
         cumulative = np.cumsum(gaps)
         offsets = cumulative - np.repeat(cumulative[first_flow_idx], flows_per)
         times = session_starts[session_of_flow] + offsets
-        times = times[times < duration]
+        times = times[times < horizon]
         return np.sort(times)

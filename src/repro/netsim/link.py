@@ -12,6 +12,19 @@ The synthesised link is *uncongested by construction* (no queueing model):
 that is the paper's operating regime — backbone links are kept below 50%
 utilisation, so flows do not interact on the monitored hop (Assumption 2's
 independence).
+
+Since the streaming synthesis engine (:mod:`repro.synthesis`) became the
+canonical implementation, :func:`synthesize_link_trace` is cell-seeded:
+the arrival timeline is cut into fixed
+:data:`~repro.synthesis.DEFAULT_SYNTHESIS_CELL`-second cells, each owning
+its own ``SeedSequence`` child, and the per-cell packet blocks are merged
+in time order.  The output is therefore a pure function of ``seed`` (and
+the workload), identical bit for bit whether it is materialised here or
+streamed chunk by chunk with any ``chunk``/``workers`` configuration via
+:meth:`~repro.synthesis.SynthesisEngine.synthesize_chunks`.  The
+pre-engine single-stream implementation survives as
+:func:`repro.synthesis.reference_synthesize_link_trace` (equal in
+distribution, not draw for draw).
 """
 
 from __future__ import annotations
@@ -20,15 +33,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._util import as_rng, check_positive
-from ..core.shots import RectangularShot
-from ..exceptions import ParameterError
-from ..flows.keys import PROTO_TCP
-from ..trace.packet import PacketTrace, packets_from_columns
 from .addresses import AddressSpace
 from .arrivals import ArrivalProcess
-from .packetize import packetize_shots
-from .tcp import PacketSchedule, TcpParameters, simulate_tcp_flows
+from .tcp import TcpParameters
 
 __all__ = ["LinkSynthesis", "synthesize_link_trace"]
 
@@ -39,10 +46,13 @@ class LinkSynthesis:
 
     Ground truth (true flow start times, sizes, protocols) lets tests and
     experiments compare what the flow exporter *measures* against what was
-    actually generated.
+    actually generated.  Flows are listed in arrival-cell order: sorted by
+    start time within each cell (and globally sorted for memoryless
+    arrival processes; session trains may interleave across cell
+    boundaries).
     """
 
-    trace: PacketTrace
+    trace: "PacketTrace"  # noqa: F821 - forward ref, see repro.trace
     flow_start_times: np.ndarray
     flow_sizes: np.ndarray
     flow_protocols: np.ndarray
@@ -99,97 +109,24 @@ def synthesize_link_trace(
         Rate distribution for UDP/CBR flows (bytes/second); defaults to a
         lognormal around 20 kB/s.
     seed:
-        Seed or Generator; the whole synthesis is reproducible from it.
+        Seed, ``SeedSequence`` or Generator; the whole synthesis is
+        reproducible from it.  Per-cell ``SeedSequence`` children make
+        the result identical to the streamed engine output for any
+        ``chunk``/``workers``.
     """
-    duration = check_positive("duration", duration)
-    check_positive("link_capacity", link_capacity)
-    rng = as_rng(seed)
-    if address_space is None:
-        address_space = AddressSpace()
-    if warmup is None:
-        warmup = min(duration / 2.0, 90.0)
-    warmup = max(float(warmup), 0.0)
+    # lazy import: repro.synthesis imports this module for LinkSynthesis
+    from ..synthesis.engine import SynthesisEngine
 
-    start_times = arrivals.times(duration + warmup, rng) - warmup
-    n = start_times.size
-    if n == 0:
-        raise ParameterError(
-            "arrival process produced zero flows; increase rate or duration"
-        )
-
-    sizes = np.asarray(size_dist.rvs(size=n, random_state=rng), dtype=np.float64)
-    sizes = np.maximum(sizes, 40.0)
-    src_addr, dst_addr, src_port, dst_port, protocol = (
-        address_space.sample_endpoints(n, rng)
-    )
-
-    is_tcp = protocol == PROTO_TCP
-    schedules = []
-
-    if np.any(is_tcp):
-        tcp_idx = np.flatnonzero(is_tcp)
-        if rtt_dist is None:
-            rtts = rng.lognormal(np.log(0.5), 0.4, tcp_idx.size)
-        else:
-            rtts = np.asarray(
-                rtt_dist.rvs(size=tcp_idx.size, random_state=rng), dtype=np.float64
-            )
-        sched = simulate_tcp_flows(sizes[tcp_idx], rtts, tcp_params, rng)
-        sched.flow_index = tcp_idx[sched.flow_index]
-        schedules.append(sched)
-
-    if np.any(~is_tcp):
-        udp_idx = np.flatnonzero(~is_tcp)
-        if cbr_rate_dist is None:
-            rates = rng.lognormal(np.log(20e3), 0.5, udp_idx.size)
-        else:
-            rates = np.asarray(
-                cbr_rate_dist.rvs(size=udp_idx.size, random_state=rng),
-                dtype=np.float64,
-            )
-        udp_durations = np.maximum(sizes[udp_idx] / rates, 1e-3)
-        sched = packetize_shots(
-            sizes[udp_idx],
-            udp_durations,
-            RectangularShot(),
-            mss=tcp_params.mss,
-            header_bytes=tcp_params.header_bytes,
-            jitter=0.5,
-            rng=rng,
-        )
-        sched.flow_index = udp_idx[sched.flow_index]
-        schedules.append(sched)
-
-    schedule = PacketSchedule.concatenate(schedules)
-    timestamps = start_times[schedule.flow_index] + schedule.offset
-
-    # keep only packets inside the capture window: pre-capture packets of
-    # warm-up flows fall away, end-of-capture flows are truncated — exactly
-    # what a tap observing [0, duration) records
-    keep = (timestamps >= 0.0) & (timestamps < duration)
-    timestamps = timestamps[keep]
-    flow_of_packet = schedule.flow_index[keep]
-    wire_sizes = schedule.wire_size[keep]
-
-    packets = packets_from_columns(
-        timestamps,
-        src_addr[flow_of_packet],
-        dst_addr[flow_of_packet],
-        src_port[flow_of_packet],
-        dst_port[flow_of_packet],
-        protocol[flow_of_packet],
-        wire_sizes,
-    )
-    order = np.argsort(packets["timestamp"], kind="stable")
-    trace = PacketTrace(
-        packets[order],
-        link_capacity=link_capacity,
+    return SynthesisEngine().synthesize(
+        seed,
+        arrivals=arrivals,
+        size_dist=size_dist,
         duration=duration,
+        link_capacity=link_capacity,
+        address_space=address_space,
+        tcp_params=tcp_params,
+        rtt_dist=rtt_dist,
+        cbr_rate_dist=cbr_rate_dist,
+        warmup=warmup,
         name=name,
-    )
-    return LinkSynthesis(
-        trace=trace,
-        flow_start_times=start_times,
-        flow_sizes=sizes,
-        flow_protocols=protocol,
     )

@@ -121,6 +121,16 @@ def simulate_tcp_flows(
     rng = as_rng(rng)
 
     n = sizes.size
+    if n == 0:
+        # zero flows are a legal (empty) schedule: the streaming synthesis
+        # engine feeds this simulator per arrival cell, and cells may be
+        # empty — only a whole workload with no flows is an error, raised
+        # at the workload level
+        return PacketSchedule(
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+            np.zeros(0, dtype=np.uint16),
+        )
     remaining = _packet_counts(sizes, params.mss)
     total_packets = remaining.copy()
     window = np.full(n, params.initial_window, dtype=np.int64)
@@ -166,22 +176,36 @@ def simulate_tcp_flows(
     round_length = np.concatenate(length_chunks)
     round_sent_before = np.concatenate(sent_before_chunks)
 
-    # expand rounds -> packets
+    # expand rounds -> packets.  The expansion works per *round* with a
+    # single packet-size index buffer (``pkt_round``) and in-place ops:
+    # the historical version materialised ``arange(total)`` minus a
+    # repeated first-of-round array, plus repeated pace/start/sent
+    # arrays — half a dozen extra full-trace-size temporaries whose peak
+    # dominated large syntheses.  Every arithmetic operation below
+    # consumes the same operand values in the same order, so the
+    # schedule is bit-for-bit identical to that expansion.
     total = int(round_count.sum())
-    pkt_flow = np.repeat(round_flow, round_count)
-    first_of_round = np.concatenate([[0], np.cumsum(round_count)[:-1]])
-    within_round = np.arange(total) - np.repeat(first_of_round, round_count)
-    pace = np.repeat(round_length / round_count, round_count)
-    pkt_offset = np.repeat(round_start, round_count) + within_round * pace
+    n_rounds = round_count.size
+    pkt_round = np.repeat(np.arange(n_rounds), round_count)
+    pkt_flow = round_flow[pkt_round]
 
-    within_flow = np.repeat(round_sent_before, round_count) + within_round
+    within_round = np.arange(total, dtype=np.int64)
+    first_of_round = np.cumsum(round_count) - round_count  # no length-copy
+    within_round -= first_of_round[pkt_round]
+
+    pace = round_length / round_count  # per round, gathered per packet
+    pkt_offset = within_round * pace[pkt_round]
+    pkt_offset += round_start[pkt_round]
+
+    within_flow = round_sent_before[pkt_round]
+    within_flow += within_round
     is_last = within_flow == total_packets[pkt_flow] - 1
     last_payload = sizes - (total_packets - 1) * params.mss
     payload = np.where(is_last, last_payload[pkt_flow], float(params.mss))
     wire = np.minimum(payload + params.header_bytes, 65535.0)
 
     return PacketSchedule(
-        flow_index=pkt_flow.astype(np.int64),
+        flow_index=pkt_flow,
         offset=pkt_offset,
         wire_size=wire.astype(np.uint16),
     )

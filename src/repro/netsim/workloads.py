@@ -1,13 +1,20 @@
-"""Workload presets mirroring the paper's Table I (scaled).
+"""Workload presets mirroring the paper's Table I.
 
 The paper evaluates on seven OC-12 (622 Mbps) Sprint backbone links with
-average utilisations between 26 and 262 Mbps.  Processing a 30-minute
-OC-12 interval (10^7-10^8 packets) is out of reach for pure Python, so the
-presets here scale the *rates* down by ``scale`` (default 1/32: a ~19 Mbps
-link) while keeping the flow size distribution — which preserves every
-dimensionless quantity the paper reports (utilisation ratios, coefficients
-of variation, cluster structure, fitted shot powers).  EXPERIMENTS.md
-records the mapping experiment by experiment.
+average utilisations between 26 and 262 Mbps.  ``scale`` multiplies each
+preset's rates while keeping the flow size distribution, which preserves
+every dimensionless quantity the paper reports (utilisation ratios,
+coefficients of variation, cluster structure, fitted shot powers);
+EXPERIMENTS.md records the mapping experiment by experiment.
+
+The default remains ``scale=1/32`` (a ~19 Mbps link) so interactive runs
+and the test suite stay snappy, but full-rate presets are first-class:
+``table_i_workload(row, scale=1.0)`` synthesizes a genuine OC-12 trace
+(10^7-10^8 packets for the paper's 30-minute-to-hours intervals) through
+the streaming synthesis engine — :meth:`LinkWorkload.synthesize_chunks`
+produces time-ordered packet blocks in bounded memory, which feed the
+streaming measurement engine or a :class:`~repro.trace.TraceWriter`
+without the capture ever being materialised.
 
 Each preset computes the flow arrival rate ``lambda`` needed to hit its
 target mean rate from the size law's mean wire bytes per flow, so measured
@@ -24,7 +31,7 @@ from .._util import as_rng, check_positive
 from ..exceptions import ParameterError
 from .addresses import AddressSpace
 from .arrivals import ArrivalProcess, PoissonArrivals
-from .link import LinkSynthesis, synthesize_link_trace
+from .link import LinkSynthesis
 from .sizes import BoundedPareto, LogNormal, Mixture
 from .tcp import TcpParameters
 
@@ -154,11 +161,9 @@ class LinkWorkload:
 
         return SizeRateEnsemble(self.size_dist, self.cbr_rate_dist)
 
-    def synthesize(self, seed=None) -> LinkSynthesis:
-        """Generate a packet trace for this workload."""
-        arrivals = self.arrivals or PoissonArrivals(self.arrival_rate)
-        return synthesize_link_trace(
-            arrivals=arrivals,
+    def _synthesis_kwargs(self) -> dict:
+        return dict(
+            arrivals=self.arrivals or PoissonArrivals(self.arrival_rate),
             size_dist=self.size_dist,
             duration=self.duration,
             link_capacity=self.link_capacity_bps,
@@ -167,28 +172,48 @@ class LinkWorkload:
             rtt_dist=self.rtt_dist,
             cbr_rate_dist=self.cbr_rate_dist,
             name=self.name,
-            seed=seed,
         )
 
-    def synthesize_chunks(self, seed=None, *, chunk: int = 1_000_000):
-        """Synthesize and yield time-ordered packet blocks of ``chunk``.
+    def synthesize(self, seed=None, *, engine=None) -> LinkSynthesis:
+        """Generate a packet trace for this workload.
 
-        The synthesize-to-chunks bridge: the trace this workload's
-        :meth:`synthesize` produces, delivered as consecutive
-        ``PACKET_DTYPE`` views ready for the streaming measurement
-        engine (:meth:`repro.measurement.MeasurementEngine.measure_chunks`)
-        or a :class:`~repro.trace.TraceWriter` — the same shape a
-        chunked :class:`~repro.trace.TraceReader` yields, so measurement
-        code is agnostic to whether its input was captured or
-        synthesized.  This is an *interface* bridge, not a memory bound:
-        the TCP-level synthesizer itself materialises the whole trace
-        before the views are cut (for bounded-memory synthetic captures
-        use the generation engine's ``write_packet_trace`` and measure
-        the file).
+        ``engine`` optionally supplies a configured
+        :class:`~repro.synthesis.SynthesisEngine`; the default engine is
+        equivalent for any ``chunk``/``workers`` (bit-for-bit, pinned by
+        ``tests/synthesis/``).
         """
-        from ..measurement.engine import iter_packet_chunks
+        from ..synthesis.engine import SynthesisEngine
 
-        yield from iter_packet_chunks(self.synthesize(seed=seed).trace, chunk)
+        engine = engine or SynthesisEngine()
+        return engine.synthesize(seed, **self._synthesis_kwargs())
+
+    def synthesize_chunks(
+        self,
+        seed=None,
+        *,
+        chunk: int = 1_000_000,
+        workers: int = 1,
+        engine=None,
+    ):
+        """Stream this workload as time-ordered packet blocks of ``chunk``.
+
+        A true bounded-memory producer (a
+        :class:`~repro.synthesis.StreamingSynthesis`): cells of the
+        arrival timeline are synthesized on ``workers`` threads and
+        merged into consecutive ``PACKET_DTYPE`` blocks ready for the
+        streaming measurement engine
+        (:meth:`repro.measurement.MeasurementEngine.measure_chunks`) or a
+        :class:`~repro.trace.TraceWriter` — the same shape a chunked
+        :class:`~repro.trace.TraceReader` yields, so measurement code is
+        agnostic to whether its input was captured or synthesized.  Peak
+        memory is bounded by the active-flow population plus one merge
+        window, never the trace, and the concatenated blocks equal
+        :meth:`synthesize` bit for bit for any ``chunk``/``workers``.
+        """
+        from ..synthesis.engine import SynthesisEngine
+
+        engine = engine or SynthesisEngine(chunk=chunk, workers=workers)
+        return engine.synthesize_chunks(seed, **self._synthesis_kwargs())
 
 
 def table_i_workload(
@@ -203,6 +228,13 @@ def table_i_workload(
     are multiplied by ``scale``; trace length is replaced by ``duration``
     seconds (the paper's hours-long captures are summarised per 30-minute
     interval; our intervals are ``duration``-long).
+
+    ``scale=1.0`` gives the full-rate OC-12 link of the paper: with
+    ``duration=1800.0`` (one 30-minute analysis interval) that is a
+    10^7-10^8-packet synthesis, which streams end-to-end in bounded
+    memory through :meth:`LinkWorkload.synthesize_chunks` and the
+    measurement engine — materialising it via :meth:`LinkWorkload.synthesize`
+    also works but holds the whole packet array (~23 bytes/packet).
     """
     if isinstance(row, (int, np.integer)):
         row = TABLE_I_ROWS[int(row)]
@@ -228,7 +260,10 @@ def table_i_workloads(
 def low_utilization_link(
     *, duration: float = 120.0, scale: float = DEFAULT_SCALE
 ) -> LinkWorkload:
-    """The 26 Mbps-class link: highest traffic variability (~30% CoV)."""
+    """The 26 Mbps-class link: highest traffic variability (~30% CoV).
+
+    Pass ``scale=1.0`` for the full-rate link (see :func:`table_i_workload`).
+    """
     return table_i_workload(3, scale=scale, duration=duration)
 
 

@@ -46,6 +46,7 @@ from .spec import (
     MeasurementSpec,
     PRESET_ALIASES,
     ScenarioSpec,
+    SynthesisSpec,
     ValidationSpec,
     WorkloadSpec,
     resolve_preset,
@@ -63,6 +64,7 @@ from .stages import (
     Stage,
     SynthesisResult,
     Synthesize,
+    TraceMeta,
     Validate,
     ValidationReport,
 )
@@ -73,6 +75,7 @@ __all__ = [
     "WorkloadSpec",
     "ArrivalSpec",
     "FlowAccountingSpec",
+    "SynthesisSpec",
     "MeasurementSpec",
     "EstimationSpec",
     "FitSpec",
@@ -91,6 +94,7 @@ __all__ = [
     "Generate",
     "Validate",
     "SynthesisResult",
+    "TraceMeta",
     "AccountingResult",
     "EstimationResult",
     "FitResult",

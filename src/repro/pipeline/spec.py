@@ -47,6 +47,7 @@ __all__ = [
     "ArrivalSpec",
     "WorkloadSpec",
     "FlowAccountingSpec",
+    "SynthesisSpec",
     "MeasurementSpec",
     "EstimationSpec",
     "FitSpec",
@@ -339,6 +340,47 @@ class FlowAccountingSpec:
 
 
 @dataclass(frozen=True)
+class SynthesisSpec:
+    """How the synthesize stage executes (not *what* it synthesizes).
+
+    ``chunk`` (packets) and ``workers`` drive the streaming
+    :class:`~repro.synthesis.SynthesisEngine`: the workload's arrival
+    timeline is cut into seed-owning cells, synthesized on ``workers``
+    threads and merged into time-ordered packet chunks that stream
+    straight into the measurement stage — the trace is never
+    materialised.  The defaults (``chunk: null``, ``workers: 1``) keep
+    the classic in-memory trace; either knob switches to streaming,
+    whose output is bit-for-bit identical for any setting — this
+    section is pure execution strategy, so it never changes a
+    scenario's results.  (Scenarios that need the materialised trace —
+    anomaly injection — fall back to in-memory synthesis through the
+    same engine, with identical packets.)
+    """
+
+    chunk: int | None = None
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.chunk is not None and (
+            int(self.chunk) != self.chunk or int(self.chunk) < 1
+        ):
+            raise ParameterError(
+                f"synthesis.chunk must be an integer >= 1 packet, "
+                f"got {self.chunk!r}"
+            )
+        if int(self.workers) != self.workers or int(self.workers) < 1:
+            raise ParameterError(
+                f"synthesis.workers must be an integer >= 1, "
+                f"got {self.workers!r}"
+            )
+
+    @property
+    def uses_engine(self) -> bool:
+        """True when the streaming synthesis path should run."""
+        return self.chunk is not None or int(self.workers) > 1
+
+
+@dataclass(frozen=True)
 class MeasurementSpec:
     """How the measurement stages execute (not *what* they measure).
 
@@ -543,6 +585,7 @@ class ScenarioSpec:
     seed: int = 0
     workload: WorkloadSpec | None = None
     flows: FlowAccountingSpec = field(default_factory=FlowAccountingSpec)
+    synthesis: SynthesisSpec = field(default_factory=SynthesisSpec)
     measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
     estimation: EstimationSpec = field(default_factory=EstimationSpec)
     fit: FitSpec = field(default_factory=FitSpec)
@@ -613,6 +656,7 @@ class ScenarioSpec:
 for _name, _type in (
     ("workload", WorkloadSpec),
     ("flows", FlowAccountingSpec),
+    ("synthesis", SynthesisSpec),
     ("measurement", MeasurementSpec),
     ("estimation", EstimationSpec),
     ("fit", FitSpec),

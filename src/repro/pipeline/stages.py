@@ -41,6 +41,7 @@ from .spec import ScenarioSpec
 __all__ = [
     "Stage",
     "PipelineContext",
+    "TraceMeta",
     "SynthesisResult",
     "AccountingResult",
     "EstimationResult",
@@ -65,13 +66,44 @@ class Stage(Protocol):
     def run(self, context: "PipelineContext"): ...
 
 
+@dataclass(frozen=True)
+class TraceMeta:
+    """Capture metadata that survives when the trace itself is streamed.
+
+    Set by :class:`Synthesize` in every mode, so downstream stages read
+    durations and capacities from one place whether the packets are an
+    in-memory :class:`PacketTrace` or a single-use synthesis stream.
+    """
+
+    name: str
+    duration: float
+    link_capacity: float
+
+    @classmethod
+    def from_trace(cls, trace: PacketTrace) -> "TraceMeta":
+        return cls(
+            name=trace.name,
+            duration=float(trace.duration),
+            link_capacity=float(trace.link_capacity),
+        )
+
+
 @dataclass
 class PipelineContext:
-    """Mutable bag of artifacts shared by the stages of one scenario run."""
+    """Mutable bag of artifacts shared by the stages of one scenario run.
+
+    ``trace`` and ``stream`` are alternatives: a streamed synthesis
+    (``spec.synthesis.chunk``/``workers``) sets ``stream`` — a
+    :class:`~repro.synthesis.StreamingSynthesis` consumed exactly once
+    by :class:`AccountFlows` — and leaves ``trace`` as ``None``; the
+    classic path materialises ``trace``.  ``trace_meta`` is always set.
+    """
 
     spec: ScenarioSpec
     trace: PacketTrace | None = None
     workload: LinkWorkload | None = None
+    stream: "object | None" = None  # StreamingSynthesis
+    trace_meta: TraceMeta | None = None
     synthesis: "SynthesisResult | None" = None
     accounting: "AccountingResult | None" = None
     estimation: "EstimationResult | None" = None
@@ -88,27 +120,55 @@ class PipelineContext:
             )
         return value
 
+    def require_meta(self, needed_by: str) -> TraceMeta:
+        """Trace metadata, derived from the trace for hand-wired contexts
+        that skipped the :class:`Synthesize` stage."""
+        if self.trace_meta is None and self.trace is not None:
+            self.trace_meta = TraceMeta.from_trace(self.trace)
+        return self.require("trace_meta", needed_by)
+
 
 # -- typed stage results ----------------------------------------------------
 
 
 @dataclass(frozen=True)
 class SynthesisResult:
-    """Output of :class:`Synthesize`."""
+    """Output of :class:`Synthesize`.
 
-    trace: PacketTrace
+    ``trace`` is ``None`` when the workload streams straight into the
+    measurement stage (``source="streamed"``); ``stream`` then carries
+    the live packet/byte counters, which are complete once
+    :class:`AccountFlows` has drained it — :meth:`summary` reads them
+    at call time, so a report rendered after the run sees final values.
+    """
+
+    trace: PacketTrace | None
     workload: LinkWorkload | None
-    source: str  # "synthesized" or "provided"
+    source: str  # "synthesized", "streamed" or "provided"
     anomaly: str | None = None
+    stream: "object | None" = None  # StreamingSynthesis
+    meta: TraceMeta | None = None
 
     def summary(self) -> dict:
+        if self.trace is not None:
+            return {
+                "name": self.trace.name,
+                "source": self.source,
+                "packets": int(len(self.trace)),
+                "duration_s": float(self.trace.duration),
+                "mean_rate_bps": float(self.trace.mean_rate_bps),
+                "utilization": float(self.trace.utilization),
+                "anomaly": self.anomaly,
+            }
+        duration = float(self.meta.duration)
+        mean_rate = 8.0 * float(self.stream.total_bytes) / duration
         return {
-            "name": self.trace.name,
+            "name": self.meta.name,
             "source": self.source,
-            "packets": int(len(self.trace)),
-            "duration_s": float(self.trace.duration),
-            "mean_rate_bps": float(self.trace.mean_rate_bps),
-            "utilization": float(self.trace.utilization),
+            "packets": int(self.stream.packet_count),
+            "duration_s": duration,
+            "mean_rate_bps": mean_rate,
+            "utilization": mean_rate / float(self.meta.link_capacity),
             "anomaly": self.anomaly,
         }
 
@@ -126,6 +186,10 @@ class AccountingResult:
     flows: FlowSet
     series: RateSeries | None = None
     engine: str = "in_memory"
+    #: Pre-discard rate series, accumulated when the scenario streams
+    #: synthesis and the validation stage will need the raw link rate
+    #: (anomaly detection) — there is no trace to re-bin later.
+    raw_series: RateSeries | None = None
 
     def summary(self) -> dict:
         return {
@@ -328,11 +392,22 @@ class ValidationReport:
 
 
 class Synthesize:
-    """Materialise the workload and synthesize (or adopt) a packet trace.
+    """Materialise (or stream) the workload's packet trace.
 
     When the context already carries a trace (measuring an external
     capture) the stage records it as ``source="provided"`` and skips
     synthesis — anomaly injection still applies.
+
+    With the spec's ``synthesis`` section engaged (``chunk`` or
+    ``workers`` set) the workload is *not* materialised: the stage
+    hands :class:`AccountFlows` a
+    :class:`~repro.synthesis.StreamingSynthesis` and the packets flow
+    straight into the streaming measurement engine — synthesize →
+    measure in bounded memory, the paper's full-rate OC-12 scale.
+    Anomaly injection needs the materialised packet array, so scenarios
+    with an ``anomaly`` section fall back to in-memory synthesis; the
+    engine's chunk/worker invariance makes the packets identical either
+    way.
     """
 
     name = "synthesize"
@@ -340,6 +415,8 @@ class Synthesize:
     def run(self, context: PipelineContext) -> SynthesisResult:
         spec = context.spec
         anomaly_label = None
+        stream = None
+        trace = None
         if context.trace is not None:
             trace = context.trace
             source = "provided"
@@ -351,17 +428,36 @@ class Synthesize:
                     "call run_scenario(spec, trace=...)"
                 )
             context.workload = spec.workload.build()
-            trace = context.workload.synthesize(seed=spec.seed).trace
-            source = "synthesized"
+            if spec.synthesis.uses_engine and spec.anomaly is None:
+                stream = context.workload.synthesize_chunks(
+                    seed=spec.seed,
+                    chunk=spec.synthesis.chunk or 1_000_000,
+                    workers=int(spec.synthesis.workers),
+                )
+                source = "streamed"
+            else:
+                trace = context.workload.synthesize(seed=spec.seed).trace
+                source = "synthesized"
         if spec.anomaly is not None:
             trace = _apply_anomaly(trace, spec)
             anomaly_label = spec.anomaly.kind
-        context.trace = trace
+        if trace is not None:
+            context.trace = trace
+            context.trace_meta = TraceMeta.from_trace(trace)
+        else:
+            context.stream = stream
+            context.trace_meta = TraceMeta(
+                name=stream.name,
+                duration=float(stream.duration),
+                link_capacity=float(stream.link_capacity),
+            )
         context.synthesis = SynthesisResult(
             trace=trace,
             workload=context.workload,
             source=source,
             anomaly=anomaly_label,
+            stream=stream,
+            meta=context.trace_meta,
         )
         return context.synthesis
 
@@ -404,13 +500,39 @@ class AccountFlows:
 
     def run(self, context: PipelineContext) -> AccountingResult:
         spec = context.spec
-        trace = context.require("trace", self.name)
         flow_kwargs = dict(
             key=spec.flows.kind,
             timeout=spec.flows.timeout,
             min_packets=int(spec.flows.min_packets),
             prefix_length=int(spec.flows.prefix_length),
         )
+        if context.stream is not None:
+            # streamed synthesis: the packets exist only as this stream,
+            # consumed here in one synthesize → measure pass.  The raw
+            # (pre-discard) series is accumulated alongside when the
+            # validation stage will need the raw link rate, since there
+            # is no trace to re-bin later.
+            meta = context.require_meta(self.name)
+            engine = MeasurementEngine(
+                chunk=spec.measurement.chunk,
+                workers=int(spec.measurement.workers),
+            )
+            measured = engine.measure_chunks(
+                context.stream,
+                duration=meta.duration,
+                delta=spec.estimation.delta,
+                link_capacity=meta.link_capacity,
+                keep_raw_series=bool(spec.validation.detect_anomalies),
+                **flow_kwargs,
+            )
+            context.accounting = AccountingResult(
+                flows=measured.flows,
+                series=measured.series,
+                engine="streamed_synthesis",
+                raw_series=measured.raw_series,
+            )
+            return context.accounting
+        trace = context.require("trace", self.name)
         if spec.measurement.uses_engine:
             engine = MeasurementEngine(
                 chunk=spec.measurement.chunk,
@@ -437,12 +559,13 @@ class Estimate:
 
     def run(self, context: PipelineContext) -> EstimationResult:
         spec = context.spec
-        trace = context.require("trace", self.name)
+        meta = context.require_meta(self.name)
         accounting = context.require("accounting", self.name)
         flows = accounting.flows
         if accounting.series is not None:
             series = accounting.series
         else:
+            trace = context.require("trace", self.name)
             if flows.packet_flow_ids is None:
                 raise ParameterError(
                     "the FlowSet carries no packet map, so the measured "
@@ -456,7 +579,7 @@ class Estimate:
                 spec.estimation.delta,
                 packet_mask=flows.packet_flow_ids >= 0,
             )
-        statistics = flows.statistics(trace.duration)
+        statistics = flows.statistics(meta.duration)
         online = None
         if spec.estimation.estimator == "ewma":
             online = _ewma_replay(flows, spec.estimation.ewma_eps)
@@ -484,11 +607,11 @@ class FitModel:
 
     def run(self, context: PipelineContext) -> FitResult:
         spec = context.spec
-        trace = context.require("trace", self.name)
+        meta = context.require_meta(self.name)
         flows = context.require("accounting", self.name).flows
         series = context.require("estimation", self.name).series
         model = PoissonShotNoiseModel.from_flows(
-            flows.sizes, flows.durations, trace.duration
+            flows.sizes, flows.durations, meta.duration
         )
         power_fit = model.fit_power(series.variance)
         fitted = model.with_shot(power_fit.shot)
@@ -499,7 +622,7 @@ class FitModel:
         superposed, note = None, None
         if spec.fit.class_split_bytes is not None:
             superposed, note = _fit_classes(
-                flows, trace.duration, spec.fit.class_split_bytes,
+                flows, meta.duration, spec.fit.class_split_bytes,
                 power_fit.shot,
             )
         context.fit = FitResult(
@@ -540,10 +663,10 @@ class Generate:
         spec = context.spec
         if spec.generation is None:
             return None
-        trace = context.require("trace", self.name)
+        meta = context.require_meta(self.name)
         fitted = context.require("fit", self.name).fitted
         gen = spec.generation
-        duration = gen.duration if gen.duration is not None else trace.duration
+        duration = gen.duration if gen.duration is not None else meta.duration
         delta = gen.delta if gen.delta is not None else spec.estimation.delta
         seed = gen.seed if gen.seed is not None else spec.seed
         engine = GenerationEngine(
@@ -585,8 +708,8 @@ class Validate:
 
     def run(self, context: PipelineContext) -> ValidationReport:
         spec = context.spec
-        trace = context.require("trace", self.name)
-        flows = context.require("accounting", self.name).flows
+        accounting = context.require("accounting", self.name)
+        flows = accounting.flows
         estimation = context.require("estimation", self.name)
         fit = context.require("fit", self.name)
         series = estimation.series
@@ -642,7 +765,23 @@ class Validate:
             # comes from flow statistics alone (Theorem 3), so an anomaly
             # that inflates the measured variance cannot widen the fitted
             # band and mask itself.
-            raw = RateSeries.from_packets(trace, spec.estimation.delta)
+            if context.trace is not None:
+                raw = RateSeries.from_packets(
+                    context.trace, spec.estimation.delta
+                )
+            elif accounting.raw_series is not None:
+                # streamed synthesis: the raw series was accumulated in
+                # the same measurement pass (bitwise what from_packets
+                # on the materialised trace would bin)
+                raw = accounting.raw_series
+            else:
+                raise ParameterError(
+                    "anomaly detection needs the raw link rate, but the "
+                    "trace was streamed and no raw series was "
+                    "accumulated; run AccountFlows with the validation "
+                    "section's detect_anomalies set, or materialise the "
+                    "trace (drop synthesis.chunk/workers)"
+                )
             detector = AnomalyDetector(
                 fit.model.gaussian(),
                 threshold_sigma=spec.validation.threshold_sigma,

@@ -126,3 +126,38 @@ class TestCorrelationHorizon:
     def test_threshold_validated(self, small_ensemble):
         with pytest.raises(ParameterError):
             correlation_horizon(50.0, small_ensemble, RectangularShot(), 1.5)
+
+
+class TestVectorizedEquivalence:
+    """The chunked lags x flows broadcast equals the per-lag loop."""
+
+    def test_matches_reference_loop(self, small_ensemble):
+        from repro.core.covariance import reference_autocovariance
+
+        lags = np.linspace(-3.0, 5.0, 137)
+        for shot in (RectangularShot(), TriangularShot()):
+            vec = autocovariance(25.0, small_ensemble, shot, lags)
+            loop = reference_autocovariance(25.0, small_ensemble, shot, lags)
+            np.testing.assert_allclose(vec, loop, rtol=1e-12)
+
+    def test_matches_across_block_boundaries(self, small_ensemble):
+        """Lag counts straddling the internal block size stay exact."""
+        from repro.core import covariance as cov_mod
+        from repro.core.covariance import reference_autocovariance
+
+        block_lags = max(1, cov_mod._LAG_BLOCK_ELEMENTS // 2000)
+        lags = np.linspace(0.0, 4.0, block_lags + 3)
+        vec = autocovariance(10.0, small_ensemble, TriangularShot(), lags)
+        loop = reference_autocovariance(
+            10.0, small_ensemble, TriangularShot(), lags
+        )
+        np.testing.assert_allclose(vec, loop, rtol=1e-12)
+
+    def test_scalar_and_2d_shapes(self, small_ensemble):
+        scalar = autocovariance(10.0, small_ensemble, TriangularShot(), 0.5)
+        assert scalar.shape == (1,)
+        grid = autocovariance(
+            10.0, small_ensemble, TriangularShot(),
+            np.linspace(0, 2, 12).reshape(3, 4),
+        )
+        assert grid.shape == (3, 4)

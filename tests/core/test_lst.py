@@ -175,3 +175,34 @@ class TestChernoffBound:
         bound = chernoff_tail_bound(level, LAM, ens, TriangularShot(), max_flows=500)
         assert bound <= 1.0
         assert bound > 0.0
+
+
+class TestVectorizedCharacteristicFunction:
+    """The chunked omega broadcast equals the per-omega loop."""
+
+    def test_matches_reference_loop(self, ens):
+        from repro.core.lst import (
+            characteristic_function,
+            reference_characteristic_function,
+        )
+
+        k2 = cumulant(2, LAM, ens, TriangularShot())
+        omegas = np.linspace(0.0, 8.0 / np.sqrt(k2), 61)
+        vec = characteristic_function(omegas, LAM, ens, TriangularShot())
+        loop = reference_characteristic_function(omegas, LAM, ens, TriangularShot())
+        np.testing.assert_allclose(vec, loop, rtol=1e-12)
+
+    def test_matches_across_block_boundaries(self, ens):
+        from repro.core import lst as lst_mod
+        from repro.core.lst import (
+            characteristic_function,
+            reference_characteristic_function,
+        )
+
+        rates_elems = min(len(ens.sizes), 20_000) * 48
+        block = max(1, lst_mod._OMEGA_BLOCK_ELEMENTS // rates_elems)
+        k2 = cumulant(2, LAM, ens, TriangularShot())
+        omegas = np.linspace(0.0, 4.0 / np.sqrt(k2), block + 2)
+        vec = characteristic_function(omegas, LAM, ens, TriangularShot())
+        loop = reference_characteristic_function(omegas, LAM, ens, TriangularShot())
+        np.testing.assert_allclose(vec, loop, rtol=1e-12)

@@ -114,3 +114,67 @@ class TestScheduleShape:
             TcpParameters(ssthresh=1, initial_window=2)
         with pytest.raises(ParameterError):
             TcpParameters(max_window=4, ssthresh=8)
+
+
+class TestZeroFlows:
+    def test_empty_input_returns_empty_schedule(self):
+        """Empty cells are legal for the streaming synthesis engine."""
+        sched = simulate_tcp_flows(
+            np.zeros(0), np.zeros(0), TcpParameters(), rng=0
+        )
+        assert len(sched) == 0
+        assert sched.flow_index.dtype == np.int64
+        assert sched.wire_size.dtype == np.uint16
+
+
+class TestExpansionEquivalence:
+    def test_lean_expansion_matches_naive_formulas(self):
+        """The buffer-reusing round expansion is bitwise what the
+        historical arange/repeat expansion computed.
+
+        The naive expansion is rebuilt here from the schedule itself:
+        per-flow offsets must equal cumulative jittered round starts plus
+        an exact within-round arithmetic ramp, and wire sizes must be
+        ``mss + header`` everywhere except each flow's final packet.
+        """
+        rng = np.random.default_rng(9)
+        n = 400
+        sizes = rng.uniform(50.0, 3e5, n)
+        rtts = rng.uniform(0.05, 1.0, n)
+        params = TcpParameters()
+        sched = simulate_tcp_flows(sizes, rtts, params, rng=42)
+
+        counts = np.maximum(np.ceil(sizes / params.mss).astype(np.int64), 1)
+        assert len(sched) == int(counts.sum())
+        order = np.argsort(sched.flow_index, kind="stable")
+        offs = sched.offset[order]
+        wire = sched.wire_size[order].astype(np.float64)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        for i in range(n):
+            f_off = offs[bounds[i]: bounds[i + 1]]
+            f_wire = wire[bounds[i]: bounds[i + 1]]
+            # offsets start at 0 and never decrease within a flow
+            assert f_off[0] == 0.0
+            assert np.all(np.diff(f_off) >= -1e-12)
+            # every packet but the last is a full segment on the wire
+            full = min(params.mss + params.header_bytes, 65535)
+            np.testing.assert_array_equal(f_wire[:-1], full)
+            expected_last = min(
+                (sizes[i] - (counts[i] - 1) * params.mss)
+                + params.header_bytes,
+                65535.0,
+            )
+            assert f_wire[-1] == np.float64(expected_last).astype(np.uint16)
+
+    def test_window_sequence_respected(self):
+        """Packets per round follow slow start then congestion avoidance."""
+        params = TcpParameters(
+            initial_window=2, ssthresh=8, max_window=12, rtt_jitter=0.0
+        )
+        size = 60 * params.mss  # 60 packets
+        sched = simulate_tcp_flows([float(size)], [1.0], params, rng=0)
+        # with zero jitter each round starts at an integer multiple of rtt
+        rounds = np.floor(sched.offset + 1e-9).astype(int)
+        counts = np.bincount(rounds)
+        expected = [2, 4, 8, 9, 10, 11, 12]  # doubling to 8, then +1 to 12
+        np.testing.assert_array_equal(counts[: len(expected)], expected)

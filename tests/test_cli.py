@@ -184,3 +184,31 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+
+class TestStreamedSynthesize:
+    def test_streamed_file_identical_to_in_memory(self, tmp_path):
+        a, b = tmp_path / "a.rptr", tmp_path / "b.rptr"
+        assert main(["synthesize", str(a), "--preset", "medium",
+                     "--duration", "15", "--seed", "4"]) == 0
+        assert main(["synthesize", str(b), "--preset", "medium",
+                     "--duration", "15", "--seed", "4",
+                     "--chunk", "1500", "--workers", "2"]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_streamed_zero_flow_error_is_friendly_and_clean(
+        self, tmp_path, capsys
+    ):
+        """Mirrors SynthesisEngine.write_trace: friendly error, no
+        stale capture file left behind."""
+        path = tmp_path / "empty.rptr"
+        code = main(["synthesize", str(path), "--preset", "low",
+                     "--duration", "0.0001", "--chunk", "1000"])
+        assert code == 2
+        assert "zero flows" in capsys.readouterr().err
+        assert not path.exists()
+
+    def test_run_chunk_flag_streams(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        assert main(["run", "medium", "--chunk", "20000"]) == 0
+        assert "[streamed]" in capsys.readouterr().out
