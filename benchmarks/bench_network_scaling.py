@@ -1,0 +1,176 @@
+"""Network scaling — link-sharded backbone simulation vs sequential runs.
+
+The network-side sibling of ``bench_engine_scaling.py`` (generation),
+``bench_measurement_scaling.py`` (measurement) and
+``bench_synthesis_scaling.py`` (synthesis): one ECMP-routed demand matrix
+over the Abilene backbone is simulated twice by the
+:class:`repro.network.NetworkEngine` — once sequentially (one link at a
+time) and once with links fanned out over the worker pool — and two
+claims are checked:
+
+* **Speedup**: link tasks are independent given the per-demand
+  ``SeedSequence`` children, so with >= 4 CPUs the sharded run must beat
+  the sequential one by ``MIN_SPEEDUP`` (the acceptance bar is 2x on a
+  >= 10-link topology; quick mode only smoke-checks no regression).
+* **Equivalence**: the per-link packet counts, byte totals and rate
+  series are bitwise identical between the two runs — ``workers`` (and
+  ``chunk``) are pure execution strategy.
+
+The run emits the network perf datapoint as ``BENCH_network.json`` (CI
+uploads it as an artifact); set ``REPRO_BENCH_NETWORK_JSON`` to redirect
+it.
+
+Run directly (``python benchmarks/bench_network_scaling.py``) or via
+pytest (``pytest benchmarks/bench_network_scaling.py -s``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from conftest import print_header, run_once
+
+from repro.netsim import table_i_workload
+from repro.network import DemandMatrix, NetworkDemand, NetworkEngine, abilene
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: Capture length per demand (seconds).  Quick mode shrinks it for CI.
+DURATION = 15.0 if QUICK else 60.0
+SEED = 7
+CHUNK = 200_000
+
+#: The demand matrix: six coast-to-coast Table I populations whose ECMP
+#: routes spread over well beyond the acceptance bar of 10 links.
+DEMAND_ODS = (
+    (("seattle", "newyork"), 4),
+    (("sunnyvale", "washington"), 6),
+    (("losangeles", "atlanta"), 3),
+    (("denver", "newyork"), 6),
+    (("houston", "chicago"), 3),
+    (("newyork", "losangeles"), 4),
+)
+
+#: Links the matrix must light up for the speedup claim to be meaningful.
+MIN_SIMULATED_LINKS = 10
+
+_CPUS = (
+    len(os.sched_getaffinity(0))
+    if hasattr(os, "sched_getaffinity")  # Linux; fall back elsewhere
+    else (os.cpu_count() or 1)
+)
+WORKERS = min(4, _CPUS)
+
+#: Required parallel-over-sequential speedup.  Link tasks are numpy-heavy
+#: and release the GIL, so with >= 4 CPUs the acceptance bar of 2x
+#: applies to the full run; quick mode's per-link tasks are milliseconds,
+#: so its gate (like the other scaling benches) is a no-pathology smoke
+#: check, not a perf claim.
+if _CPUS >= 4 and not QUICK:
+    MIN_SPEEDUP = 2.0
+else:
+    MIN_SPEEDUP = 0.7
+
+
+def _demand_matrix() -> DemandMatrix:
+    return DemandMatrix(
+        NetworkDemand(a, b, table_i_workload(row, duration=DURATION))
+        for (a, b), row in DEMAND_ODS
+    )
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def test_network_scaling(benchmark):
+    topology = abilene()
+
+    def build():
+        sequential, t_sequential = _timed(
+            lambda: NetworkEngine(chunk=CHUNK, workers=1).simulate(
+                topology, _demand_matrix(), routing="ecmp", seed=SEED
+            )
+        )
+        sharded, t_sharded = _timed(
+            lambda: NetworkEngine(chunk=CHUNK, workers=WORKERS).simulate(
+                topology, _demand_matrix(), routing="ecmp", seed=SEED
+            )
+        )
+        return sequential, t_sequential, sharded, t_sharded
+
+    sequential, t_sequential, sharded, t_sharded = run_once(benchmark, build)
+    speedup = t_sequential / t_sharded
+    carrying = sequential.simulated_links
+    total_packets = sum(link.packet_count for link in carrying)
+
+    print_header(
+        f"NETWORK SCALING - Abilene ({topology.n_links} directed links), "
+        f"{len(DEMAND_ODS)} ECMP demands over {DURATION:g} s, {_CPUS} cpu(s)"
+        + ("  [quick mode; unset REPRO_BENCH_QUICK for the full run]"
+           if QUICK else "")
+    )
+    print(f"  {'configuration':>34s} {'time (s)':>10s} {'links/s':>10s}")
+    for label, t in (
+        ("sequential (workers=1)", t_sequential),
+        (f"link-sharded (workers={WORKERS})", t_sharded),
+    ):
+        print(f"  {label:>34s} {t:10.2f} {len(carrying) / t:10.2f}")
+    print(f"  simulated links: {len(carrying)} carrying "
+          f"{total_packets:,} packets")
+    print(f"  speedup: {speedup:.2f}x (floor {MIN_SPEEDUP:g}x "
+          f"at {_CPUS} cpu(s))")
+
+    # record the datapoint before any gate can fail — a regression run is
+    # exactly the one whose numbers must survive
+    out_path = Path(
+        os.environ.get("REPRO_BENCH_NETWORK_JSON", "BENCH_network.json")
+    )
+    out_path.write_text(json.dumps({
+        "benchmark": "network_scaling",
+        "quick": QUICK,
+        "topology": "abilene",
+        "n_directed_links": int(topology.n_links),
+        "n_simulated_links": int(len(carrying)),
+        "n_demands": len(DEMAND_ODS),
+        "routing": "ecmp",
+        "duration_s": float(DURATION),
+        "total_packets": int(total_packets),
+        "chunk_packets": int(CHUNK),
+        "workers": int(WORKERS),
+        "cpus": int(_CPUS),
+        "sequential_s": float(t_sequential),
+        "sharded_s": float(t_sharded),
+        "speedup": float(speedup),
+        "min_speedup": float(MIN_SPEEDUP),
+    }, indent=2) + "\n")
+    print(f"  wrote datapoint -> {out_path}")
+
+    # the speedup claim is only meaningful on a genuinely multi-link run
+    assert len(carrying) >= MIN_SIMULATED_LINKS
+
+    # equivalence: workers are pure execution strategy — every link's
+    # outputs are bitwise identical between the two runs
+    for link, entry in sequential.links.items():
+        other = sharded.links[link]
+        assert entry.packet_count == other.packet_count
+        assert entry.total_bytes == other.total_bytes
+        if entry.series is not None:
+            assert np.array_equal(entry.series.values, other.series.values)
+            assert np.array_equal(entry.flows.starts, other.flows.starts)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"link sharding speedup {speedup:.2f}x below the "
+        f"{MIN_SPEEDUP:g}x floor"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    pytest.main([__file__, "-s", "--benchmark-disable"])

@@ -57,6 +57,7 @@ from . import (
     generation,
     measurement,
     netsim,
+    network,
     pipeline,
     prediction,
     stats,
@@ -117,6 +118,7 @@ __all__ = [
     "prediction",
     "generation",
     "measurement",
+    "network",
     "synthesis",
     "applications",
     "baselines",

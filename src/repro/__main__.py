@@ -6,7 +6,11 @@ the canonical path:
 * ``run``            — run a scenario end-to-end (synthesize → measure →
   fit → generate → validate) from a JSON spec file or a registry name,
   optionally writing the validation report as JSON;
-* ``list-scenarios`` — show the built-in scenario registry;
+* ``network``        — simulate a whole backbone (topology + demand
+  matrix + routing + events) and report per-link models, utilisation,
+  provisioning verdicts and anomalies;
+* ``list-scenarios`` — show the built-in scenario registry, grouped by
+  family (single-link vs network);
 * ``synthesize``     — generate a scaled backbone capture to a trace file;
 * ``measure``        — run the section VI measurement pipeline on an
   existing trace file;
@@ -18,6 +22,7 @@ Examples::
 
     python -m repro run medium --report report.json
     python -m repro run my-scenario.json
+    python -m repro network abilene-table-i --workers 4 --report net.json
     python -m repro list-scenarios
     python -m repro synthesize /tmp/link.rptr --preset medium --seed 7
     python -m repro measure /tmp/link.rptr --flow-kind five_tuple
@@ -29,9 +34,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
+
+import numpy as np
 
 from .core import PoissonShotNoiseModel
 from .exceptions import ParameterError, ReproError
@@ -294,6 +302,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = _load_spec(args.spec)
     except ReproError as exc:
         return _fail(str(exc))
+    if spec.network is not None:
+        # network scenarios share run's flags; route them to the
+        # network-report printer instead of the single-link one
+        return _cmd_network(args)
     if args.seed is not None:
         spec = spec.with_overrides(seed=args.seed)
     if args.chunk or args.workers > 1:
@@ -372,8 +384,98 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     registry = default_registry()
     width = max(len(name) for name in registry.names())
-    for name, description in registry.describe():
-        print(f"{name:<{width}}  {description}")
+    first = True
+    for family, entries in registry.families().items():
+        if not first:
+            print()
+        first = False
+        print(f"{family} scenarios:")
+        for name, description in entries:
+            print(f"  {name:<{width}}  {description}")
+    return 0
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    try:
+        spec = _load_spec(args.spec)
+    except ReproError as exc:
+        return _fail(str(exc))
+    if spec.network is None:
+        return _fail(
+            f"scenario {spec.name!r} has no 'network' section; use "
+            "'run' for single-link scenarios (see list-scenarios)"
+        )
+    if args.chunk < 0:
+        return _fail(f"--chunk must be >= 0, got {args.chunk}")
+    if args.workers < 1:
+        return _fail(f"--workers must be >= 1, got {args.workers}")
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.chunk or args.workers > 1:
+        # flags at their defaults keep the spec's own execution values
+        overrides["network"] = dataclasses.replace(
+            spec.network,
+            chunk=args.chunk or spec.network.chunk,
+            workers=(
+                args.workers
+                if args.workers > 1
+                else int(spec.network.workers)
+            ),
+        )
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    spec = apply_quick_mode(spec)
+    try:
+        result = run_scenario(spec)
+    except ReproError as exc:
+        return _fail(f"scenario {spec.name!r} failed: {exc}")
+    report = result.network.report
+
+    print(f"scenario   : {spec.name}"
+          + (f" — {spec.description}" if spec.description else ""))
+    print(f"topology   : {report.n_routers} routers, {report.n_links} "
+          f"directed links ({report.routing} routing)")
+    print(f"demands    : {report.n_demands} OD pairs over "
+          f"{report.duration:g} s")
+    carrying = [entry for entry in report.links if entry.n_demands > 0]
+    print(f"links      : {len(carrying)} carrying traffic")
+    label_width = max(
+        (len(f"{a}->{b}") for a, b in (e.link for e in carrying)),
+        default=0,
+    )
+    for entry in carrying:
+        a, b = entry.link
+        cov = (
+            f"{entry.measured_cov:.1%}"
+            if not np.isnan(entry.measured_cov)
+            else "n/a"
+        )
+        verdict = "OVERLOADED" if entry.overloaded else "ok"
+        print(f"  {f'{a}->{b}':<{label_width}} {entry.packets:>9} pkts  "
+              f"util {entry.utilization:6.1%}  CoV {cov:>6}  "
+              f"b={entry.fitted_power:5.2f}  "
+              f"need {entry.required_capacity_bps / 1e6:8.3f} Mbps  "
+              f"[{verdict}]")
+        for anomaly in entry.anomalies:
+            print(f"    anomaly: {anomaly['kind']} at "
+                  f"{anomaly['start_s']:.1f} s for "
+                  f"{anomaly['duration_s']:.1f} s "
+                  f"(peak z = {anomaly['peak_z']:+.1f})")
+    if report.overloaded_links:
+        names = ", ".join(
+            f"{a}->{b}" for a, b in
+            (entry.link for entry in report.overloaded_links)
+        )
+        print(f"verdict    : {len(report.overloaded_links)} link(s) "
+              f"under-provisioned: {names}")
+    else:
+        print("verdict    : all links meet the epsilon target")
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(result.report(), indent=2) + "\n"
+        )
+        print(f"report     : wrote {args.report}")
     return 0
 
 
@@ -448,8 +550,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(func=_cmd_run)
 
+    net = sub.add_parser(
+        "network",
+        help="simulate a whole backbone (topology + demands + routing)",
+    )
+    net.add_argument(
+        "spec",
+        help="a scenario spec JSON file with a 'network' section, or a "
+        "network registry name (see list-scenarios)",
+    )
+    net.add_argument(
+        "--report", default=None,
+        help="write the network report (per-link models, provisioning "
+        "verdicts, anomalies) to this JSON file",
+    )
+    net.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's seed",
+    )
+    net.add_argument(
+        "--chunk", type=int, default=0,
+        help="packets per streamed block inside each per-link pass "
+        "(0 = keep the spec's value; results are identical either way)",
+    )
+    net.add_argument(
+        "--workers", type=int, default=1,
+        help="links simulated concurrently over the engine worker pool "
+        "(never changes the results)",
+    )
+    net.set_defaults(func=_cmd_network)
+
     lst = sub.add_parser(
-        "list-scenarios", help="list the built-in scenario registry"
+        "list-scenarios",
+        help="list the built-in scenario registry, grouped by family",
     )
     lst.set_defaults(func=_cmd_list_scenarios)
 

@@ -3,17 +3,14 @@
 The paper observes that flow statistics can be collected at the *edges* of
 the backbone and combined with routing information to infer the traffic —
 mean and variance — on **every** internal link without monitoring it.
-This module implements that engineering loop on a networkx topology:
 
-1. declare a backbone graph with link capacities;
-2. declare origin-destination *demands*, each carrying the three-parameter
-   flow statistics measured at its ingress;
-3. demands are routed (shortest path by default);
-4. each link superposes the statistics of the demands crossing it —
-   Poisson shot-noises add, so per-link ``lambda`` and
-   ``lambda * E[S^2/D]`` are sums — yielding a
-   :class:`~repro.core.model.ThreeParameterModel` per link;
-5. reports flag links whose required capacity exceeds what is installed.
+Since the :mod:`repro.network` subsystem landed, the moment-sum logic
+lives in :func:`repro.network.analytic.superpose_link_moments` and this
+module is a thin, stable front door over it (see MIGRATION.md): declare
+a topology and statistics-carrying demands, get per-link
+mean/variance/required-capacity reports.  For *flow-population* demands
+— full packet-level simulation of every link, ECMP, outages — use
+:class:`repro.network.NetworkEngine` instead.
 """
 
 from __future__ import annotations
@@ -27,6 +24,9 @@ from .._util import check_positive, check_probability
 from ..core.gaussian import GaussianApproximation
 from ..core.parameters import FlowStatistics
 from ..exceptions import TopologyError
+from ..network.analytic import superpose_link_moments
+from ..network.routing import ShortestPathRouting
+from ..network.topology import Topology
 
 __all__ = ["Demand", "LinkLoadReport", "BackboneNetwork"]
 
@@ -70,32 +70,43 @@ class LinkLoadReport:
 
 
 class BackboneNetwork:
-    """A provisioned backbone: topology + routed demands + per-link models."""
+    """A provisioned backbone: topology + routed demands + per-link models.
+
+    A compatibility shim over :mod:`repro.network`: the graph lives in a
+    :class:`~repro.network.Topology`, routing is
+    :class:`~repro.network.ShortestPathRouting`, and the per-link moment
+    sums come from
+    :func:`~repro.network.analytic.superpose_link_moments`.
+    """
 
     def __init__(self) -> None:
-        self.graph = nx.DiGraph()
+        self.topology = Topology()
         self.demands: list[Demand] = []
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying annotated graph (mutations are honoured)."""
+        return self.topology.graph
 
     # -- topology ---------------------------------------------------------
 
     def add_router(self, name: str) -> None:
         """Add a node (idempotent)."""
-        self.graph.add_node(str(name))
+        self.topology.add_router(name)
 
     def add_link(
         self, a: str, b: str, *, capacity_bps: float, weight: float = 1.0,
         bidirectional: bool = True,
     ) -> None:
         """Add a link with capacity in bits/second and an IGP weight."""
-        capacity_bps = check_positive("capacity_bps", capacity_bps)
-        weight = check_positive("weight", weight)
-        self.graph.add_edge(a, b, capacity_bps=capacity_bps, weight=weight)
-        if bidirectional:
-            self.graph.add_edge(b, a, capacity_bps=capacity_bps, weight=weight)
+        self.topology.add_link(
+            a, b, capacity_bps=capacity_bps, weight=weight,
+            bidirectional=bidirectional,
+        )
 
     @property
     def links(self) -> list[tuple[str, str]]:
-        return list(self.graph.edges())
+        return self.topology.links
 
     # -- demands ----------------------------------------------------------
 
@@ -108,14 +119,10 @@ class BackboneNetwork:
 
     def route(self, demand: Demand) -> list[str]:
         """IGP shortest path for a demand (weight attribute)."""
-        try:
-            return nx.shortest_path(
-                self.graph, demand.source, demand.sink, weight="weight"
-            )
-        except nx.NetworkXNoPath as exc:
-            raise TopologyError(
-                f"no route from {demand.source!r} to {demand.sink!r}"
-            ) from exc
+        routed = ShortestPathRouting().route(
+            self.topology, demand.source, demand.sink
+        )
+        return list(routed.paths[0])
 
     # -- per-link models ----------------------------------------------------
 
@@ -136,32 +143,32 @@ class BackboneNetwork:
         Superposition: means and variances of independent Poisson
         shot-noise classes add (section VIII multi-class extension), so a
         link's predicted traffic follows directly from the edge-measured
-        statistics of the demands routed over it.
+        statistics of the demands routed over it — the moment sums are
+        computed by :func:`repro.network.analytic.superpose_link_moments`.
         """
         epsilon = check_probability("epsilon", epsilon)
+        moments = superpose_link_moments(
+            self.topology, self.demands, routing=ShortestPathRouting()
+        )
         reports = []
-        for edge, demands in self.link_statistics().items():
-            capacity = self.graph.edges[edge]["capacity_bps"]
-            mean = sum(d.statistics.mean_rate for d in demands)
-            variance = sum(
-                d.statistics.variance(d.shape_factor) for d in demands
-            )
-            arrival = sum(d.statistics.arrival_rate for d in demands)
-            if mean > 0 and variance > 0:
-                gaussian = GaussianApproximation(mean, float(np.sqrt(variance)))
+        for edge, entry in moments.items():
+            if entry.mean_rate > 0 and entry.variance > 0:
+                gaussian = GaussianApproximation(
+                    entry.mean_rate, float(np.sqrt(entry.variance))
+                )
                 required = 8.0 * gaussian.required_capacity(epsilon)
             else:
                 required = 0.0
             reports.append(
                 LinkLoadReport(
                     link=edge,
-                    capacity_bps=capacity,
-                    mean_rate=mean,
-                    std=float(np.sqrt(variance)),
-                    arrival_rate=arrival,
-                    n_demands=len(demands),
+                    capacity_bps=entry.capacity_bps,
+                    mean_rate=entry.mean_rate,
+                    std=float(np.sqrt(entry.variance)),
+                    arrival_rate=entry.arrival_rate,
+                    n_demands=entry.n_demands,
                     required_capacity_bps=required,
-                    utilization=8.0 * mean / capacity,
+                    utilization=8.0 * entry.mean_rate / entry.capacity_bps,
                 )
             )
         return reports

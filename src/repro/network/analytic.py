@@ -1,0 +1,89 @@
+"""Analytic per-link superposition: edge statistics + routing = link moments.
+
+The paper's section VI-A / VII-A argument: flow statistics measured at
+the network *edges* plus routing information give the model on every
+internal link without monitoring it — means and variances of independent
+Poisson shot-noise classes add, and a routed split of a Poisson flow
+population is again Poisson with the arrival rate thinned by the split
+fraction (so ECMP fractions scale ``lambda``, keeping the per-flow
+laws).
+
+This module is the one home of that moment-sum logic; the historic
+:class:`repro.applications.backbone.BackboneNetwork` front door delegates
+here (see MIGRATION.md).
+
+Demands are duck-typed: anything with ``source``, ``sink``,
+``statistics`` (a :class:`~repro.core.parameters.FlowStatistics`) and
+``shape_factor`` works — in particular
+:class:`repro.applications.backbone.Demand`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ParameterError
+from .routing import RoutingStrategy, ShortestPathRouting
+from .topology import Topology
+
+__all__ = ["LinkMoments", "superpose_link_moments"]
+
+
+@dataclass
+class LinkMoments:
+    """Summed first/second moments of the demands crossing one link."""
+
+    link: tuple[str, str]
+    capacity_bps: float
+    mean_rate: float = 0.0  # bytes/s
+    variance: float = 0.0  # (bytes/s)^2
+    arrival_rate: float = 0.0  # flows/s, thinned by split fractions
+    n_demands: int = 0
+
+
+def superpose_link_moments(
+    topology: Topology,
+    demands,
+    *,
+    routing: RoutingStrategy | None = None,
+) -> dict[tuple[str, str], LinkMoments]:
+    """Per-link moment sums for statistics-carrying demands.
+
+    Every topology link gets an entry (zeros when nothing crosses it).
+    A demand split over several paths contributes each link its split
+    fraction times the demand's moments: thinning a Poisson population
+    by ``f`` scales ``lambda`` — and hence both the mean
+    ``lambda E[S]`` and the variance
+    ``shape * lambda E[S^2/D]`` — by ``f``.
+    """
+    routing = routing if routing is not None else ShortestPathRouting()
+    moments = {
+        link: LinkMoments(
+            link=link, capacity_bps=topology.capacity_bps(*link)
+        )
+        for link in topology.links
+    }
+    for demand in demands:
+        statistics = getattr(demand, "statistics", None)
+        if statistics is None:
+            raise ParameterError(
+                "analytic superposition needs demands carrying "
+                "FlowStatistics (got no 'statistics' attribute on "
+                f"{demand!r}); use the NetworkEngine for "
+                "flow-population demands"
+            )
+        shape = float(getattr(demand, "shape_factor", 1.0))
+        routed = routing.route(topology, demand.source, demand.sink)
+        fractions: dict[tuple[str, str], float] = {}
+        for path, weight in zip(routed.paths, routed.weights):
+            if weight <= 0.0:
+                continue
+            for link in zip(path[:-1], path[1:]):
+                fractions[link] = fractions.get(link, 0.0) + float(weight)
+        for link, fraction in fractions.items():
+            entry = moments[link]
+            entry.mean_rate += fraction * statistics.mean_rate
+            entry.variance += fraction * statistics.variance(shape)
+            entry.arrival_rate += fraction * statistics.arrival_rate
+            entry.n_demands += 1
+    return moments

@@ -1,0 +1,282 @@
+"""Demand routing strategies and deterministic per-flow path hashing.
+
+A strategy maps one origin-destination pair to a :class:`RoutedPaths`: a
+set of loop-free paths with split weights.  Flows are pinned to paths the
+way a router's ECMP hash does it: a deterministic 64-bit mix of the flow
+five-tuple (plus a seed-derived salt) yields a uniform in ``[0, 1)``,
+and the cumulative split weights partition that interval — so a flow's
+packets all take the same path, the assignment is a pure function of
+``(five-tuple, salt)``, and two runs with the same seed balance flows
+identically no matter how the packets are chunked or which worker
+evaluates them.
+
+Strategies:
+
+* :class:`ShortestPathRouting` — single IGP shortest path (``weight``
+  attribute), the classic OSPF/IS-IS single-path case;
+* :class:`ECMPRouting` — all equal-cost shortest paths with equal
+  splits, flows pinned by hash (the load-balancing testbed setup);
+* :class:`StaticRouting` — explicit per-OD paths with arbitrary split
+  weights (traffic-engineered tunnels).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import ParameterError, TopologyError
+from .topology import Topology
+
+__all__ = [
+    "RoutedPaths",
+    "RoutingStrategy",
+    "ShortestPathRouting",
+    "ECMPRouting",
+    "StaticRouting",
+    "resolve_routing",
+    "ecmp_salt",
+    "flow_uniforms",
+    "path_indices",
+]
+
+
+@dataclass(frozen=True)
+class RoutedPaths:
+    """The paths (node sequences) and split weights of one routed demand."""
+
+    paths: tuple[tuple[str, ...], ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            raise ParameterError("a routed demand needs at least one path")
+        if len(self.paths) != len(self.weights):
+            raise ParameterError("paths and weights must pair up")
+        total = float(sum(self.weights))
+        if total <= 0.0 or any(w < 0.0 for w in self.weights):
+            raise ParameterError("split weights must be >= 0 with a positive sum")
+        object.__setattr__(
+            self,
+            "paths",
+            tuple(tuple(str(n) for n in path) for path in self.paths),
+        )
+        object.__setattr__(
+            self, "weights", tuple(float(w) / total for w in self.weights)
+        )
+        for path in self.paths:
+            if len(path) < 2:
+                raise ParameterError(f"path {path!r} has no links")
+            if len(set(path)) != len(path):
+                raise ParameterError(f"path {path!r} has a loop")
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.paths)
+
+    def links(self) -> set[tuple[str, str]]:
+        """All directed links any of the paths crosses."""
+        out: set[tuple[str, str]] = set()
+        for path in self.paths:
+            out.update(zip(path[:-1], path[1:]))
+        return out
+
+    def boundaries(self) -> np.ndarray:
+        """Interior cumulative-weight cut points (``n_paths - 1`` values).
+
+        A flow with hash uniform ``u`` takes path
+        ``searchsorted(boundaries, u, side="right")``.
+        """
+        return np.cumsum(np.asarray(self.weights, dtype=np.float64))[:-1]
+
+    def intervals_for_link(
+        self, link: tuple[str, str]
+    ) -> tuple[tuple[float, float], ...]:
+        """Hash-uniform intervals ``[lo, hi)`` whose flows cross ``link``."""
+        edges = np.concatenate(
+            ([0.0], np.cumsum(np.asarray(self.weights, dtype=np.float64)))
+        )
+        edges[-1] = 1.0  # guard rounding: the last bucket must close [0, 1)
+        out = []
+        for j, path in enumerate(self.paths):
+            if link in set(zip(path[:-1], path[1:])) and self.weights[j] > 0.0:
+                out.append((float(edges[j]), float(edges[j + 1])))
+        return tuple(out)
+
+
+class RoutingStrategy(ABC):
+    """Maps (topology, source, sink) to a :class:`RoutedPaths`."""
+
+    #: Spec-facing identifier (``network.routing`` in scenario specs).
+    name: str = ""
+
+    @abstractmethod
+    def route(
+        self, topology: Topology, source: str, sink: str
+    ) -> RoutedPaths: ...
+
+
+def _no_route(source: str, sink: str) -> TopologyError:
+    return TopologyError(f"no route from {source!r} to {sink!r}")
+
+
+class ShortestPathRouting(RoutingStrategy):
+    """Single IGP shortest path by the ``weight`` link attribute."""
+
+    name = "shortest_path"
+
+    def route(self, topology: Topology, source: str, sink: str) -> RoutedPaths:
+        try:
+            path = nx.shortest_path(
+                topology.graph, str(source), str(sink), weight="weight"
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise _no_route(source, sink) from exc
+        return RoutedPaths(paths=(tuple(path),), weights=(1.0,))
+
+
+class ECMPRouting(RoutingStrategy):
+    """All equal-cost shortest paths, flows split equally by hash.
+
+    Paths are sorted lexicographically so the path order — and therefore
+    the hash-bucket assignment — is deterministic regardless of graph
+    iteration order.
+    """
+
+    name = "ecmp"
+
+    def route(self, topology: Topology, source: str, sink: str) -> RoutedPaths:
+        try:
+            paths = sorted(
+                tuple(p)
+                for p in nx.all_shortest_paths(
+                    topology.graph, str(source), str(sink), weight="weight"
+                )
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise _no_route(source, sink) from exc
+        return RoutedPaths(
+            paths=tuple(paths), weights=(1.0,) * len(paths)
+        )
+
+
+class StaticRouting(RoutingStrategy):
+    """Explicit weighted splits per OD pair (traffic-engineered routes).
+
+    ``routes`` maps ``(source, sink)`` to a :class:`RoutedPaths` (or to a
+    ``(paths, weights)`` pair).  Every path is validated against the
+    topology at routing time, so a stale tunnel fails loudly.
+    """
+
+    name = "static"
+
+    def __init__(self, routes: dict) -> None:
+        self.routes: dict[tuple[str, str], RoutedPaths] = {}
+        for od, value in routes.items():
+            source, sink = (str(od[0]), str(od[1]))
+            if not isinstance(value, RoutedPaths):
+                paths, weights = value
+                value = RoutedPaths(
+                    paths=tuple(tuple(p) for p in paths),
+                    weights=tuple(weights),
+                )
+            self.routes[(source, sink)] = value
+
+    def route(self, topology: Topology, source: str, sink: str) -> RoutedPaths:
+        od = (str(source), str(sink))
+        if od not in self.routes:
+            raise TopologyError(
+                f"static routing has no entry for {source!r} -> {sink!r}"
+            )
+        routed = self.routes[od]
+        for path in routed.paths:
+            if path[0] != od[0] or path[-1] != od[1]:
+                raise TopologyError(
+                    f"static path {path!r} does not join {source!r} to {sink!r}"
+                )
+            for a, b in zip(path[:-1], path[1:]):
+                if not topology.has_link(a, b):
+                    raise TopologyError(
+                        f"static path {path!r} uses missing link {a!r}->{b!r}"
+                    )
+        return routed
+
+
+#: Spec-facing routing names (static routes carry data, so they are
+#: constructed in code, not named in specs).
+_NAMED_STRATEGIES = {
+    ShortestPathRouting.name: ShortestPathRouting,
+    ECMPRouting.name: ECMPRouting,
+}
+
+
+def resolve_routing(routing) -> RoutingStrategy:
+    """A :class:`RoutingStrategy` from an instance or a spec name."""
+    if isinstance(routing, RoutingStrategy):
+        return routing
+    name = str(routing)
+    if name not in _NAMED_STRATEGIES:
+        choices = ", ".join(sorted(_NAMED_STRATEGIES))
+        raise ParameterError(
+            f"unknown routing strategy {routing!r}; named strategies are "
+            f"{choices} (use a StaticRouting instance for explicit paths)"
+        )
+    return _NAMED_STRATEGIES[name]()
+
+
+# -- per-flow hashing ------------------------------------------------------
+
+_SM64_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM64_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM64_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def ecmp_salt(seed) -> np.uint64:
+    """The network-wide hash salt derived from the simulation seed.
+
+    One salt per network (like a router vendor's hash seed): the flow →
+    path assignment is a pure function of ``(five-tuple, salt)``, pinned
+    by tests for a fixed seed.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    # a dedicated child so the salt never collides with synthesis streams
+    child = np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=(0xEC4B,)
+    )
+    return np.uint64(child.generate_state(1, np.uint64)[0])
+
+
+def flow_uniforms(packets: np.ndarray, salt: np.uint64) -> np.ndarray:
+    """Deterministic per-packet uniforms from the flow five-tuple.
+
+    All packets of a flow share the five-tuple, hence the uniform, hence
+    the path — the ECMP flow-pinning property.  SplitMix64 finalizer over
+    the two packed key words, salted.
+    """
+    from ..flows.keys import pack_packet_keys
+
+    hi, lo = pack_packet_keys(packets, "five_tuple")
+    with np.errstate(over="ignore"):
+        x = hi + np.uint64(salt)
+        x ^= x >> np.uint64(30)
+        x *= _SM64_MIX1
+        x += lo * _SM64_GAMMA
+        x ^= x >> np.uint64(27)
+        x *= _SM64_MIX2
+        x ^= x >> np.uint64(31)
+    return (x >> np.uint64(11)).astype(np.float64) * 2.0**-53
+
+
+def path_indices(uniforms: np.ndarray, routed: RoutedPaths) -> np.ndarray:
+    """Path index per packet given hash uniforms and split weights."""
+    if routed.n_paths == 1:
+        return np.zeros(np.asarray(uniforms).shape, dtype=np.int64)
+    return np.searchsorted(
+        routed.boundaries(), uniforms, side="right"
+    ).astype(np.int64)

@@ -1,0 +1,265 @@
+"""Capacity-annotated backbone topologies.
+
+A :class:`Topology` is the graph the network engine simulates: routers
+(nodes) connected by directed links carrying a ``capacity_bps`` and an
+IGP ``weight``.  Links are bidirectional by default — a physical fibre
+is two directed links with shared fate (an outage takes out both
+directions).
+
+Presets cover the shapes the tests, registry scenarios and benchmarks
+use:
+
+* :func:`abilene` — the classic 11-PoP Abilene research backbone (14
+  bidirectional fibres, 28 directed links), the standard topology of the
+  traffic-matrix literature;
+* :func:`parallel_paths` — ``k`` equal-cost two-hop paths between one
+  ingress/egress pair, the minimal ECMP load-balancing testbed;
+* :func:`line` — a chain of routers, the minimal multi-hop case (and,
+  with two nodes, the single-link degeneracy the engine must reproduce
+  bit for bit).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .._util import check_positive
+from ..exceptions import ParameterError, TopologyError
+
+__all__ = ["Topology", "abilene", "parallel_paths", "line"]
+
+
+class Topology:
+    """A backbone graph: routers plus capacity/weight-annotated links."""
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        #: Physical fibres: maps each directed link to its reverse twin
+        #: when the link was declared bidirectional (shared-fate outages).
+        self._twins: dict[tuple[str, str], tuple[str, str]] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(routers={self.graph.number_of_nodes()}, "
+            f"links={self.graph.number_of_edges()})"
+        )
+
+    # -- construction ------------------------------------------------------
+
+    def add_router(self, name: str) -> None:
+        """Add a node (idempotent)."""
+        self.graph.add_node(str(name))
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        *,
+        capacity_bps: float,
+        weight: float = 1.0,
+        bidirectional: bool = True,
+    ) -> None:
+        """Add a link with capacity in bits/second and an IGP weight."""
+        capacity_bps = check_positive("capacity_bps", capacity_bps)
+        weight = check_positive("weight", weight)
+        a, b = str(a), str(b)
+        if a == b:
+            raise TopologyError(f"link endpoints must differ, got {a!r}")
+        self.graph.add_edge(a, b, capacity_bps=capacity_bps, weight=weight)
+        if bidirectional:
+            self.graph.add_edge(b, a, capacity_bps=capacity_bps, weight=weight)
+            self._twins[(a, b)] = (b, a)
+            self._twins[(b, a)] = (a, b)
+
+    @classmethod
+    def from_graph(cls, graph: nx.DiGraph) -> "Topology":
+        """Wrap an existing annotated DiGraph (no copy; shared fate only
+        where both directions exist)."""
+        topo = cls.__new__(cls)
+        topo.graph = graph
+        topo._twins = {
+            (a, b): (b, a) for a, b in graph.edges() if graph.has_edge(b, a)
+        }
+        return topo
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def routers(self) -> list[str]:
+        return list(self.graph.nodes())
+
+    @property
+    def links(self) -> list[tuple[str, str]]:
+        """All directed links, in insertion order."""
+        return list(self.graph.edges())
+
+    @property
+    def n_links(self) -> int:
+        return self.graph.number_of_edges()
+
+    def has_router(self, name: str) -> bool:
+        return str(name) in self.graph
+
+    def has_link(self, a: str, b: str) -> bool:
+        return self.graph.has_edge(str(a), str(b))
+
+    def capacity_bps(self, a: str, b: str) -> float:
+        self._require_link(a, b)
+        return float(self.graph.edges[(str(a), str(b))]["capacity_bps"])
+
+    def weight(self, a: str, b: str) -> float:
+        self._require_link(a, b)
+        return float(self.graph.edges[(str(a), str(b))]["weight"])
+
+    def fate_group(self, a: str, b: str) -> tuple[tuple[str, str], ...]:
+        """The directed links sharing the physical fibre of ``(a, b)``.
+
+        An outage of a bidirectional fibre takes out both directions; a
+        unidirectional link fails alone.
+        """
+        self._require_link(a, b)
+        link = (str(a), str(b))
+        twin = self._twins.get(link)
+        return (link,) if twin is None else (link, twin)
+
+    def without_links(self, failed) -> "Topology":
+        """A copy of this topology with the given directed links removed.
+
+        ``failed`` is an iterable of ``(a, b)`` pairs; each is expanded
+        to its shared-fate group, so failing one direction of a
+        bidirectional fibre fails both.
+        """
+        removed: set[tuple[str, str]] = set()
+        for a, b in failed:
+            removed.update(self.fate_group(a, b))
+        reduced = Topology()
+        reduced.graph.add_nodes_from(self.graph.nodes())
+        for a, b in self.graph.edges():
+            if (a, b) in removed:
+                continue
+            data = self.graph.edges[(a, b)]
+            reduced.graph.add_edge(
+                a, b,
+                capacity_bps=data["capacity_bps"],
+                weight=data["weight"],
+            )
+        reduced._twins = {
+            link: twin
+            for link, twin in self._twins.items()
+            if link not in removed and twin not in removed
+        }
+        return reduced
+
+    def _require_link(self, a: str, b: str) -> None:
+        if not self.graph.has_edge(str(a), str(b)):
+            raise TopologyError(f"no link {a!r} -> {b!r} in the topology")
+
+    def require_router(self, name: str) -> None:
+        if str(name) not in self.graph:
+            raise TopologyError(f"unknown router {name!r}")
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe description (inverted exactly by :meth:`from_dict`).
+
+        Bidirectional fibres are emitted once; unidirectional links carry
+        ``"bidirectional": false``.
+        """
+        links = []
+        seen: set[tuple[str, str]] = set()
+        for a, b in self.graph.edges():
+            if (a, b) in seen:
+                continue
+            data = self.graph.edges[(a, b)]
+            twin = self._twins.get((a, b))
+            entry = {
+                "a": a,
+                "b": b,
+                "capacity_bps": float(data["capacity_bps"]),
+                "weight": float(data["weight"]),
+            }
+            if twin is None:
+                entry["bidirectional"] = False
+            else:
+                seen.add(twin)
+            links.append(entry)
+            seen.add((a, b))
+        return {"routers": list(self.graph.nodes()), "links": links}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Topology":
+        topo = cls()
+        for name in data.get("routers", ()):
+            topo.add_router(name)
+        for entry in data.get("links", ()):
+            try:
+                topo.add_link(
+                    entry["a"],
+                    entry["b"],
+                    capacity_bps=entry["capacity_bps"],
+                    weight=entry.get("weight", 1.0),
+                    bidirectional=entry.get("bidirectional", True),
+                )
+            except KeyError as exc:
+                raise ParameterError(
+                    f"topology link entry {entry!r} is missing key {exc}"
+                ) from None
+        if not topo.graph.number_of_edges():
+            raise ParameterError("topology must declare at least one link")
+        return topo
+
+
+# -- presets ---------------------------------------------------------------
+
+#: The 14 Abilene fibres (11 PoPs).  All OC-48-class in the real network;
+#: capacities here are parameters so scaled scenarios stay snappy.
+_ABILENE_FIBRES: tuple[tuple[str, str], ...] = (
+    ("seattle", "sunnyvale"),
+    ("seattle", "denver"),
+    ("sunnyvale", "losangeles"),
+    ("sunnyvale", "denver"),
+    ("losangeles", "houston"),
+    ("denver", "kansascity"),
+    ("kansascity", "houston"),
+    ("kansascity", "indianapolis"),
+    ("houston", "atlanta"),
+    ("atlanta", "indianapolis"),
+    ("atlanta", "washington"),
+    ("indianapolis", "chicago"),
+    ("chicago", "newyork"),
+    ("washington", "newyork"),
+)
+
+
+def abilene(*, capacity_bps: float = 622e6 / 32.0) -> Topology:
+    """The 11-PoP Abilene backbone (28 directed links, unit weights)."""
+    topo = Topology()
+    for a, b in _ABILENE_FIBRES:
+        topo.add_link(a, b, capacity_bps=capacity_bps)
+    return topo
+
+
+def parallel_paths(
+    k: int = 2, *, capacity_bps: float = 622e6 / 32.0
+) -> Topology:
+    """``k`` equal-cost two-hop paths ``src -> mid<i> -> dst`` (ECMP bed)."""
+    k = int(k)
+    if k < 1:
+        raise ParameterError(f"parallel_paths needs k >= 1, got {k}")
+    topo = Topology()
+    for i in range(k):
+        topo.add_link("src", f"mid{i}", capacity_bps=capacity_bps)
+        topo.add_link(f"mid{i}", "dst", capacity_bps=capacity_bps)
+    return topo
+
+
+def line(n: int = 2, *, capacity_bps: float = 622e6 / 32.0) -> Topology:
+    """A chain ``r0 - r1 - ... - r<n-1>`` (``n=2`` is the one-link case)."""
+    n = int(n)
+    if n < 2:
+        raise ParameterError(f"line needs n >= 2 routers, got {n}")
+    topo = Topology()
+    for i in range(n - 1):
+        topo.add_link(f"r{i}", f"r{i + 1}", capacity_bps=capacity_bps)
+    return topo

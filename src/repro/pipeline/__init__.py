@@ -29,6 +29,7 @@ from .registry import ScenarioRegistry, default_registry
 from .runner import (
     DEFAULT_STAGES,
     MEASUREMENT_STAGES,
+    NETWORK_STAGES,
     QUICK_MODE_ENV,
     ScenarioResult,
     ScenarioRunner,
@@ -39,14 +40,19 @@ from .runner import (
 from .spec import (
     AnomalySpec,
     ArrivalSpec,
+    DemandSpec,
     EstimationSpec,
     FitSpec,
     FlowAccountingSpec,
     GenerationSpec,
     MeasurementSpec,
+    NetworkEventSpec,
+    NetworkSpec,
     PRESET_ALIASES,
     ScenarioSpec,
     SynthesisSpec,
+    TopologyLinkSpec,
+    TopologySpec,
     ValidationSpec,
     WorkloadSpec,
     resolve_preset,
@@ -60,7 +66,9 @@ from .stages import (
     FitResult,
     Generate,
     GenerationResult,
+    NetworkStageResult,
     PipelineContext,
+    SimulateNetwork,
     Stage,
     SynthesisResult,
     Synthesize,
@@ -82,6 +90,11 @@ __all__ = [
     "GenerationSpec",
     "AnomalySpec",
     "ValidationSpec",
+    "TopologySpec",
+    "TopologyLinkSpec",
+    "DemandSpec",
+    "NetworkEventSpec",
+    "NetworkSpec",
     "PRESET_ALIASES",
     "resolve_preset",
     # stages
@@ -92,6 +105,7 @@ __all__ = [
     "Estimate",
     "FitModel",
     "Generate",
+    "SimulateNetwork",
     "Validate",
     "SynthesisResult",
     "TraceMeta",
@@ -99,12 +113,14 @@ __all__ = [
     "EstimationResult",
     "FitResult",
     "GenerationResult",
+    "NetworkStageResult",
     "ValidationReport",
     # runner
     "ScenarioRunner",
     "ScenarioResult",
     "DEFAULT_STAGES",
     "MEASUREMENT_STAGES",
+    "NETWORK_STAGES",
     "QUICK_MODE_ENV",
     "apply_quick_mode",
     "run_scenario",

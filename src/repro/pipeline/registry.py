@@ -28,9 +28,13 @@ from ..netsim.workloads import TABLE_I_ROWS
 from .spec import (
     AnomalySpec,
     ArrivalSpec,
+    DemandSpec,
     FitSpec,
+    NetworkEventSpec,
+    NetworkSpec,
     PRESET_ALIASES,
     ScenarioSpec,
+    TopologySpec,
     ValidationSpec,
     WorkloadSpec,
 )
@@ -81,6 +85,20 @@ class ScenarioRegistry:
     def describe(self) -> list[tuple[str, str]]:
         """(name, description) pairs in registration order."""
         return [(s.name, s.description) for s in self._specs.values()]
+
+    def families(self) -> dict[str, list[tuple[str, str]]]:
+        """(name, description) pairs grouped by scenario family.
+
+        Families (``single-link``, ``network``) keep the growing
+        registry scannable; within a family, registration order is
+        preserved.  This is what ``list-scenarios`` prints.
+        """
+        grouped: dict[str, list[tuple[str, str]]] = {}
+        for spec in self._specs.values():
+            grouped.setdefault(spec.family, []).append(
+                (spec.name, spec.description)
+            )
+        return grouped
 
     def __contains__(self, name: str) -> bool:
         return name in self._specs
@@ -204,6 +222,90 @@ def _builtin_specs() -> list[ScenarioSpec]:
             ),
             workload=WorkloadSpec(preset="medium"),
             anomaly=AnomalySpec(kind="outage", start=60.0, duration=15.0),
+            validation=ValidationSpec(detect_anomalies=True),
+        )
+    )
+
+    specs.extend(_network_specs())
+
+    return specs
+
+
+def _network_specs() -> list[ScenarioSpec]:
+    """The whole-backbone scenario family (``repro network``)."""
+    specs: list[ScenarioSpec] = []
+
+    specs.append(
+        ScenarioSpec(
+            name="abilene-table-i",
+            description=(
+                "Abilene backbone (11 PoPs, 28 directed links) carrying "
+                "six Table I demands, ECMP-routed, per-link models + "
+                "provisioning verdicts"
+            ),
+            network=NetworkSpec(
+                topology=TopologySpec(preset="abilene"),
+                demands=(
+                    DemandSpec("seattle", "newyork", preset="table-i-4"),
+                    DemandSpec("sunnyvale", "washington", preset="table-i-6"),
+                    DemandSpec("losangeles", "atlanta", preset="table-i-3"),
+                    DemandSpec("denver", "newyork", preset="table-i-6"),
+                    DemandSpec("houston", "chicago", preset="table-i-3"),
+                    DemandSpec("newyork", "losangeles", preset="table-i-4"),
+                ),
+                routing="ecmp",
+                duration=60.0,
+            ),
+        )
+    )
+
+    specs.append(
+        ScenarioSpec(
+            name="ecmp-flash-flood",
+            description=(
+                "flash crowd (6x arrivals for 20 s) on an ECMP-balanced "
+                "demand over two equal-cost paths; the detector must "
+                "flag both branches"
+            ),
+            network=NetworkSpec(
+                topology=TopologySpec(preset="parallel-paths", size=2),
+                demands=(
+                    DemandSpec("src", "dst", preset="medium"),
+                    DemandSpec("dst", "src", preset="low"),
+                ),
+                routing="ecmp",
+                duration=120.0,
+                events=(
+                    NetworkEventSpec(
+                        kind="flash_crowd", demand=0, start=60.0,
+                        duration=20.0, factor=6.0,
+                    ),
+                ),
+            ),
+            validation=ValidationSpec(detect_anomalies=True),
+        )
+    )
+
+    specs.append(
+        ScenarioSpec(
+            name="outage-reroute",
+            description=(
+                "mid-trace fibre outage on one of two equal-cost paths: "
+                "affected flows reroute, the failed link's rate drop and "
+                "the backup link's surge are both detected"
+            ),
+            network=NetworkSpec(
+                topology=TopologySpec(preset="parallel-paths", size=2),
+                demands=(DemandSpec("src", "dst", preset="medium"),),
+                routing="shortest_path",
+                duration=120.0,
+                events=(
+                    NetworkEventSpec(
+                        kind="outage", link=("src", "mid0"), start=60.0,
+                        duration=25.0,
+                    ),
+                ),
+            ),
             validation=ValidationSpec(detect_anomalies=True),
         )
     )

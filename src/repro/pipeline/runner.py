@@ -26,7 +26,9 @@ from .stages import (
     FitResult,
     Generate,
     GenerationResult,
+    NetworkStageResult,
     PipelineContext,
+    SimulateNetwork,
     Stage,
     SynthesisResult,
     Synthesize,
@@ -37,6 +39,7 @@ from .stages import (
 __all__ = [
     "DEFAULT_STAGES",
     "MEASUREMENT_STAGES",
+    "NETWORK_STAGES",
     "QUICK_MODE_ENV",
     "ScenarioResult",
     "ScenarioRunner",
@@ -65,6 +68,10 @@ MEASUREMENT_STAGES: tuple[Stage, ...] = (
     Validate(),
 )
 
+#: The whole-backbone chain for specs carrying a ``network`` section:
+#: the network engine runs the full per-link loop internally.
+NETWORK_STAGES: tuple[Stage, ...] = (SimulateNetwork(),)
+
 #: Environment variable that shrinks scenario horizons for CI smoke runs.
 QUICK_MODE_ENV = "REPRO_BENCH_QUICK"
 
@@ -74,30 +81,37 @@ _QUICK_DURATION = 30.0
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """Everything one scenario run produced, stage by stage."""
+    """Everything one scenario run produced, stage by stage.
+
+    Single-link runs populate the stage fields; network runs populate
+    ``network`` (the per-link simulation bundle + report) and leave the
+    single-link stages ``None``.
+    """
 
     spec: ScenarioSpec
-    synthesis: SynthesisResult
-    accounting: AccountingResult
-    estimation: EstimationResult
-    fit: FitResult
+    synthesis: SynthesisResult | None = None
+    accounting: AccountingResult | None = None
+    estimation: EstimationResult | None = None
+    fit: FitResult | None = None
     validation: ValidationReport | None = None
     generation: GenerationResult | None = None
+    network: NetworkStageResult | None = None
 
     @property
-    def trace(self) -> PacketTrace:
-        return self.synthesis.trace
+    def trace(self) -> PacketTrace | None:
+        return self.synthesis.trace if self.synthesis is not None else None
 
     def report(self) -> dict:
         """JSON-safe report: the spec, per-stage summaries, validation."""
-        out = {
-            "spec": self.spec.to_dict(),
-            "stages": {
-                "synthesize": self.synthesis.summary(),
-                "account_flows": self.accounting.summary(),
-                "estimate": self.estimation.summary(),
-                "fit_model": self.fit.summary(),
-            },
+        out = {"spec": self.spec.to_dict()}
+        if self.network is not None:
+            out["network"] = self.network.summary()
+            return out
+        out["stages"] = {
+            "synthesize": self.synthesis.summary(),
+            "account_flows": self.accounting.summary(),
+            "estimate": self.estimation.summary(),
+            "fit_model": self.fit.summary(),
         }
         if self.generation is not None:
             out["stages"]["generate"] = self.generation.summary()
@@ -107,9 +121,15 @@ class ScenarioResult:
 
 
 class ScenarioRunner:
-    """Run scenario specs through a (customisable) stage chain."""
+    """Run scenario specs through a (customisable) stage chain.
+
+    With ``stages=None`` the chain is picked per spec:
+    :data:`DEFAULT_STAGES` for single-link scenarios,
+    :data:`NETWORK_STAGES` for specs carrying a ``network`` section.
+    """
 
     def __init__(self, stages: tuple[Stage, ...] | None = None) -> None:
+        self._auto = stages is None
         self.stages: tuple[Stage, ...] = (
             tuple(stages) if stages is not None else DEFAULT_STAGES
         )
@@ -120,15 +140,22 @@ class ScenarioRunner:
                     "(needs a 'name' attribute and a run(context) method)"
                 )
 
+    def _stages_for(self, spec: ScenarioSpec) -> tuple[Stage, ...]:
+        if self._auto and spec.network is not None:
+            return NETWORK_STAGES
+        return self.stages
+
     def run(
         self, spec: ScenarioSpec, *, trace: PacketTrace | None = None
     ) -> ScenarioResult:
         """Run one scenario; ``trace`` measures an existing capture."""
         context = PipelineContext(spec=spec, trace=trace)
-        for stage in self.stages:
+        stages = self._stages_for(spec)
+        for stage in stages:
             stage.run(context)
-        for required in ("synthesis", "accounting", "estimation", "fit"):
-            context.require(required, "run_scenario")
+        if context.network is None:
+            for required in ("synthesis", "accounting", "estimation", "fit"):
+                context.require(required, "run_scenario")
         return ScenarioResult(
             spec=spec,
             synthesis=context.synthesis,
@@ -136,6 +163,7 @@ class ScenarioRunner:
             estimation=context.estimation,
             fit=context.fit,
             generation=context.generation,
+            network=context.network,
             validation=context.validation,
         )
 
@@ -213,5 +241,23 @@ def apply_quick_mode(
     ):
         changes["generation"] = replace(
             spec.generation, duration=_QUICK_DURATION
+        )
+    if spec.network is not None and spec.network.duration > _QUICK_DURATION:
+        # keep every event inside the shortened capture, like anomalies
+        events = tuple(
+            replace(
+                event,
+                start=min(event.start, _QUICK_DURATION / 3.0),
+                duration=min(
+                    event.duration,
+                    _QUICK_DURATION
+                    - min(event.start, _QUICK_DURATION / 3.0)
+                    - 1.0,
+                ),
+            )
+            for event in spec.network.events
+        )
+        changes["network"] = replace(
+            spec.network, duration=_QUICK_DURATION, events=events
         )
     return replace(spec, **changes) if changes else spec

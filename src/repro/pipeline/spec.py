@@ -54,6 +54,11 @@ __all__ = [
     "GenerationSpec",
     "AnomalySpec",
     "ValidationSpec",
+    "TopologySpec",
+    "TopologyLinkSpec",
+    "DemandSpec",
+    "NetworkEventSpec",
+    "NetworkSpec",
     "ScenarioSpec",
 ]
 
@@ -571,6 +576,309 @@ class ValidationSpec:
             )
 
 
+def _freeze_spec_list(spec, name: str, cls, *, path: str) -> None:
+    """Normalise a list field of nested specs (dicts are decoded)."""
+    entries = []
+    for i, value in enumerate(getattr(spec, name)):
+        if isinstance(value, dict):
+            value = _spec_from_dict(cls, value, path=f"{path}[{i}]")
+        elif not isinstance(value, cls):
+            raise ParameterError(
+                f"{path}[{i}] must be a {cls.__name__} (or a JSON object), "
+                f"got {type(value).__name__}"
+            )
+        entries.append(value)
+    object.__setattr__(spec, name, tuple(entries))
+
+
+@dataclass(frozen=True)
+class TopologyLinkSpec:
+    """One link of a spec-declared topology."""
+
+    a: str
+    b: str
+    capacity_bps: float
+    weight: float = 1.0
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("network.topology.links[].capacity_bps", self.capacity_bps)
+        check_positive("network.topology.links[].weight", self.weight)
+        if str(self.a) == str(self.b):
+            raise ParameterError(
+                f"topology link endpoints must differ, got {self.a!r}"
+            )
+
+
+#: Named topology presets (see :mod:`repro.network.topology`).
+_TOPOLOGY_PRESETS = ("abilene", "parallel-paths", "line")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A topology preset name, or explicit routers + links.
+
+    ``preset`` is one of ``abilene`` (11-PoP research backbone),
+    ``parallel-paths`` (``size`` equal-cost two-hop paths) or ``line``
+    (a ``size``-router chain); ``capacity_bps`` scales preset links.
+    Alternatively declare ``links`` (and optionally isolated
+    ``routers``) explicitly.
+    """
+
+    preset: str | None = None
+    size: int = 2
+    capacity_bps: float | None = None
+    routers: tuple[str, ...] = ()
+    links: tuple[TopologyLinkSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        _freeze_spec_list(
+            self, "links", TopologyLinkSpec, path="network.topology.links"
+        )
+        object.__setattr__(
+            self, "routers", tuple(str(r) for r in self.routers)
+        )
+        if (self.preset is None) == (not self.links):
+            raise ParameterError(
+                "network.topology needs exactly one of 'preset' "
+                f"({', '.join(_TOPOLOGY_PRESETS)}) or explicit 'links'"
+            )
+        if self.preset is not None:
+            _check_choice(
+                "network.topology.preset", self.preset, _TOPOLOGY_PRESETS
+            )
+        minimum = 2 if self.preset == "line" else 1
+        if int(self.size) < minimum:
+            raise ParameterError(
+                f"network.topology.size must be >= {minimum} for preset "
+                f"{self.preset or 'links'!r}, got {self.size!r}"
+            )
+        if self.capacity_bps is not None:
+            check_positive("network.topology.capacity_bps", self.capacity_bps)
+
+    def build(self):
+        """Materialise the :class:`~repro.network.Topology`."""
+        from ..network import topology as topo
+
+        if self.preset is not None:
+            kwargs = {}
+            if self.capacity_bps is not None:
+                kwargs["capacity_bps"] = float(self.capacity_bps)
+            if self.preset == "abilene":
+                return topo.abilene(**kwargs)
+            if self.preset == "parallel-paths":
+                return topo.parallel_paths(int(self.size), **kwargs)
+            return topo.line(int(self.size), **kwargs)
+        built = topo.Topology()
+        for router in self.routers:
+            built.add_router(router)
+        for link in self.links:
+            built.add_link(
+                link.a,
+                link.b,
+                capacity_bps=float(link.capacity_bps),
+                weight=float(link.weight),
+                bidirectional=bool(link.bidirectional),
+            )
+        return built
+
+
+@dataclass(frozen=True)
+class DemandSpec:
+    """One OD demand: endpoints plus a Table I preset or a custom rate.
+
+    The demand's flow population reuses the :class:`WorkloadSpec`
+    machinery (preset/scale/rate); its duration comes from the
+    enclosing :class:`NetworkSpec`.  (The engine tiles every demand's
+    destination block by position, so populations never collide on a
+    shared link.)
+    """
+
+    source: str
+    sink: str
+    preset: str | None = None
+    target_mean_rate_bps: float | None = None
+    scale: float = DEFAULT_SCALE
+    name: str = ""
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "source", str(self.source))
+        object.__setattr__(self, "sink", str(self.sink))
+        if self.source == self.sink:
+            raise ParameterError(
+                f"demand source and sink must differ, got {self.source!r}"
+            )
+        if (self.preset is None) == (self.target_mean_rate_bps is None):
+            raise ParameterError(
+                "each network demand needs exactly one of 'preset' or "
+                "'target_mean_rate_bps'"
+            )
+        if self.preset is not None:
+            resolve_preset(self.preset)
+        else:
+            check_positive(
+                "network.demands[].target_mean_rate_bps",
+                self.target_mean_rate_bps,
+            )
+        check_positive("network.demands[].scale", self.scale)
+        if self.seed is not None and int(self.seed) < 0:
+            raise ParameterError(
+                f"network.demands[].seed must be >= 0, got {self.seed!r}"
+            )
+
+    def build(self, duration: float):
+        """Materialise the :class:`~repro.network.NetworkDemand`.
+
+        Address-block tiling is *not* applied here: the engine tiles
+        every demand matrix by position
+        (:meth:`~repro.network.DemandMatrix.with_tiled_addresses`), so
+        spec-built and directly-built matrices share one mechanism.
+        """
+        from ..network.demands import NetworkDemand
+
+        workload_spec = WorkloadSpec(
+            preset=self.preset,
+            target_mean_rate_bps=self.target_mean_rate_bps,
+            scale=self.scale,
+            duration=float(duration),
+            name=self.name or f"{self.source}->{self.sink}",
+        )
+        return NetworkDemand(
+            source=self.source,
+            sink=self.sink,
+            workload=workload_spec.build(),
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class NetworkEventSpec:
+    """A dynamic event: a link outage or a demand flash crowd."""
+
+    kind: str
+    start: float
+    duration: float
+    link: tuple[str, str] | None = None  # outage
+    demand: int = 0  # flash_crowd: demand index
+    factor: float = 4.0  # flash_crowd: rate multiplier
+
+    def __post_init__(self) -> None:
+        _check_choice(
+            "network.events[].kind", self.kind, ("outage", "flash_crowd")
+        )
+        if float(self.start) < 0.0:
+            raise ParameterError(
+                f"network.events[].start must be >= 0, got {self.start!r}"
+            )
+        check_positive("network.events[].duration", self.duration)
+        if self.kind == "outage":
+            if self.link is None or len(self.link) != 2:
+                raise ParameterError(
+                    "an outage event needs 'link': [a, b]"
+                )
+            object.__setattr__(
+                self, "link", (str(self.link[0]), str(self.link[1]))
+            )
+        else:
+            if int(self.demand) < 0:
+                raise ParameterError(
+                    f"network.events[].demand must be >= 0, got {self.demand!r}"
+                )
+            check_positive("network.events[].factor", self.factor)
+
+    def build(self):
+        from ..network.events import FlashCrowd, LinkOutage
+
+        if self.kind == "outage":
+            return LinkOutage(
+                link=self.link,
+                start=float(self.start),
+                duration=float(self.duration),
+            )
+        return FlashCrowd(
+            demand=int(self.demand),
+            start=float(self.start),
+            duration=float(self.duration),
+            factor=float(self.factor),
+        )
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A whole-backbone simulation: topology, demands, routing, events.
+
+    Per-link flow accounting, estimation delta and validation knobs come
+    from the enclosing scenario's ``flows``/``estimation``/``validation``
+    sections, so single-link and network scenarios share one vocabulary.
+    ``chunk``/``workers`` are execution strategy only (workers = links
+    simulated concurrently); results are bitwise invariant to them.
+    """
+
+    topology: TopologySpec = field(
+        default_factory=lambda: TopologySpec(preset="line")
+    )
+    demands: tuple[DemandSpec, ...] = ()
+    routing: str = "ecmp"
+    duration: float = 60.0
+    events: tuple[NetworkEventSpec, ...] = ()
+    chunk: int | None = None
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        _freeze_spec_list(
+            self, "demands", DemandSpec, path="network.demands"
+        )
+        _freeze_spec_list(
+            self, "events", NetworkEventSpec, path="network.events"
+        )
+        if not self.demands:
+            raise ParameterError(
+                "network needs at least one entry in 'demands'"
+            )
+        _check_choice(
+            "network.routing", self.routing, ("shortest_path", "ecmp")
+        )
+        check_positive("network.duration", self.duration)
+        if self.chunk is not None and (
+            int(self.chunk) != self.chunk or int(self.chunk) < 1
+        ):
+            raise ParameterError(
+                f"network.chunk must be an integer >= 1 packet, "
+                f"got {self.chunk!r}"
+            )
+        if int(self.workers) != self.workers or int(self.workers) < 1:
+            raise ParameterError(
+                f"network.workers must be an integer >= 1, got {self.workers!r}"
+            )
+        for event in self.events:
+            if (
+                event.kind == "flash_crowd"
+                and int(event.demand) >= len(self.demands)
+            ):
+                raise ParameterError(
+                    f"network event targets demand {event.demand}, but only "
+                    f"{len(self.demands)} demands are declared"
+                )
+
+    def build(self):
+        """``(topology, demand_matrix, events)`` ready for the engine."""
+        from ..network.demands import DemandMatrix
+
+        topology = self.topology.build()
+        demands = DemandMatrix(
+            spec.build(self.duration) for spec in self.demands
+        )
+        demands.validate_endpoints(topology)
+        events = tuple(event.build() for event in self.events)
+        return topology, demands, events
+
+
+# (list-valued sections — topology links, demands, events — are decoded
+# by _freeze_spec_list in their owners' __post_init__, not _NESTED)
+_register_nested("NetworkSpec", "topology", TopologySpec)
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """One declarative synthesize → measure → fit → generate → validate run.
@@ -584,6 +892,7 @@ class ScenarioSpec:
     description: str = ""
     seed: int = 0
     workload: WorkloadSpec | None = None
+    network: NetworkSpec | None = None
     flows: FlowAccountingSpec = field(default_factory=FlowAccountingSpec)
     synthesis: SynthesisSpec = field(default_factory=SynthesisSpec)
     measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
@@ -598,11 +907,26 @@ class ScenarioSpec:
             raise ParameterError("scenario name must be a non-empty string")
         if int(self.seed) < 0:
             raise ParameterError(f"seed must be >= 0, got {self.seed!r}")
+        if self.network is not None and self.workload is not None:
+            raise ParameterError(
+                "a scenario is either single-link ('workload') or "
+                "network-wide ('network'), not both"
+            )
+        if self.network is not None and self.anomaly is not None:
+            raise ParameterError(
+                "network scenarios express anomalies as network events "
+                "(outage / flash_crowd), not an 'anomaly' section"
+            )
         if self.anomaly is not None and self.workload is None:
             raise ParameterError(
                 "anomaly injection needs a synthesized workload; give the "
                 "spec a 'workload' section"
             )
+
+    @property
+    def family(self) -> str:
+        """Scenario family: ``"network"`` or ``"single-link"``."""
+        return "network" if self.network is not None else "single-link"
 
     # -- serialization ---------------------------------------------------
 
@@ -655,6 +979,7 @@ class ScenarioSpec:
 
 for _name, _type in (
     ("workload", WorkloadSpec),
+    ("network", NetworkSpec),
     ("flows", FlowAccountingSpec),
     ("synthesis", SynthesisSpec),
     ("measurement", MeasurementSpec),

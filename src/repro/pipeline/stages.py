@@ -47,12 +47,14 @@ __all__ = [
     "EstimationResult",
     "FitResult",
     "GenerationResult",
+    "NetworkStageResult",
     "ValidationReport",
     "Synthesize",
     "AccountFlows",
     "Estimate",
     "FitModel",
     "Generate",
+    "SimulateNetwork",
     "Validate",
 ]
 
@@ -109,6 +111,7 @@ class PipelineContext:
     estimation: "EstimationResult | None" = None
     fit: "FitResult | None" = None
     generation: "GenerationResult | None" = None
+    network: "NetworkStageResult | None" = None
     validation: "ValidationReport | None" = None
 
     def require(self, attribute: str, needed_by: str):
@@ -389,6 +392,70 @@ class ValidationReport:
 
 
 # -- built-in stages --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NetworkStageResult:
+    """Output of :class:`SimulateNetwork`: per-link results + the report."""
+
+    simulation: "object"  # repro.network.NetworkSimulation
+    report: "object"  # repro.network.NetworkReport
+
+    def summary(self) -> dict:
+        return self.report.to_dict()
+
+
+class SimulateNetwork:
+    """Whole-backbone simulation for specs carrying a ``network`` section.
+
+    Builds the topology, demand matrix and events from
+    :class:`~repro.pipeline.spec.NetworkSpec`, then runs the
+    :class:`~repro.network.NetworkEngine` — every link gets the
+    superposed, routed packet population streamed through the synthesis
+    and measurement engines, a fitted model, a provisioning verdict and
+    (with ``validation.detect_anomalies``) the anomaly detector.  The
+    per-link knobs come from the scenario's shared sections: ``flows``
+    (accounting), ``estimation.delta`` (rate binning) and ``validation``
+    (epsilon / detection thresholds).
+    """
+
+    name = "simulate_network"
+
+    def run(self, context: PipelineContext) -> NetworkStageResult:
+        from ..network.engine import NetworkEngine
+
+        spec = context.spec
+        if spec.network is None:
+            raise ParameterError(
+                f"scenario {spec.name!r} has no 'network' section; the "
+                "SimulateNetwork stage only runs network scenarios"
+            )
+        topology, demands, events = spec.network.build()
+        engine = NetworkEngine(
+            chunk=spec.network.chunk,
+            workers=int(spec.network.workers),
+        )
+        simulation = engine.simulate(
+            topology,
+            demands,
+            routing=spec.network.routing,
+            events=events,
+            seed=int(spec.seed),
+            name=spec.name,
+            delta=spec.estimation.delta,
+            flow_kind=spec.flows.kind,
+            timeout=spec.flows.timeout,
+            min_packets=int(spec.flows.min_packets),
+            prefix_length=int(spec.flows.prefix_length),
+            epsilon=spec.validation.epsilon,
+            detect_anomalies=bool(spec.validation.detect_anomalies),
+            threshold_sigma=spec.validation.threshold_sigma,
+            min_run=int(spec.validation.min_run),
+        )
+        context.network = NetworkStageResult(
+            simulation=simulation, report=simulation.report()
+        )
+        return context.network
 
 
 class Synthesize:

@@ -21,7 +21,13 @@ Quickstart::
     )
 """
 
-from .cells import CellBlock, CellPlan, synthesize_cell, unpack_payload
+from .cells import (
+    CellBlock,
+    CellPlan,
+    default_warmup,
+    synthesize_cell,
+    unpack_payload,
+)
 from .engine import (
     DEFAULT_SYNTHESIS_CELL,
     StreamingSynthesis,
@@ -37,6 +43,7 @@ __all__ = [
     "StreamingSynthesis",
     "SynthesisConfig",
     "SynthesisEngine",
+    "default_warmup",
     "synthesize_cell",
     "unpack_payload",
     "reference_synthesize_link_trace",

@@ -49,9 +49,22 @@ __all__ = [
     "DEFAULT_SYNTHESIS_CELL",
     "CellPlan",
     "CellBlock",
+    "default_warmup",
     "synthesize_cell",
     "unpack_payload",
 ]
+
+
+def default_warmup(duration: float) -> float:
+    """The default synthesis lead-in: half the capture, capped at 90 s.
+
+    The one home of the value (:meth:`SynthesisEngine.plan` and anything
+    that needs to map capture time onto the ``[0, warmup + duration)``
+    arrival horizon — e.g. network flash-crowd windows — share it; the
+    frozen legacy path in :mod:`repro.synthesis.reference` keeps its
+    verbatim copy by design).
+    """
+    return min(float(duration) / 2.0, 90.0)
 
 #: Width (seconds) of one arrival cell.  Part of the seeding contract —
 #: cell ``k`` draws from ``SeedSequence`` child ``k``, so changing the

@@ -60,6 +60,7 @@ from .cells import (
     DEFAULT_SYNTHESIS_CELL,
     CellBlock,
     CellPlan,
+    default_warmup,
     synthesize_cell,
     unpack_payload,
 )
@@ -457,7 +458,7 @@ class SynthesisEngine:
         if tcp_params is None:
             tcp_params = TcpParameters()
         if warmup is None:
-            warmup = min(float(duration) / 2.0, 90.0)
+            warmup = default_warmup(duration)
         return CellPlan(
             arrivals=arrivals,
             size_dist=size_dist,

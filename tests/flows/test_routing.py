@@ -63,6 +63,97 @@ class TestLookup:
         with pytest.raises(ParameterError):
             RoutingTable([PrefixKey(1, 24), PrefixKey(1, 24)])
 
+    def test_duplicate_error_names_the_entry(self):
+        """The duplicate is rejected loudly, naming the offending prefix."""
+        entry = PrefixKey(parse_ipv4("10.1.0.0") >> 16, 16)
+        with pytest.raises(ParameterError, match=r"duplicate.*10\.1\.0\.0/16"):
+            RoutingTable([PrefixKey(0, 0), entry, entry])
+
+    def test_duplicate_detected_across_list_positions(self):
+        """Duplicates are caught regardless of interleaved other entries."""
+        with pytest.raises(ParameterError, match="duplicate"):
+            RoutingTable(
+                [
+                    PrefixKey(parse_ipv4("10.0.0.0") >> 24, 8),
+                    PrefixKey(parse_ipv4("10.1.0.0") >> 16, 16),
+                    PrefixKey(parse_ipv4("10.0.0.0") >> 24, 8),
+                ]
+            )
+
+    def test_same_prefix_different_length_is_not_a_duplicate(self):
+        """/8 and /16 of the same network coexist (distinct FIB entries)."""
+        table = RoutingTable(
+            [
+                PrefixKey(parse_ipv4("10.0.0.0") >> 24, 8),
+                PrefixKey(parse_ipv4("10.0.0.0") >> 16, 16),
+            ]
+        )
+        assert len(table) == 2
+
+
+class TestLongestPrefixMatchEdgeCases:
+    """The section VI-A FIB semantics, pinned at the corners."""
+
+    def overlapping_table(self):
+        """A full /8 -> /16 -> /24 -> /32 chain over one address, plus /0."""
+        return RoutingTable(
+            [
+                PrefixKey(0, 0),  # default route
+                PrefixKey(parse_ipv4("10.0.0.0") >> 24, 8),
+                PrefixKey(parse_ipv4("10.1.0.0") >> 16, 16),
+                PrefixKey(parse_ipv4("10.1.2.0") >> 8, 24),
+                PrefixKey(parse_ipv4("10.1.2.3"), 32),
+            ]
+        )
+
+    def test_most_specific_of_overlapping_chain_wins(self):
+        table = self.overlapping_table()
+        cases = {
+            "10.1.2.3": 32,  # exact host route
+            "10.1.2.4": 24,  # same /24, different host
+            "10.1.3.4": 16,  # same /16, different /24
+            "10.2.0.1": 8,  # same /8, different /16
+            "11.0.0.1": 0,  # default route only
+        }
+        for address, expected_length in cases.items():
+            idx = table.lookup([parse_ipv4(address)])
+            assert table.entry_of(int(idx[0])).length == expected_length, address
+
+    def test_default_route_never_returns_minus_one(self):
+        table = self.overlapping_table()
+        rng = np.random.default_rng(0)
+        idx = table.lookup(rng.integers(0, 2**32, 10_000).astype(np.uint32))
+        assert np.all(idx >= 0)
+
+    def test_no_match_is_minus_one_without_default(self):
+        table = RoutingTable(
+            [PrefixKey(parse_ipv4("10.0.0.0") >> 24, 8)]
+        )
+        idx = table.lookup(
+            [parse_ipv4("10.9.9.9"), parse_ipv4("11.0.0.1"),
+             parse_ipv4("9.255.255.255")]
+        )
+        assert idx.tolist() == [0, -1, -1]
+
+    def test_boundary_addresses_of_a_prefix(self):
+        """First and last address of a /16 match it; neighbours do not."""
+        table = RoutingTable(
+            [PrefixKey(parse_ipv4("10.1.0.0") >> 16, 16)]
+        )
+        inside = table.lookup(
+            [parse_ipv4("10.1.0.0"), parse_ipv4("10.1.255.255")]
+        )
+        outside = table.lookup(
+            [parse_ipv4("10.0.255.255"), parse_ipv4("10.2.0.0")]
+        )
+        assert np.all(inside == 0)
+        assert np.all(outside == -1)
+
+    def test_empty_lookup(self):
+        table = self.overlapping_table()
+        idx = table.lookup(np.zeros(0, dtype=np.uint32))
+        assert idx.size == 0
+
 
 class TestSyntheticTable:
     def test_covers_address_space(self):

@@ -1,0 +1,161 @@
+"""Tests for repro.network.routing: strategies + deterministic hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError, TopologyError
+from repro.network import (
+    ECMPRouting,
+    RoutedPaths,
+    ShortestPathRouting,
+    StaticRouting,
+    Topology,
+    ecmp_salt,
+    flow_uniforms,
+    parallel_paths,
+    path_indices,
+    resolve_routing,
+)
+from repro.trace import packets_from_columns
+
+
+def weighted_square() -> Topology:
+    topo = Topology()
+    topo.add_link("A", "B", capacity_bps=1e8)
+    topo.add_link("B", "C", capacity_bps=1e8)
+    topo.add_link("A", "D", capacity_bps=1e8, weight=10.0)
+    topo.add_link("D", "C", capacity_bps=1e8, weight=10.0)
+    return topo
+
+
+class TestRoutedPaths:
+    def test_normalises_weights(self):
+        routed = RoutedPaths(paths=(("a", "b"), ("a", "c", "b")),
+                             weights=(1.0, 3.0))
+        assert routed.weights == (0.25, 0.75)
+
+    def test_rejects_loops_and_empty(self):
+        with pytest.raises(ParameterError):
+            RoutedPaths(paths=(("a", "b", "a"),), weights=(1.0,))
+        with pytest.raises(ParameterError):
+            RoutedPaths(paths=(), weights=())
+        with pytest.raises(ParameterError):
+            RoutedPaths(paths=(("a",),), weights=(1.0,))
+
+    def test_intervals_cover_unit_interval(self):
+        routed = RoutedPaths(
+            paths=(("s", "m0", "d"), ("s", "m1", "d")), weights=(1.0, 1.0)
+        )
+        (lo0, hi0), = routed.intervals_for_link(("s", "m0"))
+        (lo1, hi1), = routed.intervals_for_link(("s", "m1"))
+        assert (lo0, hi0) == (0.0, 0.5)
+        assert (lo1, hi1) == (0.5, 1.0)
+        assert routed.intervals_for_link(("m0", "s")) == ()
+
+
+class TestStrategies:
+    def test_shortest_path_by_weight(self):
+        routed = ShortestPathRouting().route(weighted_square(), "A", "C")
+        assert routed.paths == (("A", "B", "C"),)
+
+    def test_no_route_raises(self):
+        topo = Topology()
+        topo.add_link("X", "Y", capacity_bps=1e6, bidirectional=False)
+        with pytest.raises(TopologyError, match="no route"):
+            ShortestPathRouting().route(topo, "Y", "X")
+
+    def test_ecmp_finds_all_equal_cost_paths(self):
+        routed = ECMPRouting().route(parallel_paths(3), "src", "dst")
+        assert routed.n_paths == 3
+        assert routed.weights == pytest.approx((1 / 3,) * 3)
+        # lexicographic path order is the deterministic hash-bucket order
+        assert [p[1] for p in routed.paths] == ["mid0", "mid1", "mid2"]
+
+    def test_ecmp_single_path_when_costs_differ(self):
+        routed = ECMPRouting().route(weighted_square(), "A", "C")
+        assert routed.paths == (("A", "B", "C"),)
+
+    def test_static_routing_validates_paths(self):
+        topo = parallel_paths(2)
+        routing = StaticRouting(
+            {("src", "dst"): ((("src", "mid0", "dst"),), (1.0,))}
+        )
+        assert routing.route(topo, "src", "dst").n_paths == 1
+        with pytest.raises(TopologyError, match="no entry"):
+            routing.route(topo, "dst", "src")
+        bad = StaticRouting(
+            {("src", "dst"): ((("src", "nowhere", "dst"),), (1.0,))}
+        )
+        with pytest.raises(TopologyError, match="missing link"):
+            bad.route(topo, "src", "dst")
+
+    def test_resolve_routing_names(self):
+        assert isinstance(resolve_routing("ecmp"), ECMPRouting)
+        assert isinstance(
+            resolve_routing("shortest_path"), ShortestPathRouting
+        )
+        strategy = ECMPRouting()
+        assert resolve_routing(strategy) is strategy
+        with pytest.raises(ParameterError, match="unknown routing"):
+            resolve_routing("hot-potato")
+
+
+def example_packets(n=4000, seed=0):
+    rng = np.random.default_rng(seed)
+    return packets_from_columns(
+        np.sort(rng.random(n) * 10.0),
+        rng.integers(0, 2**32, n),
+        rng.integers(0, 2**32, n),
+        rng.integers(1024, 65535, n),
+        rng.integers(1, 1024, n),
+        np.full(n, 6),
+        np.full(n, 1000),
+    )
+
+
+class TestFlowHashing:
+    def test_uniform_is_pure_function_of_five_tuple_and_salt(self):
+        packets = example_packets()
+        salt = ecmp_salt(7)
+        u1 = flow_uniforms(packets, salt)
+        u2 = flow_uniforms(packets.copy(), salt)
+        assert np.array_equal(u1, u2)
+        # chunking never changes per-packet values
+        parts = np.concatenate(
+            [flow_uniforms(packets[:1000], salt),
+             flow_uniforms(packets[1000:], salt)]
+        )
+        assert np.array_equal(u1, parts)
+
+    def test_same_flow_same_uniform(self):
+        packets = example_packets(10)
+        packets["src_addr"] = 42
+        packets["dst_addr"] = 43
+        packets["src_port"] = 1000
+        packets["dst_port"] = 80
+        packets["protocol"] = 6
+        u = flow_uniforms(packets, ecmp_salt(0))
+        assert np.unique(u).size == 1
+
+    def test_salt_is_deterministic_in_seed(self):
+        assert ecmp_salt(3) == ecmp_salt(3)
+        assert ecmp_salt(3) != ecmp_salt(4)
+
+    def test_split_is_roughly_balanced(self):
+        u = flow_uniforms(example_packets(20_000), ecmp_salt(1))
+        routed = RoutedPaths(
+            paths=(("s", "m0", "d"), ("s", "m1", "d")), weights=(1.0, 1.0)
+        )
+        idx = path_indices(u, routed)
+        frac = float(np.mean(idx == 0))
+        assert 0.45 < frac < 0.55
+
+    def test_weighted_split_respects_fractions(self):
+        u = flow_uniforms(example_packets(20_000), ecmp_salt(1))
+        routed = RoutedPaths(
+            paths=(("s", "m0", "d"), ("s", "m1", "d")), weights=(3.0, 1.0)
+        )
+        idx = path_indices(u, routed)
+        assert 0.70 < float(np.mean(idx == 0)) < 0.80

@@ -1,0 +1,93 @@
+"""Tests for repro.network.topology: graphs, presets, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError, TopologyError
+from repro.network import Topology, abilene, line, parallel_paths
+
+
+class TestTopology:
+    def test_bidirectional_by_default(self):
+        topo = Topology()
+        topo.add_link("a", "b", capacity_bps=1e6)
+        assert topo.has_link("a", "b") and topo.has_link("b", "a")
+        assert topo.capacity_bps("b", "a") == 1e6
+        assert topo.fate_group("a", "b") == (("a", "b"), ("b", "a"))
+
+    def test_unidirectional_link(self):
+        topo = Topology()
+        topo.add_link("a", "b", capacity_bps=1e6, bidirectional=False)
+        assert topo.has_link("a", "b") and not topo.has_link("b", "a")
+        assert topo.fate_group("a", "b") == (("a", "b"),)
+
+    def test_self_link_rejected(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.add_link("a", "a", capacity_bps=1e6)
+
+    def test_bad_capacity_rejected(self):
+        topo = Topology()
+        with pytest.raises(ParameterError):
+            topo.add_link("a", "b", capacity_bps=0.0)
+
+    def test_without_links_shared_fate(self):
+        topo = parallel_paths(2)
+        reduced = topo.without_links([("src", "mid0")])
+        assert not reduced.has_link("src", "mid0")
+        assert not reduced.has_link("mid0", "src")  # twin fails with it
+        assert reduced.has_link("src", "mid1")
+        # the original is untouched
+        assert topo.has_link("src", "mid0")
+
+    def test_missing_link_queries_raise(self):
+        topo = line(2)
+        with pytest.raises(TopologyError):
+            topo.capacity_bps("r0", "nope")
+        with pytest.raises(TopologyError):
+            topo.require_router("nope")
+
+
+class TestPresets:
+    def test_abilene_shape(self):
+        topo = abilene()
+        assert len(topo.routers) == 11
+        assert topo.n_links == 28  # 14 fibres, both directions
+
+    def test_parallel_paths(self):
+        topo = parallel_paths(3)
+        assert topo.n_links == 12  # 6 fibres
+        for i in range(3):
+            assert topo.has_link("src", f"mid{i}")
+            assert topo.has_link(f"mid{i}", "dst")
+
+    def test_line_minimal(self):
+        assert line(2).n_links == 2
+        with pytest.raises(ParameterError):
+            line(1)
+        with pytest.raises(ParameterError):
+            parallel_paths(0)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        topo = Topology()
+        topo.add_router("lonely")
+        topo.add_link("a", "b", capacity_bps=2e6, weight=3.0)
+        topo.add_link("b", "c", capacity_bps=1e6, bidirectional=False)
+        back = Topology.from_dict(topo.to_dict())
+        assert sorted(back.links) == sorted(topo.links)
+        assert back.has_router("lonely")
+        assert back.capacity_bps("a", "b") == 2e6
+        assert back.weight("b", "a") == 3.0
+        assert not back.has_link("c", "b")
+        assert back.to_dict() == topo.to_dict()
+
+    def test_missing_key_is_friendly(self):
+        with pytest.raises(ParameterError, match="missing key"):
+            Topology.from_dict({"links": [{"a": "x", "b": "y"}]})
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ParameterError, match="at least one link"):
+            Topology.from_dict({"routers": ["a"], "links": []})

@@ -7,7 +7,13 @@ import json
 import pytest
 
 from repro.__main__ import build_parser, main
-from repro.pipeline import ScenarioSpec, WorkloadSpec
+from repro.pipeline import (
+    DemandSpec,
+    NetworkSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 from repro.trace import read_trace
 
 
@@ -174,6 +180,89 @@ class TestListScenarios:
         for name in ("medium", "table-i-0", "mice-elephants",
                      "diurnal-ramp", "flash-flood"):
             assert name in out
+
+    def test_groups_by_family(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "single-link scenarios:" in out
+        assert "network scenarios:" in out
+        # network presets live under the network header
+        single_part, network_part = out.split("network scenarios:")
+        assert "abilene-table-i" in network_part
+        assert "abilene-table-i" not in single_part
+        assert "medium" in single_part
+
+
+class TestNetworkCommand:
+    def test_runs_registry_network_scenario(self, capsys, monkeypatch,
+                                            tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        report = tmp_path / "net.json"
+        assert main(["network", "outage-reroute", "--workers", "2",
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario   : outage-reroute" in out
+        assert "shortest_path routing" in out
+        assert "src->mid0" in out
+        assert "verdict" in out
+        payload = json.loads(report.read_text())
+        assert payload["network"]["routing"] == "shortest_path"
+        assert payload["network"]["links"]
+
+    def test_network_spec_file(self, capsys, tmp_path):
+        spec = ScenarioSpec(
+            name="tiny-net",
+            network=NetworkSpec(
+                topology=TopologySpec(preset="line", size=2),
+                demands=(DemandSpec("r0", "r1", preset="medium"),),
+                routing="shortest_path",
+                duration=8.0,
+            ),
+        )
+        path = tmp_path / "net.json"
+        path.write_text(spec.to_json())
+        assert main(["network", str(path)]) == 0
+        assert "tiny-net" in capsys.readouterr().out
+
+    def test_single_link_spec_is_friendly_error(self, capsys):
+        assert main(["network", "medium"]) == 2
+        err = capsys.readouterr().err
+        assert "no 'network' section" in err
+
+    def test_bad_workers_rejected_even_without_chunk(self, capsys):
+        assert main(["network", "outage-reroute", "--workers", "0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+        assert main(["network", "outage-reroute", "--chunk", "-1"]) == 2
+        assert "--chunk must be >= 0" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_friendly_error(self, capsys):
+        assert main(["network", "no-such-net"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_redirects_network_specs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        assert main(["run", "ecmp-flash-flood"]) == 0
+        out = capsys.readouterr().out
+        assert "ecmp routing" in out
+
+    def test_chunk_workers_do_not_change_the_report(self, capsys, tmp_path):
+        spec = ScenarioSpec(
+            name="invariant-net",
+            network=NetworkSpec(
+                topology=TopologySpec(preset="parallel-paths", size=2),
+                demands=(DemandSpec("src", "dst", preset="medium"),),
+                duration=8.0,
+            ),
+        )
+        path = tmp_path / "net.json"
+        path.write_text(spec.to_json())
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["network", str(path), "--report", str(a)]) == 0
+        assert main(["network", str(path), "--chunk", "3000",
+                     "--workers", "2", "--report", str(b)]) == 0
+        ra = json.loads(a.read_text())["network"]
+        rb = json.loads(b.read_text())["network"]
+        assert ra == rb
 
 
 class TestParser:
