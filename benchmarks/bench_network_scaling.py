@@ -66,6 +66,11 @@ _CPUS = (
 )
 WORKERS = min(4, _CPUS)
 
+#: On a single-CPU box both runs use workers=1 — "speedup" would compare
+#: one sequential run against itself plus pool overhead, so the gate is
+#: skipped outright (the datapoint still records both timings).
+GATED = _CPUS >= 2 and WORKERS > 1
+
 #: Required parallel-over-sequential speedup.  Link tasks are numpy-heavy
 #: and release the GIL, so with >= 4 CPUs the acceptance bar of 2x
 #: applies to the full run; quick mode's per-link tasks are milliseconds,
@@ -125,8 +130,12 @@ def test_network_scaling(benchmark):
         print(f"  {label:>34s} {t:10.2f} {len(carrying) / t:10.2f}")
     print(f"  simulated links: {len(carrying)} carrying "
           f"{total_packets:,} packets")
-    print(f"  speedup: {speedup:.2f}x (floor {MIN_SPEEDUP:g}x "
-          f"at {_CPUS} cpu(s))")
+    if GATED:
+        print(f"  speedup: {speedup:.2f}x (floor {MIN_SPEEDUP:g}x "
+              f"at {_CPUS} cpu(s))")
+    else:
+        print(f"  speedup: {speedup:.2f}x (gate skipped: {_CPUS} cpu(s), "
+              f"both runs used workers={WORKERS})")
 
     # record the datapoint before any gate can fail — a regression run is
     # exactly the one whose numbers must survive
@@ -149,7 +158,10 @@ def test_network_scaling(benchmark):
         "sequential_s": float(t_sequential),
         "sharded_s": float(t_sharded),
         "speedup": float(speedup),
-        "min_speedup": float(MIN_SPEEDUP),
+        # gated=False marks a datapoint where no parallelism was possible
+        # (e.g. one CPU): speedup there is noise, not a perf claim
+        "gated": bool(GATED),
+        "min_speedup": float(MIN_SPEEDUP) if GATED else None,
     }, indent=2) + "\n")
     print(f"  wrote datapoint -> {out_path}")
 
@@ -166,10 +178,11 @@ def test_network_scaling(benchmark):
             assert np.array_equal(entry.series.values, other.series.values)
             assert np.array_equal(entry.flows.starts, other.flows.starts)
 
-    assert speedup >= MIN_SPEEDUP, (
-        f"link sharding speedup {speedup:.2f}x below the "
-        f"{MIN_SPEEDUP:g}x floor"
-    )
+    if GATED:
+        assert speedup >= MIN_SPEEDUP, (
+            f"link sharding speedup {speedup:.2f}x below the "
+            f"{MIN_SPEEDUP:g}x floor"
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover - direct invocation

@@ -9,6 +9,9 @@ the canonical path:
 * ``network``        — simulate a whole backbone (topology + demand
   matrix + routing + events) and report per-link models, utilisation,
   provisioning verdicts and anomalies;
+* ``sweep``          — capacity-planning sweep over a base network
+  scenario: growth factors x auto-enumerated fibre failures, closed-form
+  pre-filter, marginal cells simulated, one ranked report;
 * ``list-scenarios`` — show the built-in scenario registry, grouped by
   family (single-link vs network);
 * ``synthesize``     — generate a scaled backbone capture to a trace file;
@@ -23,6 +26,7 @@ Examples::
     python -m repro run medium --report report.json
     python -m repro run my-scenario.json
     python -m repro network abilene-table-i --workers 4 --report net.json
+    python -m repro sweep abilene-single-failure-2x --report sweep.json
     python -m repro list-scenarios
     python -m repro synthesize /tmp/link.rptr --preset medium --seed 7
     python -m repro measure /tmp/link.rptr --flow-kind five_tuple
@@ -48,6 +52,7 @@ from .measurement import MeasurementEngine
 from .netsim import synthesize_scenario, table_i_workloads
 from .pipeline import (
     EstimationSpec,
+    ExecutionSpec,
     FlowAccountingSpec,
     MEASUREMENT_STAGES,
     MeasurementSpec,
@@ -68,13 +73,90 @@ def _fail(message: str) -> int:
     return 2
 
 
+def _execution_parent() -> argparse.ArgumentParser:
+    """The shared ``--chunk/--workers/--execution`` flags.
+
+    One parent parser for every engine-backed command (``run``,
+    ``network``, ``sweep``, ``synthesize``, ``measure``) so the flags
+    are spelled, defaulted and documented exactly once.  ``generate``
+    keeps its own ``--chunk`` — there it is a float time window in
+    seconds, not a packet count.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group(
+        "execution",
+        "engine knobs: chunk bounds peak memory, workers bound "
+        "parallelism — neither ever changes any result",
+    )
+    group.add_argument(
+        "--chunk", type=int, default=None,
+        help="packets per streamed engine block (0 forces the in-memory "
+        "path; default: keep the spec's 'execution' section)",
+    )
+    group.add_argument(
+        "--workers", type=int, default=None,
+        help="engine worker threads (default: keep the spec's "
+        "'execution' section)",
+    )
+    group.add_argument(
+        "--execution", choices=("cli-wins", "spec-wins"),
+        default="cli-wins",
+        help="precedence between these flags and a spec file's "
+        "'execution' section: 'cli-wins' (default) lets --chunk and "
+        "--workers override the spec where explicitly given, flags "
+        "left unset keep the spec's values; 'spec-wins' runs the spec "
+        "exactly as written and ignores --chunk/--workers (commands "
+        "without a spec file, such as measure/synthesize, always use "
+        "the flags)",
+    )
+    return parent
+
+
+def _check_execution_flags(args: argparse.Namespace) -> str | None:
+    """Validate the shared flags; returns the error message, if any."""
+    chunk = getattr(args, "chunk", None)
+    workers = getattr(args, "workers", None)
+    if chunk is not None and chunk < 0:
+        return f"--chunk must be >= 0 (0 = in-memory path), got {chunk}"
+    if workers is not None and workers < 1:
+        return f"--workers must be >= 1, got {workers}"
+    return None
+
+
+def _cli_execution(args: argparse.Namespace) -> ExecutionSpec:
+    """The flags alone — for commands with no spec file to defer to."""
+    return ExecutionSpec(
+        chunk=args.chunk or None,
+        workers=1 if args.workers is None else args.workers,
+    )
+
+
+def _resolve_execution(
+    args: argparse.Namespace, execution: ExecutionSpec
+) -> ExecutionSpec:
+    """Combine a spec section's ``execution`` values with the CLI flags.
+
+    ``--execution cli-wins`` (the default): a flag explicitly given
+    overrides the spec's value, a flag left unset keeps it.
+    ``--execution spec-wins``: the spec runs exactly as written.
+    """
+    if args.execution == "spec-wins":
+        return execution
+    return ExecutionSpec(
+        chunk=(
+            execution.chunk if args.chunk is None else (args.chunk or None)
+        ),
+        workers=(
+            execution.workers if args.workers is None else args.workers
+        ),
+    )
+
+
 def _cmd_synthesize(args: argparse.Namespace) -> int:
-    if args.chunk < 0:
-        return _fail(
-            f"--chunk must be >= 0 (0 = in-memory path), got {args.chunk}"
-        )
-    if args.workers < 1:
-        return _fail(f"--workers must be >= 1, got {args.workers}")
+    error = _check_execution_flags(args)
+    if error is not None:
+        return _fail(error)
+    execution = _cli_execution(args)
     workload_kwargs = dict(preset=args.preset, duration=args.duration)
     if args.scale is not None:
         workload_kwargs["scale"] = args.scale
@@ -88,8 +170,8 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         )
     except ParameterError as exc:
         return _fail(str(exc))
-    if args.chunk > 0 or args.workers > 1:
-        return _cmd_synthesize_streaming(args, workload_spec)
+    if execution.uses_engine:
+        return _cmd_synthesize_streaming(args, workload_spec, execution)
     context = PipelineContext(spec=spec)
     trace = Synthesize().run(context).trace
     write_trace(trace, args.output)
@@ -97,7 +179,9 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_synthesize_streaming(args, workload_spec: WorkloadSpec) -> int:
+def _cmd_synthesize_streaming(
+    args, workload_spec: WorkloadSpec, execution: ExecutionSpec
+) -> int:
     """Out-of-core ``synthesize --chunk N``: cells stream to the writer.
 
     The capture never exists in memory — synthesis cells are merged into
@@ -109,8 +193,8 @@ def _cmd_synthesize_streaming(args, workload_spec: WorkloadSpec) -> int:
     workload = workload_spec.build()
     stream = workload.synthesize_chunks(
         seed=args.seed,
-        chunk=args.chunk or 1_000_000,
-        workers=args.workers,
+        chunk=execution.chunk or 1_000_000,
+        workers=execution.workers,
     )
     try:
         stream.write_trace(args.output)
@@ -188,7 +272,9 @@ def _print_measurement(
           f"P(congestion) <= {args.epsilon:g}")
 
 
-def _cmd_measure_streaming(args: argparse.Namespace) -> int:
+def _cmd_measure_streaming(
+    args: argparse.Namespace, execution: ExecutionSpec
+) -> int:
     """Out-of-core ``measure --chunk N``: the capture never leaves disk.
 
     Packets stream through :meth:`MeasurementEngine.measure_file`, so
@@ -196,7 +282,9 @@ def _cmd_measure_streaming(args: argparse.Namespace) -> int:
     tables) — and the printed report is byte-identical to the in-memory
     path, which the CLI tests pin.
     """
-    engine = MeasurementEngine(chunk=args.chunk, workers=args.workers)
+    engine = MeasurementEngine(
+        chunk=execution.chunk, workers=execution.workers
+    )
     measured = engine.measure_file(
         args.trace,
         delta=args.delta,
@@ -227,17 +315,15 @@ def _cmd_measure_streaming(args: argparse.Namespace) -> int:
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
-    if args.chunk < 0:
-        return _fail(
-            f"--chunk must be >= 0 (0 = in-memory path), got {args.chunk}"
-        )
-    if args.workers < 1:
-        return _fail(f"--workers must be >= 1, got {args.workers}")
-    if args.chunk > 0:
-        return _cmd_measure_streaming(args)
+    error = _check_execution_flags(args)
+    if error is not None:
+        return _fail(error)
+    execution = _cli_execution(args)
+    if execution.chunk is not None:
+        return _cmd_measure_streaming(args, execution)
     trace = read_trace(args.trace)
     spec = _measure_spec(
-        args, name=Path(args.trace).stem, workers=args.workers
+        args, name=Path(args.trace).stem, workers=execution.workers
     )
     result = run_scenario(spec, trace=trace, stages=MEASUREMENT_STAGES)
     report = result.validation
@@ -302,30 +388,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = _load_spec(args.spec)
     except ReproError as exc:
         return _fail(str(exc))
+    if spec.sweep is not None:
+        # sweep/network scenarios share run's flags; route them to the
+        # matching report printer instead of the single-link one
+        return _cmd_sweep(args)
     if spec.network is not None:
-        # network scenarios share run's flags; route them to the
-        # network-report printer instead of the single-link one
         return _cmd_network(args)
+    error = _check_execution_flags(args)
+    if error is not None:
+        return _fail(error)
     if args.seed is not None:
         spec = spec.with_overrides(seed=args.seed)
-    if args.chunk or args.workers > 1:
-        if args.chunk < 0:
-            return _fail(f"--chunk must be >= 0, got {args.chunk}")
-        if args.workers < 1:
-            return _fail(f"--workers must be >= 1, got {args.workers}")
-        # stream synthesize → measure: the trace is never materialised,
-        # and (chunk, workers) never change the scenario's results.
-        # Flags at their defaults keep the spec's own synthesis values
-        # (--chunk 0 must not clobber a spec-configured chunk).
-        spec = spec.with_overrides(
-            synthesis={
-                "chunk": args.chunk or spec.synthesis.chunk,
-                "workers": (
-                    args.workers
-                    if args.workers > 1
-                    else int(spec.synthesis.workers)
-                ),
-            },
+    # stream synthesize → measure when an engine is configured: the
+    # trace is never materialised, and (chunk, workers) never change
+    # the scenario's results; _resolve_execution applies the
+    # --execution precedence rule between flags and spec values.
+    execution = _resolve_execution(args, spec.synthesis.execution)
+    if execution != spec.synthesis.execution:
+        spec = dataclasses.replace(
+            spec, synthesis=spec.synthesis.with_execution(execution)
         )
     spec = apply_quick_mode(spec)
     try:
@@ -400,29 +481,24 @@ def _cmd_network(args: argparse.Namespace) -> int:
         spec = _load_spec(args.spec)
     except ReproError as exc:
         return _fail(str(exc))
+    if spec.sweep is not None:
+        # sweep scenarios carry a 'network' base section too; route
+        # them to the sweep printer rather than simulating the base
+        return _cmd_sweep(args)
     if spec.network is None:
         return _fail(
             f"scenario {spec.name!r} has no 'network' section; use "
             "'run' for single-link scenarios (see list-scenarios)"
         )
-    if args.chunk < 0:
-        return _fail(f"--chunk must be >= 0, got {args.chunk}")
-    if args.workers < 1:
-        return _fail(f"--workers must be >= 1, got {args.workers}")
+    error = _check_execution_flags(args)
+    if error is not None:
+        return _fail(error)
     overrides = {}
     if args.seed is not None:
         overrides["seed"] = args.seed
-    if args.chunk or args.workers > 1:
-        # flags at their defaults keep the spec's own execution values
-        overrides["network"] = dataclasses.replace(
-            spec.network,
-            chunk=args.chunk or spec.network.chunk,
-            workers=(
-                args.workers
-                if args.workers > 1
-                else int(spec.network.workers)
-            ),
-        )
+    execution = _resolve_execution(args, spec.network.execution)
+    if execution != spec.network.execution:
+        overrides["network"] = spec.network.with_execution(execution)
     if overrides:
         spec = spec.with_overrides(**overrides)
     spec = apply_quick_mode(spec)
@@ -479,6 +555,54 @@ def _cmd_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        spec = _load_spec(args.spec)
+    except ReproError as exc:
+        return _fail(str(exc))
+    if spec.sweep is None:
+        return _fail(
+            f"scenario {spec.name!r} has no 'sweep' section; use "
+            "'network' or 'run' for plain scenarios (see list-scenarios)"
+        )
+    error = _check_execution_flags(args)
+    if error is not None:
+        return _fail(error)
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    execution = _resolve_execution(args, spec.sweep.execution)
+    if execution != spec.sweep.execution:
+        overrides["sweep"] = spec.sweep.with_execution(execution)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    spec = apply_quick_mode(spec)
+    try:
+        result = run_scenario(spec)
+    except ReproError as exc:
+        return _fail(f"scenario {spec.name!r} failed: {exc}")
+    report = result.sweep.report
+
+    print(f"scenario   : {spec.name}"
+          + (f" — {spec.description}" if spec.description else ""))
+    factors = ", ".join(f"x{factor:g}" for factor in report.demand_factors)
+    print(f"axes       : demand {factors}; failures {report.failures}; "
+          f"routing {', '.join(report.routing)}")
+    print(f"band       : SLA {report.sla_utilization:g} x capacity, "
+          f"+-{report.margin:.0%} analytic margin, "
+          f"epsilon {report.epsilon:g}")
+    print(report.table())
+    for factor, headroom in report.headroom_per_factor().items():
+        print(f"headroom   : x{factor:<5g} worst link at "
+              f"{headroom:+.1%} SLA headroom")
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(result.report(), indent=2) + "\n"
+        )
+        print(f"report     : wrote {args.report}")
+    return 0
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     outdir = Path(args.output_dir)
     outdir.mkdir(parents=True, exist_ok=True)
@@ -519,9 +643,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(Barakat et al., IMC 2002)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    execution = _execution_parent()
 
     run = sub.add_parser(
-        "run", help="run a scenario spec end-to-end (the pipeline API)"
+        "run", parents=[execution],
+        help="run a scenario spec end-to-end (the pipeline API)",
     )
     run.add_argument(
         "spec",
@@ -537,21 +663,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="override the spec's seed",
     )
-    run.add_argument(
-        "--chunk", type=int, default=0,
-        help="stream synthesize → measure with this synthesis chunk "
-        "(packets): the trace is never materialised; 0 = keep the "
-        "spec's synthesis section; results are identical either way",
-    )
-    run.add_argument(
-        "--workers", type=int, default=1,
-        help="synthesis cells processed in parallel when streaming "
-        "(never changes the results)",
-    )
     run.set_defaults(func=_cmd_run)
 
     net = sub.add_parser(
-        "network",
+        "network", parents=[execution],
         help="simulate a whole backbone (topology + demands + routing)",
     )
     net.add_argument(
@@ -568,17 +683,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="override the spec's seed",
     )
-    net.add_argument(
-        "--chunk", type=int, default=0,
-        help="packets per streamed block inside each per-link pass "
-        "(0 = keep the spec's value; results are identical either way)",
-    )
-    net.add_argument(
-        "--workers", type=int, default=1,
-        help="links simulated concurrently over the engine worker pool "
-        "(never changes the results)",
-    )
     net.set_defaults(func=_cmd_network)
+
+    swp = sub.add_parser(
+        "sweep", parents=[execution],
+        help="capacity sweep: growth x failures over a base network, "
+        "closed-form pre-filter, marginal cells simulated",
+    )
+    swp.add_argument(
+        "spec",
+        help="a scenario spec JSON file with a 'sweep' section, or a "
+        "sweep registry name (see list-scenarios)",
+    )
+    swp.add_argument(
+        "--report", default=None,
+        help="write the ranked sweep report (cells worst-first, worst "
+        "link per failure, headroom per growth step) to this JSON file",
+    )
+    swp.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's seed",
+    )
+    swp.set_defaults(func=_cmd_sweep)
 
     lst = sub.add_parser(
         "list-scenarios",
@@ -586,7 +712,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lst.set_defaults(func=_cmd_list_scenarios)
 
-    syn = sub.add_parser("synthesize", help="generate a synthetic capture")
+    syn = sub.add_parser(
+        "synthesize", parents=[execution],
+        help="generate a synthetic capture",
+    )
     syn.add_argument("output", help="output trace file (.rptr)")
     syn.add_argument(
         "--preset", default="medium",
@@ -600,37 +729,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1/32; --scale 1 synthesizes the full-rate link — "
         "combine with --chunk so the capture streams to disk)",
     )
-    syn.add_argument(
-        "--chunk", type=int, default=0,
-        help="synthesis-engine chunk in packets: stream the capture to "
-        "disk block by block (peak memory bounded by the active flows "
-        "plus one merge window, the trace is never materialised); "
-        "0 = in-memory path; the file is identical either way",
-    )
-    syn.add_argument(
-        "--workers", type=int, default=1,
-        help="synthesis-engine cells synthesized in parallel (never "
-        "changes the output)",
-    )
     syn.set_defaults(func=_cmd_synthesize)
 
-    meas = sub.add_parser("measure", help="model a capture (section VI)")
+    meas = sub.add_parser(
+        "measure", parents=[execution],
+        help="model a capture (section VI)",
+    )
     _add_measure_arguments(meas)
     meas.add_argument(
         "--epsilon", type=float, default=0.01,
         help="target congestion probability for provisioning",
-    )
-    meas.add_argument(
-        "--chunk", type=int, default=0,
-        help="measurement-engine chunk in packets: stream the capture "
-        "off disk block by block (peak memory bounded by the chunk, the "
-        "trace file is never loaded whole); 0 = classic in-memory path; "
-        "the printed report is identical either way",
-    )
-    meas.add_argument(
-        "--workers", type=int, default=1,
-        help="measurement-engine key-space shards processed in parallel "
-        "(never changes the output)",
     )
     meas.set_defaults(func=_cmd_measure)
 

@@ -38,7 +38,12 @@ Quickstart::
     print(simulation.report().to_dict())
 """
 
-from .analytic import LinkMoments, superpose_link_moments
+from .analytic import (
+    AnalyticDemand,
+    LinkMoments,
+    superpose_link_moments,
+    workload_flow_statistics,
+)
 from .demands import DemandMatrix, NetworkDemand, demand_address_space
 from .engine import (
     LinkSimulation,
@@ -93,6 +98,8 @@ __all__ = [
     "NetworkReport",
     "NetworkLinkReport",
     # analytic
+    "AnalyticDemand",
     "LinkMoments",
     "superpose_link_moments",
+    "workload_flow_statistics",
 ]

@@ -30,6 +30,7 @@ from .runner import (
     DEFAULT_STAGES,
     MEASUREMENT_STAGES,
     NETWORK_STAGES,
+    SWEEP_STAGES,
     QUICK_MODE_ENV,
     ScenarioResult,
     ScenarioRunner,
@@ -42,6 +43,7 @@ from .spec import (
     ArrivalSpec,
     DemandSpec,
     EstimationSpec,
+    ExecutionSpec,
     FitSpec,
     FlowAccountingSpec,
     GenerationSpec,
@@ -50,6 +52,7 @@ from .spec import (
     NetworkSpec,
     PRESET_ALIASES,
     ScenarioSpec,
+    SweepSpec,
     SynthesisSpec,
     TopologyLinkSpec,
     TopologySpec,
@@ -68,8 +71,10 @@ from .stages import (
     GenerationResult,
     NetworkStageResult,
     PipelineContext,
+    RunSweep,
     SimulateNetwork,
     Stage,
+    SweepStageResult,
     SynthesisResult,
     Synthesize,
     TraceMeta,
@@ -82,6 +87,7 @@ __all__ = [
     "ScenarioSpec",
     "WorkloadSpec",
     "ArrivalSpec",
+    "ExecutionSpec",
     "FlowAccountingSpec",
     "SynthesisSpec",
     "MeasurementSpec",
@@ -95,6 +101,7 @@ __all__ = [
     "DemandSpec",
     "NetworkEventSpec",
     "NetworkSpec",
+    "SweepSpec",
     "PRESET_ALIASES",
     "resolve_preset",
     # stages
@@ -106,6 +113,7 @@ __all__ = [
     "FitModel",
     "Generate",
     "SimulateNetwork",
+    "RunSweep",
     "Validate",
     "SynthesisResult",
     "TraceMeta",
@@ -114,6 +122,7 @@ __all__ = [
     "FitResult",
     "GenerationResult",
     "NetworkStageResult",
+    "SweepStageResult",
     "ValidationReport",
     # runner
     "ScenarioRunner",
@@ -121,6 +130,7 @@ __all__ = [
     "DEFAULT_STAGES",
     "MEASUREMENT_STAGES",
     "NETWORK_STAGES",
+    "SWEEP_STAGES",
     "QUICK_MODE_ENV",
     "apply_quick_mode",
     "run_scenario",

@@ -28,8 +28,10 @@ from .stages import (
     GenerationResult,
     NetworkStageResult,
     PipelineContext,
+    RunSweep,
     SimulateNetwork,
     Stage,
+    SweepStageResult,
     SynthesisResult,
     Synthesize,
     Validate,
@@ -40,6 +42,7 @@ __all__ = [
     "DEFAULT_STAGES",
     "MEASUREMENT_STAGES",
     "NETWORK_STAGES",
+    "SWEEP_STAGES",
     "QUICK_MODE_ENV",
     "ScenarioResult",
     "ScenarioRunner",
@@ -72,6 +75,10 @@ MEASUREMENT_STAGES: tuple[Stage, ...] = (
 #: the network engine runs the full per-link loop internally.
 NETWORK_STAGES: tuple[Stage, ...] = (SimulateNetwork(),)
 
+#: The capacity-planning chain for specs carrying a ``sweep`` section:
+#: the sweep service expands, pre-filters and fans out internally.
+SWEEP_STAGES: tuple[Stage, ...] = (RunSweep(),)
+
 #: Environment variable that shrinks scenario horizons for CI smoke runs.
 QUICK_MODE_ENV = "REPRO_BENCH_QUICK"
 
@@ -96,6 +103,7 @@ class ScenarioResult:
     validation: ValidationReport | None = None
     generation: GenerationResult | None = None
     network: NetworkStageResult | None = None
+    sweep: SweepStageResult | None = None
 
     @property
     def trace(self) -> PacketTrace | None:
@@ -104,6 +112,9 @@ class ScenarioResult:
     def report(self) -> dict:
         """JSON-safe report: the spec, per-stage summaries, validation."""
         out = {"spec": self.spec.to_dict()}
+        if self.sweep is not None:
+            out["sweep"] = self.sweep.summary()
+            return out
         if self.network is not None:
             out["network"] = self.network.summary()
             return out
@@ -141,6 +152,8 @@ class ScenarioRunner:
                 )
 
     def _stages_for(self, spec: ScenarioSpec) -> tuple[Stage, ...]:
+        if self._auto and spec.sweep is not None:
+            return SWEEP_STAGES
         if self._auto and spec.network is not None:
             return NETWORK_STAGES
         return self.stages
@@ -153,7 +166,7 @@ class ScenarioRunner:
         stages = self._stages_for(spec)
         for stage in stages:
             stage.run(context)
-        if context.network is None:
+        if context.network is None and context.sweep is None:
             for required in ("synthesis", "accounting", "estimation", "fit"):
                 context.require(required, "run_scenario")
         return ScenarioResult(
@@ -164,6 +177,7 @@ class ScenarioRunner:
             fit=context.fit,
             generation=context.generation,
             network=context.network,
+            sweep=context.sweep,
             validation=context.validation,
         )
 

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from dataclasses import dataclass, field, fields
+import warnings
+from dataclasses import InitVar, dataclass, field, fields
 from pathlib import Path
 
 import numpy as np
@@ -47,6 +48,7 @@ __all__ = [
     "ArrivalSpec",
     "WorkloadSpec",
     "FlowAccountingSpec",
+    "ExecutionSpec",
     "SynthesisSpec",
     "MeasurementSpec",
     "EstimationSpec",
@@ -59,6 +61,7 @@ __all__ = [
     "DemandSpec",
     "NetworkEventSpec",
     "NetworkSpec",
+    "SweepSpec",
     "ScenarioSpec",
 ]
 
@@ -124,21 +127,51 @@ def _to_jsonable(value):
     return value
 
 
+#: Sections that accept the deprecated flat ``chunk``/``workers`` keys in
+#: addition to their canonical ``execution`` sub-section (class name →
+#: section label used in error messages and deprecation warnings).
+_LEGACY_EXECUTION_SECTIONS: dict[str, str] = {}
+
+#: The deprecated per-section execution keys (pre-ExecutionSpec spelling).
+_LEGACY_EXECUTION_KEYS = ("chunk", "workers")
+
+
 def _spec_from_dict(cls, data, *, path: str):
     """Strictly decode ``data`` into spec dataclass ``cls``.
 
     Unknown keys raise with the list of valid keys; nested sections recurse
     with a dotted path so the error pinpoints the offending entry.
+    Sections registered in :data:`_LEGACY_EXECUTION_SECTIONS` additionally
+    accept the deprecated flat ``chunk``/``workers`` keys (decoded through
+    the constructor's shim with a :class:`DeprecationWarning`).
     """
     if not isinstance(data, dict):
         raise ParameterError(
             f"{path} must be a JSON object, got {type(data).__name__}"
         )
     valid = {f.name for f in fields(cls)}
+    legacy: tuple[str, ...] = ()
+    if cls.__name__ in _LEGACY_EXECUTION_SECTIONS:
+        legacy = tuple(k for k in _LEGACY_EXECUTION_KEYS if k in data)
+        valid |= set(_LEGACY_EXECUTION_KEYS)
     unknown = sorted(set(data) - valid)
     if unknown:
         raise ParameterError(
             f"{path}: unknown key(s) {unknown}; valid keys are {sorted(valid)}"
+        )
+    if legacy and "execution" in data:
+        raise ParameterError(
+            f"{path}: give execution knobs either as 'execution': "
+            f"{{\"chunk\": ..., \"workers\": ...}} or as the deprecated "
+            f"flat {list(legacy)} key(s), not both"
+        )
+    if legacy:
+        warnings.warn(
+            f"{path}: the flat {list(legacy)} key(s) are deprecated; "
+            "spell execution knobs as 'execution': {\"chunk\": ..., "
+            "\"workers\": ...} (see MIGRATION.md)",
+            DeprecationWarning,
+            stacklevel=2,
         )
     kwargs = {}
     for name in valid:
@@ -344,81 +377,190 @@ class FlowAccountingSpec:
             )
 
 
-@dataclass(frozen=True)
-class SynthesisSpec:
-    """How the synthesize stage executes (not *what* it synthesizes).
+#: Sentinel distinguishing "legacy key not given" from any real value.
+_UNSET = object()
 
-    ``chunk`` (packets) and ``workers`` drive the streaming
-    :class:`~repro.synthesis.SynthesisEngine`: the workload's arrival
-    timeline is cut into seed-owning cells, synthesized on ``workers``
-    threads and merged into time-ordered packet chunks that stream
-    straight into the measurement stage — the trace is never
-    materialised.  The defaults (``chunk: null``, ``workers: 1``) keep
-    the classic in-memory trace; either knob switches to streaming,
-    whose output is bit-for-bit identical for any setting — this
-    section is pure execution strategy, so it never changes a
-    scenario's results.  (Scenarios that need the materialised trace —
-    anomaly injection — fall back to in-memory synthesis through the
-    same engine, with identical packets.)
+
+def _validate_execution(section: str, chunk, workers) -> None:
+    """The one validation path for execution knobs, section-qualified.
+
+    ``section`` prefixes the error (``"synthesis"``, ``"measurement"``,
+    ``"network"``, ``"sweep"`` or the standalone ``"execution"``), so a
+    bad value always names the spec section it came from.
+    """
+    if chunk is not None and (int(chunk) != chunk or int(chunk) < 1):
+        raise ParameterError(
+            f"{section}.chunk must be an integer >= 1 packet, got {chunk!r}"
+        )
+    if int(workers) != workers or int(workers) < 1:
+        raise ParameterError(
+            f"{section}.workers must be an integer >= 1, got {workers!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How a stage executes — never *what* it computes.
+
+    The one schema for execution strategy across the pipeline:
+    ``chunk`` (packets per streamed block; ``null`` = the section's
+    in-memory/default path) and ``workers`` (tasks processed
+    concurrently on the engine worker pool).  Reused by the
+    ``synthesis``, ``measurement``, ``network`` and ``sweep`` sections —
+    every engine is chunk/worker invariant, so an ``ExecutionSpec``
+    never changes a scenario's results, only its memory footprint and
+    wall-clock.  The legacy flat ``chunk``/``workers`` keys of those
+    sections still decode via deprecation shims (see MIGRATION.md).
     """
 
     chunk: int | None = None
     workers: int = 1
 
     def __post_init__(self) -> None:
-        if self.chunk is not None and (
-            int(self.chunk) != self.chunk or int(self.chunk) < 1
-        ):
-            raise ParameterError(
-                f"synthesis.chunk must be an integer >= 1 packet, "
-                f"got {self.chunk!r}"
-            )
-        if int(self.workers) != self.workers or int(self.workers) < 1:
-            raise ParameterError(
-                f"synthesis.workers must be an integer >= 1, "
-                f"got {self.workers!r}"
-            )
+        _validate_execution("execution", self.chunk, self.workers)
+        if self.chunk is not None:
+            object.__setattr__(self, "chunk", int(self.chunk))
+        object.__setattr__(self, "workers", int(self.workers))
 
     @property
     def uses_engine(self) -> bool:
-        """True when the streaming synthesis path should run."""
+        """True when either knob engages the streaming/parallel path."""
         return self.chunk is not None or int(self.workers) > 1
+
+
+def _merge_execution(section: str, execution, chunk, workers) -> ExecutionSpec:
+    """Resolve a section's ``execution`` field against its legacy keys.
+
+    One spelling at a time: the canonical ``execution`` section, or the
+    deprecated flat ``chunk``/``workers`` keys.  *Conflicting* values
+    across the two raise a section-qualified :class:`ParameterError`.
+    Equal duplicates are tolerated because :func:`dataclasses.replace`
+    re-passes the read-through alias values alongside the stored spec;
+    the JSON decoder (:func:`_spec_from_dict`) rejects any mixing
+    outright, so spec files stay unambiguous.
+    """
+    has_chunk = chunk is not _UNSET
+    has_workers = workers is not _UNSET
+    if execution is not None:
+        if not isinstance(execution, ExecutionSpec):
+            raise ParameterError(
+                f"{section}.execution must be an ExecutionSpec (or a JSON "
+                f"object), got {type(execution).__name__}"
+            )
+        if (has_chunk and chunk != execution.chunk) or (
+            has_workers and workers != execution.workers
+        ):
+            raise ParameterError(
+                f"{section}: give execution knobs either as "
+                f"'execution': {{\"chunk\": ..., \"workers\": ...}} or as "
+                f"the deprecated flat 'chunk'/'workers' keys, not both"
+            )
+        return execution
+    chunk = None if not has_chunk else chunk
+    workers = 1 if not has_workers else workers
+    _validate_execution(section, chunk, workers)
+    return ExecutionSpec(chunk=chunk, workers=workers)
+
+
+def _alias_execution(cls):
+    """Attach read-through ``chunk``/``workers``/``uses_engine`` aliases.
+
+    Pre-ExecutionSpec call sites (and specs) read the knobs directly off
+    the section; the aliases keep those reads working while the stored
+    representation is normalised to one ``execution`` field — so legacy
+    and canonical spellings compare equal and serialize identically.
+    """
+    cls.chunk = property(lambda self: self.execution.chunk)
+    cls.workers = property(lambda self: self.execution.workers)
+    cls.uses_engine = property(lambda self: self.execution.uses_engine)
+
+    def with_execution(self, execution=None, *, chunk=_UNSET, workers=_UNSET):
+        """A copy with only the execution strategy swapped out.
+
+        Give either a whole :class:`ExecutionSpec` or individual knobs;
+        omitted knobs keep their current values.  This is the supported
+        way to retune ``chunk``/``workers`` on a frozen section spec
+        (``dataclasses.replace`` with the flat keys conflicts with the
+        stored ``execution`` field).
+        """
+        if execution is None:
+            execution = ExecutionSpec(
+                chunk=self.execution.chunk if chunk is _UNSET else chunk,
+                workers=(
+                    self.execution.workers if workers is _UNSET else workers
+                ),
+            )
+        return dataclasses.replace(
+            self,
+            execution=execution,
+            chunk=execution.chunk,
+            workers=execution.workers,
+        )
+
+    cls.with_execution = with_execution
+    return cls
+
+
+@dataclass(frozen=True)
+class SynthesisSpec:
+    """How the synthesize stage executes (not *what* it synthesizes).
+
+    ``execution.chunk`` (packets) and ``execution.workers`` drive the
+    streaming :class:`~repro.synthesis.SynthesisEngine`: the workload's
+    arrival timeline is cut into seed-owning cells, synthesized on
+    ``workers`` threads and merged into time-ordered packet chunks that
+    stream straight into the measurement stage — the trace is never
+    materialised.  The defaults keep the classic in-memory trace; either
+    knob switches to streaming, whose output is bit-for-bit identical
+    for any setting — this section is pure execution strategy, so it
+    never changes a scenario's results.  (Scenarios that need the
+    materialised trace — anomaly injection — fall back to in-memory
+    synthesis through the same engine, with identical packets.)
+    """
+
+    execution: ExecutionSpec | None = None
+    chunk: InitVar[object] = _UNSET
+    workers: InitVar[object] = _UNSET
+
+    def __post_init__(self, chunk, workers) -> None:
+        object.__setattr__(
+            self,
+            "execution",
+            _merge_execution("synthesis", self.execution, chunk, workers),
+        )
 
 
 @dataclass(frozen=True)
 class MeasurementSpec:
     """How the measurement stages execute (not *what* they measure).
 
-    ``chunk`` (packets) and ``workers`` drive the streaming
-    :class:`~repro.measurement.MeasurementEngine`: flow accounting and
-    rate measurement run chunk by chunk with the key space sharded over
-    a worker pool.  The defaults (``chunk: null``, ``workers: 1``) keep
-    the classic in-memory path; either knob switches to the engine,
-    whose output is bit-for-bit identical for any setting — this section
-    is pure execution strategy, so it never changes a scenario's results.
+    ``execution.chunk`` (packets) and ``execution.workers`` drive the
+    streaming :class:`~repro.measurement.MeasurementEngine`: flow
+    accounting and rate measurement run chunk by chunk with the key
+    space sharded over a worker pool.  The defaults keep the classic
+    in-memory path; either knob switches to the engine, whose output is
+    bit-for-bit identical for any setting — this section is pure
+    execution strategy, so it never changes a scenario's results.
     """
 
-    chunk: int | None = None
-    workers: int = 1
+    execution: ExecutionSpec | None = None
+    chunk: InitVar[object] = _UNSET
+    workers: InitVar[object] = _UNSET
 
-    def __post_init__(self) -> None:
-        if self.chunk is not None and (
-            int(self.chunk) != self.chunk or int(self.chunk) < 1
-        ):
-            raise ParameterError(
-                f"measurement.chunk must be an integer >= 1 packet, "
-                f"got {self.chunk!r}"
-            )
-        if int(self.workers) != self.workers or int(self.workers) < 1:
-            raise ParameterError(
-                f"measurement.workers must be an integer >= 1, "
-                f"got {self.workers!r}"
-            )
+    def __post_init__(self, chunk, workers) -> None:
+        object.__setattr__(
+            self,
+            "execution",
+            _merge_execution("measurement", self.execution, chunk, workers),
+        )
 
-    @property
-    def uses_engine(self) -> bool:
-        """True when the streaming measurement engine should run."""
-        return self.chunk is not None or int(self.workers) > 1
+
+_alias_execution(SynthesisSpec)
+_alias_execution(MeasurementSpec)
+_register_nested("SynthesisSpec", "execution", ExecutionSpec)
+_register_nested("MeasurementSpec", "execution", ExecutionSpec)
+_LEGACY_EXECUTION_SECTIONS["SynthesisSpec"] = "synthesis"
+_LEGACY_EXECUTION_SECTIONS["MeasurementSpec"] = "measurement"
 
 
 @dataclass(frozen=True)
@@ -497,11 +639,13 @@ class GenerationSpec:
         if self.delta is not None:
             check_positive("generation.delta", self.delta)
         if self.chunk is not None:
+            # generation.chunk is a *time window in seconds* (the rate
+            # sampler's horizon splitting), not a packet count — the one
+            # execution knob ExecutionSpec does not cover, so this
+            # section keeps its own keys; workers shares the common
+            # validation path.
             check_positive("generation.chunk", self.chunk)
-        if int(self.workers) < 1:
-            raise ParameterError(
-                f"generation.workers must be >= 1, got {self.workers!r}"
-            )
+        _validate_execution("generation", None, self.workers)
         _check_choice(
             "generation.mode", self.mode, ("exact", "fast", "streamed")
         )
@@ -811,8 +955,9 @@ class NetworkSpec:
     Per-link flow accounting, estimation delta and validation knobs come
     from the enclosing scenario's ``flows``/``estimation``/``validation``
     sections, so single-link and network scenarios share one vocabulary.
-    ``chunk``/``workers`` are execution strategy only (workers = links
-    simulated concurrently); results are bitwise invariant to them.
+    ``execution`` is strategy only (workers = links simulated
+    concurrently, chunk = packets per streamed block inside each
+    per-link pass); results are bitwise invariant to it.
     """
 
     topology: TopologySpec = field(
@@ -822,10 +967,16 @@ class NetworkSpec:
     routing: str = "ecmp"
     duration: float = 60.0
     events: tuple[NetworkEventSpec, ...] = ()
-    chunk: int | None = None
-    workers: int = 1
+    execution: ExecutionSpec | None = None
+    chunk: InitVar[object] = _UNSET
+    workers: InitVar[object] = _UNSET
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, chunk, workers) -> None:
+        object.__setattr__(
+            self,
+            "execution",
+            _merge_execution("network", self.execution, chunk, workers),
+        )
         _freeze_spec_list(
             self, "demands", DemandSpec, path="network.demands"
         )
@@ -840,17 +991,6 @@ class NetworkSpec:
             "network.routing", self.routing, ("shortest_path", "ecmp")
         )
         check_positive("network.duration", self.duration)
-        if self.chunk is not None and (
-            int(self.chunk) != self.chunk or int(self.chunk) < 1
-        ):
-            raise ParameterError(
-                f"network.chunk must be an integer >= 1 packet, "
-                f"got {self.chunk!r}"
-            )
-        if int(self.workers) != self.workers or int(self.workers) < 1:
-            raise ParameterError(
-                f"network.workers must be an integer >= 1, got {self.workers!r}"
-            )
         for event in self.events:
             if (
                 event.kind == "flash_crowd"
@@ -876,7 +1016,97 @@ class NetworkSpec:
 
 # (list-valued sections — topology links, demands, events — are decoded
 # by _freeze_spec_list in their owners' __post_init__, not _NESTED)
+_alias_execution(NetworkSpec)
 _register_nested("NetworkSpec", "topology", TopologySpec)
+_register_nested("NetworkSpec", "execution", ExecutionSpec)
+_LEGACY_EXECUTION_SECTIONS["NetworkSpec"] = "network"
+
+
+#: Routing policies a sweep may range over (the ``network.routing`` set).
+_ROUTING_CHOICES = ("shortest_path", "ecmp")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A capacity-planning sweep over a base ``network`` scenario.
+
+    The sweep expands a cartesian product of axes into concrete
+    per-cell scenarios: ``demand_factors`` scale every demand's arrival
+    rate (aggregation smoothing keeps the per-flow laws), ``failures``
+    auto-enumerates :class:`~repro.network.events.LinkOutage` sets from
+    the topology's physical fibres (``"none"``, every ``"single"``
+    fibre, or singles plus all ``"dual"`` pairs), and ``routing``
+    optionally ranges over routing policies (empty = inherit the
+    network section's policy).
+
+    Every cell first gets the closed-form
+    :func:`~repro.network.analytic.superpose_link_moments` assessment;
+    full :class:`~repro.network.NetworkEngine` simulation is dispatched
+    only on cells whose worst analytic link ratio — required capacity
+    over ``sla_utilization`` × capacity — lands inside the marginal
+    band ``[1 - margin, 1 + margin]`` (``simulate: "all"``/``"none"``
+    override the band for ground-truth and enumeration-only runs).
+    ``execution.workers`` fans simulated cells out over the engine
+    worker pool; per-cell results are bitwise equal to running the
+    cell's spec directly, for any ``execution`` setting.
+    """
+
+    demand_factors: tuple[float, ...] = (1.0, 1.5, 2.0)
+    failures: str = "single"
+    include_baseline: bool = True
+    routing: tuple[str, ...] = ()
+    sla_utilization: float = 1.0
+    margin: float = 0.25
+    simulate: str = "marginal"
+    shape_factor: float = 1.8
+    execution: ExecutionSpec | None = None
+    chunk: InitVar[object] = _UNSET
+    workers: InitVar[object] = _UNSET
+
+    def __post_init__(self, chunk, workers) -> None:
+        object.__setattr__(
+            self,
+            "execution",
+            _merge_execution("sweep", self.execution, chunk, workers),
+        )
+        _freeze_tuple(self, "demand_factors")
+        if not self.demand_factors:
+            raise ParameterError(
+                "sweep.demand_factors must name at least one scaling factor"
+            )
+        for factor in self.demand_factors:
+            if not np.isfinite(factor) or factor <= 0.0:
+                raise ParameterError(
+                    f"sweep.demand_factors entries must be finite and > 0, "
+                    f"got {factor!r}"
+                )
+        _check_choice(
+            "sweep.failures", self.failures, ("none", "single", "dual")
+        )
+        object.__setattr__(
+            self, "routing", tuple(str(r) for r in self.routing)
+        )
+        for policy in self.routing:
+            _check_choice("sweep.routing[]", policy, _ROUTING_CHOICES)
+        check_positive("sweep.sla_utilization", self.sla_utilization)
+        if not 0.0 <= float(self.margin) < 1.0:
+            raise ParameterError(
+                f"sweep.margin must lie in [0, 1), got {self.margin!r}"
+            )
+        _check_choice(
+            "sweep.simulate", self.simulate, ("marginal", "all", "none")
+        )
+        check_positive("sweep.shape_factor", self.shape_factor)
+        if self.failures == "none" and not self.include_baseline:
+            raise ParameterError(
+                "sweep with failures='none' and include_baseline=false "
+                "would enumerate zero cells"
+            )
+
+
+_alias_execution(SweepSpec)
+_register_nested("SweepSpec", "execution", ExecutionSpec)
+_LEGACY_EXECUTION_SECTIONS["SweepSpec"] = "sweep"
 
 
 @dataclass(frozen=True)
@@ -893,6 +1123,7 @@ class ScenarioSpec:
     seed: int = 0
     workload: WorkloadSpec | None = None
     network: NetworkSpec | None = None
+    sweep: SweepSpec | None = None
     flows: FlowAccountingSpec = field(default_factory=FlowAccountingSpec)
     synthesis: SynthesisSpec = field(default_factory=SynthesisSpec)
     measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
@@ -922,10 +1153,17 @@ class ScenarioSpec:
                 "anomaly injection needs a synthesized workload; give the "
                 "spec a 'workload' section"
             )
+        if self.sweep is not None and self.network is None:
+            raise ParameterError(
+                "a 'sweep' section scales and fails a base network "
+                "scenario; give the spec a 'network' section"
+            )
 
     @property
     def family(self) -> str:
-        """Scenario family: ``"network"`` or ``"single-link"``."""
+        """Scenario family: ``"sweep"``, ``"network"`` or ``"single-link"``."""
+        if self.sweep is not None:
+            return "sweep"
         return "network" if self.network is not None else "single-link"
 
     # -- serialization ---------------------------------------------------
@@ -980,6 +1218,7 @@ class ScenarioSpec:
 for _name, _type in (
     ("workload", WorkloadSpec),
     ("network", NetworkSpec),
+    ("sweep", SweepSpec),
     ("flows", FlowAccountingSpec),
     ("synthesis", SynthesisSpec),
     ("measurement", MeasurementSpec),

@@ -48,6 +48,7 @@ __all__ = [
     "FitResult",
     "GenerationResult",
     "NetworkStageResult",
+    "SweepStageResult",
     "ValidationReport",
     "Synthesize",
     "AccountFlows",
@@ -55,6 +56,7 @@ __all__ = [
     "FitModel",
     "Generate",
     "SimulateNetwork",
+    "RunSweep",
     "Validate",
 ]
 
@@ -112,6 +114,7 @@ class PipelineContext:
     fit: "FitResult | None" = None
     generation: "GenerationResult | None" = None
     network: "NetworkStageResult | None" = None
+    sweep: "SweepStageResult | None" = None
     validation: "ValidationReport | None" = None
 
     def require(self, attribute: str, needed_by: str):
@@ -456,6 +459,44 @@ class SimulateNetwork:
             simulation=simulation, report=simulation.report()
         )
         return context.network
+
+
+@dataclass(frozen=True)
+class SweepStageResult:
+    """Output of :class:`RunSweep`: per-cell outcomes + the ranked report."""
+
+    result: "object"  # repro.sweep.SweepResult
+    report: "object"  # repro.sweep.SweepReport
+
+    def summary(self) -> dict:
+        return self.report.to_dict()
+
+
+class RunSweep:
+    """Capacity-planning sweep for specs carrying a ``sweep`` section.
+
+    Expands the spec's growth/failure/routing axes into concrete
+    network-family cells, assesses every cell with the closed-form
+    moment-superposition pre-filter, and dispatches the full
+    :class:`~repro.network.NetworkEngine` only on cells inside the
+    marginal SLA band — fanned over the generation engine's worker pool
+    (``sweep.execution.workers``).  See :mod:`repro.sweep`.
+    """
+
+    name = "run_sweep"
+
+    def run(self, context: PipelineContext) -> SweepStageResult:
+        from ..sweep.service import run_sweep
+
+        spec = context.spec
+        if spec.sweep is None:
+            raise ParameterError(
+                f"scenario {spec.name!r} has no 'sweep' section; the "
+                "RunSweep stage only runs sweep scenarios"
+            )
+        result = run_sweep(spec)
+        context.sweep = SweepStageResult(result=result, report=result.report)
+        return context.sweep
 
 
 class Synthesize:

@@ -1,0 +1,159 @@
+"""Closed-form cell assessment: moment superposition against an SLA band.
+
+Every sweep cell gets a microseconds-cheap analytic verdict before any
+packet is synthesized: the base demands' three-parameter summaries
+(:func:`~repro.network.analytic.workload_flow_statistics`, computed once
+per demand) are scaled to the cell's growth factor, routed over the
+cell's failure-reduced topology, superposed per link
+(:func:`~repro.network.analytic.superpose_link_moments`) and provisioned
+with the Gaussian rule.  The per-link *SLA ratio* is
+
+    required_capacity_bps / (sla_utilization x capacity_bps)
+
+and the cell's verdict follows from its worst ratio against the
+marginal band ``[1 - margin, 1 + margin]``: clearly-provisioned cells
+(``ok``) and clearly-breaching cells (``breach``) skip simulation;
+``marginal`` cells go to the full :class:`~repro.network.NetworkEngine`.
+Demands left disconnected by the failure contribute nothing — exactly
+the engine's blackholing of unroutable demands during an outage window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import TopologyError
+from ..network.analytic import (
+    AnalyticDemand,
+    superpose_link_moments,
+    workload_flow_statistics,
+)
+from ..network.routing import resolve_routing
+from .cells import SweepCell
+
+__all__ = ["CellAssessment", "LinkAssessment", "assess_cell", "base_demands"]
+
+VERDICT_OK = "ok"
+VERDICT_MARGINAL = "marginal"
+VERDICT_BREACH = "breach"
+
+
+@dataclass(frozen=True)
+class LinkAssessment:
+    """One link's analytic provisioning check inside a cell."""
+
+    link: tuple[str, str]
+    capacity_bps: float
+    mean_rate_bps: float
+    required_capacity_bps: float
+    sla_ratio: float
+    n_demands: int
+
+    def to_dict(self) -> dict:
+        return {
+            "link": list(self.link),
+            "capacity_bps": float(self.capacity_bps),
+            "mean_rate_bps": float(self.mean_rate_bps),
+            "required_capacity_bps": float(self.required_capacity_bps),
+            "sla_ratio": float(self.sla_ratio),
+            "n_demands": int(self.n_demands),
+        }
+
+
+@dataclass(frozen=True)
+class CellAssessment:
+    """The closed-form verdict for one sweep cell."""
+
+    verdict: str  # ok | marginal | breach
+    worst: LinkAssessment | None  # None: nothing carries traffic
+    links: tuple[LinkAssessment, ...]  # carrying links, worst first
+    n_disconnected_demands: int
+
+    @property
+    def worst_ratio(self) -> float:
+        return self.worst.sla_ratio if self.worst is not None else 0.0
+
+
+def base_demands(spec) -> tuple[AnalyticDemand, ...]:
+    """The base scenario's demands as statistics-carrying analytic ones.
+
+    One Monte-Carlo summary per demand, computed from the *unscaled*
+    workload laws; growth factors then scale ``lambda`` in closed form
+    (:meth:`~repro.network.analytic.AnalyticDemand.scaled`), so a whole
+    factor axis reuses the same summaries.
+    """
+    shape = float(spec.sweep.shape_factor) if spec.sweep is not None else 1.8
+    demands = []
+    for demand_spec in spec.network.demands:
+        workload = demand_spec.build(spec.network.duration).workload
+        demands.append(
+            AnalyticDemand(
+                source=demand_spec.source,
+                sink=demand_spec.sink,
+                statistics=workload_flow_statistics(workload),
+                shape_factor=shape,
+            )
+        )
+    return tuple(demands)
+
+
+def assess_cell(
+    cell: SweepCell,
+    demands: tuple[AnalyticDemand, ...],
+    topology,
+    *,
+    sla_utilization: float,
+    margin: float,
+    epsilon: float,
+) -> CellAssessment:
+    """Classify one cell against the SLA band, closed form only.
+
+    ``demands`` are the *base* analytic demands (factor 1); ``topology``
+    is the intact base topology — the cell's failure set reduces it
+    here, mirroring what its outage events do in the engine.
+    """
+    reduced = (
+        topology.without_links(cell.failure) if cell.failure else topology
+    )
+    routing = resolve_routing(cell.routing)
+    routable = []
+    disconnected = 0
+    for demand in demands:
+        try:
+            routing.route(reduced, demand.source, demand.sink)
+        except TopologyError:
+            disconnected += 1
+            continue
+        routable.append(demand.scaled(cell.factor))
+    moments = superpose_link_moments(reduced, routable, routing=routing)
+    links = []
+    for entry in moments.values():
+        if entry.n_demands == 0:
+            continue
+        required = entry.required_capacity_bps(epsilon)
+        links.append(
+            LinkAssessment(
+                link=entry.link,
+                capacity_bps=entry.capacity_bps,
+                mean_rate_bps=8.0 * entry.mean_rate,
+                required_capacity_bps=required,
+                sla_ratio=required
+                / (float(sla_utilization) * entry.capacity_bps),
+                n_demands=entry.n_demands,
+            )
+        )
+    links.sort(key=lambda a: a.sla_ratio, reverse=True)
+    worst = links[0] if links else None
+    ratio = worst.sla_ratio if worst is not None else 0.0
+    if ratio < 1.0 - float(margin):
+        verdict = VERDICT_OK
+    elif ratio > 1.0 + float(margin):
+        verdict = VERDICT_BREACH
+    else:
+        verdict = VERDICT_MARGINAL
+    return CellAssessment(
+        verdict=verdict,
+        worst=worst,
+        links=tuple(links),
+        n_disconnected_demands=disconnected,
+    )

@@ -210,12 +210,14 @@ class TestRegistryNetworkScenarios:
 
     def test_families_group_the_registry(self):
         families = default_registry().families()
-        assert set(families) == {"single-link", "network"}
+        assert set(families) == {"single-link", "network", "sweep"}
         network_names = [name for name, _ in families["network"]]
         assert "abilene-table-i" in network_names
         single_names = [name for name, _ in families["single-link"]]
         assert "medium" in single_names
         assert "abilene-table-i" not in single_names
+        sweep_names = [name for name, _ in families["sweep"]]
+        assert "abilene-single-failure-2x" in sweep_names
 
     def test_quick_mode_caps_network_duration_and_events(self):
         spec = apply_quick_mode(

@@ -1,0 +1,1 @@
+"""Tests for the capacity-planning sweep service (repro.sweep)."""

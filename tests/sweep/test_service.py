@@ -1,0 +1,251 @@
+"""The sweep service: pre-filter soundness, cell equivalence, invariance.
+
+The acceptance contract of the capacity sweep:
+
+* the closed-form pre-filter settles at least half of the preset grid
+  without touching the packet-level engine;
+* *soundness* — no cell the pre-filter cleared as ``ok`` is an SLA
+  breach in a full engine run (checked against an exhaustive
+  ``simulate="all"`` ground-truth sweep);
+* every simulated cell is *bitwise* equal to running that cell's spec
+  directly through :func:`~repro.pipeline.run_scenario` — the sweep is
+  pure orchestration;
+* ``sweep.execution`` (chunk/workers) never changes any result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.pipeline import (
+    DemandSpec,
+    NetworkSpec,
+    ScenarioSpec,
+    SweepSpec,
+    TopologyLinkSpec,
+    TopologySpec,
+    default_registry,
+    run_scenario,
+)
+from repro.sweep import run_sweep
+
+#: The registry sweep, shortened: same 45-cell grid and the same
+#: analytic verdicts (rates are per-second, independent of capture
+#: length), but each simulated cell costs ~0.1 s instead of ~0.5 s.
+DURATION = 10.0
+
+
+def _preset(simulate: str, duration: float = DURATION) -> ScenarioSpec:
+    spec = default_registry().get("abilene-single-failure-2x")
+    return dataclasses.replace(
+        spec,
+        network=dataclasses.replace(spec.network, duration=duration),
+        sweep=dataclasses.replace(spec.sweep, simulate=simulate),
+    )
+
+
+def _toy(simulate: str = "all", **sweep_kwargs) -> ScenarioSpec:
+    """2-path toy sweep: 1 demand, baseline + 4 fibres, one factor."""
+    sweep_kwargs.setdefault("demand_factors", (1.0,))
+    sweep_kwargs.setdefault("failures", "single")
+    return ScenarioSpec(
+        name="toy-sweep",
+        seed=23,
+        network=NetworkSpec(
+            topology=TopologySpec(preset="parallel-paths", size=2),
+            demands=(DemandSpec("src", "dst", preset="low"),),
+            routing="ecmp",
+            duration=8.0,
+        ),
+        sweep=SweepSpec(simulate=simulate, **sweep_kwargs),
+    )
+
+
+@pytest.fixture(scope="module")
+def exhaustive():
+    """Ground truth: every preset cell through the engine."""
+    return run_sweep(_preset("all"))
+
+
+@pytest.fixture(scope="module")
+def analytic():
+    """The pre-filter alone over the preset grid."""
+    return run_sweep(_preset("none"))
+
+
+class TestPrefilter:
+    def test_settles_at_least_half_the_grid(self, analytic):
+        report = analytic.report
+        assert report.n_cells == 45
+        marginal = sum(
+            1 for a in analytic.assessments if a.verdict == "marginal"
+        )
+        assert marginal * 2 <= report.n_cells
+
+    def test_soundness_no_breaching_cell_cleared(self, exhaustive):
+        """No simulation-marked breach hides behind an analytic 'ok'."""
+        assert exhaustive.report.n_simulated == 45
+        missed = [
+            cell.index
+            for cell in exhaustive.report.cells
+            if cell.analytic_verdict == "ok" and cell.verdict == "breach"
+        ]
+        assert missed == []
+
+    def test_analytic_breaches_err_on_the_safe_side(self, exhaustive):
+        """Breach calls are the conservative direction: a cell flagged
+        analytically may simulate just under the SLA (over-provisioning),
+        but never lands comfortably clear of the band."""
+        margin = exhaustive.report.margin
+        for cell in exhaustive.report.cells:
+            if cell.analytic_verdict == "breach":
+                assert cell.worst_ratio > 1.0 - margin, (
+                    f"cell {cell.index} ({cell.failure_label} "
+                    f"x{cell.factor:g}) breaches analytically but "
+                    f"simulated at {cell.worst_ratio:.2f}"
+                )
+
+    def test_growth_never_reduces_the_worst_ratio(self, analytic):
+        by_key = {
+            (c.failure_label, c.factor): c.worst_ratio
+            for c in analytic.report.cells
+        }
+        for label in {c.failure_label for c in analytic.report.cells}:
+            ratios = [by_key[(label, f)] for f in (1.0, 1.5, 2.0)]
+            assert ratios == sorted(ratios)
+
+    def test_marginal_mode_simulates_exactly_the_marginal_cells(
+        self, analytic
+    ):
+        marginal_indexes = {
+            cell.index
+            for cell, assessment in zip(
+                analytic.cells, analytic.assessments
+            )
+            if assessment.verdict == "marginal"
+        }
+        result = run_sweep(_preset("marginal"))
+        assert set(result.simulations) == marginal_indexes
+        assert result.report.n_simulated == len(marginal_indexes)
+        assert (
+            result.report.n_prefiltered
+            == result.report.n_cells - len(marginal_indexes)
+        )
+
+
+class TestCellEquivalence:
+    def test_simulated_cells_bitwise_equal_direct_runs(self, exhaustive):
+        """The sweep adds orchestration, not physics: re-running any
+        cell's spec standalone reproduces the engine outputs exactly."""
+        picked = [exhaustive.cells[2], exhaustive.cells[26]]
+        for cell in picked:
+            direct = run_scenario(cell.spec).network
+            via_sweep = exhaustive.simulated(cell.index)
+            assert direct.report.to_dict() == via_sweep.report.to_dict()
+            for link, entry in via_sweep.simulation.links.items():
+                other = direct.simulation.links[link]
+                assert entry.packet_count == other.packet_count
+                assert entry.total_bytes == other.total_bytes
+                if entry.series is not None:
+                    assert np.array_equal(
+                        entry.series.values, other.series.values
+                    )
+
+
+class TestExecutionInvariance:
+    def test_chunk_and_workers_do_not_change_the_report(self):
+        base = run_sweep(_toy())
+        tweaked_spec = _toy()
+        tweaked_spec = dataclasses.replace(
+            tweaked_spec,
+            sweep=tweaked_spec.sweep.with_execution(
+                chunk=3_000, workers=3
+            ),
+        )
+        tweaked = run_sweep(tweaked_spec)
+        assert base.report.to_dict() == tweaked.report.to_dict()
+
+    def test_determinism_rerun_is_identical(self):
+        a = run_sweep(_toy())
+        b = run_sweep(_toy())
+        assert a.report.to_dict() == b.report.to_dict()
+
+
+class TestDisconnection:
+    def test_cut_chain_counts_disconnected_demands(self):
+        """Failing the only path blackholes the demand — the pre-filter
+        mirrors the engine by skipping it, not by crashing."""
+        spec = ScenarioSpec(
+            name="chain-cut",
+            network=NetworkSpec(
+                topology=TopologySpec(
+                    links=(TopologyLinkSpec("a", "b", capacity_bps=1e7),)
+                ),
+                demands=(DemandSpec("a", "b", preset="low"),),
+                duration=5.0,
+            ),
+            sweep=SweepSpec(
+                demand_factors=(1.0,), failures="single", simulate="none"
+            ),
+        )
+        result = run_sweep(spec)
+        baseline, cut = result.assessments
+        assert baseline.n_disconnected_demands == 0
+        assert cut.n_disconnected_demands == 1
+        assert cut.worst is None  # nothing carries traffic any more
+
+
+class TestReport:
+    def test_ranked_worst_first(self, exhaustive):
+        severity = {"breach": 0, "marginal": 1, "ok": 2}
+        ranks = [
+            (severity[c.verdict], -c.worst_ratio)
+            for c in exhaustive.report.cells
+        ]
+        assert ranks == sorted(ranks)
+
+    def test_worst_per_failure_covers_every_case(self, exhaustive):
+        worst = exhaustive.report.worst_per_failure()
+        assert len(worst) == 15  # baseline + 14 fibres
+        for label, cell in worst.items():
+            assert cell.failure_label == label
+            peers = [
+                c for c in exhaustive.report.cells
+                if c.failure_label == label
+            ]
+            assert cell.worst_ratio == max(c.worst_ratio for c in peers)
+
+    def test_headroom_per_factor_decreases_with_growth(self, exhaustive):
+        headroom = exhaustive.report.headroom_per_factor()
+        assert list(headroom) == [1.0, 1.5, 2.0]
+        values = list(headroom.values())
+        assert values == sorted(values, reverse=True)
+
+    def test_json_round_trip_and_table(self, analytic):
+        import json
+
+        payload = json.loads(json.dumps(analytic.report.to_dict()))
+        assert payload["n_cells"] == 45
+        assert payload["n_prefiltered"] + payload["n_simulated"] == 45
+        assert len(payload["cells"]) == 45
+        table = analytic.report.table()
+        assert "45 cells" in table
+        assert "verdict" in table.splitlines()[0]
+
+
+class TestPipelineDispatch:
+    def test_run_scenario_routes_sweep_specs(self):
+        result = run_scenario(_toy(simulate="none"))
+        assert result.sweep is not None
+        assert result.network is None
+        report = result.report()
+        assert set(report) == {"spec", "sweep"}
+        assert report["sweep"]["n_cells"] == 5
+
+    def test_run_sweep_requires_a_sweep_section(self):
+        with pytest.raises(ParameterError, match="sweep"):
+            run_sweep(default_registry().get("abilene-table-i"))

@@ -11,6 +11,7 @@ from repro.pipeline import (
     DemandSpec,
     NetworkSpec,
     ScenarioSpec,
+    SweepSpec,
     TopologySpec,
     WorkloadSpec,
 )
@@ -301,3 +302,117 @@ class TestStreamedSynthesize:
         monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
         assert main(["run", "medium", "--chunk", "20000"]) == 0
         assert "[streamed]" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def sweep_spec_file(tmp_path):
+    """A tiny analytic-only sweep (no engine runs: fast and exact)."""
+    spec = ScenarioSpec(
+        name="tiny-sweep",
+        network=NetworkSpec(
+            topology=TopologySpec(preset="parallel-paths", size=2),
+            demands=(DemandSpec("src", "dst", preset="low"),),
+            routing="ecmp",
+            duration=8.0,
+        ),
+        sweep=SweepSpec(
+            demand_factors=(1.0, 2.0), failures="single", simulate="none"
+        ),
+    )
+    path = tmp_path / "sweep.json"
+    path.write_text(spec.to_json())
+    return path
+
+
+class TestSweep:
+    def test_prints_ranked_table_and_writes_report(
+        self, sweep_spec_file, tmp_path, capsys
+    ):
+        report = tmp_path / "sweep-report.json"
+        assert main(["sweep", str(sweep_spec_file),
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario   : tiny-sweep" in out
+        assert "verdict" in out  # the table header
+        # baseline + 4 fibres, two growth factors
+        assert "10 cells" in out
+        assert "headroom" in out
+        payload = json.loads(report.read_text())["sweep"]
+        assert payload["n_cells"] == 10
+        assert len(payload["cells"]) == 10
+
+    def test_non_sweep_scenario_is_friendly_error(self, capsys):
+        assert main(["sweep", "medium"]) == 2
+        assert "no 'sweep' section" in capsys.readouterr().err
+
+    def test_run_and_network_redirect_sweep_specs(
+        self, sweep_spec_file, capsys
+    ):
+        assert main(["run", str(sweep_spec_file)]) == 0
+        assert "10 cells" in capsys.readouterr().out
+        assert main(["network", str(sweep_spec_file)]) == 0
+        assert "10 cells" in capsys.readouterr().out
+
+    def test_bad_execution_flags_rejected(self, sweep_spec_file, capsys):
+        assert main(["sweep", str(sweep_spec_file), "--chunk", "-1"]) == 2
+        assert "--chunk must be >= 0" in capsys.readouterr().err
+        assert main(["sweep", str(sweep_spec_file), "--workers", "0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+
+class TestExecutionPrecedence:
+    """--execution spec-wins|cli-wins, shared by all engine commands."""
+
+    def _spec_with_execution(self, tmp_path, workers):
+        spec = ScenarioSpec(
+            name="precedence",
+            network=NetworkSpec(
+                topology=TopologySpec(preset="parallel-paths", size=2),
+                demands=(DemandSpec("src", "dst", preset="low"),),
+                duration=8.0,
+            ),
+            sweep=SweepSpec(
+                demand_factors=(1.0,),
+                failures="none",
+                simulate="none",
+                workers=workers,
+            ),
+        )
+        path = tmp_path / "precedence.json"
+        path.write_text(spec.to_json())
+        return path
+
+    def _reported_workers(self, report_path):
+        payload = json.loads(report_path.read_text())
+        return payload["spec"]["sweep"]["execution"]["workers"]
+
+    def test_cli_wins_by_default(self, tmp_path):
+        path = self._spec_with_execution(tmp_path, workers=2)
+        report = tmp_path / "out.json"
+        assert main(["sweep", str(path), "--workers", "3",
+                     "--report", str(report)]) == 0
+        assert self._reported_workers(report) == 3
+
+    def test_unset_flags_keep_the_spec_values(self, tmp_path):
+        path = self._spec_with_execution(tmp_path, workers=2)
+        report = tmp_path / "out.json"
+        assert main(["sweep", str(path), "--report", str(report)]) == 0
+        assert self._reported_workers(report) == 2
+
+    def test_spec_wins_ignores_the_flags(self, tmp_path):
+        path = self._spec_with_execution(tmp_path, workers=2)
+        report = tmp_path / "out.json"
+        assert main(["sweep", str(path), "--workers", "3",
+                     "--execution", "spec-wins",
+                     "--report", str(report)]) == 0
+        assert self._reported_workers(report) == 2
+
+    @pytest.mark.parametrize(
+        "command", ["run", "network", "sweep", "synthesize", "measure"]
+    )
+    def test_help_documents_the_precedence_rule(self, command, capsys):
+        with pytest.raises(SystemExit):
+            main([command, "--help"])
+        out = capsys.readouterr().out
+        assert "--execution {cli-wins,spec-wins}" in out
+        assert "spec-wins" in out and "cli-wins" in out
