@@ -16,7 +16,12 @@ the canonical path:
   family (single-link vs network);
 * ``synthesize``     — generate a scaled backbone capture to a trace file;
 * ``measure``        — run the section VI measurement pipeline on an
-  existing trace file;
+  existing trace file (``--format`` accepts operator telemetry too:
+  NetFlow v5, IPFIX and pcap archives stream through the same engine);
+* ``import``         — fit the model to real operator telemetry: stream
+  a NetFlow v5 / IPFIX / pcap archive through the measurement pipeline;
+* ``export``         — re-export a capture (or any importable archive)
+  as NetFlow v5, IPFIX or pcap for downstream tooling;
 * ``generate``       — produce model-driven traffic (section VII-C)
   calibrated on an input trace, via the chunked generation engine;
 * ``scenario``       — synthesize all seven Table I links in parallel.
@@ -25,12 +30,16 @@ Examples::
 
     python -m repro run medium --report report.json
     python -m repro run my-scenario.json
+    python -m repro run real-trace-netflow5 --ingest-path router.nf5
     python -m repro network abilene-table-i --workers 4 --report net.json
     python -m repro sweep abilene-single-failure-2x --report sweep.json
     python -m repro list-scenarios
     python -m repro synthesize /tmp/link.rptr --preset medium --seed 7
     python -m repro measure /tmp/link.rptr --flow-kind five_tuple
     python -m repro measure /tmp/link.rptr --chunk 500000 --workers 4
+    python -m repro measure router.nf5 --format netflow5
+    python -m repro import router.nf5 --link-capacity 622e6
+    python -m repro export /tmp/link.rptr /tmp/link.nf5 --format netflow5
     python -m repro generate /tmp/link.rptr /tmp/synthetic.rptr --chunk 30
     python -m repro scenario /tmp/links --workers 4 --seed 3
 """
@@ -54,6 +63,8 @@ from .pipeline import (
     EstimationSpec,
     ExecutionSpec,
     FlowAccountingSpec,
+    INGEST_FORMATS,
+    IngestSpec,
     MEASUREMENT_STAGES,
     MeasurementSpec,
     ScenarioSpec,
@@ -272,6 +283,26 @@ def _print_measurement(
           f"P(congestion) <= {args.epsilon:g}")
 
 
+def _report_measured(args, trace_line, measured) -> None:
+    """Fit + print a :class:`MeasurementResult` (streaming/import paths).
+
+    Mirrors FitModel.run / Validate's required_capacity_bps; the CLI
+    byte-equality test pins this against the in-memory pipeline branch.
+    """
+    flows = measured.flows
+    stats = flows.statistics(measured.duration)
+    model = PoissonShotNoiseModel.from_flows(
+        flows.sizes, flows.durations, measured.duration
+    )
+    fit = model.fit_power(measured.series.variance)
+    fitted = model.with_shot(fit.shot)
+    _print_measurement(
+        args, trace_line, flows, stats, model, fit, measured.series,
+        fitted.coefficient_of_variation,
+        8.0 * fitted.required_capacity(args.epsilon),
+    )
+
+
 def _cmd_measure_streaming(
     args: argparse.Namespace, execution: ExecutionSpec
 ) -> int:
@@ -292,24 +323,60 @@ def _cmd_measure_streaming(
         timeout=args.timeout,
         prefix_length=args.prefix_length,
     )
-    flows = measured.flows
-    stats = flows.statistics(measured.duration)
-    # mirrors FitModel.run / Validate's required_capacity_bps; the CLI
-    # byte-equality test pins the two branches together
-    model = PoissonShotNoiseModel.from_flows(
-        flows.sizes, flows.durations, measured.duration
-    )
-    fit = model.fit_power(measured.series.variance)
-    fitted = model.with_shot(fit.shot)
-    _print_measurement(
+    _report_measured(
         args,
         _trace_line(
             Path(args.trace).stem, measured.packet_count,
             measured.duration, measured.utilization,
         ),
-        flows, stats, model, fit, measured.series,
-        fitted.coefficient_of_variation,
-        8.0 * fitted.required_capacity(args.epsilon),
+        measured,
+    )
+    return 0
+
+
+def _ingest_line(summary: dict) -> str:
+    """The archive description line shared by ``import`` and ``run``."""
+    name = Path(summary["path"]).name
+    line = (
+        f"{summary['format']}:{name} — {summary['records']} records -> "
+        f"{summary['packets']} packets over {summary['duration_s']:g} s"
+    )
+    if summary["utilization"] is not None:
+        line += f", util {summary['utilization']:.1%}"
+    return line
+
+
+def _cmd_measure_import(
+    args: argparse.Namespace, execution: ExecutionSpec, fmt: str
+) -> int:
+    """``measure --format netflow5|ipfix|pcap``: operator telemetry.
+
+    Flow archives are expanded back into packets and re-measured through
+    the engine's idle-timeout carry tables, so the report means the same
+    thing it does for a native capture.
+    """
+    from .interop import open_import_stream
+
+    stream = open_import_stream(
+        args.trace, format=fmt, chunk=execution.chunk
+    )
+    engine = MeasurementEngine(
+        chunk=execution.chunk, workers=execution.workers
+    )
+    measured = engine.measure_chunks(
+        stream,
+        delta=args.delta,
+        key=args.flow_kind,
+        timeout=args.timeout,
+        prefix_length=args.prefix_length,
+    )
+    _report_measured(
+        args,
+        _trace_line(
+            Path(args.trace).stem, measured.packet_count,
+            measured.duration, measured.utilization,
+        ),
+        measured,
     )
     return 0
 
@@ -319,6 +386,20 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     if error is not None:
         return _fail(error)
     execution = _cli_execution(args)
+    fmt = getattr(args, "format", "rptr")
+    if fmt == "auto":
+        try:
+            from .interop import detect_format
+
+            fmt = detect_format(args.trace)
+        except (ReproError, OSError):
+            # let the native path own the error message for bad files
+            fmt = "rptr"
+    if fmt != "rptr":
+        try:
+            return _cmd_measure_import(args, execution, fmt)
+        except ReproError as exc:
+            return _fail(str(exc))
     if execution.chunk is not None:
         return _cmd_measure_streaming(args, execution)
     trace = read_trace(args.trace)
@@ -368,6 +449,121 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_import(args: argparse.Namespace) -> int:
+    """``import``: fit the paper's model to real operator telemetry.
+
+    Runs the ingest pipeline (ImportFlows → AccountFlows → Estimate →
+    FitModel → Validate) on a NetFlow v5 / IPFIX / pcap / ``.rptr``
+    archive, streaming out-of-core, and prints the measure-style report.
+    """
+    error = _check_execution_flags(args)
+    if error is not None:
+        return _fail(error)
+    execution = _cli_execution(args)
+    try:
+        spec = ScenarioSpec(
+            name=Path(args.file).stem,
+            flows=FlowAccountingSpec(
+                kind=args.flow_kind,
+                timeout=args.timeout,
+                prefix_length=args.prefix_length,
+            ),
+            measurement=MeasurementSpec(execution=execution),
+            estimation=EstimationSpec(delta=args.delta),
+            validation=ValidationSpec(epsilon=args.epsilon),
+            generation=None,
+            ingest=IngestSpec(
+                path=args.file,
+                format=args.format,
+                order=args.order,
+                rebase=args.rebase,
+                duration=args.duration,
+                link_capacity_bps=args.link_capacity,
+                execution=execution,
+            ),
+        )
+    except ParameterError as exc:
+        return _fail(str(exc))
+    try:
+        result = run_scenario(spec)
+    except ReproError as exc:
+        return _fail(str(exc))
+    report = result.validation
+    _print_measurement(
+        args,
+        _ingest_line(result.ingest.summary()),
+        result.accounting.flows,
+        result.estimation.statistics,
+        result.fit.model,
+        result.fit.power_fit,
+        result.estimation.series,
+        report.fitted_cov,
+        report.required_capacity_bps,
+    )
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(result.report(), indent=2) + "\n"
+        )
+        print(f"report     : wrote {args.report}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    """``export``: write a capture back out as operator telemetry.
+
+    Any importable archive works as input (``.rptr``, NetFlow v5, IPFIX,
+    pcap — auto-detected).  ``--format pcap`` streams packet chunks
+    straight through with exact timestamps; the flow formats aggregate
+    the stream into five-tuple flow records first.  Zero-duration
+    (single-packet) flows carry no ``S^2/D`` mass and are never
+    exported as flow records — the paper's model discards them on the
+    measurement side too, so the fitted parameters round-trip.
+    """
+    error = _check_execution_flags(args)
+    if error is not None:
+        return _fail(error)
+    execution = _cli_execution(args)
+    from .interop import (
+        PcapWriter,
+        flow_records_from_flowset,
+        open_import_stream,
+        write_ipfix,
+        write_netflow5,
+    )
+
+    try:
+        stream = open_import_stream(
+            args.input,
+            format=args.input_format,
+            chunk=execution.chunk,
+            rebase=args.rebase,
+        )
+        if args.format == "pcap":
+            with PcapWriter(args.output) as writer:
+                for block in stream:
+                    writer.write(block)
+            print(f"wrote {writer.packet_count} packets "
+                  f"({stream.format} -> pcap) -> {args.output}")
+            return 0
+        engine = MeasurementEngine(
+            chunk=execution.chunk, workers=execution.workers
+        )
+        measured = engine.measure_chunks(
+            stream,
+            key="five_tuple",
+            timeout=args.timeout,
+            min_packets=args.min_packets,
+        )
+        records = flow_records_from_flowset(measured.flows)
+        write = write_netflow5 if args.format == "netflow5" else write_ipfix
+        count = write(records, args.output)
+    except ReproError as exc:
+        return _fail(str(exc))
+    print(f"wrote {count} flow records "
+          f"({stream.format} -> {args.format}) -> {args.output}")
+    return 0
+
+
 def _load_spec(target: str) -> ScenarioSpec:
     """A spec file path, or a registry scenario name.
 
@@ -399,15 +595,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _fail(error)
     if args.seed is not None:
         spec = spec.with_overrides(seed=args.seed)
+    if getattr(args, "ingest_path", None) is not None:
+        if spec.ingest is None:
+            return _fail(
+                f"scenario {spec.name!r} has no 'ingest' section; "
+                "--ingest-path only applies to real-trace-fit scenarios "
+                "(see list-scenarios)"
+            )
+        spec = dataclasses.replace(
+            spec,
+            ingest=dataclasses.replace(spec.ingest, path=args.ingest_path),
+        )
     # stream synthesize → measure when an engine is configured: the
     # trace is never materialised, and (chunk, workers) never change
     # the scenario's results; _resolve_execution applies the
     # --execution precedence rule between flags and spec values.
-    execution = _resolve_execution(args, spec.synthesis.execution)
-    if execution != spec.synthesis.execution:
-        spec = dataclasses.replace(
-            spec, synthesis=spec.synthesis.with_execution(execution)
-        )
+    if spec.ingest is not None:
+        execution = _resolve_execution(args, spec.ingest.execution)
+        if execution != spec.ingest.execution:
+            spec = dataclasses.replace(
+                spec, ingest=spec.ingest.with_execution(execution)
+            )
+    else:
+        execution = _resolve_execution(args, spec.synthesis.execution)
+        if execution != spec.synthesis.execution:
+            spec = dataclasses.replace(
+                spec, synthesis=spec.synthesis.with_execution(execution)
+            )
     spec = apply_quick_mode(spec)
     try:
         result = run_scenario(spec)
@@ -417,7 +631,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     print(f"scenario   : {spec.name}"
           + (f" — {spec.description}" if spec.description else ""))
-    if result.trace is not None:
+    if result.ingest is not None:
+        print(f"import     : {_ingest_line(result.ingest.summary())}")
+    elif result.trace is not None:
         print(f"trace      : {result.trace}")
     else:
         summary = result.synthesis.summary()
@@ -663,6 +879,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="override the spec's seed",
     )
+    run.add_argument(
+        "--ingest-path", default=None,
+        help="telemetry file for real-trace-fit scenarios: points the "
+        "spec's 'ingest' section at a NetFlow v5 / IPFIX / pcap / .rptr "
+        "archive",
+    )
     run.set_defaults(func=_cmd_run)
 
     net = sub.add_parser(
@@ -740,7 +962,104 @@ def build_parser() -> argparse.ArgumentParser:
         "--epsilon", type=float, default=0.01,
         help="target congestion probability for provisioning",
     )
+    meas.add_argument(
+        "--format", choices=INGEST_FORMATS, default="auto",
+        help="input format; non-native telemetry (netflow5, ipfix, pcap) "
+        "streams through the import adapter (default: sniff the file, "
+        "falling back to the native .rptr reader)",
+    )
     meas.set_defaults(func=_cmd_measure)
+
+    imp = sub.add_parser(
+        "import", parents=[execution],
+        help="fit the model to operator telemetry "
+        "(NetFlow v5 / IPFIX / pcap)",
+    )
+    imp.add_argument(
+        "file", help="telemetry archive (NetFlow v5, IPFIX, pcap or .rptr)"
+    )
+    imp.add_argument(
+        "--format", choices=INGEST_FORMATS, default="auto",
+        help="wire format (default: sniff the file's magic bytes)",
+    )
+    imp.add_argument(
+        "--order", choices=("auto", "start", "export"), default="auto",
+        help="flow record ordering: 'start' streams records already "
+        "sorted by start time, 'export' re-sorts the archive in memory "
+        "(default: scan the archive and decide)",
+    )
+    imp.add_argument(
+        "--rebase", choices=("auto", "always", "never"), default="auto",
+        help="shift epoch timestamps so the capture starts at t=0 "
+        "(default: rebase only when timestamps look like wall-clock)",
+    )
+    imp.add_argument(
+        "--link-capacity", type=float, default=None,
+        help="link capacity in bit/s for utilisation reporting "
+        "(flow archives carry none)",
+    )
+    imp.add_argument(
+        "--duration", type=float, default=None,
+        help="capture duration in seconds (default: the archive's span)",
+    )
+    imp.add_argument(
+        "--flow-kind", choices=["five_tuple", "prefix"],
+        default="five_tuple",
+    )
+    imp.add_argument("--prefix-length", type=int, default=24)
+    imp.add_argument(
+        "--timeout", type=float, default=8.0,
+        help="flow idle timeout in seconds, re-applied uniformly to the "
+        "imported records (paper: 60 s at full scale)",
+    )
+    imp.add_argument(
+        "--delta", type=float, default=0.2,
+        help="rate averaging interval in seconds (paper: 200 ms)",
+    )
+    imp.add_argument(
+        "--epsilon", type=float, default=0.01,
+        help="target congestion probability for provisioning",
+    )
+    imp.add_argument(
+        "--report", default=None,
+        help="write the full pipeline report (spec + stage summaries + "
+        "validation) to this JSON file",
+    )
+    imp.set_defaults(func=_cmd_import)
+
+    exp = sub.add_parser(
+        "export", parents=[execution],
+        help="re-export a capture as NetFlow v5 / IPFIX / pcap",
+    )
+    exp.add_argument(
+        "input", help="input archive (.rptr, NetFlow v5, IPFIX or pcap)"
+    )
+    exp.add_argument("output", help="output file")
+    exp.add_argument(
+        "--format", choices=("netflow5", "ipfix", "pcap"), required=True,
+        help="output wire format",
+    )
+    exp.add_argument(
+        "--input-format", choices=INGEST_FORMATS, default="auto",
+        help="input format (default: sniff the file's magic bytes)",
+    )
+    exp.add_argument(
+        "--rebase", choices=("auto", "always", "never"), default="auto",
+        help="shift epoch timestamps to t=0 before exporting (NetFlow v5 "
+        "First/Last are 32-bit milliseconds, so wall-clock inputs must "
+        "be rebased for that format)",
+    )
+    exp.add_argument(
+        "--timeout", type=float, default=8.0,
+        help="flow idle timeout in seconds used to aggregate packets "
+        "into exported flow records",
+    )
+    exp.add_argument(
+        "--min-packets", type=int, default=1,
+        help="smallest flow exported (zero-duration single-packet flows "
+        "are always dropped: the model's S^2/D is undefined for them)",
+    )
+    exp.set_defaults(func=_cmd_export)
 
     gen = sub.add_parser(
         "generate", help="generate model-driven traffic (section VII-C)"

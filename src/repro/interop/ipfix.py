@@ -1,0 +1,423 @@
+"""IPFIX (RFC 7011) flow archives: streaming reader and writer.
+
+The on-disk layout is a concatenation of IPFIX messages — a 16-byte
+header (version 10), then sets: template sets (id 2) that describe
+record layouts, and data sets (id >= 256) carrying fixed-size records.
+The reader decodes templates into numpy structured dtypes on the fly,
+so it handles any exporter whose templates cover the five-tuple,
+packet/octet counters and start/end timestamps; unknown information
+elements are skipped, enterprise-specific ones tolerated.
+
+Our writer emits one template (id 256) with millisecond start/end
+timestamps (IEs 152/153), so exported archives round-trip with 1 ms
+quantization — same documented tolerance as NetFlow v5.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import TraceFormatError
+from .records import FLOW_RECORD_DTYPE
+
+__all__ = [
+    "IPFIX_VERSION",
+    "IPFIX_EXPORT_TEMPLATE_ID",
+    "IpfixReader",
+    "IpfixWriter",
+    "write_ipfix",
+]
+
+IPFIX_VERSION = 10
+
+#: version, length, export_time, sequence, observation_domain_id
+_MESSAGE_HEADER = struct.Struct(">HHIII")
+#: set_id, length
+_SET_HEADER = struct.Struct(">HH")
+#: template_id, field_count
+_TEMPLATE_HEADER = struct.Struct(">HH")
+_FIELD_SPEC = struct.Struct(">HH")
+
+_TEMPLATE_SET_ID = 2
+_OPTIONS_TEMPLATE_SET_ID = 3
+_MIN_DATA_SET_ID = 256
+_MAX_MESSAGE_LENGTH = 0xFFFF
+
+# IANA information element numbers (RFC 7012 registry).
+IE_OCTET_DELTA_COUNT = 1
+IE_PACKET_DELTA_COUNT = 2
+IE_PROTOCOL_IDENTIFIER = 4
+IE_SOURCE_TRANSPORT_PORT = 7
+IE_SOURCE_IPV4_ADDRESS = 8
+IE_DESTINATION_TRANSPORT_PORT = 11
+IE_DESTINATION_IPV4_ADDRESS = 12
+IE_FLOW_START_SECONDS = 150
+IE_FLOW_END_SECONDS = 151
+IE_FLOW_START_MILLISECONDS = 152
+IE_FLOW_END_MILLISECONDS = 153
+
+IPFIX_EXPORT_TEMPLATE_ID = 256
+
+#: Our export template: (IE number, field length).  45-byte records.
+_EXPORT_FIELDS = (
+    (IE_SOURCE_IPV4_ADDRESS, 4),
+    (IE_DESTINATION_IPV4_ADDRESS, 4),
+    (IE_SOURCE_TRANSPORT_PORT, 2),
+    (IE_DESTINATION_TRANSPORT_PORT, 2),
+    (IE_PROTOCOL_IDENTIFIER, 1),
+    (IE_PACKET_DELTA_COUNT, 8),
+    (IE_OCTET_DELTA_COUNT, 8),
+    (IE_FLOW_START_MILLISECONDS, 8),
+    (IE_FLOW_END_MILLISECONDS, 8),
+)
+
+_EXPORT_RECORD_DTYPE = np.dtype(
+    [
+        ("src_addr", ">u4"),
+        ("dst_addr", ">u4"),
+        ("src_port", ">u2"),
+        ("dst_port", ">u2"),
+        ("protocol", "u1"),
+        ("packets", ">u8"),
+        ("octets", ">u8"),
+        ("start_ms", ">u8"),
+        ("end_ms", ">u8"),
+    ]
+)
+assert _EXPORT_RECORD_DTYPE.itemsize == sum(n for _, n in _EXPORT_FIELDS)
+
+_MS = 1000.0
+
+
+def _template_set_bytes() -> bytes:
+    body = _TEMPLATE_HEADER.pack(IPFIX_EXPORT_TEMPLATE_ID, len(_EXPORT_FIELDS))
+    for ie, length in _EXPORT_FIELDS:
+        body += _FIELD_SPEC.pack(ie, length)
+    return _SET_HEADER.pack(_TEMPLATE_SET_ID, _SET_HEADER.size + len(body)) + body
+
+
+class IpfixWriter:
+    """Stream :data:`FLOW_RECORD_DTYPE` chunks as IPFIX messages.
+
+    Every message re-announces template 256 (file readers see messages
+    in order, but a collector replaying the file may start anywhere),
+    then carries one data set, batched to the 64 KiB message limit.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.record_count = 0
+        self._file = None
+
+    def __enter__(self) -> "IpfixWriter":
+        self._file = open(self.path, "wb")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def write(self, records: np.ndarray) -> None:
+        """Append flow records, batched into <=64 KiB messages."""
+        if self._file is None:
+            raise TraceFormatError("IpfixWriter is not open")
+        records = np.asarray(records)
+        if records.dtype != FLOW_RECORD_DTYPE:
+            raise TraceFormatError(
+                f"chunk dtype {records.dtype} != FLOW_RECORD_DTYPE"
+            )
+        if records.size == 0:
+            return
+        if float(records["start"].min()) < 0.0:
+            raise TraceFormatError(
+                "IPFIX flowStartMilliseconds is unsigned; cannot encode a "
+                f"flow starting at {float(records['start'].min()):g}s — "
+                "rebase the records to a 0-based capture clock first"
+            )
+        wire = np.zeros(records.size, dtype=_EXPORT_RECORD_DTYPE)
+        for field in ("src_addr", "dst_addr", "src_port", "dst_port",
+                      "protocol", "packets", "octets"):
+            wire[field] = records[field]
+        wire["start_ms"] = np.rint(records["start"] * _MS).astype(np.uint64)
+        wire["end_ms"] = np.rint(records["end"] * _MS).astype(np.uint64)
+
+        template = _template_set_bytes()
+        overhead = _MESSAGE_HEADER.size + len(template) + _SET_HEADER.size
+        per_message = (_MAX_MESSAGE_LENGTH - overhead) // _EXPORT_RECORD_DTYPE.itemsize
+        for lo in range(0, wire.size, per_message):
+            block = wire[lo: lo + per_message]
+            data = block.tobytes()
+            data_set = _SET_HEADER.pack(
+                IPFIX_EXPORT_TEMPLATE_ID, _SET_HEADER.size + len(data)
+            ) + data
+            length = _MESSAGE_HEADER.size + len(template) + len(data_set)
+            header = _MESSAGE_HEADER.pack(
+                IPFIX_VERSION,
+                length,
+                0,  # export_time: 0-based capture clock
+                self.record_count & 0xFFFFFFFF,  # sequence
+                0,  # observation domain
+            )
+            self._file.write(header)
+            self._file.write(template)
+            self._file.write(data_set)
+            self.record_count += int(block.size)
+
+
+def write_ipfix(records: np.ndarray, path) -> int:
+    """Write one record array as an IPFIX archive; returns the count."""
+    with IpfixWriter(path) as writer:
+        writer.write(records)
+        return writer.record_count
+
+
+class _Template:
+    """A decoded IPFIX template: field layout -> numpy view plan."""
+
+    _WIDTH_DTYPES = {1: "u1", 2: ">u2", 4: ">u4", 8: ">u8"}
+
+    def __init__(self, template_id: int, fields: list[tuple[int, int]]) -> None:
+        self.template_id = template_id
+        names: list[str] = []
+        dtypes: list[str] = []
+        self.by_ie: dict[int, str] = {}
+        for i, (ie, length) in enumerate(fields):
+            name = f"f{i}_ie{ie}"
+            names.append(name)
+            dtypes.append(self._WIDTH_DTYPES.get(length, f"V{length}"))
+            # first occurrence wins (reverse fields are rare duplicates)
+            self.by_ie.setdefault(ie, name)
+        self.dtype = np.dtype(list(zip(names, dtypes)))
+        self.record_size = self.dtype.itemsize
+
+    def _field(self, wire: np.ndarray, ie: int):
+        name = self.by_ie.get(ie)
+        if name is None or self.dtype[name].kind == "V":
+            return None
+        return wire[name]
+
+    def _has(self, ie: int) -> bool:
+        name = self.by_ie.get(ie)
+        return name is not None and self.dtype[name].kind != "V"
+
+    def missing_fields(self) -> list[int]:
+        required = (
+            IE_SOURCE_IPV4_ADDRESS, IE_DESTINATION_IPV4_ADDRESS,
+            IE_PROTOCOL_IDENTIFIER, IE_PACKET_DELTA_COUNT,
+            IE_OCTET_DELTA_COUNT,
+        )
+        missing = [ie for ie in required if not self._has(ie)]
+        has_start = any(
+            self._has(ie)
+            for ie in (IE_FLOW_START_MILLISECONDS, IE_FLOW_START_SECONDS)
+        )
+        has_end = any(
+            self._has(ie)
+            for ie in (IE_FLOW_END_MILLISECONDS, IE_FLOW_END_SECONDS)
+        )
+        if not has_start:
+            missing.append(IE_FLOW_START_MILLISECONDS)
+        if not has_end:
+            missing.append(IE_FLOW_END_MILLISECONDS)
+        return missing
+
+    def decode(self, payload: bytes, *, path, offset: int) -> np.ndarray:
+        count = len(payload) // self.record_size
+        wire = np.frombuffer(
+            payload[: count * self.record_size], dtype=self.dtype
+        )
+        out = np.empty(count, dtype=FLOW_RECORD_DTYPE)
+        start_ms = self._field(wire, IE_FLOW_START_MILLISECONDS)
+        if start_ms is not None:
+            out["start"] = start_ms.astype(np.float64) / _MS
+        else:
+            out["start"] = self._field(
+                wire, IE_FLOW_START_SECONDS
+            ).astype(np.float64)
+        end_ms = self._field(wire, IE_FLOW_END_MILLISECONDS)
+        if end_ms is not None:
+            out["end"] = end_ms.astype(np.float64) / _MS
+        else:
+            out["end"] = self._field(
+                wire, IE_FLOW_END_SECONDS
+            ).astype(np.float64)
+        out["src_addr"] = self._field(wire, IE_SOURCE_IPV4_ADDRESS)
+        out["dst_addr"] = self._field(wire, IE_DESTINATION_IPV4_ADDRESS)
+        out["protocol"] = self._field(wire, IE_PROTOCOL_IDENTIFIER)
+        out["packets"] = self._field(wire, IE_PACKET_DELTA_COUNT)
+        out["octets"] = self._field(wire, IE_OCTET_DELTA_COUNT)
+        for ie, name in (
+            (IE_SOURCE_TRANSPORT_PORT, "src_port"),
+            (IE_DESTINATION_TRANSPORT_PORT, "dst_port"),
+        ):
+            column = self._field(wire, ie)
+            out[name] = 0 if column is None else column
+        bad = out["end"] < out["start"]
+        if bool(np.any(bad)):
+            index = int(np.argmax(bad))
+            raise TraceFormatError(
+                f"{path}: record {index} of the data set at byte offset "
+                f"{offset} ends before it starts"
+            )
+        return out
+
+
+class IpfixReader:
+    """Bounded-memory chunk iterator over an IPFIX archive.
+
+    Decodes template sets as encountered; data sets referencing an
+    unknown template, or a template missing the five-tuple/counter/
+    timestamp fields, raise :class:`TraceFormatError` naming the byte
+    offset.  Set padding (RFC 7011 §3.3.1) is tolerated.
+    """
+
+    format = "ipfix"
+
+    def __init__(self, path, *, chunk: int = 65536) -> None:
+        self.path = Path(path)
+        self.chunk = int(chunk)
+        if self.chunk < 1:
+            raise TraceFormatError(f"chunk must be >= 1 record, got {chunk}")
+
+    def _decode_template_set(self, body, templates, *, offset: int) -> None:
+        pos = 0
+        # a trailing fragment shorter than a template header is padding
+        while pos + _TEMPLATE_HEADER.size <= len(body):
+            template_id, field_count = _TEMPLATE_HEADER.unpack_from(body, pos)
+            if template_id == 0 and field_count == 0:
+                break  # padding
+            pos += _TEMPLATE_HEADER.size
+            if template_id < _MIN_DATA_SET_ID:
+                raise TraceFormatError(
+                    f"{self.path}: template id {template_id} < "
+                    f"{_MIN_DATA_SET_ID} in the template set at byte "
+                    f"offset {offset}"
+                )
+            fields: list[tuple[int, int]] = []
+            for _ in range(field_count):
+                if pos + _FIELD_SPEC.size > len(body):
+                    raise TraceFormatError(
+                        f"{self.path}: truncated template {template_id} in "
+                        f"the set at byte offset {offset}: field specs run "
+                        "past the set boundary"
+                    )
+                ie, length = _FIELD_SPEC.unpack_from(body, pos)
+                pos += _FIELD_SPEC.size
+                if ie & 0x8000:  # enterprise-specific: 4 extra bytes
+                    pos += 4
+                    ie &= 0x7FFF
+                if length == 0 or length == 0xFFFF:
+                    raise TraceFormatError(
+                        f"{self.path}: template {template_id} field ie={ie} "
+                        f"has unsupported length {length} (variable-length "
+                        "elements are not supported) in the set at byte "
+                        f"offset {offset}"
+                    )
+                fields.append((ie, length))
+            templates[template_id] = _Template(template_id, fields)
+
+    def _sets(self):
+        """Yield decoded ``FLOW_RECORD_DTYPE`` blocks, one per data set."""
+        templates: dict[int, _Template] = {}
+        with open(self.path, "rb") as fh:
+            offset = 0
+            while True:
+                raw = fh.read(_MESSAGE_HEADER.size)
+                if not raw:
+                    return
+                if len(raw) < _MESSAGE_HEADER.size:
+                    raise TraceFormatError(
+                        f"{self.path}: truncated IPFIX message header at "
+                        f"byte offset {offset}: got {len(raw)} bytes, "
+                        f"expected {_MESSAGE_HEADER.size}"
+                    )
+                version, length, _etime, _seq, _odid = _MESSAGE_HEADER.unpack(raw)
+                if version != IPFIX_VERSION:
+                    raise TraceFormatError(
+                        f"{self.path}: bad IPFIX version {version} at byte "
+                        f"offset {offset}, expected {IPFIX_VERSION}"
+                    )
+                if length < _MESSAGE_HEADER.size:
+                    raise TraceFormatError(
+                        f"{self.path}: implausible IPFIX message length "
+                        f"{length} at byte offset {offset} (expected >= "
+                        f"{_MESSAGE_HEADER.size})"
+                    )
+                body = fh.read(length - _MESSAGE_HEADER.size)
+                if len(body) < length - _MESSAGE_HEADER.size:
+                    raise TraceFormatError(
+                        f"{self.path}: truncated IPFIX message at byte "
+                        f"offset {offset}: got "
+                        f"{_MESSAGE_HEADER.size + len(body)} bytes, the "
+                        f"header promised {length}"
+                    )
+                pos = 0
+                while pos + _SET_HEADER.size <= len(body):
+                    set_offset = offset + _MESSAGE_HEADER.size + pos
+                    set_id, set_length = _SET_HEADER.unpack_from(body, pos)
+                    if set_length < _SET_HEADER.size:
+                        raise TraceFormatError(
+                            f"{self.path}: implausible set length "
+                            f"{set_length} at byte offset {set_offset} "
+                            f"(expected >= {_SET_HEADER.size})"
+                        )
+                    if pos + set_length > len(body):
+                        raise TraceFormatError(
+                            f"{self.path}: set at byte offset {set_offset} "
+                            f"runs past its message: set length {set_length}"
+                            f", {len(body) - pos} bytes remain"
+                        )
+                    set_body = body[pos + _SET_HEADER.size: pos + set_length]
+                    if set_id == _TEMPLATE_SET_ID:
+                        self._decode_template_set(
+                            set_body, templates, offset=set_offset
+                        )
+                    elif set_id == _OPTIONS_TEMPLATE_SET_ID:
+                        pass  # options records carry no flows
+                    elif set_id >= _MIN_DATA_SET_ID:
+                        template = templates.get(set_id)
+                        if template is None:
+                            raise TraceFormatError(
+                                f"{self.path}: data set at byte offset "
+                                f"{set_offset} references template "
+                                f"{set_id}, which no template set has "
+                                "defined yet"
+                            )
+                        missing = template.missing_fields()
+                        if missing:
+                            raise TraceFormatError(
+                                f"{self.path}: template {set_id} lacks "
+                                "required information elements "
+                                f"{missing} (data set at byte offset "
+                                f"{set_offset})"
+                            )
+                        block = template.decode(
+                            set_body, path=self.path, offset=set_offset
+                        )
+                        if block.size:
+                            yield block
+                    # set ids 0,1,4..255 are reserved: skip
+                    pos += set_length
+                offset += length
+
+    def record_chunks(self):
+        """Yield decoded :data:`FLOW_RECORD_DTYPE` blocks (~``chunk``)."""
+        pending: list[np.ndarray] = []
+        pending_size = 0
+        for block in self._sets():
+            pending.append(block)
+            pending_size += block.size
+            if pending_size >= self.chunk:
+                yield np.concatenate(pending)
+                pending, pending_size = [], 0
+        if pending:
+            yield np.concatenate(pending)
+
+    __iter__ = record_chunks

@@ -1,0 +1,272 @@
+"""NetFlow v5 / cflowd flow archives: streaming reader and writer.
+
+The on-disk layout is the classic v5 export stream — consecutive
+datagrams, each a 24-byte big-endian header followed by up to 30
+48-byte flow records — exactly what a cflowd-style collector appends to
+a file as datagrams arrive.  Decoding follows the router semantics:
+``First``/``Last`` are SysUptime milliseconds, anchored to wall time by
+the header's ``(sys_uptime, unix_secs, unix_nsecs)`` triple, so both
+our own archives (exported on a 0-based capture clock) and real router
+archives (epoch-anchored) come back as float64 seconds.
+
+Timestamps quantize to 1 ms on the wire — the one documented lossy step
+of the NetFlow round trip (see ``tests/interop/test_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import TraceFormatError
+from .records import FLOW_RECORD_DTYPE
+
+__all__ = [
+    "NETFLOW5_VERSION",
+    "NETFLOW5_HEADER",
+    "NETFLOW5_RECORD_SIZE",
+    "MAX_RECORDS_PER_DATAGRAM",
+    "NetFlow5Reader",
+    "NetFlow5Writer",
+    "write_netflow5",
+]
+
+NETFLOW5_VERSION = 5
+
+#: version, count, sys_uptime(ms), unix_secs, unix_nsecs, flow_sequence,
+#: engine_type, engine_id, sampling_interval — 24 bytes, big-endian.
+NETFLOW5_HEADER = struct.Struct(">HHIIIIBBH")
+
+#: The 48-byte v5 flow record, as a vectorizable structured dtype.
+_RECORD_DTYPE = np.dtype(
+    [
+        ("srcaddr", ">u4"),
+        ("dstaddr", ">u4"),
+        ("nexthop", ">u4"),
+        ("input", ">u2"),
+        ("output", ">u2"),
+        ("dPkts", ">u4"),
+        ("dOctets", ">u4"),
+        ("first", ">u4"),
+        ("last", ">u4"),
+        ("srcport", ">u2"),
+        ("dstport", ">u2"),
+        ("pad1", "u1"),
+        ("tcp_flags", "u1"),
+        ("prot", "u1"),
+        ("tos", "u1"),
+        ("src_as", ">u2"),
+        ("dst_as", ">u2"),
+        ("src_mask", "u1"),
+        ("dst_mask", "u1"),
+        ("pad2", ">u2"),
+    ]
+)
+
+NETFLOW5_RECORD_SIZE = _RECORD_DTYPE.itemsize
+assert NETFLOW5_RECORD_SIZE == 48
+
+#: The v5 export cap: a datagram carries at most 30 records.
+MAX_RECORDS_PER_DATAGRAM = 30
+
+#: Upper sanity bound on a datagram's record count when reading; real v5
+#: caps at 30, but some cflowd archives concatenate oversized datagrams.
+_MAX_READ_COUNT = 8192
+
+_MS = 1000.0
+_U32_MAX = 0xFFFFFFFF
+
+
+class NetFlow5Writer:
+    """Stream :data:`FLOW_RECORD_DTYPE` chunks to a v5 archive.
+
+    Records are written on a 0-based capture clock: ``sys_uptime``,
+    ``unix_secs`` and ``unix_nsecs`` are zero, so ``First``/``Last`` are
+    plain milliseconds since capture start — decoding with the standard
+    anchor formula recovers them exactly (to the 1 ms quantum).
+
+    Example::
+
+        with NetFlow5Writer(path) as writer:
+            for chunk in record_chunks:
+                writer.write(chunk)
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.record_count = 0
+        self._file = None
+
+    def __enter__(self) -> "NetFlow5Writer":
+        self._file = open(self.path, "wb")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def write(self, records: np.ndarray) -> None:
+        """Append flow records (split into <=30-record datagrams)."""
+        if self._file is None:
+            raise TraceFormatError("NetFlow5Writer is not open")
+        records = np.asarray(records)
+        if records.dtype != FLOW_RECORD_DTYPE:
+            raise TraceFormatError(
+                f"chunk dtype {records.dtype} != FLOW_RECORD_DTYPE"
+            )
+        if records.size == 0:
+            return
+        starts = records["start"]
+        ends = records["end"]
+        if float(starts.min()) < 0.0:
+            raise TraceFormatError(
+                "NetFlow v5 timestamps are unsigned milliseconds; cannot "
+                f"encode a flow starting at {float(starts.min()):g}s — "
+                "rebase the records to a 0-based capture clock first"
+            )
+        first = np.rint(starts * _MS)
+        last = np.rint(ends * _MS)
+        if float(last.max()) > _U32_MAX:
+            raise TraceFormatError(
+                "NetFlow v5 timestamps are 32-bit milliseconds (max "
+                f"{_U32_MAX / _MS:.0f}s); cannot encode a flow ending at "
+                f"{float(ends.max()):g}s"
+            )
+        wire = np.zeros(records.size, dtype=_RECORD_DTYPE)
+        wire["srcaddr"] = records["src_addr"]
+        wire["dstaddr"] = records["dst_addr"]
+        wire["dPkts"] = records["packets"]
+        wire["dOctets"] = records["octets"]
+        wire["first"] = first.astype(np.uint64)
+        wire["last"] = last.astype(np.uint64)
+        wire["srcport"] = records["src_port"]
+        wire["dstport"] = records["dst_port"]
+        wire["prot"] = records["protocol"]
+        for lo in range(0, records.size, MAX_RECORDS_PER_DATAGRAM):
+            block = wire[lo: lo + MAX_RECORDS_PER_DATAGRAM]
+            header = NETFLOW5_HEADER.pack(
+                NETFLOW5_VERSION,
+                block.size,
+                0,  # sys_uptime: the capture clock starts at 0
+                0,  # unix_secs
+                0,  # unix_nsecs
+                self.record_count & _U32_MAX,  # flow_sequence
+                0,  # engine_type
+                0,  # engine_id
+                0,  # sampling_interval
+            )
+            self._file.write(header)
+            self._file.write(block.tobytes())
+            self.record_count += int(block.size)
+
+
+def write_netflow5(records: np.ndarray, path) -> int:
+    """Write one record array as a v5 archive; returns the record count."""
+    with NetFlow5Writer(path) as writer:
+        writer.write(records)
+        return writer.record_count
+
+
+class NetFlow5Reader:
+    """Bounded-memory chunk iterator over a NetFlow v5 archive.
+
+    ``record_chunks()`` yields :data:`FLOW_RECORD_DTYPE` blocks of about
+    ``chunk`` records (datagrams are never split, so blocks may run a
+    datagram long); only one block plus one datagram is ever in memory.
+    Corrupt or truncated archives raise :class:`TraceFormatError` naming
+    the byte offset and the expected size.
+    """
+
+    format = "netflow5"
+
+    def __init__(self, path, *, chunk: int = 65536) -> None:
+        self.path = Path(path)
+        self.chunk = int(chunk)
+        if self.chunk < 1:
+            raise TraceFormatError(f"chunk must be >= 1 record, got {chunk}")
+
+    def _datagrams(self):
+        """Yield ``(offset, header fields, record block)`` per datagram."""
+        with open(self.path, "rb") as fh:
+            offset = 0
+            while True:
+                raw = fh.read(NETFLOW5_HEADER.size)
+                if not raw:
+                    return
+                if len(raw) < NETFLOW5_HEADER.size:
+                    raise TraceFormatError(
+                        f"{self.path}: truncated NetFlow v5 header at byte "
+                        f"offset {offset}: got {len(raw)} bytes, expected "
+                        f"{NETFLOW5_HEADER.size}"
+                    )
+                (
+                    version, count, sys_uptime, unix_secs, unix_nsecs,
+                    _sequence, _etype, _eid, _sampling,
+                ) = NETFLOW5_HEADER.unpack(raw)
+                if version != NETFLOW5_VERSION:
+                    raise TraceFormatError(
+                        f"{self.path}: bad NetFlow version {version} at byte "
+                        f"offset {offset}, expected {NETFLOW5_VERSION}"
+                    )
+                if not 1 <= count <= _MAX_READ_COUNT:
+                    raise TraceFormatError(
+                        f"{self.path}: implausible record count {count} in "
+                        f"the datagram header at byte offset {offset} "
+                        f"(expected 1-{_MAX_READ_COUNT})"
+                    )
+                payload_size = count * NETFLOW5_RECORD_SIZE
+                payload = fh.read(payload_size)
+                if len(payload) < payload_size:
+                    raise TraceFormatError(
+                        f"{self.path}: truncated NetFlow v5 datagram at "
+                        f"byte offset {offset + NETFLOW5_HEADER.size}: got "
+                        f"{len(payload)} bytes, expected {payload_size} "
+                        f"({count} records of {NETFLOW5_RECORD_SIZE} bytes)"
+                    )
+                wire = np.frombuffer(payload, dtype=_RECORD_DTYPE)
+                # router anchor: wall time of SysUptime's origin
+                base = (
+                    float(unix_secs)
+                    + float(unix_nsecs) * 1e-9
+                    - float(sys_uptime) / _MS
+                )
+                yield offset, base, wire
+                offset += NETFLOW5_HEADER.size + payload_size
+
+    def record_chunks(self):
+        """Yield decoded :data:`FLOW_RECORD_DTYPE` blocks (~``chunk``)."""
+        pending: list[np.ndarray] = []
+        pending_size = 0
+        for offset, base, wire in self._datagrams():
+            block = np.empty(wire.size, dtype=FLOW_RECORD_DTYPE)
+            block["start"] = base + wire["first"].astype(np.float64) / _MS
+            block["end"] = base + wire["last"].astype(np.float64) / _MS
+            block["src_addr"] = wire["srcaddr"]
+            block["dst_addr"] = wire["dstaddr"]
+            block["src_port"] = wire["srcport"]
+            block["dst_port"] = wire["dstport"]
+            block["protocol"] = wire["prot"]
+            block["packets"] = wire["dPkts"]
+            block["octets"] = wire["dOctets"]
+            bad = block["end"] < block["start"]
+            if bool(np.any(bad)):
+                index = int(np.argmax(bad))
+                raise TraceFormatError(
+                    f"{self.path}: record {index} of the datagram at byte "
+                    f"offset {offset} ends before it starts (Last < First)"
+                )
+            pending.append(block)
+            pending_size += block.size
+            if pending_size >= self.chunk:
+                yield np.concatenate(pending)
+                pending, pending_size = [], 0
+        if pending:
+            yield np.concatenate(pending)
+
+    __iter__ = record_chunks

@@ -1,0 +1,297 @@
+"""pcap capture files: packet-chunk reader and header-snap writer.
+
+The reader turns a classic libpcap capture (either byte order,
+microsecond or nanosecond resolution, Ethernet or raw-IP link type)
+into bounded-memory :data:`~repro.trace.format.PACKET_DTYPE` chunks:
+timestamp, IPv4 five-tuple, and the IP total length as the packet size.
+Only IPv4 packets contribute; ports decode for TCP and UDP, other
+protocols get port 0 — same convention as the synthesis engine.
+
+The writer does the reverse for synthetic traces: each
+``PACKET_DTYPE`` packet becomes a snapped capture record (IP header
+plus a TCP or UDP-shaped transport header carrying the ports) whose
+``orig_len``/IP total length is the model's packet size.  Non-TCP
+protocols get a UDP-shaped 8-byte header so the ports survive; readers
+that parse ports strictly per-protocol will see 0 there — the one
+documented lossy corner of the pcap round trip.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import TraceFormatError
+from ..trace.format import PACKET_DTYPE
+
+__all__ = [
+    "PcapReader",
+    "PcapWriter",
+    "write_pcap",
+    "LINKTYPE_ETHERNET",
+    "LINKTYPE_RAW",
+]
+
+_MAGIC_US_LE = 0xA1B2C3D4  # written LE, read as LE
+_MAGIC_NS_LE = 0xA1B23C4D
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")  # endianness swapped as needed
+_RECORD_HEADER_SIZE = 16
+
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW = 101
+
+_ETHERTYPE_IPV4 = 0x0800
+_IPPROTO_TCP = 6
+_IPPROTO_UDP = 17
+
+_IP_HEADER_SIZE = 20
+_TCP_HEADER_SIZE = 20
+_UDP_HEADER_SIZE = 8
+
+
+class PcapWriter:
+    """Stream ``PACKET_DTYPE`` chunks to a nanosecond-resolution pcap.
+
+    Records are written little-endian with ``LINKTYPE_RAW`` (raw IPv4,
+    no link-layer header) and headers-only snapping: 20-byte IP header
+    plus 20 bytes of TCP (protocol 6) or 8 UDP-shaped bytes (everything
+    else).  ``orig_len`` and the IP total-length field carry the
+    model's packet size, so re-reading reproduces the trace exactly at
+    nanosecond resolution.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.packet_count = 0
+        self._file = None
+
+    def __enter__(self) -> "PcapWriter":
+        self._file = open(self.path, "wb")
+        self._file.write(
+            _GLOBAL_HEADER.pack(
+                _MAGIC_NS_LE,
+                2, 4,  # version 2.4
+                0,  # thiszone
+                0,  # sigfigs
+                65535,  # snaplen
+                LINKTYPE_RAW,
+            )
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def write(self, packets: np.ndarray) -> None:
+        """Append one packet chunk as snapped capture records."""
+        if self._file is None:
+            raise TraceFormatError("PcapWriter is not open")
+        packets = np.asarray(packets)
+        if packets.dtype != PACKET_DTYPE:
+            raise TraceFormatError(
+                f"chunk dtype {packets.dtype} != PACKET_DTYPE"
+            )
+        n = packets.size
+        if n == 0:
+            return
+        if float(packets["timestamp"].min()) < 0.0:
+            raise TraceFormatError(
+                "pcap timestamps are unsigned; cannot encode a packet at "
+                f"t={float(packets['timestamp'].min()):g}s — rebase the "
+                "trace to a 0-based capture clock first"
+            )
+        is_tcp = packets["protocol"] == _IPPROTO_TCP
+        transport = np.where(is_tcp, _TCP_HEADER_SIZE, _UDP_HEADER_SIZE)
+        snap = (_IP_HEADER_SIZE + transport).astype(np.int64)
+        sizes = packets["size"].astype(np.int64)
+        if bool(np.any(sizes < snap)):
+            index = int(np.argmax(sizes < snap))
+            raise TraceFormatError(
+                "packet sizes must cover the snapped headers "
+                f"(IP + transport = {int(snap[index])} bytes); packet "
+                f"{self.packet_count + index} has size {int(sizes[index])}"
+            )
+
+        # per-record byte layout: 16B record header + snap bytes
+        rec_sizes = _RECORD_HEADER_SIZE + snap
+        offsets = np.concatenate(([0], np.cumsum(rec_sizes)))
+        buf = np.zeros(int(offsets[-1]), dtype=np.uint8)
+        base = offsets[:-1]
+
+        def put(offset_in_record, values, dtype):
+            values = np.asarray(values, dtype=dtype)
+            width = values.dtype.itemsize
+            view = values.view(np.uint8).reshape(n, width)
+            for b in range(width):
+                buf[base + offset_in_record + b] = view[:, b]
+
+        ts = packets["timestamp"]
+        secs = np.floor(ts).astype(np.uint64)
+        nanos = np.rint((ts - secs) * 1e9).astype(np.uint64)
+        carry = (nanos >= 1_000_000_000).astype(np.uint64)
+        secs = secs + carry
+        nanos = nanos - carry * np.uint64(1_000_000_000)
+        # record header (little-endian): ts_sec, ts_nsec, incl_len, orig_len
+        put(0, secs, "<u4")
+        put(4, nanos, "<u4")
+        put(8, snap, "<u4")
+        put(12, sizes, "<u4")
+
+        ip = _RECORD_HEADER_SIZE
+        buf[base + ip] = 0x45  # version 4, IHL 5
+        put(ip + 2, sizes, ">u2")  # total length
+        buf[base + ip + 8] = 64  # TTL
+        buf[base + ip + 9] = packets["protocol"]
+        put(ip + 12, packets["src_addr"], ">u4")
+        put(ip + 16, packets["dst_addr"], ">u4")
+
+        tp = ip + _IP_HEADER_SIZE
+        put(tp + 0, packets["src_port"], ">u2")
+        put(tp + 2, packets["dst_port"], ">u2")
+        # UDP-shaped headers carry a length field at +4
+        udp_len = np.where(is_tcp, 0, sizes - _IP_HEADER_SIZE)
+        udp_rows = ~is_tcp
+        if bool(np.any(udp_rows)):
+            values = np.asarray(udp_len, dtype=">u2").view(np.uint8).reshape(n, 2)
+            for b in range(2):
+                target = base + tp + 4 + b
+                buf[target[udp_rows]] = values[udp_rows, b]
+        if bool(np.any(is_tcp)):
+            buf[(base + tp + 12)[is_tcp]] = 0x50  # data offset 5
+
+        self._file.write(buf.tobytes())
+        self.packet_count += int(n)
+
+
+def write_pcap(packets: np.ndarray, path) -> int:
+    """Write one packet array as a pcap file; returns the packet count."""
+    with PcapWriter(path) as writer:
+        writer.write(packets)
+        return writer.packet_count
+
+
+class PcapReader:
+    """Bounded-memory ``PACKET_DTYPE`` chunk iterator over a pcap file.
+
+    Handles all four classic magics (micro/nanosecond, either byte
+    order) and Ethernet or raw-IP link types.  Non-IPv4 records are
+    skipped; truncated records raise :class:`TraceFormatError` naming
+    the byte offset and expected size.
+    """
+
+    format = "pcap"
+
+    def __init__(self, path, *, chunk: int = 1_000_000) -> None:
+        self.path = Path(path)
+        self.chunk = int(chunk)
+        if self.chunk < 1:
+            raise TraceFormatError(f"chunk must be >= 1 packet, got {chunk}")
+        self._read_global_header()
+
+    def _read_global_header(self) -> None:
+        with open(self.path, "rb") as fh:
+            raw = fh.read(_GLOBAL_HEADER.size)
+        if len(raw) < _GLOBAL_HEADER.size:
+            raise TraceFormatError(
+                f"{self.path}: truncated pcap global header at byte offset "
+                f"0: got {len(raw)} bytes, expected {_GLOBAL_HEADER.size}"
+            )
+        magic_le = struct.unpack("<I", raw[:4])[0]
+        magic_be = struct.unpack(">I", raw[:4])[0]
+        if magic_le in (_MAGIC_US_LE, _MAGIC_NS_LE):
+            self._endian = "<"
+        elif magic_be in (_MAGIC_US_LE, _MAGIC_NS_LE):
+            self._endian = ">"
+        else:
+            raise TraceFormatError(
+                f"{self.path}: bad pcap magic 0x{magic_le:08x} at byte "
+                "offset 0 (expected 0xa1b2c3d4 or 0xa1b23c4d in either "
+                "byte order)"
+            )
+        magic = magic_le if self._endian == "<" else magic_be
+        self._frac_scale = 1e-9 if magic == _MAGIC_NS_LE else 1e-6
+        fields = struct.unpack(self._endian + "IHHiIII", raw)
+        _, major, minor, _zone, _sigfigs, _snaplen, network = fields
+        if (major, minor) != (2, 4):
+            raise TraceFormatError(
+                f"{self.path}: unsupported pcap version {major}.{minor} "
+                "at byte offset 4, expected 2.4"
+            )
+        if network not in (LINKTYPE_ETHERNET, LINKTYPE_RAW):
+            raise TraceFormatError(
+                f"{self.path}: unsupported pcap link type {network} at "
+                f"byte offset 20 (supported: {LINKTYPE_ETHERNET} Ethernet, "
+                f"{LINKTYPE_RAW} raw IP)"
+            )
+        self.link_type = network
+        self._link_offset = 14 if network == LINKTYPE_ETHERNET else 0
+
+    def chunks(self, chunk: int | None = None):
+        """Yield ``PACKET_DTYPE`` arrays of at most ``chunk`` packets."""
+        chunk = self.chunk if chunk is None else int(chunk)
+        header = struct.Struct(self._endian + "IIII")
+        link = self._link_offset
+        need = link + _IP_HEADER_SIZE
+
+        rows: list[tuple] = []
+        with open(self.path, "rb") as fh:
+            fh.seek(_GLOBAL_HEADER.size)
+            offset = _GLOBAL_HEADER.size
+            while True:
+                raw = fh.read(_RECORD_HEADER_SIZE)
+                if not raw:
+                    break
+                if len(raw) < _RECORD_HEADER_SIZE:
+                    raise TraceFormatError(
+                        f"{self.path}: truncated pcap record header at "
+                        f"byte offset {offset}: got {len(raw)} bytes, "
+                        f"expected {_RECORD_HEADER_SIZE}"
+                    )
+                ts_sec, ts_frac, incl_len, orig_len = header.unpack(raw)
+                data = fh.read(incl_len)
+                if len(data) < incl_len:
+                    raise TraceFormatError(
+                        f"{self.path}: truncated pcap record at byte "
+                        f"offset {offset + _RECORD_HEADER_SIZE}: got "
+                        f"{len(data)} bytes, the record header promised "
+                        f"{incl_len}"
+                    )
+                offset += _RECORD_HEADER_SIZE + incl_len
+                if incl_len < need:
+                    continue  # too short for an IP header: skip
+                if link and struct.unpack(">H", data[12:14])[0] != _ETHERTYPE_IPV4:
+                    continue
+                ip = data[link:]
+                if (ip[0] >> 4) != 4:
+                    continue
+                ihl = (ip[0] & 0x0F) * 4
+                if ihl < _IP_HEADER_SIZE or len(ip) < ihl:
+                    continue
+                total_length = struct.unpack(">H", ip[2:4])[0]
+                protocol = ip[9]
+                src_addr, dst_addr = struct.unpack(">II", ip[12:20])
+                src_port = dst_port = 0
+                if protocol in (_IPPROTO_TCP, _IPPROTO_UDP) and len(ip) >= ihl + 4:
+                    src_port, dst_port = struct.unpack(
+                        ">HH", ip[ihl: ihl + 4]
+                    )
+                size = total_length if total_length else orig_len
+                rows.append((
+                    ts_sec + ts_frac * self._frac_scale,
+                    src_addr, dst_addr, src_port, dst_port,
+                    protocol, min(size, 65535),
+                ))
+                if len(rows) >= chunk:
+                    yield np.array(rows, dtype=PACKET_DTYPE)
+                    rows = []
+        if rows:
+            yield np.array(rows, dtype=PACKET_DTYPE)
+
+    __iter__ = chunks

@@ -1,0 +1,82 @@
+"""The interop layer's common currency: columnar flow records.
+
+Every flow archive format (NetFlow v5/cflowd datagrams, IPFIX messages)
+decodes into chunks of :data:`FLOW_RECORD_DTYPE` — the five-tuple plus
+the per-flow counters real exporters emit (packets, octets, first/last
+timestamp) — and every writer encodes from the same dtype.  A
+:class:`~repro.flows.records.FlowSet` converts losslessly in both
+directions (:func:`flow_records_from_flowset`), so synthetic scenarios
+can feed downstream collectors and operator archives can feed the
+paper's model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..flows.records import FlowSet
+
+__all__ = [
+    "FLOW_RECORD_DTYPE",
+    "flow_records_from_flowset",
+    "iter_record_chunks",
+]
+
+#: One exported flow record: decoded timestamps are float64 seconds on
+#: the archive's own clock (rebasing to a 0-based capture clock is the
+#: import stream's job, not the decoder's).
+FLOW_RECORD_DTYPE = np.dtype(
+    [
+        ("start", "<f8"),
+        ("end", "<f8"),
+        ("src_addr", "<u4"),
+        ("dst_addr", "<u4"),
+        ("src_port", "<u2"),
+        ("dst_port", "<u2"),
+        ("protocol", "u1"),
+        ("packets", "<i8"),
+        ("octets", "<i8"),
+    ]
+)
+
+
+def flow_records_from_flowset(flows: FlowSet) -> np.ndarray:
+    """A :data:`FLOW_RECORD_DTYPE` array of the flow set, start-ordered.
+
+    Only five-tuple flow sets export — NetFlow/IPFIX records *are*
+    five-tuple records; a prefix-aggregated :class:`FlowSet` has no
+    addresses/ports to put on the wire.
+    """
+    if flows.key_kind != "five_tuple":
+        raise ParameterError(
+            "only five_tuple flow sets export to NetFlow/IPFIX; got "
+            f"key_kind={flows.key_kind!r} (prefix aggregation is a "
+            "measurement-side view, not a wire format)"
+        )
+    records = np.empty(len(flows), dtype=FLOW_RECORD_DTYPE)
+    records["start"] = flows.starts
+    records["end"] = flows.ends
+    for field in ("src_addr", "dst_addr", "src_port", "dst_port", "protocol"):
+        records[field] = flows.keys[field]
+    records["packets"] = flows.packet_counts
+    records["octets"] = np.asarray(flows.sizes, dtype=np.int64)
+    order = np.argsort(records["start"], kind="stable")
+    return records[order]
+
+
+def iter_record_chunks(records: np.ndarray, chunk: int | None):
+    """Yield consecutive views of at most ``chunk`` flow records."""
+    records = np.asarray(records)
+    if records.dtype != FLOW_RECORD_DTYPE:
+        raise ParameterError(
+            f"expected FLOW_RECORD_DTYPE records, got dtype {records.dtype}"
+        )
+    if chunk is None:
+        yield records
+        return
+    chunk = int(chunk)
+    if chunk < 1:
+        raise ParameterError(f"chunk must be >= 1 record, got {chunk}")
+    for i in range(0, records.size, chunk):
+        yield records[i: i + chunk]

@@ -28,6 +28,7 @@ Quickstart::
 from .registry import ScenarioRegistry, default_registry
 from .runner import (
     DEFAULT_STAGES,
+    INGEST_STAGES,
     MEASUREMENT_STAGES,
     NETWORK_STAGES,
     SWEEP_STAGES,
@@ -47,6 +48,8 @@ from .spec import (
     FitSpec,
     FlowAccountingSpec,
     GenerationSpec,
+    INGEST_FORMATS,
+    IngestSpec,
     MeasurementSpec,
     NetworkEventSpec,
     NetworkSpec,
@@ -69,6 +72,8 @@ from .stages import (
     FitResult,
     Generate,
     GenerationResult,
+    ImportFlows,
+    IngestResult,
     NetworkStageResult,
     PipelineContext,
     RunSweep,
@@ -89,6 +94,8 @@ __all__ = [
     "ArrivalSpec",
     "ExecutionSpec",
     "FlowAccountingSpec",
+    "IngestSpec",
+    "INGEST_FORMATS",
     "SynthesisSpec",
     "MeasurementSpec",
     "EstimationSpec",
@@ -108,6 +115,7 @@ __all__ = [
     "Stage",
     "PipelineContext",
     "Synthesize",
+    "ImportFlows",
     "AccountFlows",
     "Estimate",
     "FitModel",
@@ -117,6 +125,7 @@ __all__ = [
     "Validate",
     "SynthesisResult",
     "TraceMeta",
+    "IngestResult",
     "AccountingResult",
     "EstimationResult",
     "FitResult",
@@ -129,6 +138,7 @@ __all__ = [
     "ScenarioResult",
     "DEFAULT_STAGES",
     "MEASUREMENT_STAGES",
+    "INGEST_STAGES",
     "NETWORK_STAGES",
     "SWEEP_STAGES",
     "QUICK_MODE_ENV",

@@ -30,6 +30,7 @@ from .spec import (
     ArrivalSpec,
     DemandSpec,
     FitSpec,
+    IngestSpec,
     NetworkEventSpec,
     NetworkSpec,
     PRESET_ALIASES,
@@ -227,8 +228,37 @@ def _builtin_specs() -> list[ScenarioSpec]:
         )
     )
 
+    specs.extend(_ingest_specs())
     specs.extend(_network_specs())
 
+    return specs
+
+
+def _ingest_specs() -> list[ScenarioSpec]:
+    """The ``real-trace-fit`` family: fit the model to operator telemetry.
+
+    These are *templates* — ``ingest.path`` is empty and must be pointed
+    at a real file (``repro run real-trace-netflow5 --ingest-path
+    router.nf5``, or ``spec.with_overrides(ingest={...})``).  One preset
+    per supported wire format, all running the same import → account →
+    estimate → fit → validate chain.
+    """
+    specs: list[ScenarioSpec] = []
+    for fmt, label in (
+        ("netflow5", "a NetFlow v5/cflowd flow archive"),
+        ("ipfix", "an IPFIX (RFC 7011) flow archive"),
+        ("pcap", "a pcap packet capture"),
+    ):
+        specs.append(
+            ScenarioSpec(
+                name=f"real-trace-{fmt}",
+                description=(
+                    f"fit the paper's model to {label} exported by a real "
+                    "router (set ingest.path / --ingest-path)"
+                ),
+                ingest=IngestSpec(format=fmt),
+            )
+        )
     return specs
 
 

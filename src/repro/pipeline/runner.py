@@ -26,6 +26,8 @@ from .stages import (
     FitResult,
     Generate,
     GenerationResult,
+    ImportFlows,
+    IngestResult,
     NetworkStageResult,
     PipelineContext,
     RunSweep,
@@ -41,6 +43,7 @@ from .stages import (
 __all__ = [
     "DEFAULT_STAGES",
     "MEASUREMENT_STAGES",
+    "INGEST_STAGES",
     "NETWORK_STAGES",
     "SWEEP_STAGES",
     "QUICK_MODE_ENV",
@@ -71,6 +74,19 @@ MEASUREMENT_STAGES: tuple[Stage, ...] = (
     Validate(),
 )
 
+#: The real-trace-fit chain for specs carrying an ``ingest`` section:
+#: imported telemetry streams through the same account → estimate → fit →
+#: validate loop the synthetic scenarios use (generation stays available
+#: for a model-driven twin of the imported trace).
+INGEST_STAGES: tuple[Stage, ...] = (
+    ImportFlows(),
+    AccountFlows(),
+    Estimate(),
+    FitModel(),
+    Generate(),
+    Validate(),
+)
+
 #: The whole-backbone chain for specs carrying a ``network`` section:
 #: the network engine runs the full per-link loop internally.
 NETWORK_STAGES: tuple[Stage, ...] = (SimulateNetwork(),)
@@ -96,6 +112,7 @@ class ScenarioResult:
     """
 
     spec: ScenarioSpec
+    ingest: IngestResult | None = None
     synthesis: SynthesisResult | None = None
     accounting: AccountingResult | None = None
     estimation: EstimationResult | None = None
@@ -118,12 +135,18 @@ class ScenarioResult:
         if self.network is not None:
             out["network"] = self.network.summary()
             return out
-        out["stages"] = {
-            "synthesize": self.synthesis.summary(),
-            "account_flows": self.accounting.summary(),
-            "estimate": self.estimation.summary(),
-            "fit_model": self.fit.summary(),
-        }
+        out["stages"] = {}
+        if self.ingest is not None:
+            out["stages"]["import_flows"] = self.ingest.summary()
+        else:
+            out["stages"]["synthesize"] = self.synthesis.summary()
+        out["stages"].update(
+            {
+                "account_flows": self.accounting.summary(),
+                "estimate": self.estimation.summary(),
+                "fit_model": self.fit.summary(),
+            }
+        )
         if self.generation is not None:
             out["stages"]["generate"] = self.generation.summary()
         if self.validation is not None:
@@ -156,6 +179,8 @@ class ScenarioRunner:
             return SWEEP_STAGES
         if self._auto and spec.network is not None:
             return NETWORK_STAGES
+        if self._auto and spec.ingest is not None:
+            return INGEST_STAGES
         return self.stages
 
     def run(
@@ -167,10 +192,12 @@ class ScenarioRunner:
         for stage in stages:
             stage.run(context)
         if context.network is None and context.sweep is None:
-            for required in ("synthesis", "accounting", "estimation", "fit"):
+            front = "ingest" if context.ingest is not None else "synthesis"
+            for required in (front, "accounting", "estimation", "fit"):
                 context.require(required, "run_scenario")
         return ScenarioResult(
             spec=spec,
+            ingest=context.ingest,
             synthesis=context.synthesis,
             accounting=context.accounting,
             estimation=context.estimation,

@@ -49,6 +49,8 @@ __all__ = [
     "WorkloadSpec",
     "FlowAccountingSpec",
     "ExecutionSpec",
+    "IngestSpec",
+    "INGEST_FORMATS",
     "SynthesisSpec",
     "MeasurementSpec",
     "EstimationSpec",
@@ -136,7 +138,7 @@ _LEGACY_EXECUTION_SECTIONS: dict[str, str] = {}
 _LEGACY_EXECUTION_KEYS = ("chunk", "workers")
 
 
-def _spec_from_dict(cls, data, *, path: str):
+def _spec_from_dict(cls, data, *, path: str, stacklevel: int = 2):
     """Strictly decode ``data`` into spec dataclass ``cls``.
 
     Unknown keys raise with the list of valid keys; nested sections recurse
@@ -144,6 +146,12 @@ def _spec_from_dict(cls, data, *, path: str):
     Sections registered in :data:`_LEGACY_EXECUTION_SECTIONS` additionally
     accept the deprecated flat ``chunk``/``workers`` keys (decoded through
     the constructor's shim with a :class:`DeprecationWarning`).
+
+    ``stacklevel`` is the deprecation warning's distance to the *user's*
+    line: every public entry point (``from_dict``, ``from_json``,
+    ``from_file``, ``with_overrides``) calls this function directly and
+    passes 3, and each recursion adds one, so the warning always points
+    at the caller's line, not at this module.
     """
     if not isinstance(data, dict):
         raise ParameterError(
@@ -171,7 +179,7 @@ def _spec_from_dict(cls, data, *, path: str):
             "spell execution knobs as 'execution': {\"chunk\": ..., "
             "\"workers\": ...} (see MIGRATION.md)",
             DeprecationWarning,
-            stacklevel=2,
+            stacklevel=stacklevel,
         )
     kwargs = {}
     for name in valid:
@@ -180,7 +188,10 @@ def _spec_from_dict(cls, data, *, path: str):
         value = data[name]
         nested = _NESTED.get((cls.__name__, name))
         if nested is not None and value is not None:
-            value = _spec_from_dict(nested, value, path=f"{path}.{name}")
+            value = _spec_from_dict(
+                nested, value, path=f"{path}.{name}",
+                stacklevel=stacklevel + 1,
+            )
         kwargs[name] = value
     try:
         return cls(**kwargs)
@@ -561,6 +572,83 @@ _register_nested("SynthesisSpec", "execution", ExecutionSpec)
 _register_nested("MeasurementSpec", "execution", ExecutionSpec)
 _LEGACY_EXECUTION_SECTIONS["SynthesisSpec"] = "synthesis"
 _LEGACY_EXECUTION_SECTIONS["MeasurementSpec"] = "measurement"
+
+
+#: Telemetry formats the ingest stage accepts (``"auto"`` sniffs magic
+#: bytes).  Mirrors ``repro.interop.IMPORT_FORMATS``; kept literal here so
+#: the spec layer stays pure data with no engine imports.
+INGEST_FORMATS = ("auto", "rptr", "netflow5", "ipfix", "pcap")
+
+
+@dataclass(frozen=True)
+class IngestSpec:
+    """Where a real-trace scenario's packets come from.
+
+    Replaces the ``workload`` section for the ``real-trace-fit`` family:
+    instead of synthesizing traffic, the pipeline streams an operator
+    telemetry file — a NetFlow v5/cflowd or IPFIX flow archive, a pcap
+    capture, or a native ``.rptr`` trace — through the measurement
+    engine's open-flow carry table, so the paper's idle-timeout flow
+    semantics are re-applied uniformly and the archive never needs to
+    fit in memory.
+
+    ``order`` governs flow-record archives: ``"start"`` streams records
+    that are already start-ordered (erroring if they are not),
+    ``"export"`` sorts the record table in memory (still out-of-core
+    with respect to *packets*), ``"auto"`` scans once and picks.
+    ``rebase`` moves epoch-anchored clocks to a 0-based capture clock
+    (``"auto"`` rebases only epoch-like timestamps).  ``duration``
+    (seconds) and ``link_capacity_bps`` override what the scan/header
+    provides — capacity is needed for utilisation whenever the archive
+    does not carry it (every format except ``.rptr``).
+    """
+
+    path: str = ""
+    format: str = "auto"
+    order: str = "auto"
+    rebase: str = "auto"
+    duration: float | None = None
+    link_capacity_bps: float | None = None
+    execution: ExecutionSpec | None = None
+    chunk: InitVar[object] = _UNSET
+    workers: InitVar[object] = _UNSET
+
+    def __post_init__(self, chunk, workers) -> None:
+        _check_choice("ingest.format", self.format, INGEST_FORMATS)
+        _check_choice("ingest.order", self.order, ("auto", "start", "export"))
+        _check_choice(
+            "ingest.rebase", self.rebase, ("auto", "always", "never")
+        )
+        if self.duration is not None:
+            object.__setattr__(self, "duration", float(self.duration))
+            check_positive("ingest.duration", self.duration)
+        if self.link_capacity_bps is not None:
+            object.__setattr__(
+                self, "link_capacity_bps", float(self.link_capacity_bps)
+            )
+            check_positive("ingest.link_capacity_bps", self.link_capacity_bps)
+        object.__setattr__(
+            self,
+            "execution",
+            _merge_execution("ingest", self.execution, chunk, workers),
+        )
+
+    def require_path(self) -> str:
+        """The telemetry path, or a clear error if the spec is a template.
+
+        Registry presets ship with ``path: ""`` — the user points them at
+        their own archive via ``with_overrides``/``--ingest-path``.
+        """
+        if not str(self.path).strip():
+            raise ParameterError(
+                "ingest.path is empty: point the scenario at a telemetry "
+                "file (NetFlow v5, IPFIX, pcap or .rptr)"
+            )
+        return str(self.path)
+
+
+_alias_execution(IngestSpec)
+_register_nested("IngestSpec", "execution", ExecutionSpec)
 
 
 @dataclass(frozen=True)
@@ -1122,6 +1210,7 @@ class ScenarioSpec:
     description: str = ""
     seed: int = 0
     workload: WorkloadSpec | None = None
+    ingest: IngestSpec | None = None
     network: NetworkSpec | None = None
     sweep: SweepSpec | None = None
     flows: FlowAccountingSpec = field(default_factory=FlowAccountingSpec)
@@ -1143,6 +1232,21 @@ class ScenarioSpec:
                 "a scenario is either single-link ('workload') or "
                 "network-wide ('network'), not both"
             )
+        if self.ingest is not None and self.workload is not None:
+            raise ParameterError(
+                "a scenario either synthesizes traffic ('workload') or "
+                "imports real telemetry ('ingest'), not both"
+            )
+        if self.ingest is not None and self.network is not None:
+            raise ParameterError(
+                "ingest scenarios fit one link's telemetry; 'ingest' and "
+                "'network' cannot be combined"
+            )
+        if self.ingest is not None and self.anomaly is not None:
+            raise ParameterError(
+                "anomaly injection perturbs synthesized traffic; it cannot "
+                "be applied to imported telemetry ('ingest')"
+            )
         if self.network is not None and self.anomaly is not None:
             raise ParameterError(
                 "network scenarios express anomalies as network events "
@@ -1161,10 +1265,12 @@ class ScenarioSpec:
 
     @property
     def family(self) -> str:
-        """Scenario family: ``"sweep"``, ``"network"`` or ``"single-link"``."""
+        """``"sweep"``, ``"network"``, ``"real-trace-fit"`` or ``"single-link"``."""
         if self.sweep is not None:
             return "sweep"
-        return "network" if self.network is not None else "single-link"
+        if self.network is not None:
+            return "network"
+        return "real-trace-fit" if self.ingest is not None else "single-link"
 
     # -- serialization ---------------------------------------------------
 
@@ -1175,7 +1281,7 @@ class ScenarioSpec:
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":
         """Strict inverse of :meth:`to_dict` (unknown keys are errors)."""
-        return _spec_from_dict(cls, data, path="spec")
+        return _spec_from_dict(cls, data, path="spec", stacklevel=3)
 
     def to_json(self, *, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -1186,7 +1292,7 @@ class ScenarioSpec:
             data = json.loads(text)
         except json.JSONDecodeError as exc:
             raise ParameterError(f"spec is not valid JSON: {exc}") from None
-        return cls.from_dict(data)
+        return _spec_from_dict(cls, data, path="spec", stacklevel=3)
 
     def to_file(self, path) -> Path:
         path = Path(path)
@@ -1200,7 +1306,11 @@ class ScenarioSpec:
             raise ParameterError(
                 f"spec file {path} does not exist or is not a regular file"
             )
-        return cls.from_json(path.read_text())
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ParameterError(f"spec is not valid JSON: {exc}") from None
+        return _spec_from_dict(cls, data, path="spec", stacklevel=3)
 
     # -- convenience -----------------------------------------------------
 
@@ -1210,13 +1320,16 @@ class ScenarioSpec:
         for key, value in changes.items():
             nested = _NESTED.get(("ScenarioSpec", key))
             if nested is not None and isinstance(value, dict):
-                value = _spec_from_dict(nested, value, path=f"spec.{key}")
+                value = _spec_from_dict(
+                    nested, value, path=f"spec.{key}", stacklevel=3
+                )
             decoded[key] = value
         return dataclasses.replace(self, **decoded)
 
 
 for _name, _type in (
     ("workload", WorkloadSpec),
+    ("ingest", IngestSpec),
     ("network", NetworkSpec),
     ("sweep", SweepSpec),
     ("flows", FlowAccountingSpec),

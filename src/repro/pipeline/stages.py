@@ -12,6 +12,7 @@ new front door.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -42,6 +43,7 @@ __all__ = [
     "Stage",
     "PipelineContext",
     "TraceMeta",
+    "IngestResult",
     "SynthesisResult",
     "AccountingResult",
     "EstimationResult",
@@ -51,6 +53,7 @@ __all__ = [
     "SweepStageResult",
     "ValidationReport",
     "Synthesize",
+    "ImportFlows",
     "AccountFlows",
     "Estimate",
     "FitModel",
@@ -108,6 +111,7 @@ class PipelineContext:
     workload: LinkWorkload | None = None
     stream: "object | None" = None  # StreamingSynthesis
     trace_meta: TraceMeta | None = None
+    ingest: "IngestResult | None" = None
     synthesis: "SynthesisResult | None" = None
     accounting: "AccountingResult | None" = None
     estimation: "EstimationResult | None" = None
@@ -135,6 +139,49 @@ class PipelineContext:
 
 
 # -- typed stage results ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Output of :class:`ImportFlows`.
+
+    ``stream`` is the live import stream consumed by
+    :class:`AccountFlows`; its counters (records read, packets fed to
+    the measurement engine) are complete once the accounting stage has
+    drained it — :meth:`summary` reads them at call time, so a report
+    rendered after the run sees final values.
+    """
+
+    path: str
+    format: str
+    order: str
+    stream: "object"  # FlowPacketStream | PacketChunkStream
+    meta: TraceMeta
+
+    def summary(self) -> dict:
+        stream = self.stream
+        duration = float(self.meta.duration)
+        octets = int(stream.scan.octets)
+        # a native .rptr header names no byte total; scanned formats do
+        mean_rate = (
+            8.0 * octets / duration if duration > 0 and octets > 0 else None
+        )
+        capacity = float(self.meta.link_capacity)
+        return {
+            "path": self.path,
+            "format": self.format,
+            "order": self.order,
+            "records": int(stream.records_read),
+            "packets": int(stream.packets_emitted),
+            "duration_s": duration,
+            "clock_offset_s": float(stream.base_offset),
+            "mean_rate_bps": mean_rate,
+            "utilization": (
+                mean_rate / capacity
+                if capacity > 0 and mean_rate is not None
+                else None
+            ),
+        }
 
 
 @dataclass(frozen=True)
@@ -592,6 +639,61 @@ def _apply_anomaly(trace: PacketTrace, spec: ScenarioSpec) -> PacketTrace:
     )
 
 
+class ImportFlows:
+    """Open the spec's telemetry file as a measurement-ready stream.
+
+    The ``real-trace-fit`` twin of :class:`Synthesize`: instead of
+    synthesizing a workload, the stage opens the ``ingest`` section's
+    NetFlow v5 / IPFIX / pcap / ``.rptr`` file via
+    :func:`repro.interop.open_import_stream` and hands
+    :class:`AccountFlows` a time-ordered packet-chunk stream, so the
+    paper's idle-timeout flow semantics are re-applied uniformly by the
+    measurement engine's open-flow carry table — the archive never
+    needs to fit in memory.
+    """
+
+    name = "import_flows"
+
+    def run(self, context: PipelineContext) -> IngestResult:
+        from ..interop import open_import_stream
+
+        spec = context.spec
+        if spec.ingest is None:
+            raise ParameterError(
+                f"scenario {spec.name!r} has no 'ingest' section; "
+                "ImportFlows only runs in real-trace-fit scenarios"
+            )
+        path = spec.ingest.require_path()
+        stream = open_import_stream(
+            path,
+            format=spec.ingest.format,
+            chunk=spec.ingest.chunk,
+            order=spec.ingest.order,
+            rebase=spec.ingest.rebase,
+            duration=spec.ingest.duration,
+            link_capacity=spec.ingest.link_capacity_bps,
+        )
+        if stream.scan.empty:
+            raise ParameterError(
+                f"{path}: the archive contains no flow records or packets; "
+                "nothing to fit"
+            )
+        context.stream = stream
+        context.trace_meta = TraceMeta(
+            name=Path(path).stem,
+            duration=float(stream.duration),
+            link_capacity=float(stream.link_capacity or 0.0),
+        )
+        context.ingest = IngestResult(
+            path=str(path),
+            format=str(stream.format),
+            order=str(getattr(stream, "order", "start")),
+            stream=stream,
+            meta=context.trace_meta,
+        )
+        return context.ingest
+
+
 class AccountFlows:
     """NetFlow-style flow accounting over the trace (section III).
 
@@ -636,7 +738,10 @@ class AccountFlows:
             context.accounting = AccountingResult(
                 flows=measured.flows,
                 series=measured.series,
-                engine="streamed_synthesis",
+                engine=(
+                    "ingest" if context.ingest is not None
+                    else "streamed_synthesis"
+                ),
                 raw_series=measured.raw_series,
             )
             return context.accounting

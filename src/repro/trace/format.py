@@ -56,23 +56,28 @@ def decode_trace(data: bytes, *, name: str = "trace") -> PacketTrace:
     """
     if len(data) < HEADER_STRUCT.size:
         raise TraceFormatError(
-            f"trace too short for header: {len(data)} < {HEADER_STRUCT.size} bytes"
+            f"truncated trace header at byte offset 0: got {len(data)} "
+            f"bytes, expected {HEADER_STRUCT.size}"
         )
     magic, version, _reserved, capacity, duration, count = HEADER_STRUCT.unpack_from(
         data, 0
     )
     if magic != MAGIC:
-        raise TraceFormatError(f"bad magic {magic!r}, expected {MAGIC!r}")
+        raise TraceFormatError(
+            f"bad magic {magic!r} at byte offset 0, expected {MAGIC!r}"
+        )
     if version != FORMAT_VERSION:
         raise TraceFormatError(
-            f"unsupported trace version {version}, expected {FORMAT_VERSION}"
+            f"unsupported trace version {version} at byte offset 4, "
+            f"expected {FORMAT_VERSION}"
         )
     payload = data[HEADER_STRUCT.size:]
     expected = count * PACKET_DTYPE.itemsize
     if len(payload) != expected:
         raise TraceFormatError(
-            f"payload length {len(payload)} does not match "
-            f"{count} records ({expected} bytes) - truncated file?"
+            f"truncated trace payload at byte offset {HEADER_STRUCT.size}: "
+            f"got {len(payload)} bytes, expected {expected} for {count} "
+            f"packets of {PACKET_DTYPE.itemsize} bytes each"
         )
     packets = np.frombuffer(payload, dtype=PACKET_DTYPE).copy()
     return PacketTrace(

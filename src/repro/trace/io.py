@@ -128,12 +128,21 @@ class TraceReader:
         with open(self.path, "rb") as fh:
             raw = fh.read(HEADER_STRUCT.size)
         if len(raw) < HEADER_STRUCT.size:
-            raise TraceFormatError(f"{self.path}: too short for a trace header")
+            raise TraceFormatError(
+                f"{self.path}: truncated trace header at byte offset 0: "
+                f"got {len(raw)} bytes, expected {HEADER_STRUCT.size}"
+            )
         magic, version, _r, capacity, duration, count = HEADER_STRUCT.unpack(raw)
         if magic != MAGIC:
-            raise TraceFormatError(f"{self.path}: bad magic {magic!r}")
+            raise TraceFormatError(
+                f"{self.path}: bad magic {magic!r} at byte offset 0, "
+                f"expected {MAGIC!r}"
+            )
         if version != FORMAT_VERSION:
-            raise TraceFormatError(f"{self.path}: unsupported version {version}")
+            raise TraceFormatError(
+                f"{self.path}: unsupported version {version} at byte "
+                f"offset 4, expected {FORMAT_VERSION}"
+            )
         self.link_capacity = float(capacity)
         self.duration = float(duration)
         self.packet_count = int(count)
@@ -141,8 +150,10 @@ class TraceReader:
         actual = os.path.getsize(self.path)
         if actual != expected:
             raise TraceFormatError(
-                f"{self.path}: size {actual} != expected {expected} "
-                f"for {self.packet_count} packets - truncated file?"
+                f"{self.path}: truncated file: {actual} bytes on disk, "
+                f"expected {expected} ({HEADER_STRUCT.size}-byte header + "
+                f"{self.packet_count} packets of {PACKET_DTYPE.itemsize} "
+                "bytes each)"
             )
 
     def read(self) -> PacketTrace:
@@ -166,9 +177,16 @@ class TraceReader:
             fh.seek(HEADER_STRUCT.size)
             while remaining > 0:
                 take = min(chunk_size, remaining)
+                offset = HEADER_STRUCT.size + (
+                    (self.packet_count - remaining) * PACKET_DTYPE.itemsize
+                )
                 block = np.fromfile(fh, dtype=PACKET_DTYPE, count=take)
                 if block.size != take:
-                    raise TraceFormatError(f"{self.path}: unexpected EOF")
+                    raise TraceFormatError(
+                        f"{self.path}: truncated trace at byte offset "
+                        f"{offset}: got {block.size} packets, expected "
+                        f"{take} ({take * PACKET_DTYPE.itemsize} bytes)"
+                    )
                 remaining -= take
                 yield block
 

@@ -1,0 +1,47 @@
+"""Shared helpers for the interop (NetFlow/IPFIX/pcap) test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.interop import FLOW_RECORD_DTYPE
+from repro.netsim.workloads import table_i_workloads
+from repro.trace import write_trace
+
+#: 1 ms wire quantization (NetFlow v5 / IPFIX millisecond timestamps)
+#: plus float rounding slack — the documented flow-archive tolerance.
+MS_ATOL = 5.1e-4
+
+
+def make_records(
+    n=50, *, start=0.0, spacing=0.25, span=2.0, packets=4, octets=6000,
+    seed=0,
+):
+    """``n`` start-ordered flow records with deterministic five-tuples."""
+    rng = np.random.default_rng(seed)
+    records = np.zeros(n, dtype=FLOW_RECORD_DTYPE)
+    records["start"] = start + spacing * np.arange(n)
+    records["end"] = records["start"] + span
+    records["src_addr"] = rng.integers(1, 2**32 - 1, n, dtype=np.uint32)
+    records["dst_addr"] = rng.integers(1, 2**32 - 1, n, dtype=np.uint32)
+    records["src_port"] = rng.integers(1024, 65535, n, dtype=np.uint16)
+    records["dst_port"] = rng.integers(1, 1024, n, dtype=np.uint16)
+    records["protocol"] = rng.choice([6, 17], n)
+    records["packets"] = packets
+    records["octets"] = octets
+    return records
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A scaled Table I capture (the low-utilisation link, 20 s)."""
+    workload = table_i_workloads(duration=20.0)[3]
+    return workload.synthesize(seed=11).trace
+
+
+@pytest.fixture()
+def small_trace_file(small_trace, tmp_path):
+    path = tmp_path / "link.rptr"
+    write_trace(small_trace, path)
+    return path

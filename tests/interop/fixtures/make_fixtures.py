@@ -1,0 +1,74 @@
+"""Regenerate the committed golden telemetry fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/interop/fixtures/make_fixtures.py
+
+The fixtures are tiny hand-pinned archives — five flow records and six
+packets — written through the repro writers.  ``test_fixtures.py``
+decodes the committed bytes and asserts the exact values below, so any
+(intended or accidental) wire-format change shows up as a diff against
+binaries in version control, not just as a same-code round trip.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.interop import (
+    FLOW_RECORD_DTYPE,
+    write_ipfix,
+    write_netflow5,
+    write_pcap,
+)
+from repro.trace import PACKET_DTYPE
+
+HERE = Path(__file__).resolve().parent
+
+#: (start, end, src, dst, sport, dport, proto, packets, octets)
+GOLDEN_RECORDS = [
+    (0.000, 1.500, 0x0A000001, 0xC0A80001, 40001, 80, 6, 10, 15000),
+    (0.250, 0.750, 0x0A000002, 0xC0A80002, 40002, 443, 6, 4, 2960),
+    (0.500, 0.500, 0x0A000003, 0xC0A80003, 53, 53, 17, 1, 128),
+    (1.000, 9.000, 0x0A000004, 0xC0A80004, 40004, 22, 6, 100, 144000),
+    (2.125, 3.375, 0x0A000005, 0xC0A80005, 40005, 8080, 17, 3, 1500),
+]
+
+#: (timestamp, src, dst, sport, dport, proto, size)
+GOLDEN_PACKETS = [
+    (0.000000, 0x0A000001, 0xC0A80001, 40001, 80, 6, 1500),
+    (0.000125, 0x0A000002, 0xC0A80002, 40002, 443, 6, 40),
+    (0.001000, 0x0A000003, 0xC0A80003, 53, 53, 17, 128),
+    (0.010000, 0x0A000001, 0xC0A80001, 40001, 80, 6, 1500),
+    (0.100000, 0x0A000004, 0xC0A80004, 40004, 22, 6, 576),
+    (1.000000, 0x0A000005, 0xC0A80005, 40005, 8080, 17, 333),
+]
+
+
+def golden_records() -> np.ndarray:
+    records = np.zeros(len(GOLDEN_RECORDS), dtype=FLOW_RECORD_DTYPE)
+    for i, row in enumerate(GOLDEN_RECORDS):
+        records[i] = row
+    return records
+
+
+def golden_packets() -> np.ndarray:
+    packets = np.zeros(len(GOLDEN_PACKETS), dtype=PACKET_DTYPE)
+    for i, row in enumerate(GOLDEN_PACKETS):
+        packets[i] = row
+    return packets
+
+
+def main() -> None:
+    n = write_netflow5(golden_records(), HERE / "golden.nf5")
+    print(f"golden.nf5   : {n} records")
+    n = write_ipfix(golden_records(), HERE / "golden.ipfix")
+    print(f"golden.ipfix : {n} records")
+    n = write_pcap(golden_packets(), HERE / "golden.pcap")
+    print(f"golden.pcap  : {n} packets")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,280 @@
+"""Adapter layer: sniffing, record expansion, ordered packet streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError, TraceFormatError
+from repro.interop import (
+    FLOW_RECORD_DTYPE,
+    FlowPacketStream,
+    PacketChunkStream,
+    detect_format,
+    expand_flow_records,
+    open_import_stream,
+    scan_record_chunks,
+    write_ipfix,
+    write_netflow5,
+    write_pcap,
+)
+from repro.interop.adapter import EPOCH_THRESHOLD, ScanInfo
+from repro.trace import PACKET_DTYPE
+
+from ..trace.test_packet import make_packets
+from .conftest import make_records
+
+
+class _ListSource:
+    """Packet-chunk source shaped like a reader: ``.chunks()`` + attrs."""
+
+    format = "packets"
+    path = "<memory>"
+
+    def __init__(self, blocks):
+        self._blocks = blocks
+
+    def chunks(self):
+        return iter(self._blocks)
+
+
+def drain(stream):
+    blocks = [b for b in stream if b.size]
+    return np.concatenate(blocks) if blocks else np.empty(
+        0, dtype=PACKET_DTYPE
+    )
+
+
+class TestDetectFormat:
+    def test_all_four_formats(self, tmp_path, small_trace_file):
+        nf5 = tmp_path / "a.nf5"
+        write_netflow5(make_records(2), nf5)
+        ipfix = tmp_path / "a.ipfix"
+        write_ipfix(make_records(2), ipfix)
+        pcap = tmp_path / "a.pcap"
+        write_pcap(make_packets(2, size=100), pcap)
+        assert detect_format(small_trace_file) == "rptr"
+        assert detect_format(nf5) == "netflow5"
+        assert detect_format(ipfix) == "ipfix"
+        assert detect_format(pcap) == "pcap"
+
+    def test_unknown_magic(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"\x99\x99\x99\x99garbage")
+        with pytest.raises(TraceFormatError, match="unrecognised telemetry"):
+            detect_format(path)
+
+    def test_too_short(self, tmp_path):
+        path = tmp_path / "tiny.bin"
+        path.write_bytes(b"\x00\x05")
+        with pytest.raises(TraceFormatError, match="expected at least 4"):
+            detect_format(path)
+
+
+class TestExpandFlowRecords:
+    def test_totals_exact(self):
+        records = make_records(30, packets=7, octets=9001)
+        packets = expand_flow_records(records)
+        assert packets.size == 7 * 30
+        assert int(packets["size"].sum(dtype=np.int64)) == 9001 * 30
+        # per-record octet totals are exact too, not just globally
+        first = packets[:7]
+        assert int(first["size"].sum()) == 9001
+        assert first["timestamp"][0] == records["start"][0]
+        assert first["timestamp"][-1] == records["end"][0]
+
+    def test_uniform_spacing(self):
+        records = make_records(1, packets=5, span=4.0)
+        packets = expand_flow_records(records)
+        np.testing.assert_allclose(np.diff(packets["timestamp"]), 1.0)
+
+    def test_single_packet_record_lands_at_start(self):
+        records = make_records(1, packets=1, octets=333, span=2.0)
+        packets = expand_flow_records(records)
+        assert packets.size == 1
+        assert packets["timestamp"][0] == records["start"][0]
+        assert packets["size"][0] == 333
+
+    def test_remainder_spread_one_byte_each(self):
+        records = make_records(1, packets=4, octets=4 * 100 + 3)
+        sizes = expand_flow_records(records)["size"]
+        assert sizes.tolist() == [101, 101, 101, 100]
+
+    def test_five_tuple_repeated(self):
+        records = make_records(3, packets=2)
+        packets = expand_flow_records(records)
+        np.testing.assert_array_equal(
+            packets["src_addr"], np.repeat(records["src_addr"], 2)
+        )
+
+    def test_empty_input(self):
+        assert expand_flow_records(make_records(0)).size == 0
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(ParameterError, match="FLOW_RECORD_DTYPE"):
+            expand_flow_records(np.zeros(2, dtype=np.float64))
+
+    def test_rejects_zero_packets(self):
+        records = make_records(3)
+        records["packets"][1] = 0
+        with pytest.raises(TraceFormatError, match="record 1 claims 0"):
+            expand_flow_records(records)
+
+    def test_rejects_octets_below_packets(self):
+        records = make_records(2, packets=10)
+        records["octets"][0] = 5
+        with pytest.raises(TraceFormatError, match="less than one byte"):
+            expand_flow_records(records)
+
+    def test_rejects_sampled_archives(self):
+        records = make_records(1, packets=2, octets=2 * 70000)
+        with pytest.raises(TraceFormatError, match="sampled"):
+            expand_flow_records(records)
+
+    def test_rejects_end_before_start(self):
+        records = make_records(2)
+        records["end"][1] = records["start"][1] - 0.5
+        with pytest.raises(TraceFormatError, match="ends before it starts"):
+            expand_flow_records(records)
+
+
+class TestScan:
+    def test_counts_and_range(self):
+        blocks = [make_records(10, packets=3, octets=900),
+                  make_records(5, start=10.0, packets=3, octets=900)]
+        info = scan_record_chunks(iter(blocks))
+        assert info.records == 15
+        assert info.packets == 45
+        assert info.octets == 900 * 15
+        assert info.t_min == 0.0
+        assert info.t_max == 10.0 + 0.25 * 4 + 2.0
+        assert info.starts_sorted
+        assert not info.empty
+
+    def test_detects_unsorted_across_blocks(self):
+        blocks = [make_records(5, start=10.0), make_records(5, start=0.0)]
+        assert not scan_record_chunks(iter(blocks)).starts_sorted
+
+    def test_empty(self):
+        info = scan_record_chunks(iter([make_records(0)]))
+        assert info.empty
+        assert info.records == 0
+
+
+class TestFlowPacketStream:
+    def test_emission_is_globally_nondecreasing(self):
+        # long flows overlap many later records: the watermark must hold
+        # their tail packets back
+        records = make_records(200, spacing=0.05, span=5.0, packets=8)
+        stream = FlowPacketStream([records[:90], records[90:]])
+        out = drain(stream)
+        assert out.size == 200 * 8
+        assert bool(np.all(np.diff(out["timestamp"]) >= 0))
+        assert stream.records_read == 200
+        assert stream.packets_emitted == 1600
+
+    def test_order_auto_sorts_unsorted_archives(self):
+        shuffled = make_records(50)[::-1].copy()
+        stream = FlowPacketStream([shuffled])
+        assert stream.order == "export"
+        out = drain(stream)
+        assert bool(np.all(np.diff(out["timestamp"]) >= 0))
+
+    def test_order_start_rejects_unsorted(self):
+        shuffled = make_records(50)[::-1].copy()
+        stream = FlowPacketStream([shuffled], order="start")
+        with pytest.raises(TraceFormatError, match="order='export'"):
+            drain(stream)
+
+    def test_order_validated(self):
+        with pytest.raises(ParameterError, match="order must be"):
+            FlowPacketStream([make_records(1)], order="sideways")
+
+    def test_duration_default_and_override(self):
+        records = make_records(10, span=3.0)
+        assert FlowPacketStream([records]).duration == pytest.approx(
+            0.25 * 9 + 3.0
+        )
+        assert FlowPacketStream([records], duration=60.0).duration == 60.0
+
+    def test_rebase_auto_epoch(self):
+        records = make_records(5, start=1.7e9)
+        stream = FlowPacketStream([records])
+        assert stream.base_offset == 1.7e9
+        out = drain(stream)
+        assert out["timestamp"][0] == 0.0
+        assert stream.duration == pytest.approx(0.25 * 4 + 2.0)
+
+    def test_rebase_auto_leaves_capture_clocks(self):
+        stream = FlowPacketStream([make_records(5, start=100.0)])
+        assert stream.base_offset == 0.0
+
+    def test_rebase_always_and_never(self):
+        records = make_records(5, start=100.0)
+        assert FlowPacketStream([records], rebase="always").base_offset == 100.0
+        epoch = make_records(5, start=EPOCH_THRESHOLD * 2)
+        assert FlowPacketStream([epoch], rebase="never").base_offset == 0.0
+
+    def test_rebase_validated(self):
+        with pytest.raises(ParameterError, match="rebase must be"):
+            FlowPacketStream([make_records(1)], rebase="sometimes")
+
+
+class TestPacketChunkStream:
+    def test_sorts_within_chunk(self):
+        packets = make_packets(10, size=100)[::-1].copy()
+        out = drain(PacketChunkStream(_ListSource([packets])))
+        assert bool(np.all(np.diff(out["timestamp"]) >= 0))
+
+    def test_rejects_overlapping_chunks(self):
+        a = make_packets(10, start=5.0, size=100)
+        b = make_packets(10, start=0.0, size=100)
+        stream = PacketChunkStream(_ListSource([a, b]))
+        with pytest.raises(TraceFormatError, match="overlap in time"):
+            drain(stream)
+
+    def test_rebase_and_counters(self):
+        packets = make_packets(20, start=2e9, size=100)
+        stream = PacketChunkStream(_ListSource([packets]))
+        assert stream.base_offset == 2e9
+        out = drain(stream)
+        assert out["timestamp"][0] == 0.0
+        assert stream.packets_emitted == 20
+        assert stream.records_read == 20
+
+
+class TestOpenImportStream:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="no such file"):
+            open_import_stream(tmp_path / "nope.nf5")
+
+    def test_bad_format(self, small_trace_file):
+        with pytest.raises(ParameterError, match="format must be one of"):
+            open_import_stream(small_trace_file, format="sflow")
+
+    def test_rptr_uses_native_header(self, small_trace_file, small_trace):
+        stream = open_import_stream(small_trace_file)
+        assert stream.format == "rptr"
+        assert stream.duration == pytest.approx(20.0)
+        assert stream.link_capacity is not None
+        out = drain(stream)
+        assert out.size == small_trace.packets.size
+
+    def test_rptr_honours_chunk(self, small_trace_file):
+        stream = open_import_stream(small_trace_file, chunk=100)
+        sizes = [b.size for b in stream]
+        assert max(sizes) <= 100
+
+    def test_netflow5_stream(self, tmp_path):
+        path = tmp_path / "s.nf5"
+        write_netflow5(make_records(40, packets=3, octets=900), path)
+        stream = open_import_stream(path)
+        assert isinstance(stream, FlowPacketStream)
+        assert stream.scan.records == 40
+        assert drain(stream).size == 120
+
+    def test_auto_detects_ipfix(self, tmp_path):
+        path = tmp_path / "s.ipfix"
+        write_ipfix(make_records(8), path)
+        stream = open_import_stream(path)
+        assert stream.format == "ipfix"

@@ -1,0 +1,97 @@
+"""Golden fixtures: committed wire bytes decode to pinned values.
+
+The binaries under ``fixtures/`` are in version control; these tests
+decode them and assert exact field values, so a wire-format regression
+breaks against frozen bytes rather than round-tripping through the same
+(changed) code.  ``make_fixtures.py`` regenerates them on purpose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.interop import (
+    IpfixReader,
+    NetFlow5Reader,
+    PcapReader,
+    open_import_stream,
+    write_ipfix,
+    write_netflow5,
+    write_pcap,
+)
+
+from .conftest import MS_ATOL
+from .fixtures.make_fixtures import (
+    GOLDEN_PACKETS,
+    GOLDEN_RECORDS,
+    HERE,
+    golden_packets,
+    golden_records,
+)
+
+
+def check_flow_fields(back):
+    assert back.size == len(GOLDEN_RECORDS)
+    expected = golden_records()
+    for field in ("src_addr", "dst_addr", "src_port", "dst_port",
+                  "protocol", "packets", "octets"):
+        np.testing.assert_array_equal(back[field], expected[field])
+    np.testing.assert_allclose(back["start"], expected["start"], atol=MS_ATOL)
+    np.testing.assert_allclose(back["end"], expected["end"], atol=MS_ATOL)
+    # spot checks straight off the table, not via the writer's dtype
+    assert back["octets"].tolist() == [15000, 2960, 128, 144000, 1500]
+    assert back["src_port"].tolist() == [40001, 40002, 53, 40004, 40005]
+
+
+class TestGoldenDecode:
+    def test_netflow5(self):
+        check_flow_fields(np.concatenate(
+            list(NetFlow5Reader(HERE / "golden.nf5"))
+        ))
+
+    def test_ipfix(self):
+        check_flow_fields(np.concatenate(
+            list(IpfixReader(HERE / "golden.ipfix"))
+        ))
+
+    def test_pcap(self):
+        back = np.concatenate(list(PcapReader(HERE / "golden.pcap").chunks()))
+        assert back.size == len(GOLDEN_PACKETS)
+        expected = golden_packets()
+        for field in ("src_addr", "dst_addr", "src_port", "dst_port",
+                      "protocol", "size"):
+            np.testing.assert_array_equal(back[field], expected[field])
+        np.testing.assert_allclose(
+            back["timestamp"], expected["timestamp"], atol=2e-9
+        )
+        assert back["size"].tolist() == [1500, 40, 128, 1500, 576, 333]
+
+
+class TestWritersAreByteStable:
+    """Writers must reproduce the committed bytes bit-for-bit."""
+
+    @pytest.mark.parametrize(
+        "name,writer,data",
+        [
+            ("golden.nf5", write_netflow5, "records"),
+            ("golden.ipfix", write_ipfix, "records"),
+            ("golden.pcap", write_pcap, "packets"),
+        ],
+    )
+    def test_regenerated_bytes_match(self, tmp_path, name, writer, data):
+        payload = golden_records() if data == "records" else golden_packets()
+        fresh = tmp_path / name
+        writer(payload, fresh)
+        assert fresh.read_bytes() == (HERE / name).read_bytes()
+
+
+class TestGoldenImport:
+    def test_netflow5_expands_to_packet_total(self):
+        stream = open_import_stream(HERE / "golden.nf5")
+        packets = np.concatenate(list(stream))
+        assert packets.size == sum(r[7] for r in GOLDEN_RECORDS)
+        assert int(packets["size"].sum(dtype=np.int64)) == sum(
+            r[8] for r in GOLDEN_RECORDS
+        )
+        assert stream.duration == pytest.approx(9.0, abs=MS_ATOL)

@@ -1,0 +1,204 @@
+"""pcap reader/writer: snapped records, foreign captures, corruption."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceFormatError
+from repro.interop import PcapReader, write_pcap
+from repro.interop.pcap import LINKTYPE_ETHERNET, LINKTYPE_RAW
+from repro.trace import PACKET_DTYPE
+
+from ..trace.test_packet import make_packets
+
+
+def read_all(path, **kwargs):
+    blocks = list(PcapReader(path, **kwargs).chunks())
+    return np.concatenate(blocks) if blocks else np.empty(
+        0, dtype=PACKET_DTYPE
+    )
+
+
+def build_pcap(records, *, endian="<", ns=True, link=LINKTYPE_RAW):
+    """Hand-rolled pcap: ``records`` are (ts_sec, ts_frac, payload)."""
+    magic = 0xA1B23C4D if ns else 0xA1B2C3D4
+    out = struct.pack(endian + "IHHiIII", magic, 2, 4, 0, 0, 65535, link)
+    for ts_sec, ts_frac, payload in records:
+        out += struct.pack(
+            endian + "IIII", ts_sec, ts_frac, len(payload), len(payload)
+        )
+        out += payload
+    return out
+
+
+def ipv4_payload(
+    *, src=0x0A000001, dst=0x0A000002, sport=1234, dport=80, proto=6,
+    total_length=500, link_prefix=b"",
+):
+    ip = bytearray(20)
+    ip[0] = 0x45
+    struct.pack_into(">H", ip, 2, total_length)
+    ip[8] = 64
+    ip[9] = proto
+    struct.pack_into(">II", ip, 12, src, dst)
+    transport = struct.pack(">HH", sport, dport) + b"\x00" * 16
+    return link_prefix + bytes(ip) + transport
+
+
+class TestWriterRoundTrip:
+    def test_roundtrip_exact_sizes_ns_timestamps(self, tmp_path):
+        packets = make_packets(300, spacing=0.001, size=700)
+        path = tmp_path / "rt.pcap"
+        assert write_pcap(packets, path) == 300
+        back = read_all(path)
+        assert back.size == 300
+        for field in ("src_addr", "dst_addr", "src_port", "dst_port",
+                      "protocol", "size"):
+            np.testing.assert_array_equal(back[field], packets[field])
+        np.testing.assert_allclose(
+            back["timestamp"], packets["timestamp"], atol=2e-9
+        )
+
+    def test_udp_ports_survive(self, tmp_path):
+        packets = make_packets(10, size=200)
+        packets["protocol"] = 17
+        path = tmp_path / "udp.pcap"
+        write_pcap(packets, path)
+        back = read_all(path)
+        np.testing.assert_array_equal(back["src_port"], packets["src_port"])
+        np.testing.assert_array_equal(back["protocol"], packets["protocol"])
+
+    def test_headers_only_snap(self, tmp_path):
+        """Only IP+transport headers land on disk, not the full size."""
+        packets = make_packets(100, size=1500)
+        path = tmp_path / "snap.pcap"
+        write_pcap(packets, path)
+        # global header + per packet: 16B record header + 40B TCP snap
+        assert path.stat().st_size == 24 + 100 * (16 + 40)
+        back = read_all(path)
+        np.testing.assert_array_equal(back["size"], packets["size"])
+
+    def test_rejects_sizes_below_snap(self, tmp_path):
+        packets = make_packets(3, size=30)  # < 40B TCP snap
+        with pytest.raises(TraceFormatError, match="snapped headers"):
+            write_pcap(packets, tmp_path / "small.pcap")
+
+    def test_rejects_negative_timestamps(self, tmp_path):
+        packets = make_packets(3, start=-1.0)
+        with pytest.raises(TraceFormatError, match="rebase"):
+            write_pcap(packets, tmp_path / "neg.pcap")
+
+
+class TestForeignCaptures:
+    @pytest.mark.parametrize("endian", ["<", ">"])
+    @pytest.mark.parametrize("ns", [True, False])
+    def test_all_magics(self, tmp_path, endian, ns):
+        frac = 500 if ns else 500  # 500 ns or 500 µs
+        path = tmp_path / "f.pcap"
+        path.write_bytes(build_pcap(
+            [(10, frac, ipv4_payload())], endian=endian, ns=ns,
+        ))
+        back = read_all(path)
+        assert back.size == 1
+        expected = 10 + frac * (1e-9 if ns else 1e-6)
+        assert back["timestamp"][0] == pytest.approx(expected, abs=1e-12)
+        assert back["size"][0] == 500
+
+    def test_ethernet_link_type(self, tmp_path):
+        prefix = b"\x00" * 12 + struct.pack(">H", 0x0800)
+        path = tmp_path / "eth.pcap"
+        path.write_bytes(build_pcap(
+            [(1, 0, ipv4_payload(link_prefix=prefix))],
+            link=LINKTYPE_ETHERNET,
+        ))
+        back = read_all(path)
+        assert back.size == 1
+        assert back["src_port"][0] == 1234
+
+    def test_non_ipv4_records_skipped(self, tmp_path):
+        prefix = b"\x00" * 12 + struct.pack(">H", 0x86DD)  # IPv6 ethertype
+        path = tmp_path / "mixed.pcap"
+        path.write_bytes(build_pcap(
+            [
+                (1, 0, ipv4_payload(link_prefix=b"\x00" * 12 + b"\x08\x00")),
+                (2, 0, ipv4_payload(link_prefix=prefix)),  # skipped
+                (3, 0, b"\x00" * 10),  # too short: skipped
+            ],
+            link=LINKTYPE_ETHERNET,
+        ))
+        assert read_all(path).size == 1
+
+    def test_non_tcp_udp_gets_port_zero(self, tmp_path):
+        path = tmp_path / "icmp.pcap"
+        path.write_bytes(build_pcap([(1, 0, ipv4_payload(proto=1))]))
+        back = read_all(path)
+        assert back["protocol"][0] == 1
+        assert back["src_port"][0] == 0
+
+    def test_chunked_iteration(self, tmp_path):
+        packets = make_packets(50, size=100)
+        packets["protocol"] = 17
+        path = tmp_path / "c.pcap"
+        write_pcap(packets, path)
+        blocks = list(PcapReader(path, chunk=7).chunks())
+        assert [b.size for b in blocks] == [7] * 7 + [1]
+        np.testing.assert_array_equal(np.concatenate(blocks), read_all(path))
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "m.pcap"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(TraceFormatError, match="bad pcap magic"):
+            PcapReader(path)
+
+    def test_bad_version(self, tmp_path):
+        data = bytearray(build_pcap([]))
+        struct.pack_into("<HH", data, 4, 3, 1)
+        path = tmp_path / "v.pcap"
+        path.write_bytes(bytes(data))
+        with pytest.raises(
+            TraceFormatError, match="unsupported pcap version 3.1"
+        ):
+            PcapReader(path)
+
+    def test_unsupported_link_type(self, tmp_path):
+        data = bytearray(build_pcap([]))
+        struct.pack_into("<I", data, 20, 105)  # 802.11
+        path = tmp_path / "l.pcap"
+        path.write_bytes(bytes(data))
+        with pytest.raises(
+            TraceFormatError, match="link type 105 at byte offset 20"
+        ):
+            PcapReader(path)
+
+    def test_truncated_global_header(self, tmp_path):
+        path = tmp_path / "g.pcap"
+        path.write_bytes(build_pcap([])[:15])
+        with pytest.raises(
+            TraceFormatError, match="global header at byte offset 0: got 15"
+        ):
+            PcapReader(path)
+
+    def test_truncated_record_names_offset_and_size(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        path.write_bytes(build_pcap([(1, 0, ipv4_payload())])[:-10])
+        with pytest.raises(
+            TraceFormatError,
+            match=r"truncated pcap record at byte offset 40: got 30 bytes, "
+            r"the record header promised 40",
+        ):
+            read_all(path)
+
+    def test_truncated_record_header_names_offset(self, tmp_path):
+        full = build_pcap([(1, 0, ipv4_payload())])
+        path = tmp_path / "th.pcap"
+        path.write_bytes(full + b"\x01\x02\x03")
+        with pytest.raises(
+            TraceFormatError,
+            match=rf"record header at byte offset {len(full)}: got 3",
+        ):
+            read_all(path)

@@ -325,3 +325,59 @@ class TestConfig:
         with pytest.raises(ParameterError):
             list(iter_packet_chunks(np.zeros(3), None))
         assert [c.size for c in iter_packet_chunks(pkts, None)] == [1]
+
+
+class TestEdgeCaseFiles:
+    """measure_file on degenerate traces: zero packets, one packet."""
+
+    def write_file(self, tmp_path, rows, *, duration=10.0):
+        path = tmp_path / "edge.rptr"
+        with TraceWriter(path, link_capacity=1e6, duration=duration) as w:
+            if rows:
+                w.write(packets_of(rows))
+        return path
+
+    def test_empty_trace_file(self, tmp_path):
+        path = self.write_file(tmp_path, [])
+        result = MeasurementEngine().measure_file(path, delta=0.5)
+        assert len(result.flows) == 0
+        assert result.flows.discarded_packets == 0
+        assert result.duration == 10.0
+        assert result.utilization == 0.0
+        # the rate series still covers the header's duration, all zeros
+        assert len(result.series) == 20
+        assert result.series.mean == 0.0
+        assert result.series.variance == 0.0
+
+    def test_empty_trace_file_without_delta(self, tmp_path):
+        path = self.write_file(tmp_path, [])
+        result = MeasurementEngine().measure_file(path)
+        assert len(result.flows) == 0
+        assert result.series is None
+
+    def test_single_packet_trace_file(self, tmp_path):
+        path = self.write_file(tmp_path, [(1.0, TUPLE_A, 100)])
+        result = MeasurementEngine().measure_file(path, delta=0.5)
+        # a lone packet is a zero-duration flow: discarded by the
+        # min-packet/zero-duration filter, but still on the wire
+        assert len(result.flows) == 0
+        assert result.flows.discarded_packets == 1
+        assert result.utilization == pytest.approx(100 * 8 / (1e6 * 10.0))
+        assert result.series.mean == 0.0  # filtered series drops it
+
+    def test_single_packet_survives_chunked_run(self, tmp_path):
+        path = self.write_file(tmp_path, [(1.0, TUPLE_A, 100)])
+        engine = MeasurementEngine(chunk=1)
+        result = engine.measure_file(path, delta=0.5)
+        assert len(result.flows) == 0
+        assert result.flows.discarded_packets == 1
+
+    def test_two_packets_one_flow(self, tmp_path):
+        """The smallest trace that produces a flow at all."""
+        path = self.write_file(
+            tmp_path, [(1.0, TUPLE_A, 100), (1.5, TUPLE_A, 200)]
+        )
+        result = MeasurementEngine().measure_file(path, delta=0.5)
+        assert len(result.flows) == 1
+        assert result.flows.sizes[0] == 300
+        assert result.flows.durations[0] == pytest.approx(0.5)

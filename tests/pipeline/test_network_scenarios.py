@@ -210,7 +210,9 @@ class TestRegistryNetworkScenarios:
 
     def test_families_group_the_registry(self):
         families = default_registry().families()
-        assert set(families) == {"single-link", "network", "sweep"}
+        assert set(families) == {
+            "single-link", "network", "sweep", "real-trace-fit"
+        }
         network_names = [name for name, _ in families["network"]]
         assert "abilene-table-i" in network_names
         single_names = [name for name, _ in families["single-link"]]

@@ -1,0 +1,142 @@
+"""Golden corrupt-file battery: every .rptr failure names its byte offset.
+
+Each test corrupts a known-good trace file in a specific way and pins
+the error message — offset, got/expected sizes — so a bad archive from
+an operator diagnoses itself instead of surfacing as a numpy shape
+error three layers up.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.exceptions import TraceFormatError
+from repro.trace import PACKET_DTYPE, read_trace, write_trace
+from repro.trace.format import HEADER_STRUCT, decode_trace, encode_trace
+from repro.trace.io import TraceReader
+
+from .test_packet import make_packets
+
+
+@pytest.fixture()
+def good_file(tmp_path):
+    from repro.trace import PacketTrace
+
+    trace = PacketTrace(
+        make_packets(100, spacing=0.01, size=500),
+        link_capacity=1e6,
+        duration=1.0,
+    )
+    path = tmp_path / "good.rptr"
+    write_trace(trace, path)
+    return path
+
+
+class TestDecodeTrace:
+    """In-memory decoder: offsets relative to the buffer start."""
+
+    def good_bytes(self):
+        from repro.trace import PacketTrace
+
+        return encode_trace(PacketTrace(
+            make_packets(10, size=500), link_capacity=1e6, duration=1.0
+        ))
+
+    def test_truncated_header(self):
+        with pytest.raises(
+            TraceFormatError,
+            match=r"truncated trace header at byte offset 0: got 10 bytes, "
+            rf"expected {HEADER_STRUCT.size}",
+        ):
+            decode_trace(self.good_bytes()[:10])
+
+    def test_bad_magic(self):
+        data = b"XXXX" + self.good_bytes()[4:]
+        with pytest.raises(
+            TraceFormatError,
+            match=r"bad magic b'XXXX' at byte offset 0, expected b'RPTR'",
+        ):
+            decode_trace(data)
+
+    def test_bad_version(self):
+        data = bytearray(self.good_bytes())
+        struct.pack_into("<H", data, 4, 9)
+        with pytest.raises(
+            TraceFormatError,
+            match=r"unsupported trace version 9 at byte offset 4",
+        ):
+            decode_trace(bytes(data))
+
+    def test_truncated_payload_names_offset_and_expectation(self):
+        data = self.good_bytes()
+        with pytest.raises(
+            TraceFormatError,
+            match=rf"truncated trace payload at byte offset "
+            rf"{HEADER_STRUCT.size}: .*expected "
+            rf"{10 * PACKET_DTYPE.itemsize} .*10 packets of "
+            rf"{PACKET_DTYPE.itemsize} bytes each",
+        ):
+            decode_trace(data[:-5])
+
+
+class TestTraceReader:
+    """On-disk reader: the path prefixes every message."""
+
+    def test_truncated_header(self, good_file):
+        good_file.write_bytes(good_file.read_bytes()[:20])
+        with pytest.raises(
+            TraceFormatError,
+            match=r"truncated trace header at byte offset 0: got 20 bytes, "
+            r"expected 32",
+        ):
+            TraceReader(good_file)
+
+    def test_bad_magic_names_path(self, good_file):
+        data = bytearray(good_file.read_bytes())
+        data[:4] = b"GARB"
+        good_file.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="good.rptr.*bad magic"):
+            read_trace(good_file)
+
+    def test_bad_version(self, good_file):
+        data = bytearray(good_file.read_bytes())
+        struct.pack_into("<H", data, 4, 7)
+        good_file.write_bytes(bytes(data))
+        with pytest.raises(
+            TraceFormatError,
+            match=r"unsupported version 7 at byte offset 4, expected 1",
+        ):
+            TraceReader(good_file)
+
+    def test_size_mismatch_reports_both_sizes(self, good_file):
+        good_file.write_bytes(good_file.read_bytes()[:-23])
+        expected = 32 + 100 * 23
+        with pytest.raises(
+            TraceFormatError,
+            match=rf"{expected - 23} bytes on disk, expected {expected} "
+            rf"\(32-byte header \+ 100 packets of 23 bytes each\)",
+        ):
+            TraceReader(good_file)
+
+    def test_count_inflated_in_header(self, good_file):
+        data = bytearray(good_file.read_bytes())
+        HEADER_STRUCT.pack_into(data, 0, b"RPTR", 1, 0, 1e6, 1.0, 150)
+        good_file.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="truncated file"):
+            TraceReader(good_file)
+
+    def test_chunks_detects_mid_stream_truncation(self, good_file):
+        """A file that shrinks after open() still fails with an offset."""
+        reader = TraceReader(good_file)
+        good_file.write_bytes(good_file.read_bytes()[: 32 + 60 * 23])
+        chunks = reader.chunks(50)
+        next(chunks)  # first 50 packets are intact
+        offset = 32 + 50 * 23
+        with pytest.raises(
+            TraceFormatError,
+            match=rf"truncated trace at byte offset {offset}: got 10 "
+            rf"packets, expected 50 \({50 * 23} bytes\)",
+        ):
+            next(chunks)

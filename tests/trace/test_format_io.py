@@ -57,7 +57,7 @@ class TestEncodeDecode:
             decode_trace(blob[:-5])
 
     def test_too_short_for_header(self):
-        with pytest.raises(TraceFormatError, match="short"):
+        with pytest.raises(TraceFormatError, match="truncated trace header"):
             decode_trace(b"RP")
 
     def test_header_size(self):
