@@ -20,7 +20,12 @@ three claims are checked:
 
 The run emits the measurement-side perf datapoint as
 ``BENCH_measurement.json`` (CI uploads it as an artifact); set
-``REPRO_BENCH_MEASUREMENT_JSON`` to redirect it.
+``REPRO_BENCH_MEASUREMENT_JSON`` to redirect it.  The datapoint records
+the selected execution backend and a per-stage wall-time breakdown
+(``stages_s``: shard fan-out, result apply, final flow assembly);
+``REPRO_BENCH_WORKERS``/``REPRO_BENCH_BACKEND`` select the raced
+configuration (CI's multi-core leg pins workers=4 on the shared-memory
+process pool).
 
 Run directly (``python benchmarks/bench_measurement_scaling.py``) or via
 pytest (``pytest benchmarks/bench_measurement_scaling.py -s``).
@@ -38,6 +43,7 @@ import numpy as np
 import pytest
 from conftest import print_header, run_once
 
+from repro.execution import reset_stage_timings, stage_timings
 from repro.core import EmpiricalEnsemble, RectangularShot
 from repro.generation import GenerationEngine
 from repro.measurement import (
@@ -61,11 +67,21 @@ SEED = 7
 
 #: Engine configuration raced against the reference path.  Key-space
 #: sharding (``workers``) is exercised for correctness by the test suite;
-#: the race runs one shard because the surrounding small numpy ops are
-#: GIL-bound, so extra shards cost more in partitioning than they return
-#: on a single host.
+#: the race defaults to one shard because on a single host the
+#: surrounding small numpy ops are GIL-bound and extra shards cost more
+#: in partitioning than they return.  CI's multi-core leg overrides
+#: ``REPRO_BENCH_WORKERS``/``REPRO_BENCH_BACKEND`` to race the
+#: shared-memory process pool instead.
 CHUNK = 200_000
-WORKERS = 1
+_CPUS = (
+    len(os.sched_getaffinity(0))
+    if hasattr(os, "sched_getaffinity")  # Linux; fall back elsewhere
+    else (os.cpu_count() or 1)
+)
+WORKERS = min(int(os.environ.get("REPRO_BENCH_WORKERS", "1")), _CPUS)
+BACKEND = os.environ.get("REPRO_BENCH_BACKEND") or (
+    "process" if WORKERS > 1 else "thread"
+)
 
 #: Required end-to-end speedup.  The acceptance bar is >= 10x on the
 #: full ~1e6-packet capture; the shrunken quick-mode capture amortises
@@ -130,9 +146,9 @@ def _reference_pipeline(trace, max_lag):
 
 def _engine_pipeline(trace, max_lag):
     """The streaming engine path: one pass + FFT + closed-form EWMA."""
-    result = MeasurementEngine(chunk=CHUNK, workers=WORKERS).measure_trace(
-        trace, delta=DELTA, timeout=TIMEOUT
-    )
+    result = MeasurementEngine(
+        chunk=CHUNK, workers=WORKERS, backend=BACKEND
+    ).measure_trace(trace, delta=DELTA, timeout=TIMEOUT)
     acov = autocovariance_series(
         result.flows.interarrival_times, max_lag, method="fft"
     )
@@ -151,7 +167,9 @@ def test_measurement_scaling(benchmark, tmp_path):
         reference, t_reference = _timed(
             lambda: _reference_pipeline(trace, max_lag)
         )
+        reset_stage_timings()
         engine, t_engine = _timed(lambda: _engine_pipeline(trace, max_lag))
+        stages = stage_timings()
         small_chunk = max(10_000, N_PACKETS // 40)
         peak_whole = _peak_memory(
             lambda: MeasurementEngine().measure_file(
@@ -164,12 +182,12 @@ def test_measurement_scaling(benchmark, tmp_path):
             )
         )
         return (
-            reference, engine, (t_reference, t_engine),
+            reference, engine, (t_reference, t_engine, stages),
             (peak_whole, peak_chunked), small_chunk,
         )
 
     reference, engine, times, peaks, small_chunk = run_once(benchmark, build)
-    t_reference, t_engine = times
+    t_reference, t_engine, stages = times
     peak_whole, peak_chunked = peaks
     ref_flows, ref_series, ref_acov, ref_ewma = reference
     eng_flows, eng_series, eng_acov, eng_ewma = engine
@@ -185,10 +203,14 @@ def test_measurement_scaling(benchmark, tmp_path):
     print(f"  {'path':>42s} {'time (s)':>10s} {'packets/s':>12s}")
     rows = (
         ("reference (unique/loop/python-ewma)", t_reference),
-        (f"engine chunk={CHUNK} workers={WORKERS}", t_engine),
+        (f"engine chunk={CHUNK} workers={WORKERS} backend={BACKEND}",
+         t_engine),
     )
     for label, t in rows:
         print(f"  {label:>42s} {t:10.2f} {len(trace) / t:12.0f}")
+    for name in sorted(stages, key=stages.get, reverse=True):
+        print(f"  {'stage ' + name:>42s} {stages[name]:10.2f} "
+              f"{100.0 * stages[name] / t_engine:11.0f}%")
     print(f"  end-to-end speedup: {speedup:.1f}x")
     print(
         f"  peak file-measure memory: whole-trace {peak_whole / 1e6:.0f} MB"
@@ -210,8 +232,11 @@ def test_measurement_scaling(benchmark, tmp_path):
         "max_lag": int(max_lag),
         "chunk_packets": int(CHUNK),
         "workers": int(WORKERS),
+        "backend": BACKEND,
+        "cpus": int(_CPUS),
         "reference_s": float(t_reference),
         "engine_s": float(t_engine),
+        "stages_s": {name: float(secs) for name, secs in sorted(stages.items())},
         "speedup": float(speedup),
         "peak_whole_mb": float(peak_whole / 1e6),
         "peak_chunked_mb": float(peak_chunked / 1e6),

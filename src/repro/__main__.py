@@ -85,7 +85,7 @@ def _fail(message: str) -> int:
 
 
 def _execution_parent() -> argparse.ArgumentParser:
-    """The shared ``--chunk/--workers/--execution`` flags.
+    """The shared ``--chunk/--workers/--backend/--execution`` flags.
 
     One parent parser for every engine-backed command (``run``,
     ``network``, ``sweep``, ``synthesize``, ``measure``) so the flags
@@ -110,15 +110,21 @@ def _execution_parent() -> argparse.ArgumentParser:
         "'execution' section)",
     )
     group.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default=None,
+        help="engine pool flavour: 'thread' (default), 'process' "
+        "(shared-memory worker processes; best for multi-core runs) or "
+        "'serial' (in-line, for debugging)",
+    )
+    group.add_argument(
         "--execution", choices=("cli-wins", "spec-wins"),
         default="cli-wins",
         help="precedence between these flags and a spec file's "
-        "'execution' section: 'cli-wins' (default) lets --chunk and "
-        "--workers override the spec where explicitly given, flags "
-        "left unset keep the spec's values; 'spec-wins' runs the spec "
-        "exactly as written and ignores --chunk/--workers (commands "
-        "without a spec file, such as measure/synthesize, always use "
-        "the flags)",
+        "'execution' section: 'cli-wins' (default) lets --chunk, "
+        "--workers and --backend override the spec where explicitly "
+        "given, flags left unset keep the spec's values; 'spec-wins' "
+        "runs the spec exactly as written and ignores "
+        "--chunk/--workers/--backend (commands without a spec file, "
+        "such as measure/synthesize, always use the flags)",
     )
     return parent
 
@@ -139,6 +145,7 @@ def _cli_execution(args: argparse.Namespace) -> ExecutionSpec:
     return ExecutionSpec(
         chunk=args.chunk or None,
         workers=1 if args.workers is None else args.workers,
+        backend="thread" if args.backend is None else args.backend,
     )
 
 
@@ -159,6 +166,9 @@ def _resolve_execution(
         ),
         workers=(
             execution.workers if args.workers is None else args.workers
+        ),
+        backend=(
+            execution.backend if args.backend is None else args.backend
         ),
     )
 
@@ -206,6 +216,7 @@ def _cmd_synthesize_streaming(
         seed=args.seed,
         chunk=execution.chunk or 1_000_000,
         workers=execution.workers,
+        backend=execution.backend,
     )
     try:
         stream.write_trace(args.output)
@@ -226,6 +237,7 @@ def _measure_spec(
     *,
     name: str,
     workers: int = 1,
+    backend: str = "thread",
 ) -> ScenarioSpec:
     """Scenario spec equivalent of the measure-style CLI flags.
 
@@ -241,7 +253,9 @@ def _measure_spec(
             timeout=args.timeout,
             prefix_length=args.prefix_length,
         ),
-        measurement=MeasurementSpec(workers=workers),
+        measurement=MeasurementSpec(
+            execution=ExecutionSpec(workers=workers, backend=backend)
+        ),
         estimation=EstimationSpec(delta=args.delta),
         validation=ValidationSpec(epsilon=getattr(args, "epsilon", 0.01)),
         generation=None,
@@ -314,7 +328,8 @@ def _cmd_measure_streaming(
     path, which the CLI tests pin.
     """
     engine = MeasurementEngine(
-        chunk=execution.chunk, workers=execution.workers
+        chunk=execution.chunk, workers=execution.workers,
+        backend=execution.backend,
     )
     measured = engine.measure_file(
         args.trace,
@@ -361,7 +376,8 @@ def _cmd_measure_import(
         args.trace, format=fmt, chunk=execution.chunk
     )
     engine = MeasurementEngine(
-        chunk=execution.chunk, workers=execution.workers
+        chunk=execution.chunk, workers=execution.workers,
+        backend=execution.backend,
     )
     measured = engine.measure_chunks(
         stream,
@@ -404,7 +420,8 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         return _cmd_measure_streaming(args, execution)
     trace = read_trace(args.trace)
     spec = _measure_spec(
-        args, name=Path(args.trace).stem, workers=execution.workers
+        args, name=Path(args.trace).stem, workers=execution.workers,
+        backend=execution.backend,
     )
     result = run_scenario(spec, trace=trace, stages=MEASUREMENT_STAGES)
     report = result.validation
@@ -546,7 +563,8 @@ def _cmd_export(args: argparse.Namespace) -> int:
                   f"({stream.format} -> pcap) -> {args.output}")
             return 0
         engine = MeasurementEngine(
-            chunk=execution.chunk, workers=execution.workers
+            chunk=execution.chunk, workers=execution.workers,
+            backend=execution.backend,
         )
         measured = engine.measure_chunks(
             stream,

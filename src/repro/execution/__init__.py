@@ -1,0 +1,34 @@
+"""Execution backends: serial / thread / shared-memory process pools.
+
+See :mod:`repro.execution.pool` for the abstraction every engine routes
+through, and :mod:`repro.execution.shm` for the zero-pickle array
+transport behind the ``process`` backend.
+"""
+
+from .pool import (
+    BACKENDS,
+    SerialPool,
+    SharedMemoryPool,
+    ThreadPool,
+    check_backend,
+    make_pool,
+    process_backend_available,
+)
+from .shm import SHM_PREFIX, ShmRef, ShmTransport
+from .timing import reset_stage_timings, stage_timer, stage_timings
+
+__all__ = [
+    "BACKENDS",
+    "SHM_PREFIX",
+    "SerialPool",
+    "SharedMemoryPool",
+    "ShmRef",
+    "ShmTransport",
+    "ThreadPool",
+    "check_backend",
+    "make_pool",
+    "process_backend_available",
+    "reset_stage_timings",
+    "stage_timer",
+    "stage_timings",
+]

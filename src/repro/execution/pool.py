@@ -1,0 +1,277 @@
+"""One pool abstraction behind every engine's ``workers`` knob.
+
+Three interchangeable backends::
+
+    serial   inline execution, no pool at all (the bitwise ground truth)
+    thread   a lazy persistent ThreadPoolExecutor (the legacy behaviour)
+    process  a fork-based multiprocessing.Pool whose large arrays travel
+             through shared-memory ring buffers (see :mod:`.shm`)
+
+All three expose the same tiny surface — ``map_ordered(fn, items)``,
+``close()``, context management, ``.backend`` / ``.workers`` — so the
+generation, synthesis, measurement and network engines route through a
+single :func:`make_pool` call and stay bit-for-bit identical across
+backends (every engine's chunk/worker invariance contract extends to
+the backend axis).
+
+The process backend requires ``fn`` and the items to be picklable
+(module-level functions, plain data).  Two guards keep it safe to
+request anywhere:
+
+* ``workers <= 1`` or a single item degrade to serial execution, so a
+  one-core host never pays fork overhead;
+* inside a daemonic pool worker (which may not spawn children —
+  e.g. per-link tasks of the network engine running a measurement
+  engine) ``process`` silently downgrades to ``thread``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import shared_memory
+
+from ..exceptions import ParameterError
+from .shm import (
+    DEFAULT_SLOT_BYTES,
+    DEFAULT_THRESHOLD,
+    ShmTransport,
+    new_segment_name,
+)
+
+__all__ = [
+    "BACKENDS",
+    "SerialPool",
+    "ThreadPool",
+    "SharedMemoryPool",
+    "make_pool",
+    "check_backend",
+    "process_backend_available",
+]
+
+#: Accepted values of every ``backend`` knob, CLI flag and spec field.
+BACKENDS = ("serial", "thread", "process")
+
+
+def check_backend(name: str, value) -> str:
+    if value not in BACKENDS:
+        raise ParameterError(
+            f"{name} must be one of {BACKENDS}, got {value!r}"
+        )
+    return str(value)
+
+
+def process_backend_available() -> bool:
+    """True when a fork-based process pool may be created here."""
+    if multiprocessing.current_process().daemon:
+        return False
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class SerialPool:
+    """Inline execution; defines the semantics the others must match."""
+
+    backend = "serial"
+    workers = 1
+
+    def map_ordered(self, fn, items):
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class ThreadPool:
+    """Persistent lazily-started thread pool (the legacy backend)."""
+
+    backend = "thread"
+
+    def __init__(self, workers: int):
+        self.workers = max(1, int(workers))
+        self._executor: ThreadPoolExecutor | None = None
+
+    def map_ordered(self, fn, items):
+        items = list(items)
+        if len(items) <= 1 or self.workers <= 1:
+            return [fn(item) for item in items]
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.workers)
+        return list(self._executor.map(fn, items))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+# -- process backend ---------------------------------------------------
+
+# Worker-global transport, installed by the fork-inherited initializer.
+_WORKER_TRANSPORT: ShmTransport | None = None
+
+
+def _worker_init(free_slots, slot_names, threshold, slot_bytes):
+    global _WORKER_TRANSPORT
+    slots = [shared_memory.SharedMemory(name=n) for n in slot_names]
+    _WORKER_TRANSPORT = ShmTransport(free_slots, slots, threshold, slot_bytes)
+
+
+def _worker_run(payload):
+    """Unstage inputs, run, stage outputs.
+
+    Inputs are unstaged (and their slots recycled / one-shots unlinked)
+    *before* ``fn`` runs, so a failing task never strands a segment.
+    """
+    fn, staged = payload
+    item = _WORKER_TRANSPORT.unstage(staged)
+    result = fn(item)
+    return _WORKER_TRANSPORT.stage(result)
+
+
+class SharedMemoryPool:
+    """Fork-based process pool with zero-pickle array hand-off.
+
+    The parent owns ``2 * workers + 2`` reusable shared-memory ring
+    slots; the free-slot queue and the attached segments are inherited
+    by the workers at fork time (``multiprocessing.Pool`` passes
+    initargs through the ``Process`` constructor, so the queue is
+    never pickled).  ``map_ordered`` stages each item, streams results
+    back through an ordered ``imap`` and unstages them promptly, which
+    keeps slots cycling; when the ring is momentarily dry either side
+    falls back to a one-shot segment, so progress never blocks on the
+    ring.
+    """
+
+    backend = "process"
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        slots: int | None = None,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        threshold: int = DEFAULT_THRESHOLD,
+    ):
+        self.workers = max(1, int(workers))
+        n_slots = int(slots) if slots is not None else 2 * self.workers + 2
+        ctx = multiprocessing.get_context("fork")
+        self._segments = [
+            shared_memory.SharedMemory(
+                name=new_segment_name(), create=True, size=int(slot_bytes)
+            )
+            for _ in range(n_slots)
+        ]
+        self._free = ctx.Queue()
+        for i in range(n_slots):
+            self._free.put(i)
+        self._transport = ShmTransport(
+            self._free, self._segments, threshold, slot_bytes
+        )
+        self._pool = ctx.Pool(
+            self.workers,
+            initializer=_worker_init,
+            initargs=(
+                self._free,
+                [seg.name for seg in self._segments],
+                int(threshold),
+                int(slot_bytes),
+            ),
+        )
+        self._closed = False
+
+    def map_ordered(self, fn, items):
+        if self._closed:
+            raise ParameterError("pool is closed")
+        items = list(items)
+        if not items:
+            return []
+        if len(items) == 1:
+            return [fn(items[0])]
+        payloads = [(fn, self._transport.stage(item)) for item in items]
+        out = []
+        it = self._pool.imap(_worker_run, payloads, chunksize=1)
+        try:
+            for staged in it:
+                out.append(self._transport.unstage(staged))
+        except BaseException:
+            self._drain_after_error(it)
+            raise
+        return out
+
+    def _drain_after_error(self, it) -> None:
+        """Consume whatever the workers still deliver after a failure so
+        their staged results do not strand segments."""
+        while True:
+            try:
+                staged = it.next(timeout=60)
+            except StopIteration:
+                return
+            except multiprocessing.TimeoutError:
+                return
+            except Exception:
+                continue
+            try:
+                self._transport.discard(staged)
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._pool.terminate()
+            self._pool.join()
+        finally:
+            for seg in self._segments:
+                try:
+                    seg.close()
+                    seg.unlink()
+                except FileNotFoundError:
+                    pass
+            self._segments = []
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_pool(backend: str = "thread", workers: int = 1, **kwargs):
+    """Build the pool implementing ``backend`` with ``workers`` lanes.
+
+    ``workers <= 1`` and ``backend="serial"`` return the inline pool;
+    ``backend="process"`` downgrades to threads wherever a fork-based
+    pool cannot be created (daemonic workers, exotic platforms), so
+    requesting it is always safe.
+    """
+    check_backend("backend", backend)
+    if workers <= 1 or backend == "serial":
+        return SerialPool()
+    if backend == "process":
+        if not process_backend_available():
+            return ThreadPool(workers)
+        return SharedMemoryPool(workers, **kwargs)
+    return ThreadPool(workers)

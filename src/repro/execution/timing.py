@@ -1,0 +1,45 @@
+"""Parent-side stage timing for the execution benchmarks.
+
+Engines wrap their coarse phases (cell fan-out, run merging, shard
+apply, routing setup, ...) in :func:`stage_timer` blocks.  The timers
+accumulate wall-clock seconds into a process-local registry that the
+scaling benchmarks reset before a run and read afterwards, giving the
+per-stage breakdown recorded in the ``BENCH_*.json`` artifacts.
+
+All timing happens in the *parent* process around the ``map_ordered``
+call sites, so the breakdown is valid for every backend — under the
+process backend a fan-out stage measures the full dispatch + shared
+-memory transport + compute wall time, which is exactly the quantity
+the speedup gates reason about.  The overhead per block is one
+``perf_counter`` pair and a dict update, cheap enough to leave enabled
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+#: Accumulated wall-clock seconds per stage label (process-local).
+_STAGES: dict[str, float] = {}
+
+
+@contextmanager
+def stage_timer(name: str):
+    """Accumulate the wall time of the enclosed block under ``name``."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - t0
+        _STAGES[name] = _STAGES.get(name, 0.0) + elapsed
+
+
+def reset_stage_timings() -> None:
+    """Zero the registry (benchmarks call this before a timed run)."""
+    _STAGES.clear()
+
+
+def stage_timings() -> dict[str, float]:
+    """A snapshot of accumulated seconds per stage label."""
+    return dict(_STAGES)

@@ -42,7 +42,6 @@ given seed regardless of worker count, and — for the exact scatter path
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
 
@@ -52,6 +51,8 @@ from .._util import as_rng, check_positive
 from ..core.ensemble import FlowEnsemble
 from ..core.shots import PowerShot, Shot
 from ..exceptions import ParameterError
+from ..execution import check_backend, make_pool
+from ..kernels import powershot_scatter
 from ..netsim.addresses import AddressSpace
 from ..netsim.packetize import packetize_shots
 from ..stats.timeseries import RateSeries
@@ -84,8 +85,13 @@ class EngineConfig:
         Processing window in seconds; ``None`` processes the whole horizon
         as one chunk.  Peak accumulation memory scales with ``chunk``.
     workers:
-        Thread-pool width for independent chunks / links / seeds.  Results
+        Pool width for independent chunks / links / seeds.  Results
         never depend on it.
+    backend:
+        Pool flavour: ``"serial"`` runs inline, ``"thread"`` (default)
+        uses a thread pool, ``"process"`` a fork-based shared-memory
+        process pool (see :mod:`repro.execution`).  Results never depend
+        on it either — the bitwise contracts extend to the backend axis.
     arrival_cell:
         Streamed-mode sampling cell width in seconds.  Flows are drawn per
         cell from a dedicated ``SeedSequence`` child, which is what makes
@@ -97,6 +103,7 @@ class EngineConfig:
 
     chunk: float | None = None
     workers: int = 1
+    backend: str = "thread"
     arrival_cell: float = DEFAULT_ARRIVAL_CELL
     rect_fast_path: bool = True
 
@@ -109,6 +116,7 @@ class EngineConfig:
                 f"workers must be an integer >= 1, got {self.workers!r}"
             )
         object.__setattr__(self, "workers", workers)
+        check_backend("backend", self.backend)
         check_positive("arrival_cell", self.arrival_cell)
 
 
@@ -172,9 +180,16 @@ def _scatter_chunk(shot, starts, sizes, durations, lo, hi, delta, b0, b1):
     One row per (flow, bin) overlap, in flow order; ``np.bincount``
     accumulates rows sequentially, so every bin sums its contributions in
     the same order as the reference per-flow loop — bit-for-bit equal.
+    Power shots route through :func:`repro.kernels.powershot_scatter`
+    (compiled when numba is available; its NumPy fallback is this very
+    expansion), table-interpolated shots keep the generic path below.
     """
     a = np.maximum(lo, b0)
     b = np.minimum(hi, b1)
+    if isinstance(shot, PowerShot):
+        return powershot_scatter(
+            starts, sizes, durations, a, b, shot.power, delta, b0, b1
+        )
     sel = b > a
     volumes = np.zeros(b1 - b0)
     if not np.any(sel):
@@ -246,6 +261,52 @@ def _rect_chunk(starts, sizes, durations, delta, b0, b1, n_bins):
         np.add.at(acc, hi_full[grow] - b0, -rate[~single][grow])
         volumes += np.cumsum(acc[:-1]) * delta
     return volumes
+
+
+class _StarTask:
+    """Picklable ``fn(*task)`` adapter for the pool's single-arg map."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, task):
+        return self.fn(*task)
+
+
+def _rect_task(task):
+    """Closed-form rectangular accumulation of one chunk (picklable)."""
+    starts, sizes, durations, delta, b0, b1, n_bins = task
+    return _rect_chunk(starts, sizes, durations, delta, b0, b1, n_bins)
+
+
+def _scatter_task(task):
+    """Exact scatter of one chunk's candidate flows (picklable)."""
+    shot, starts, sizes, durations, lo, hi, delta, b0, b1 = task
+    return _scatter_chunk(shot, starts, sizes, durations, lo, hi, delta, b0, b1)
+
+
+def _stream_accum_task(task):
+    """Streamed-mode accumulation of one chunk's gathered flows."""
+    shot, use_rect, delta, n_bins, b0, b1, flows = task
+    if flows is None:
+        return np.zeros(b1 - b0)
+    f_starts, f_sizes, f_durations = flows
+    if use_rect:
+        return _rect_chunk(f_starts, f_sizes, f_durations, delta, b0, b1, n_bins)
+    active, lo, hi = _bin_bounds(f_starts, f_durations, delta, n_bins)
+    return _scatter_chunk(
+        shot,
+        f_starts[active],
+        f_sizes[active],
+        f_durations[active],
+        lo,
+        hi,
+        delta,
+        b0,
+        b1,
+    )
 
 
 # -- splitmix64-based per-packet jitter (streamed packet generation) -------
@@ -323,6 +384,7 @@ class GenerationEngine:
         *,
         chunk: float | None = None,
         workers: int | None = None,
+        backend: str | None = None,
         arrival_cell: float | None = None,
         rect_fast_path: bool | None = None,
     ) -> None:
@@ -331,6 +393,7 @@ class GenerationEngine:
         overrides = {
             "chunk": chunk,
             "workers": workers,
+            "backend": backend,
             "arrival_cell": arrival_cell,
             "rect_fast_path": rect_fast_path,
         }
@@ -366,13 +429,21 @@ class GenerationEngine:
             (float(t0), float(min(t0 + chunk, duration))) for t0 in edges
         ]
 
+    def _make_pool(self, n_tasks: int):
+        """Backend pool sized for ``n_tasks`` (serial when pointless)."""
+        width = min(self.config.workers, max(n_tasks, 1))
+        return make_pool(self.config.backend, width)
+
     def _run_ordered(self, fn, tasks):
-        """Evaluate ``fn(*task)`` for every task, preserving order."""
+        """Evaluate ``fn(*task)`` for every task, preserving order.
+
+        With the ``process`` backend ``fn`` must be picklable (a
+        module-level function); ``serial``/``thread`` accept closures.
+        """
         if self.config.workers <= 1 or len(tasks) <= 1:
             return [fn(*task) for task in tasks]
-        width = min(self.config.workers, len(tasks))
-        with ThreadPoolExecutor(max_workers=width) as pool:
-            return list(pool.map(lambda task: fn(*task), tasks))
+        with self._make_pool(len(tasks)) as pool:
+            return pool.map_ordered(_StarTask(fn), tasks)
 
     def map_ordered(self, fn, items) -> list:
         """Run ``fn(item)`` for independent items, preserving input order.
@@ -459,13 +530,11 @@ class GenerationEngine:
         """Chunked, parallel bin accumulation for one flow population."""
         ranges = self._chunk_bin_ranges(n_bins, delta)
         if not exact and self.config.rect_fast_path and _is_rectangular(shot):
-
-            def run(b0, b1):
-                return _rect_chunk(
-                    starts, sizes, durations, delta, b0, b1, n_bins
-                )
-
-            tasks = ranges
+            run = _rect_task
+            tasks = [
+                (starts, sizes, durations, delta, b0, b1, n_bins)
+                for b0, b1 in ranges
+            ]
         else:
             active, lo, hi = _bin_bounds(starts, durations, delta, n_bins)
             a_starts = starts[active]
@@ -476,9 +545,9 @@ class GenerationEngine:
             # n_flows per chunk).  The stable sort keeps every bucket in
             # flow order, preserving bitwise accumulation order.
             buckets = _chunk_buckets(lo, hi, ranges)
-
-            def run(b0, b1, cand):
-                return _scatter_chunk(
+            run = _scatter_task
+            tasks = [
+                (
                     shot,
                     a_starts[cand],
                     a_sizes[cand],
@@ -489,13 +558,16 @@ class GenerationEngine:
                     b0,
                     b1,
                 )
-
-            tasks = [
-                (b0, b1, cand) for (b0, b1), cand in zip(ranges, buckets)
+                for (b0, b1), cand in zip(ranges, buckets)
             ]
 
+        if self.config.workers <= 1 or len(tasks) <= 1:
+            parts = [run(task) for task in tasks]
+        else:
+            with self._make_pool(len(tasks)) as pool:
+                parts = pool.map_ordered(run, tasks)
         volumes = np.zeros(n_bins)
-        for (b0, b1, *_), part in zip(tasks, self._run_ordered(run, tasks)):
+        for (b0, b1), part in zip(ranges, parts):
             volumes[b0:b1] = part
         return volumes
 
@@ -543,42 +615,34 @@ class GenerationEngine:
             not exact and self.config.rect_fast_path and _is_rectangular(shot)
         )
 
-        def run(b0, b1, flows):
-            if flows is None:
-                return np.zeros(b1 - b0)
-            f_starts, f_sizes, f_durations = flows
-            if use_rect:
-                return _rect_chunk(
-                    f_starts, f_sizes, f_durations, delta, b0, b1, n_bins
-                )
-            active, lo, hi = _bin_bounds(f_starts, f_durations, delta, n_bins)
-            return _scatter_chunk(
-                shot,
-                f_starts[active],
-                f_sizes[active],
-                f_durations[active],
-                lo,
-                hi,
-                delta,
-                b0,
-                b1,
-            )
-
         buffer = _StreamBuffer()
         volumes = np.zeros(n_bins)
         group = max(1, self.config.workers)
-        for g0 in range(0, len(ranges), group):
-            tasks = []
-            for b0, b1 in ranges[g0: g0 + group]:
-                t_start, t_end = delta * b0, delta * b1
-                for block in sampler.cells_before(t_end):
-                    buffer.push(block)
-                buffer.prune(t_start)
-                tasks.append((b0, b1, buffer.gather(t_start, t_end)))
-            for (b0, b1, _), part in zip(
-                tasks, self._run_ordered(run, tasks)
-            ):
-                volumes[b0:b1] = part
+        with self._make_pool(group) as pool:
+            for g0 in range(0, len(ranges), group):
+                tasks = []
+                for b0, b1 in ranges[g0: g0 + group]:
+                    t_start, t_end = delta * b0, delta * b1
+                    for block in sampler.cells_before(t_end):
+                        buffer.push(block)
+                    buffer.prune(t_start)
+                    tasks.append(
+                        (
+                            shot,
+                            use_rect,
+                            delta,
+                            n_bins,
+                            b0,
+                            b1,
+                            buffer.gather(t_start, t_end),
+                        )
+                    )
+                if len(tasks) <= 1 or self.config.workers <= 1:
+                    parts = [_stream_accum_task(task) for task in tasks]
+                else:
+                    parts = pool.map_ordered(_stream_accum_task, tasks)
+                for (_, _, _, _, b0, b1, _), part in zip(tasks, parts):
+                    volumes[b0:b1] = part
         if sampler.total_flows == 0:
             raise ParameterError(
                 "no flows generated; increase arrival_rate or duration"

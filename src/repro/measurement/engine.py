@@ -33,6 +33,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..execution import check_backend
 from ..flows.exporter import DEFAULT_TIMEOUT
 from ..flows.records import FlowSet
 from ..stats.timeseries import RateSeries
@@ -85,13 +86,18 @@ class MeasurementConfig:
         Packets per processing block; ``None`` measures the whole trace
         as one chunk.  Peak working memory scales with ``chunk``.
     workers:
-        Key-space shards, processed concurrently on a thread pool that
+        Key-space shards, processed concurrently on a worker pool that
         persists for the whole measurement pass.  Results never depend
         on it.
+    backend:
+        Pool flavour: ``"serial"``, ``"thread"`` (default) or
+        ``"process"`` (fork-based shared-memory pool, see
+        :mod:`repro.execution`).  Results never depend on it.
     """
 
     chunk: int | None = None
     workers: int = 1
+    backend: str = "thread"
 
     def __post_init__(self) -> None:
         if self.chunk is not None:
@@ -108,6 +114,7 @@ class MeasurementConfig:
                 f"workers must be an integer >= 1, got {self.workers!r}"
             )
         object.__setattr__(self, "workers", workers)
+        check_backend("backend", self.backend)
 
 
 @dataclass(frozen=True)
@@ -152,12 +159,15 @@ class MeasurementEngine:
         *,
         chunk: int | None = None,
         workers: int | None = None,
+        backend: str | None = None,
     ) -> None:
         if config is None:
             config = MeasurementConfig()
         overrides = {
             k: v
-            for k, v in {"chunk": chunk, "workers": workers}.items()
+            for k, v in {
+                "chunk": chunk, "workers": workers, "backend": backend,
+            }.items()
             if v is not None
         }
         if overrides:
@@ -173,6 +183,7 @@ class MeasurementEngine:
             delta=delta,
             duration=duration,
             shards=self.config.workers,
+            backend=self.config.backend,
             keep_raw_series=keep_raw_series,
             **flow_kwargs,
         )

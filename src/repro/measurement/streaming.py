@@ -43,11 +43,12 @@ lexsort.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..exceptions import FlowExportError
+from ..execution import check_backend, make_pool, stage_timer
 from ..flows.exporter import DEFAULT_TIMEOUT
 from ..flows.keys import (
     five_tuple_key_dtype,
@@ -164,6 +165,246 @@ def _pend_pairs(result: _ChunkResult, pend_bin, pend_byte, pend_n):
         result.sub_bytes.append(pend_byte[valid])
 
 
+@dataclass(frozen=True)
+class _ShardParams:
+    """The per-shard constants of one measurement (picklable)."""
+
+    timeout: float
+    min_packets: int
+    pend_width: int
+    track: bool  # whether a rate series is being accumulated
+
+
+def _kept(params: _ShardParams, counts, starts, ends):
+    return (counts >= params.min_packets) & (ends > starts)
+
+
+def _close_carry(params, state: _ShardState, idx, result: _ChunkResult):
+    """Emit carried flows ``idx`` (closed), with discard corrections."""
+    if idx.size == 0:
+        return
+    kept = _kept(params, state.count[idx], state.start[idx], state.last[idx])
+    k = idx[kept]
+    if k.size:
+        result.flows.append((
+            state.start[k], state.last[k], state.size[k],
+            state.count[k], state.hi[k], state.lo[k],
+        ))
+    d = idx[~kept]
+    if d.size:
+        result.discarded_packets += int(state.count[d].sum())
+        if params.track:
+            _pend_pairs(
+                result, state.pend_bin[d], state.pend_byte[d],
+                state.pend_n[d],
+            )
+
+
+def _rebuild_carry(params, state: _ShardState, keep_mask, new_rows, new_pend):
+    """Replace the carry table with kept rows + the chunk's open flows."""
+    if new_rows is None:
+        n_hi = n_lo = _EMPTY_U64
+        n_start = n_last = n_size = _EMPTY_F64
+        n_count = _EMPTY_I64
+        n_pn = _EMPTY_I64
+        n_pb = np.zeros((0, params.pend_width), dtype=np.int64)
+        n_py = np.zeros((0, params.pend_width), dtype=np.float64)
+    else:
+        n_hi, n_lo, n_start, n_last, n_size, n_count = new_rows
+        n_pn, n_pb, n_py = new_pend
+    hi = np.concatenate([state.hi[keep_mask], n_hi])
+    lo = np.concatenate([state.lo[keep_mask], n_lo])
+    order = packed_key_order(hi, lo)
+    state.hi = hi[order]
+    state.lo = lo[order]
+    state.start = np.concatenate([state.start[keep_mask], n_start])[order]
+    state.last = np.concatenate([state.last[keep_mask], n_last])[order]
+    state.size = np.concatenate([state.size[keep_mask], n_size])[order]
+    state.count = np.concatenate([state.count[keep_mask], n_count])[order]
+    state.pend_n = np.concatenate([state.pend_n[keep_mask], n_pn])[order]
+    state.pend_bin = np.concatenate([state.pend_bin[keep_mask], n_pb])[order]
+    state.pend_byte = np.concatenate(
+        [state.pend_byte[keep_mask], n_py]
+    )[order]
+
+
+def _process_shard(task):  # noqa: E741
+    """One shard-chunk step: ``task -> (updated state, result)``.
+
+    A pure function of the task tuple (the state is mutated and
+    returned), so shards can run on any backend — with the process
+    backend the worker operates on its own copy and the parent adopts
+    the returned table.
+    """
+    params, state, t, s, h, l, b, t_max, time_sorted = task
+    result = _ChunkResult()
+    timeout = params.timeout
+    track = params.track
+    width = params.pend_width
+
+    if t.size == 0:
+        # no packets for this shard, but time still advanced: close
+        # carried flows the stream has moved more than timeout past
+        stale = np.flatnonzero(state.last < t_max - timeout)
+        if stale.size:
+            _close_carry(params, state, stale, result)
+            keep = np.ones(state.hi.size, dtype=bool)
+            keep[stale] = False
+            _rebuild_carry(params, state, keep, None, None)
+        return state, result
+
+    order = packed_key_order(h, l, within=None if time_sorted else t)
+    t = t[order]
+    s = s[order]
+    h = h[order]
+    l = l[order]  # noqa: E741
+    if track:
+        b = b[order]
+
+    key_change = np.concatenate(
+        [[True], (h[1:] != h[:-1]) | (l[1:] != l[:-1])]
+    )
+    gap_split = np.concatenate([[False], (t[1:] - t[:-1]) > timeout])
+    new_seg = key_change | gap_split
+    seg_id = np.cumsum(new_seg) - 1
+    nseg = int(seg_id[-1]) + 1
+    seg_first = np.flatnonzero(new_seg)
+    seg_last = np.concatenate([seg_first[1:] - 1, [t.size - 1]])
+    seg_t0 = t[seg_first]
+    seg_t1 = t[seg_last]
+    seg_size = np.bincount(seg_id, weights=s, minlength=nseg)
+    seg_count = np.bincount(seg_id, minlength=nseg)
+    seg_hi = h[seg_first]
+    seg_lo = l[seg_first]
+    first_of_key = key_change[seg_first]
+    last_of_key = np.concatenate([first_of_key[1:], [True]])
+
+    # effective per-segment flow values (merged with carry where the
+    # boundary gap is within the timeout)
+    eff_start = seg_t0.copy()
+    eff_size = seg_size.copy()
+    eff_count = seg_count.copy()
+    inh_pend_n = np.zeros(nseg, dtype=np.int64)
+    inh_pend_bin = np.full((nseg, width), _NO_BIN, dtype=np.int64)
+    inh_pend_byte = np.zeros((nseg, width), dtype=np.float64)
+
+    kf_idx = np.flatnonzero(first_of_key)
+    ci, si = _match_sorted(
+        state.hi, state.lo, seg_hi[kf_idx], seg_lo[kf_idx]
+    )
+    seg_m = kf_idx[si]
+    cont = seg_t0[seg_m] - state.last[ci] <= timeout
+    # carried flow continued by this chunk: fold it into the first
+    # segment of its key run
+    mci = ci[cont]
+    msi = seg_m[cont]
+    eff_start[msi] = state.start[mci]
+    eff_size[msi] += state.size[mci]
+    eff_count[msi] += state.count[mci]
+    if track:
+        inh_pend_n[msi] = state.pend_n[mci]
+        inh_pend_bin[msi] = state.pend_bin[mci]
+        inh_pend_byte[msi] = state.pend_byte[mci]
+    # carried flow whose key reappears only after the timeout: closed
+    _close_carry(params, state, ci[~cont], result)
+
+    carry_keep = np.ones(state.hi.size, dtype=bool)
+    carry_keep[ci] = False  # consumed (merged) or closed above
+    # stale carries: the stream advanced > timeout past their last
+    # packet, so nothing can continue them — close now
+    stale = np.flatnonzero(carry_keep & (state.last < t_max - timeout))
+    if stale.size:
+        _close_carry(params, state, stale, result)
+        carry_keep[stale] = False
+
+    kept_seg = _kept(params, eff_count, eff_start, seg_t1)
+
+    # segments closed inside the chunk (a later segment of the same
+    # key follows after a gap > timeout)
+    closed = ~last_of_key
+    ck = np.flatnonzero(closed & kept_seg)
+    if ck.size:
+        result.flows.append((
+            eff_start[ck], seg_t1[ck], eff_size[ck],
+            eff_count[ck], seg_hi[ck], seg_lo[ck],
+        ))
+    cd = np.flatnonzero(closed & ~kept_seg)
+    if cd.size:
+        result.discarded_packets += int(eff_count[cd].sum())
+        if track:
+            # in-chunk packets of the discarded segments ...
+            pk = (closed & ~kept_seg)[seg_id]
+            bb = b[pk]
+            ok = bb >= 0
+            if ok.any():
+                result.sub_bins.append(bb[ok])
+                result.sub_bytes.append(s[pk][ok])
+            # ... plus whatever a merged carry had pending
+            _pend_pairs(
+                result, inh_pend_bin[cd], inh_pend_byte[cd],
+                inh_pend_n[cd],
+            )
+
+    # the last segment of each key stays open in the carry table
+    open_idx = np.flatnonzero(last_of_key)
+    open_resolved = kept_seg[open_idx]
+    pend_n = np.zeros(open_idx.size, dtype=np.int64)
+    pend_bin = np.full((open_idx.size, width), _NO_BIN, dtype=np.int64)
+    pend_byte = np.zeros((open_idx.size, width), dtype=np.float64)
+    if track and not open_resolved.all():
+        u_rel = np.flatnonzero(~open_resolved)
+        u_seg = open_idx[u_rel]
+        comb_bin = np.full(
+            (u_rel.size, 2 * width), _NO_BIN, dtype=np.int64
+        )
+        comb_byte = np.zeros((u_rel.size, 2 * width), dtype=np.float64)
+        comb_bin[:, :width] = inh_pend_bin[u_seg]
+        comb_byte[:, :width] = inh_pend_byte[u_seg]
+        # compressed (bin, bytes) runs of the unresolved segments'
+        # in-chunk packets (same-bin packets are adjacent: packets are
+        # time-sorted within a segment)
+        lengths = seg_last[u_seg] - seg_first[u_seg] + 1
+        total = int(lengths.sum())
+        offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        owner = np.repeat(np.arange(u_seg.size), lengths)
+        pidx = np.repeat(seg_first[u_seg], lengths) + (
+            np.arange(total) - np.repeat(offsets, lengths)
+        )
+        pb = b[pidx]
+        run_new = np.concatenate(
+            [[True], (owner[1:] != owner[:-1]) | (pb[1:] != pb[:-1])]
+        )
+        run_id = np.cumsum(run_new) - 1
+        run_first = np.flatnonzero(run_new)
+        run_owner = owner[run_first]
+        run_bin = pb[run_first]
+        run_byte = np.bincount(run_id, weights=s[pidx])
+        owner_first = np.searchsorted(run_owner, np.arange(u_seg.size))
+        slot = np.arange(run_owner.size) - owner_first[run_owner]
+        if slot.size and int(slot.max()) >= width:
+            raise FlowExportError(
+                "internal error: unresolved segment produced more "
+                "pending bins than its packet budget allows"
+            )
+        comb_bin[run_owner, width + slot] = run_bin
+        comb_byte[run_owner, width + slot] = run_byte
+        pend_bin[u_rel], pend_byte[u_rel], pend_n[u_rel] = (
+            _compress_pairs(comb_bin, comb_byte, width)
+        )
+
+    _rebuild_carry(
+        params,
+        state,
+        carry_keep,
+        (
+            seg_hi[open_idx], seg_lo[open_idx], eff_start[open_idx],
+            seg_t1[open_idx], eff_size[open_idx], eff_count[open_idx],
+        ),
+        (pend_n, pend_bin, pend_byte),
+    )
+    return state, result
+
+
 class StreamingMeasurement:
     """Streaming flow accounting + rate measurement over packet chunks.
 
@@ -191,9 +432,11 @@ class StreamingMeasurement:
         delta: float | None = None,
         duration: float | None = None,
         shards: int = 1,
+        backend: str = "thread",
         pool=None,
         keep_raw_series: bool = False,
     ) -> None:
+        check_backend("backend", backend)
         if key not in ("five_tuple", "prefix"):
             raise FlowExportError(
                 f"unknown flow key {key!r}; use 'five_tuple' or 'prefix'"
@@ -232,9 +475,16 @@ class StreamingMeasurement:
                 "duration) alongside it"
             )
         self._pend_width = max(1, self.min_packets - 1)
+        self._params = _ShardParams(
+            timeout=self.timeout,
+            min_packets=self.min_packets,
+            pend_width=self._pend_width,
+            track=self.delta is not None,
+        )
         self._states = [_ShardState(self._pend_width) for _ in range(shards)]
+        self.backend = str(backend)
         self._pool = pool
-        self._executor: ThreadPoolExecutor | None = None
+        self._owned_pool = None
         self._volumes = np.zeros(self.n_bins)
         # pre-discard volumes: what RateSeries.from_packets with no mask
         # sees — a router watching the raw link rate (anomaly detection)
@@ -298,9 +548,11 @@ class StreamingMeasurement:
         # subsets of a sorted chunk stay sorted
         time_sorted = bool(np.all(ts[1:] >= ts[:-1]))
         n_shards = len(self._states)
+        params = self._params
         if n_shards == 1:
             tasks = [
-                (self._states[0], ts, sizes, hi, lo, bins, t_max, time_sorted)
+                (params, self._states[0], ts, sizes, hi, lo, bins, t_max,
+                 time_sorted)
             ]
         else:
             shard_of = (hi ^ lo) % np.uint64(n_shards)
@@ -308,6 +560,7 @@ class StreamingMeasurement:
             for s in range(n_shards):
                 mask = shard_of == s
                 tasks.append((
+                    params,
                     self._states[s],
                     ts[mask],
                     sizes[mask],
@@ -317,35 +570,34 @@ class StreamingMeasurement:
                     t_max,
                     time_sorted,
                 ))
-        for result in self._run_shards(tasks):
+        for s, (state, result) in enumerate(self._run_shards(tasks)):
+            self._states[s] = state
             self._apply(result)
 
     def _run_shards(self, tasks):
         """Process shard tasks, concurrently when more than one shard."""
-        if len(tasks) <= 1:
-            return [self._process(*task) for task in tasks]
-        if self._pool is not None:
-            return self._pool.map_ordered(
-                lambda task: self._process(*task), tasks
-            )
-        if self._executor is None:
-            # one pool for the whole measurement, not one per chunk
-            self._executor = ThreadPoolExecutor(
-                max_workers=len(self._states)
-            )
-        return list(
-            self._executor.map(lambda task: self._process(*task), tasks)
-        )
+        with stage_timer("measurement.shards"):
+            if len(tasks) <= 1:
+                return [_process_shard(task) for task in tasks]
+            if self._pool is not None:
+                return self._pool.map_ordered(_process_shard, tasks)
+            if self._owned_pool is None:
+                # one pool for the whole measurement, not one per chunk
+                self._owned_pool = make_pool(
+                    self.backend, len(self._states)
+                )
+            return self._owned_pool.map_ordered(_process_shard, tasks)
 
     def close(self) -> None:
-        """Release the shard thread pool (idempotent; finalize calls it).
+        """Release the shard worker pool (idempotent; finalize calls it).
 
         Call from a ``finally`` when feeding chunks that may raise, so a
-        failed measurement does not strand worker threads until GC.
+        failed measurement does not strand workers (or shared-memory
+        segments) until GC.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        if self._owned_pool is not None:
+            self._owned_pool.close()
+            self._owned_pool = None
 
     def finalize(self) -> tuple[FlowSet, RateSeries | None]:
         """Close all open flows and assemble the final artifacts."""
@@ -355,11 +607,13 @@ class StreamingMeasurement:
         self.close()
         for state in self._states:
             result = _ChunkResult()
-            self._close_carry(
-                state, np.arange(state.hi.size, dtype=np.int64), result
+            _close_carry(
+                self._params, state,
+                np.arange(state.hi.size, dtype=np.int64), result,
             )
             self._apply(result)
-        flows = self._assemble_flows()
+        with stage_timer("measurement.assemble"):
+            flows = self._assemble_flows()
         series = None
         if self.delta is not None:
             series = RateSeries(self._volumes / self.delta, self.delta)
@@ -372,232 +626,13 @@ class StreamingMeasurement:
     # -- internals --------------------------------------------------------
 
     def _apply(self, result: _ChunkResult) -> None:
-        self._flows.extend(result.flows)
-        self._discarded += result.discarded_packets
-        for bins_, bytes_ in zip(result.sub_bins, result.sub_bytes):
-            self._volumes -= np.bincount(
-                bins_, weights=bytes_, minlength=self.n_bins
-            )
-
-    def _kept(self, counts, starts, ends):
-        return (counts >= self.min_packets) & (ends > starts)
-
-    def _close_carry(self, state: _ShardState, idx, result: _ChunkResult):
-        """Emit carried flows ``idx`` (closed), with discard corrections."""
-        if idx.size == 0:
-            return
-        kept = self._kept(state.count[idx], state.start[idx], state.last[idx])
-        k = idx[kept]
-        if k.size:
-            result.flows.append((
-                state.start[k], state.last[k], state.size[k],
-                state.count[k], state.hi[k], state.lo[k],
-            ))
-        d = idx[~kept]
-        if d.size:
-            result.discarded_packets += int(state.count[d].sum())
-            if self.delta is not None:
-                _pend_pairs(
-                    result, state.pend_bin[d], state.pend_byte[d],
-                    state.pend_n[d],
+        with stage_timer("measurement.apply"):
+            self._flows.extend(result.flows)
+            self._discarded += result.discarded_packets
+            for bins_, bytes_ in zip(result.sub_bins, result.sub_bytes):
+                self._volumes -= np.bincount(
+                    bins_, weights=bytes_, minlength=self.n_bins
                 )
-
-    def _process(  # noqa: E741
-        self, state, t, s, h, l, b, t_max, time_sorted=False
-    ) -> _ChunkResult:
-        """One shard-chunk step; mutates only this shard's carry table."""
-        result = _ChunkResult()
-        timeout = self.timeout
-        track = self.delta is not None
-        width = self._pend_width
-
-        if t.size == 0:
-            # no packets for this shard, but time still advanced: close
-            # carried flows the stream has moved more than timeout past
-            stale = np.flatnonzero(state.last < t_max - timeout)
-            if stale.size:
-                self._close_carry(state, stale, result)
-                keep = np.ones(state.hi.size, dtype=bool)
-                keep[stale] = False
-                self._rebuild_carry(state, keep, None, None)
-            return result
-
-        order = packed_key_order(h, l, within=None if time_sorted else t)
-        t = t[order]
-        s = s[order]
-        h = h[order]
-        l = l[order]  # noqa: E741
-        if track:
-            b = b[order]
-
-        key_change = np.concatenate(
-            [[True], (h[1:] != h[:-1]) | (l[1:] != l[:-1])]
-        )
-        gap_split = np.concatenate([[False], (t[1:] - t[:-1]) > timeout])
-        new_seg = key_change | gap_split
-        seg_id = np.cumsum(new_seg) - 1
-        nseg = int(seg_id[-1]) + 1
-        seg_first = np.flatnonzero(new_seg)
-        seg_last = np.concatenate([seg_first[1:] - 1, [t.size - 1]])
-        seg_t0 = t[seg_first]
-        seg_t1 = t[seg_last]
-        seg_size = np.bincount(seg_id, weights=s, minlength=nseg)
-        seg_count = np.bincount(seg_id, minlength=nseg)
-        seg_hi = h[seg_first]
-        seg_lo = l[seg_first]
-        first_of_key = key_change[seg_first]
-        last_of_key = np.concatenate([first_of_key[1:], [True]])
-
-        # effective per-segment flow values (merged with carry where the
-        # boundary gap is within the timeout)
-        eff_start = seg_t0.copy()
-        eff_size = seg_size.copy()
-        eff_count = seg_count.copy()
-        inh_pend_n = np.zeros(nseg, dtype=np.int64)
-        inh_pend_bin = np.full((nseg, width), _NO_BIN, dtype=np.int64)
-        inh_pend_byte = np.zeros((nseg, width), dtype=np.float64)
-
-        kf_idx = np.flatnonzero(first_of_key)
-        ci, si = _match_sorted(
-            state.hi, state.lo, seg_hi[kf_idx], seg_lo[kf_idx]
-        )
-        seg_m = kf_idx[si]
-        cont = seg_t0[seg_m] - state.last[ci] <= timeout
-        # carried flow continued by this chunk: fold it into the first
-        # segment of its key run
-        mci = ci[cont]
-        msi = seg_m[cont]
-        eff_start[msi] = state.start[mci]
-        eff_size[msi] += state.size[mci]
-        eff_count[msi] += state.count[mci]
-        if track:
-            inh_pend_n[msi] = state.pend_n[mci]
-            inh_pend_bin[msi] = state.pend_bin[mci]
-            inh_pend_byte[msi] = state.pend_byte[mci]
-        # carried flow whose key reappears only after the timeout: closed
-        self._close_carry(state, ci[~cont], result)
-
-        carry_keep = np.ones(state.hi.size, dtype=bool)
-        carry_keep[ci] = False  # consumed (merged) or closed above
-        # stale carries: the stream advanced > timeout past their last
-        # packet, so nothing can continue them — close now
-        stale = np.flatnonzero(carry_keep & (state.last < t_max - timeout))
-        if stale.size:
-            self._close_carry(state, stale, result)
-            carry_keep[stale] = False
-
-        kept_seg = self._kept(eff_count, eff_start, seg_t1)
-
-        # segments closed inside the chunk (a later segment of the same
-        # key follows after a gap > timeout)
-        closed = ~last_of_key
-        ck = np.flatnonzero(closed & kept_seg)
-        if ck.size:
-            result.flows.append((
-                eff_start[ck], seg_t1[ck], eff_size[ck],
-                eff_count[ck], seg_hi[ck], seg_lo[ck],
-            ))
-        cd = np.flatnonzero(closed & ~kept_seg)
-        if cd.size:
-            result.discarded_packets += int(eff_count[cd].sum())
-            if track:
-                # in-chunk packets of the discarded segments ...
-                pk = (closed & ~kept_seg)[seg_id]
-                bb = b[pk]
-                ok = bb >= 0
-                if ok.any():
-                    result.sub_bins.append(bb[ok])
-                    result.sub_bytes.append(s[pk][ok])
-                # ... plus whatever a merged carry had pending
-                _pend_pairs(
-                    result, inh_pend_bin[cd], inh_pend_byte[cd],
-                    inh_pend_n[cd],
-                )
-
-        # the last segment of each key stays open in the carry table
-        open_idx = np.flatnonzero(last_of_key)
-        open_resolved = kept_seg[open_idx]
-        pend_n = np.zeros(open_idx.size, dtype=np.int64)
-        pend_bin = np.full((open_idx.size, width), _NO_BIN, dtype=np.int64)
-        pend_byte = np.zeros((open_idx.size, width), dtype=np.float64)
-        if track and not open_resolved.all():
-            u_rel = np.flatnonzero(~open_resolved)
-            u_seg = open_idx[u_rel]
-            comb_bin = np.full(
-                (u_rel.size, 2 * width), _NO_BIN, dtype=np.int64
-            )
-            comb_byte = np.zeros((u_rel.size, 2 * width), dtype=np.float64)
-            comb_bin[:, :width] = inh_pend_bin[u_seg]
-            comb_byte[:, :width] = inh_pend_byte[u_seg]
-            # compressed (bin, bytes) runs of the unresolved segments'
-            # in-chunk packets (same-bin packets are adjacent: packets are
-            # time-sorted within a segment)
-            lengths = seg_last[u_seg] - seg_first[u_seg] + 1
-            total = int(lengths.sum())
-            offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-            owner = np.repeat(np.arange(u_seg.size), lengths)
-            pidx = np.repeat(seg_first[u_seg], lengths) + (
-                np.arange(total) - np.repeat(offsets, lengths)
-            )
-            pb = b[pidx]
-            run_new = np.concatenate(
-                [[True], (owner[1:] != owner[:-1]) | (pb[1:] != pb[:-1])]
-            )
-            run_id = np.cumsum(run_new) - 1
-            run_first = np.flatnonzero(run_new)
-            run_owner = owner[run_first]
-            run_bin = pb[run_first]
-            run_byte = np.bincount(run_id, weights=s[pidx])
-            owner_first = np.searchsorted(run_owner, np.arange(u_seg.size))
-            slot = np.arange(run_owner.size) - owner_first[run_owner]
-            if slot.size and int(slot.max()) >= width:
-                raise FlowExportError(
-                    "internal error: unresolved segment produced more "
-                    "pending bins than its packet budget allows"
-                )
-            comb_bin[run_owner, width + slot] = run_bin
-            comb_byte[run_owner, width + slot] = run_byte
-            pend_bin[u_rel], pend_byte[u_rel], pend_n[u_rel] = (
-                _compress_pairs(comb_bin, comb_byte, width)
-            )
-
-        self._rebuild_carry(
-            state,
-            carry_keep,
-            (
-                seg_hi[open_idx], seg_lo[open_idx], eff_start[open_idx],
-                seg_t1[open_idx], eff_size[open_idx], eff_count[open_idx],
-            ),
-            (pend_n, pend_bin, pend_byte),
-        )
-        return result
-
-    def _rebuild_carry(self, state, keep_mask, new_rows, new_pend) -> None:
-        """Replace the carry table with kept rows + the chunk's open flows."""
-        if new_rows is None:
-            n_hi = n_lo = _EMPTY_U64
-            n_start = n_last = n_size = _EMPTY_F64
-            n_count = _EMPTY_I64
-            n_pn = _EMPTY_I64
-            n_pb = np.zeros((0, self._pend_width), dtype=np.int64)
-            n_py = np.zeros((0, self._pend_width), dtype=np.float64)
-        else:
-            n_hi, n_lo, n_start, n_last, n_size, n_count = new_rows
-            n_pn, n_pb, n_py = new_pend
-        hi = np.concatenate([state.hi[keep_mask], n_hi])
-        lo = np.concatenate([state.lo[keep_mask], n_lo])
-        order = packed_key_order(hi, lo)
-        state.hi = hi[order]
-        state.lo = lo[order]
-        state.start = np.concatenate([state.start[keep_mask], n_start])[order]
-        state.last = np.concatenate([state.last[keep_mask], n_last])[order]
-        state.size = np.concatenate([state.size[keep_mask], n_size])[order]
-        state.count = np.concatenate([state.count[keep_mask], n_count])[order]
-        state.pend_n = np.concatenate([state.pend_n[keep_mask], n_pn])[order]
-        state.pend_bin = np.concatenate([state.pend_bin[keep_mask], n_pb])[order]
-        state.pend_byte = np.concatenate(
-            [state.pend_byte[keep_mask], n_py]
-        )[order]
 
     def _assemble_flows(self) -> FlowSet:
         if not self._flows:

@@ -22,6 +22,7 @@ import numpy as np
 
 from .._util import as_rng
 from ..exceptions import ParameterError
+from ..kernels import expand_rounds
 
 __all__ = ["TcpParameters", "PacketSchedule", "simulate_tcp_flows"]
 
@@ -176,36 +177,26 @@ def simulate_tcp_flows(
     round_length = np.concatenate(length_chunks)
     round_sent_before = np.concatenate(sent_before_chunks)
 
-    # expand rounds -> packets.  The expansion works per *round* with a
-    # single packet-size index buffer (``pkt_round``) and in-place ops:
-    # the historical version materialised ``arange(total)`` minus a
-    # repeated first-of-round array, plus repeated pace/start/sent
-    # arrays — half a dozen extra full-trace-size temporaries whose peak
-    # dominated large syntheses.  Every arithmetic operation below
-    # consumes the same operand values in the same order, so the
-    # schedule is bit-for-bit identical to that expansion.
-    total = int(round_count.sum())
-    n_rounds = round_count.size
-    pkt_round = np.repeat(np.arange(n_rounds), round_count)
-    pkt_flow = round_flow[pkt_round]
-
-    within_round = np.arange(total, dtype=np.int64)
-    first_of_round = np.cumsum(round_count) - round_count  # no length-copy
-    within_round -= first_of_round[pkt_round]
-
-    pace = round_length / round_count  # per round, gathered per packet
-    pkt_offset = within_round * pace[pkt_round]
-    pkt_offset += round_start[pkt_round]
-
-    within_flow = round_sent_before[pkt_round]
-    within_flow += within_round
-    is_last = within_flow == total_packets[pkt_flow] - 1
+    # expand rounds -> packets via the hot kernel (numba when available,
+    # vectorised NumPy otherwise).  Both implementations perform every
+    # arithmetic operation on the same operand values in the same order,
+    # so the schedule is bit-for-bit identical either way — pinned by the
+    # reference_* equivalence tests.
     last_payload = sizes - (total_packets - 1) * params.mss
-    payload = np.where(is_last, last_payload[pkt_flow], float(params.mss))
-    wire = np.minimum(payload + params.header_bytes, 65535.0)
+    pkt_flow, pkt_offset, wire = expand_rounds(
+        round_flow,
+        round_start,
+        round_count,
+        round_length,
+        round_sent_before,
+        total_packets,
+        last_payload,
+        params.mss,
+        params.header_bytes,
+    )
 
     return PacketSchedule(
         flow_index=pkt_flow,
         offset=pkt_offset,
-        wire_size=wire.astype(np.uint16),
+        wire_size=wire,
     )

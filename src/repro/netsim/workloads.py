@@ -193,6 +193,7 @@ class LinkWorkload:
         *,
         chunk: int = 1_000_000,
         workers: int = 1,
+        backend: str = "thread",
         engine=None,
     ):
         """Stream this workload as time-ordered packet blocks of ``chunk``.
@@ -212,7 +213,9 @@ class LinkWorkload:
         """
         from ..synthesis.engine import SynthesisEngine
 
-        engine = engine or SynthesisEngine(chunk=chunk, workers=workers)
+        engine = engine or SynthesisEngine(
+            chunk=chunk, workers=workers, backend=backend
+        )
         return engine.synthesize_chunks(seed, **self._synthesis_kwargs())
 
 

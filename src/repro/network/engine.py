@@ -21,10 +21,10 @@ Execution model:
   is bounded by one chunk per crossing demand plus the open-flow tables
   — never a trace.
 * **Sharding.** Links are independent given the demand seeds, so the
-  engine fans them out over the existing
-  :class:`~repro.generation.GenerationEngine` worker pool
-  (``workers``); per-link synthesis/measurement stay single-worker so
-  pools never nest.
+  engine fans them out over a :func:`repro.execution.make_pool` worker
+  pool (``workers`` × ``backend``); per-link synthesis/measurement stay
+  single-worker so pools never nest (and :func:`make_pool` downgrades a
+  nested ``process`` request to threads anyway).
 * **Determinism.** Per-link outputs depend only on ``(seed, demands,
   topology, routing, events)`` — never on ``chunk`` or ``workers``.
   The merged packet order is canonical: sorted by timestamp with ties
@@ -47,8 +47,8 @@ from ..applications.dimensioning import provision_capacity
 from ..core.model import PoissonShotNoiseModel
 from ..core.shots import variance_shape_factor
 from ..exceptions import ParameterError
+from ..execution import check_backend, make_pool, stage_timer
 from ..flows.records import FlowSet
-from ..generation.engine import GenerationEngine
 from ..measurement.engine import MeasurementEngine
 from ..stats.timeseries import RateSeries
 from .demands import DemandMatrix
@@ -457,12 +457,21 @@ class NetworkEngine:
         :data:`DEFAULT_NETWORK_CHUNK`).  Execution strategy only: per-link
         results are bitwise invariant to it.
     workers:
-        Links simulated concurrently on the generation-engine worker
-        pool.  Execution strategy only — never changes any result.
+        Links simulated concurrently on an execution-backend pool.
+        Execution strategy only — never changes any result.
+    backend:
+        Pool flavour carrying the per-link tasks: ``"serial"``,
+        ``"thread"`` (default) or ``"process"`` (shared-memory workers;
+        per-link synthesis/measurement inside each task stay
+        single-worker so pools never nest).
     """
 
     def __init__(
-        self, *, chunk: int | None = None, workers: int = 1
+        self,
+        *,
+        chunk: int | None = None,
+        workers: int = 1,
+        backend: str = "thread",
     ) -> None:
         if chunk is not None:
             if int(chunk) != chunk or int(chunk) < 1:
@@ -477,9 +486,13 @@ class NetworkEngine:
             )
         self.chunk = chunk
         self.workers = int(workers)
+        self.backend = check_backend("backend", backend)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"NetworkEngine(chunk={self.chunk}, workers={self.workers})"
+        return (
+            f"NetworkEngine(chunk={self.chunk}, workers={self.workers}, "
+            f"backend={self.backend!r})"
+        )
 
     def simulate(
         self,
@@ -534,23 +547,24 @@ class NetworkEngine:
         # disjoint per-demand destination blocks (tile offset zero for
         # demand 0, preserving the single-link degeneracy bit for bit)
         demands = demands.with_tiled_addresses()
-        timeline = routing_timeline(
-            topology, demands, routing, outages, duration=duration
-        )
-        demands = apply_flash_crowds(demands, crowds)
-        salt = ecmp_salt(seed)
+        with stage_timer("network.routing"):
+            timeline = routing_timeline(
+                topology, demands, routing, outages, duration=duration
+            )
+            demands = apply_flash_crowds(demands, crowds)
+            salt = ecmp_salt(seed)
 
-        # which demands can ever cross each link (any segment)
-        crossing: dict[tuple[str, str], list[int]] = {
-            link: [] for link in topology.links
-        }
-        for index, segments in enumerate(timeline):
-            touched: set[tuple[str, str]] = set()
-            for segment in segments:
-                if segment.routed is not None:
-                    touched.update(segment.routed.links())
-            for link in touched:
-                crossing[link].append(index)
+            # which demands can ever cross each link (any segment)
+            crossing: dict[tuple[str, str], list[int]] = {
+                link: [] for link in topology.links
+            }
+            for index, segments in enumerate(timeline):
+                touched: set[tuple[str, str]] = set()
+                for segment in segments:
+                    if segment.routed is not None:
+                        touched.update(segment.routed.links())
+                for link in touched:
+                    crossing[link].append(index)
 
         simulation = NetworkSimulation(
             name=str(name),
@@ -574,23 +588,26 @@ class NetworkEngine:
             min_run=int(min_run),
         )
 
-        def simulate_link(link):
+        chunk = self.chunk or DEFAULT_NETWORK_CHUNK
+        tasks = []
+        for link in topology.links:
             indices = crossing[link]
             capacity = topology.capacity_bps(*link)
             if not indices:
-                return LinkSimulation(
+                simulation.links[link] = LinkSimulation(
                     link=link,
                     capacity_bps=capacity,
                     n_demands=0,
                     delta=delta,
                     duration=duration,
                 )
+                continue
             # every link task rebuilds each crossing demand's SeedSequence
             # from scratch: spawn() mutates the sequence, so sharing one
             # instance across concurrent tasks would decohere the streams
             # — fresh, equal-valued children per (demand, link) keep one
             # demand's flows identical on every link of its path
-            return self._simulate_one_link(
+            tasks.append((
                 link,
                 capacity,
                 [demands[i] for i in indices],
@@ -598,95 +615,110 @@ class NetworkEngine:
                 [_segment_intervals(timeline[i], link) for i in indices],
                 salt,
                 duration,
+                chunk,
                 measure_kwargs,
                 detect_kwargs,
                 keep_packets,
-            )
-
-        pool = GenerationEngine(workers=self.workers)
-        results = pool.map_ordered(simulate_link, topology.links)
-        for link, result in zip(topology.links, results):
-            simulation.links[link] = result
+            ))
+        with stage_timer("network.links"):
+            if len(tasks) <= 1 or self.workers <= 1:
+                results = [_simulate_link_task(task) for task in tasks]
+            else:
+                width = min(self.workers, len(tasks))
+                with make_pool(self.backend, width) as pool:
+                    results = pool.map_ordered(_simulate_link_task, tasks)
+        for task, result in zip(tasks, results):
+            simulation.links[task[0]] = result
+        # restore topology order (empty links were inserted eagerly)
+        simulation.links = {
+            link: simulation.links[link] for link in topology.links
+        }
         return simulation
 
-    # -- one link ---------------------------------------------------------
 
-    def _simulate_one_link(
-        self,
-        link,
-        capacity_bps,
-        link_demands,
-        link_seeds,
-        link_segments,
-        salt,
-        duration,
-        measure_kwargs,
-        detect_kwargs,
-        keep_packets,
-    ) -> LinkSimulation:
-        chunk = self.chunk or DEFAULT_NETWORK_CHUNK
-        streams = [
-            _filter_chunks(
-                demand.workload.synthesize_chunks(
-                    seed=child, chunk=chunk, workers=1
-                ),
-                segments,
-                salt,
-            )
-            for demand, child, segments in zip(
-                link_demands, link_seeds, link_segments
-            )
-        ]
-        link_stream = _LinkStream(
-            _merge_packet_streams(streams),
-            duration=duration,
-            link_capacity=capacity_bps,
-            keep_packets=keep_packets,
+# -- one link --------------------------------------------------------------
+
+
+def _simulate_link_task(task) -> LinkSimulation:
+    """Simulate one link from a picklable task tuple (worker entry)."""
+    return _simulate_one_link(*task)
+
+
+def _simulate_one_link(
+    link,
+    capacity_bps,
+    link_demands,
+    link_seeds,
+    link_segments,
+    salt,
+    duration,
+    chunk,
+    measure_kwargs,
+    detect_kwargs,
+    keep_packets,
+) -> LinkSimulation:
+    streams = [
+        _filter_chunks(
+            demand.workload.synthesize_chunks(
+                seed=child, chunk=chunk, workers=1
+            ),
+            segments,
+            salt,
         )
-        engine = MeasurementEngine(chunk=chunk, workers=1)
-        measured = engine.measure_chunks(
-            link_stream,
-            keep_raw_series=bool(detect_kwargs["detect_anomalies"]),
-            **measure_kwargs,
+        for demand, child, segments in zip(
+            link_demands, link_seeds, link_segments
         )
-        result = LinkSimulation(
-            link=link,
-            capacity_bps=capacity_bps,
-            n_demands=len(link_demands),
-            packet_count=int(measured.packet_count),
-            total_bytes=float(measured.total_bytes),
-            flows=measured.flows,
-            series=measured.series,
-            raw_series=measured.raw_series,
-            delta=float(measure_kwargs["delta"]),
-            duration=duration,
+    ]
+    link_stream = _LinkStream(
+        _merge_packet_streams(streams),
+        duration=duration,
+        link_capacity=capacity_bps,
+        keep_packets=keep_packets,
+    )
+    engine = MeasurementEngine(chunk=chunk, workers=1)
+    measured = engine.measure_chunks(
+        link_stream,
+        keep_raw_series=bool(detect_kwargs["detect_anomalies"]),
+        **measure_kwargs,
+    )
+    result = LinkSimulation(
+        link=link,
+        capacity_bps=capacity_bps,
+        n_demands=len(link_demands),
+        packet_count=int(measured.packet_count),
+        total_bytes=float(measured.total_bytes),
+        flows=measured.flows,
+        series=measured.series,
+        raw_series=measured.raw_series,
+        delta=float(measure_kwargs["delta"]),
+        duration=duration,
+    )
+    if keep_packets:
+        result.packets = link_stream.packets()
+    flows = measured.flows
+    if len(flows) and measured.series is not None:
+        result.statistics = flows.statistics(duration)
+        model = PoissonShotNoiseModel.from_flows(
+            flows.sizes, flows.durations, duration
         )
-        if keep_packets:
-            result.packets = link_stream.packets()
-        flows = measured.flows
-        if len(flows) and measured.series is not None:
-            result.statistics = flows.statistics(duration)
-            model = PoissonShotNoiseModel.from_flows(
-                flows.sizes, flows.durations, duration
+        fit = model.fit_power(measured.series.variance)
+        result.model = model
+        result.fitted = model.with_shot(fit.shot)
+        result.fitted_power = float(fit.power)
+        provisioned = provision_capacity(
+            result.statistics,
+            detect_kwargs["epsilon"],
+            shape_factor=variance_shape_factor(fit.power),
+        )
+        result.required_capacity_bps = float(provisioned.capacity_bps)
+        if detect_kwargs["detect_anomalies"] and result.raw_series is not None:
+            # rectangular-baseline Gaussian band, as in the pipeline's
+            # Validate stage: the baseline variance comes from flow
+            # statistics alone, so an anomaly cannot widen its own band
+            detector = AnomalyDetector(
+                model.gaussian(),
+                threshold_sigma=detect_kwargs["threshold_sigma"],
+                min_run=detect_kwargs["min_run"],
             )
-            fit = model.fit_power(measured.series.variance)
-            result.model = model
-            result.fitted = model.with_shot(fit.shot)
-            result.fitted_power = float(fit.power)
-            provisioned = provision_capacity(
-                result.statistics,
-                detect_kwargs["epsilon"],
-                shape_factor=variance_shape_factor(fit.power),
-            )
-            result.required_capacity_bps = float(provisioned.capacity_bps)
-            if detect_kwargs["detect_anomalies"] and result.raw_series is not None:
-                # rectangular-baseline Gaussian band, as in the pipeline's
-                # Validate stage: the baseline variance comes from flow
-                # statistics alone, so an anomaly cannot widen its own band
-                detector = AnomalyDetector(
-                    model.gaussian(),
-                    threshold_sigma=detect_kwargs["threshold_sigma"],
-                    min_run=detect_kwargs["min_run"],
-                )
-                result.anomalies = tuple(detector.detect(result.raw_series))
-        return result
+            result.anomalies = tuple(detector.detect(result.raw_series))
+    return result

@@ -28,6 +28,7 @@ import numpy as np
 
 from .._util import check_positive
 from ..exceptions import ParameterError
+from ..execution import BACKENDS
 from ..netsim.arrivals import (
     DiurnalArrivals,
     MMPPArrivals,
@@ -392,7 +393,7 @@ class FlowAccountingSpec:
 _UNSET = object()
 
 
-def _validate_execution(section: str, chunk, workers) -> None:
+def _validate_execution(section: str, chunk, workers, backend="thread") -> None:
     """The one validation path for execution knobs, section-qualified.
 
     ``section`` prefixes the error (``"synthesis"``, ``"measurement"``,
@@ -407,6 +408,7 @@ def _validate_execution(section: str, chunk, workers) -> None:
         raise ParameterError(
             f"{section}.workers must be an integer >= 1, got {workers!r}"
         )
+    _check_choice(f"{section}.backend", backend, BACKENDS)
 
 
 @dataclass(frozen=True)
@@ -415,23 +417,32 @@ class ExecutionSpec:
 
     The one schema for execution strategy across the pipeline:
     ``chunk`` (packets per streamed block; ``null`` = the section's
-    in-memory/default path) and ``workers`` (tasks processed
-    concurrently on the engine worker pool).  Reused by the
-    ``synthesis``, ``measurement``, ``network`` and ``sweep`` sections —
-    every engine is chunk/worker invariant, so an ``ExecutionSpec``
-    never changes a scenario's results, only its memory footprint and
+    in-memory/default path), ``workers`` (tasks processed concurrently
+    on the engine worker pool) and ``backend`` (pool flavour —
+    ``"serial"``, ``"thread"`` or ``"process"``; the process backend
+    moves packet chunks through shared-memory ring buffers, see
+    :mod:`repro.execution`).  Reused by the ``synthesis``,
+    ``measurement``, ``network`` and ``sweep`` sections — every engine
+    is chunk/worker/backend invariant, so an ``ExecutionSpec`` never
+    changes a scenario's results, only its memory footprint and
     wall-clock.  The legacy flat ``chunk``/``workers`` keys of those
-    sections still decode via deprecation shims (see MIGRATION.md).
+    sections still decode via deprecation shims, and specs written
+    before the ``backend`` key default to the previous thread-pool
+    behaviour (see MIGRATION.md).
     """
 
     chunk: int | None = None
     workers: int = 1
+    backend: str = "thread"
 
     def __post_init__(self) -> None:
-        _validate_execution("execution", self.chunk, self.workers)
+        _validate_execution(
+            "execution", self.chunk, self.workers, self.backend
+        )
         if self.chunk is not None:
             object.__setattr__(self, "chunk", int(self.chunk))
         object.__setattr__(self, "workers", int(self.workers))
+        object.__setattr__(self, "backend", str(self.backend))
 
     @property
     def uses_engine(self) -> bool:
@@ -474,31 +485,38 @@ def _merge_execution(section: str, execution, chunk, workers) -> ExecutionSpec:
 
 
 def _alias_execution(cls):
-    """Attach read-through ``chunk``/``workers``/``uses_engine`` aliases.
+    """Attach read-through ``chunk``/``workers``/``backend`` aliases.
 
     Pre-ExecutionSpec call sites (and specs) read the knobs directly off
-    the section; the aliases keep those reads working while the stored
-    representation is normalised to one ``execution`` field — so legacy
-    and canonical spellings compare equal and serialize identically.
+    the section; the aliases (plus ``uses_engine``) keep those reads
+    working while the stored representation is normalised to one
+    ``execution`` field — so legacy and canonical spellings compare
+    equal and serialize identically.
     """
     cls.chunk = property(lambda self: self.execution.chunk)
     cls.workers = property(lambda self: self.execution.workers)
+    cls.backend = property(lambda self: self.execution.backend)
     cls.uses_engine = property(lambda self: self.execution.uses_engine)
 
-    def with_execution(self, execution=None, *, chunk=_UNSET, workers=_UNSET):
+    def with_execution(
+        self, execution=None, *, chunk=_UNSET, workers=_UNSET, backend=_UNSET
+    ):
         """A copy with only the execution strategy swapped out.
 
         Give either a whole :class:`ExecutionSpec` or individual knobs;
         omitted knobs keep their current values.  This is the supported
-        way to retune ``chunk``/``workers`` on a frozen section spec
-        (``dataclasses.replace`` with the flat keys conflicts with the
-        stored ``execution`` field).
+        way to retune ``chunk``/``workers``/``backend`` on a frozen
+        section spec (``dataclasses.replace`` with the flat keys
+        conflicts with the stored ``execution`` field).
         """
         if execution is None:
             execution = ExecutionSpec(
                 chunk=self.execution.chunk if chunk is _UNSET else chunk,
                 workers=(
                     self.execution.workers if workers is _UNSET else workers
+                ),
+                backend=(
+                    self.execution.backend if backend is _UNSET else backend
                 ),
             )
         return dataclasses.replace(
@@ -718,6 +736,7 @@ class GenerationSpec:
     delta: float | None = None
     chunk: float | None = None
     workers: int = 1
+    backend: str = "thread"
     mode: str = "exact"
     seed: int | None = None
 
@@ -730,10 +749,10 @@ class GenerationSpec:
             # generation.chunk is a *time window in seconds* (the rate
             # sampler's horizon splitting), not a packet count — the one
             # execution knob ExecutionSpec does not cover, so this
-            # section keeps its own keys; workers shares the common
-            # validation path.
+            # section keeps its own keys; workers/backend share the
+            # common validation path.
             check_positive("generation.chunk", self.chunk)
-        _validate_execution("generation", None, self.workers)
+        _validate_execution("generation", None, self.workers, self.backend)
         _check_choice(
             "generation.mode", self.mode, ("exact", "fast", "streamed")
         )

@@ -484,6 +484,7 @@ class SimulateNetwork:
         engine = NetworkEngine(
             chunk=spec.network.chunk,
             workers=int(spec.network.workers),
+            backend=spec.network.backend,
         )
         simulation = engine.simulate(
             topology,
@@ -588,6 +589,7 @@ class Synthesize:
                     seed=spec.seed,
                     chunk=spec.synthesis.chunk or 1_000_000,
                     workers=int(spec.synthesis.workers),
+                    backend=spec.synthesis.backend,
                 )
                 source = "streamed"
             else:
@@ -726,6 +728,7 @@ class AccountFlows:
             engine = MeasurementEngine(
                 chunk=spec.measurement.chunk,
                 workers=int(spec.measurement.workers),
+                backend=spec.measurement.backend,
             )
             measured = engine.measure_chunks(
                 context.stream,
@@ -750,6 +753,7 @@ class AccountFlows:
             engine = MeasurementEngine(
                 chunk=spec.measurement.chunk,
                 workers=int(spec.measurement.workers),
+                backend=spec.measurement.backend,
             )
             measured = engine.measure_trace(
                 trace, delta=spec.estimation.delta, **flow_kwargs
@@ -883,7 +887,7 @@ class Generate:
         delta = gen.delta if gen.delta is not None else spec.estimation.delta
         seed = gen.seed if gen.seed is not None else spec.seed
         engine = GenerationEngine(
-            chunk=gen.chunk, workers=int(gen.workers)
+            chunk=gen.chunk, workers=int(gen.workers), backend=gen.backend
         )
         if gen.mode == "streamed":
             series = engine.rate_series_streamed(

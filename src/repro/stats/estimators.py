@@ -19,6 +19,7 @@ import numpy as np
 from .._util import check_positive
 from ..core.parameters import FlowStatistics
 from ..exceptions import ParameterError
+from ..kernels import ewma as _ewma_kernel
 
 __all__ = [
     "EwmaEstimator",
@@ -27,46 +28,29 @@ __all__ = [
     "replay_flow_statistics",
 ]
 
-#: Observations folded per closed-form step in :func:`ewma_final`.  Bounds
-#: the weight ``(1-eps)^k`` evaluated in one block so it cannot underflow
-#: even for the smallest gains.
-_EWMA_BLOCK = 4096
-
 
 def ewma_final(values, eps: float) -> float:
     """Final value of the EWMA recurrence over a whole observation array.
 
     Computes ``y_i = (1 - eps) * y_{i-1} + eps * x_i`` (first observation
-    initialises, exactly like :class:`EwmaEstimator`) via the closed-form
-    solution of the linear recurrence: per block of ``B`` observations,
+    initialises, exactly like :class:`EwmaEstimator`) through
+    :func:`repro.kernels.ewma`: a compiled sequential loop when numba is
+    installed, otherwise the blocked closed-form solution of the linear
+    recurrence — per block of ``B`` observations,
 
         ``y <- (1-eps)^B * y + eps * sum_j (1-eps)^(B-1-j) * x_j``
 
     — one dot product with a precomputed geometric weight vector instead
     of a Python loop per observation.  Blocking keeps the exponents small
-    enough that the weights never underflow, so the result matches the
-    sequential loop to floating-point accumulation accuracy (~1e-12
-    relative) at any length.
+    enough that the weights never underflow, so the two paths match to
+    floating-point accumulation accuracy (~1e-12 relative) at any length.
     """
     x = np.ascontiguousarray(values, dtype=np.float64)
     if x.ndim != 1 or x.size == 0:
         raise ParameterError("ewma_final needs a non-empty 1-d array")
     if not 0.0 < eps <= 1.0:
         raise ParameterError(f"eps must be in (0, 1], got {eps}")
-    q = 1.0 - eps
-    y = float(x[0])
-    if x.size == 1:
-        return y
-    weights = eps * np.power(q, np.arange(_EWMA_BLOCK - 1, -1, -1.0))
-    decay_full = q ** _EWMA_BLOCK
-    for i0 in range(1, x.size, _EWMA_BLOCK):
-        block = x[i0: i0 + _EWMA_BLOCK]
-        m = block.size
-        if m == _EWMA_BLOCK:
-            y = decay_full * y + float(np.dot(weights, block))
-        else:
-            y = (q ** m) * y + float(np.dot(weights[-m:], block))
-    return y
+    return _ewma_kernel(x, eps)
 
 
 def replay_flow_statistics(flows, eps: float = 0.01) -> FlowStatistics | None:

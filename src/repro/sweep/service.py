@@ -5,9 +5,10 @@ into cells (:func:`~repro.sweep.cells.expand_cells`), runs the
 closed-form pre-filter on every cell
 (:func:`~repro.sweep.prefilter.assess_cell`), dispatches the full
 :class:`~repro.network.NetworkEngine` only on cells the band flags as
-marginal (or all / none, per ``sweep.simulate``), fanned out over the
-:class:`~repro.generation.GenerationEngine` worker pool, and folds
-everything into one ranked :class:`~repro.sweep.report.SweepReport`.
+marginal (or all / none, per ``sweep.simulate``), fanned out over a
+:func:`repro.execution.make_pool` worker pool (``sweep.workers`` ×
+``sweep.backend``), and folds everything into one ranked
+:class:`~repro.sweep.report.SweepReport`.
 
 Determinism: cell seeds are ``SeedSequence`` children of the scenario
 seed (fixed at expansion), each simulated cell runs its own complete
@@ -22,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..exceptions import ParameterError
-from ..generation.engine import GenerationEngine
+from ..execution import make_pool
 from .cells import SweepCell, expand_cells
 from .prefilter import (
     VERDICT_BREACH,
@@ -50,6 +51,13 @@ class SweepResult:
     def simulated(self, index: int):
         """The engine run of cell ``index`` (KeyError if pre-filtered)."""
         return self.simulations[index]
+
+
+def _simulate_cell(cell):
+    """Run one marginal cell's full network spec (worker entry point)."""
+    from ..pipeline.runner import run_scenario
+
+    return run_scenario(cell.spec).network
 
 
 def _simulated_outcome(cell, assessment, stage_result, *, sla_utilization):
@@ -157,16 +165,16 @@ def run_sweep(spec) -> SweepResult:
 
     simulations: dict[int, object] = {}
     if to_simulate:
-        from ..pipeline.runner import run_scenario
-
         # cell specs are pinned to one worker each (see expand_cells), so
         # the sweep's pool is the only fan-out and pools never nest
-        engine = GenerationEngine(workers=int(sweep.workers))
-
-        def simulate(cell):
-            return run_scenario(cell.spec).network
-
-        results = engine.map_ordered(simulate, to_simulate)
+        workers = int(sweep.workers)
+        backend = str(sweep.backend)
+        if workers <= 1 or len(to_simulate) <= 1:
+            results = [_simulate_cell(cell) for cell in to_simulate]
+        else:
+            width = min(workers, len(to_simulate))
+            with make_pool(backend, width) as pool:
+                results = pool.map_ordered(_simulate_cell, to_simulate)
         simulations = {
             cell.index: result
             for cell, result in zip(to_simulate, results)

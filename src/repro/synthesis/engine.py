@@ -47,12 +47,12 @@ arrival memory (flow metadata only; packets still stream).
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..execution import check_backend, make_pool, stage_timer
 from ..netsim.link import LinkSynthesis
 from ..trace.io import TraceWriter
 from ..trace.packet import PacketTrace, packets_from_columns
@@ -86,6 +86,10 @@ class SynthesisConfig:
     workers:
         Cells synthesized concurrently on the worker pool.  Output never
         depends on it.
+    backend:
+        Pool flavour: ``"serial"``, ``"thread"`` (default) or
+        ``"process"`` (fork-based shared-memory pool, see
+        :mod:`repro.execution`).  Output never depends on it.
     cell:
         Arrival-cell width in seconds — the seeding contract knob (see
         :data:`DEFAULT_SYNTHESIS_CELL`).  Changing it changes the trace.
@@ -93,6 +97,7 @@ class SynthesisConfig:
 
     chunk: int | None = None
     workers: int = 1
+    backend: str = "thread"
     cell: float = DEFAULT_SYNTHESIS_CELL
 
     def __post_init__(self) -> None:
@@ -110,10 +115,16 @@ class SynthesisConfig:
                 f"workers must be an integer >= 1, got {self.workers!r}"
             )
         object.__setattr__(self, "workers", workers)
+        check_backend("backend", self.backend)
         if not np.isfinite(self.cell) or self.cell <= 0.0:
             raise ParameterError(
                 f"cell must be finite and > 0 seconds, got {self.cell!r}"
             )
+
+
+def _synthesize_cell_task(task):
+    """Picklable cell-synthesis adapter for the pool's single-arg map."""
+    return synthesize_cell(*task)
 
 
 def _as_seed_sequence(seed) -> np.random.SeedSequence:
@@ -187,7 +198,7 @@ class StreamingSynthesis:
         self.config = config
         self.keep_ground_truth = keep_ground_truth
         self._pool = pool
-        self._executor: ThreadPoolExecutor | None = None
+        self._owned_pool = None
         root = _as_seed_sequence(seed)
         children = root.spawn(plan.n_cells + 1)
         self._presample_seed = children[0]
@@ -235,26 +246,25 @@ class StreamingSynthesis:
     # -- worker pool ------------------------------------------------------
 
     def _run_cells(self, tasks):
-        if len(tasks) <= 1 or self.config.workers <= 1:
-            return [synthesize_cell(*task) for task in tasks]
-        if self._pool is not None:
-            return self._pool.map_ordered(
-                lambda task: synthesize_cell(*task), tasks
+        with stage_timer("synthesis.cells"):
+            if len(tasks) <= 1 or self.config.workers <= 1:
+                return [synthesize_cell(*task) for task in tasks]
+            if self._pool is not None:
+                return self._pool.map_ordered(_synthesize_cell_task, tasks)
+            if self._owned_pool is None:
+                # one pool for the whole stream, not one per cell group
+                self._owned_pool = make_pool(
+                    self.config.backend, self.config.workers
+                )
+            return self._owned_pool.map_ordered(
+                _synthesize_cell_task, tasks
             )
-        if self._executor is None:
-            # one pool for the whole stream, not one per cell group
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.config.workers
-            )
-        return list(
-            self._executor.map(lambda task: synthesize_cell(*task), tasks)
-        )
 
     def close(self) -> None:
         """Release the worker pool (idempotent; exhaustion calls it)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        if self._owned_pool is not None:
+            self._owned_pool.close()
+            self._owned_pool = None
 
     def write_trace(self, path) -> int:
         """Drain this stream straight into a ``.rptr`` file.
@@ -330,25 +340,30 @@ class StreamingSynthesis:
                     if block.n_packets:
                         pending.append(_PendingBlock(block))
                 safe = plan.cell_floor(g1)
-                parts = []
-                for blk in pending:
-                    part = blk.take_before(safe)
-                    if part is not None:
-                        parts.append(part)
-                pending = [blk for blk in pending if not blk.exhausted]
-                if not parts:
-                    continue
-                if len(parts) == 1:
-                    yield parts[0]
-                    continue
-                ts = np.concatenate([p[0] for p in parts])
-                hi = np.concatenate([p[1] for p in parts])
-                lo = np.concatenate([p[2] for p in parts])
-                # stable sort over sorted runs: timsort merges them and
-                # breaks timestamp ties by cell order — the canonical
-                # global order for any emission boundaries
-                order = np.argsort(ts, kind="stable")
-                yield ts[order], hi[order], lo[order]
+                with stage_timer("synthesis.merge"):
+                    parts = []
+                    for blk in pending:
+                        part = blk.take_before(safe)
+                        if part is not None:
+                            parts.append(part)
+                    pending = [blk for blk in pending if not blk.exhausted]
+                    if not parts:
+                        continue
+                    if len(parts) == 1:
+                        merged = parts[0]
+                    else:
+                        ts = np.concatenate([p[0] for p in parts])
+                        hi = np.concatenate([p[1] for p in parts])
+                        lo = np.concatenate([p[2] for p in parts])
+                        # stable sort over sorted runs: timsort merges
+                        # them and breaks timestamp ties by cell order —
+                        # the canonical global order for any emission
+                        # boundaries
+                        order = np.argsort(ts, kind="stable")
+                        merged = ts[order], hi[order], lo[order]
+                # the yield sits outside the timed block so consumer
+                # time is not booked against the merge stage
+                yield merged
             if self.total_flows == 0:
                 raise ParameterError(
                     "arrival process produced zero flows; increase rate "
@@ -410,6 +425,7 @@ class SynthesisEngine:
         *,
         chunk: int | None = None,
         workers: int | None = None,
+        backend: str | None = None,
         cell: float | None = None,
     ) -> None:
         if config is None:
@@ -417,7 +433,8 @@ class SynthesisEngine:
         overrides = {
             k: v
             for k, v in {
-                "chunk": chunk, "workers": workers, "cell": cell,
+                "chunk": chunk, "workers": workers,
+                "backend": backend, "cell": cell,
             }.items()
             if v is not None
         }

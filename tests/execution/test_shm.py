@@ -1,0 +1,129 @@
+"""Unit tests of the shared-memory staging walker (single process).
+
+A transport over manually-created segments exercises stage/unstage
+without a pool, so the walker's structure handling (tuples, dicts,
+dataclasses, sub-threshold arrays) is pinned independently of fork
+semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import glob
+import queue
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.execution import ShmRef, ShmTransport
+from repro.execution.shm import new_segment_name
+
+
+@dataclasses.dataclass(frozen=True)
+class _Payload:
+    label: str
+    data: np.ndarray
+    extra: dict
+
+
+@pytest.fixture
+def transport():
+    segs = [
+        shared_memory.SharedMemory(
+            name=new_segment_name(), create=True, size=1 << 20
+        )
+        for _ in range(2)
+    ]
+    free = queue.Queue()
+    for i in range(len(segs)):
+        free.put(i)
+    t = ShmTransport(free, segs, threshold=1024, slot_bytes=1 << 20)
+    yield t
+    for seg in segs:
+        seg.close()
+        seg.unlink()
+    assert not glob.glob("/dev/shm/repro_shm_*")
+
+
+def test_small_arrays_ride_pickle(transport):
+    small = np.arange(10.0)  # 80 bytes < threshold
+    staged = transport.stage(small)
+    assert staged is small
+
+
+def test_large_array_roundtrip(transport):
+    arr = np.random.default_rng(0).random(2048)
+    staged = transport.stage(arr)
+    assert isinstance(staged, ShmRef)
+    assert staged.kind == "slot"
+    out = transport.unstage(staged)
+    assert np.array_equal(out, arr)
+    assert out is not arr
+
+
+def test_nested_structures(transport):
+    arr = np.arange(2048.0)
+    obj = {
+        "chunks": [arr, arr[:4]],
+        "pair": (arr * 2, "tag"),
+        "payload": _Payload("x", arr + 1, {"inner": arr + 2}),
+    }
+    staged = transport.stage(obj)
+    assert isinstance(staged["chunks"][0], ShmRef)
+    assert staged["chunks"][1] is obj["chunks"][1]  # small: untouched
+    assert isinstance(staged["payload"], _Payload)
+    assert isinstance(staged["payload"].data, ShmRef)
+    out = transport.unstage(staged)
+    assert np.array_equal(out["chunks"][0], arr)
+    assert out["pair"][1] == "tag"
+    assert np.array_equal(out["pair"][0], arr * 2)
+    assert out["payload"].label == "x"
+    assert np.array_equal(out["payload"].data, arr + 1)
+    assert np.array_equal(out["payload"].extra["inner"], arr + 2)
+
+
+def test_unchanged_dataclass_not_copied(transport):
+    payload = _Payload("y", np.arange(4.0), None)  # all small, no containers
+    assert transport.stage(payload) is payload
+
+
+def test_slot_recycled_after_unstage(transport):
+    arr = np.random.default_rng(1).random(4096)
+    for _ in range(10):  # more passes than slots: requires recycling
+        staged = transport.stage(arr)
+        assert isinstance(staged, ShmRef) and staged.kind == "slot"
+        assert np.array_equal(transport.unstage(staged), arr)
+
+
+def test_oversize_array_uses_oneshot(transport):
+    big = np.random.default_rng(2).random((1 << 18) + 1)  # > slot_bytes
+    staged = transport.stage(big)
+    assert staged.kind == "oneshot"
+    out = transport.unstage(staged)
+    assert np.array_equal(out, big)
+    # the consumer unlinked it
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=staged.name)
+
+
+def test_discard_releases_without_materialising(transport):
+    arr = np.random.default_rng(3).random(4096)
+    staged = transport.stage({"a": arr, "b": (arr, [arr])})
+    transport.discard(staged)
+    # every slot is free again: three more parks all land in slots
+    for _ in range(2):
+        again = transport.stage(arr)
+        assert again.kind == "slot"
+        transport.unstage(again)
+
+
+def test_structured_dtype_preserved(transport):
+    rec = np.zeros(512, dtype=[("t", "<f8"), ("size", "<u2")])
+    rec["t"] = np.linspace(0, 1, 512)
+    rec["size"] = 1500
+    staged = transport.stage(rec)
+    assert isinstance(staged, ShmRef)
+    out = transport.unstage(staged)
+    assert out.dtype == rec.dtype
+    assert np.array_equal(out, rec)
