@@ -43,7 +43,12 @@ import numpy as np
 import pytest
 from conftest import print_header, run_once
 
-from repro.execution import reset_stage_timings, stage_timings
+from repro.execution import (
+    reset_run_health,
+    reset_stage_timings,
+    run_health,
+    stage_timings,
+)
 from repro.core import EmpiricalEnsemble, RectangularShot
 from repro.generation import GenerationEngine
 from repro.measurement import (
@@ -168,8 +173,10 @@ def test_measurement_scaling(benchmark, tmp_path):
             lambda: _reference_pipeline(trace, max_lag)
         )
         reset_stage_timings()
+        reset_run_health()
         engine, t_engine = _timed(lambda: _engine_pipeline(trace, max_lag))
         stages = stage_timings()
+        health = run_health()
         small_chunk = max(10_000, N_PACKETS // 40)
         peak_whole = _peak_memory(
             lambda: MeasurementEngine().measure_file(
@@ -182,12 +189,12 @@ def test_measurement_scaling(benchmark, tmp_path):
             )
         )
         return (
-            reference, engine, (t_reference, t_engine, stages),
+            reference, engine, (t_reference, t_engine, stages, health),
             (peak_whole, peak_chunked), small_chunk,
         )
 
     reference, engine, times, peaks, small_chunk = run_once(benchmark, build)
-    t_reference, t_engine, stages = times
+    t_reference, t_engine, stages, health = times
     peak_whole, peak_chunked = peaks
     ref_flows, ref_series, ref_acov, ref_ewma = reference
     eng_flows, eng_series, eng_acov, eng_ewma = engine
@@ -241,8 +248,16 @@ def test_measurement_scaling(benchmark, tmp_path):
         "peak_whole_mb": float(peak_whole / 1e6),
         "peak_chunked_mb": float(peak_chunked / 1e6),
         "small_chunk_packets": int(small_chunk),
+        # a perf datapoint that survived on retries or degraded
+        # transport is not comparable: the events travel with it
+        "retries": health.to_dict()["retries"],
+        "degradations": health.to_dict()["degradations"],
     }, indent=2) + "\n")
     print(f"  wrote datapoint -> {out_path}")
+
+    # the happy path must be genuinely happy: a datapoint built on
+    # silent respawns or pickle fallbacks is measuring the wrong thing
+    assert health.clean, f"resilience events during bench: {health.to_dict()}"
 
     # the engine reproduces the reference measurement bit-for-bit ...
     np.testing.assert_array_equal(ref_flows.starts, eng_flows.starts)

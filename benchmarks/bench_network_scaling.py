@@ -38,7 +38,12 @@ import numpy as np
 import pytest
 from conftest import print_header, run_once
 
-from repro.execution import reset_stage_timings, stage_timings
+from repro.execution import (
+    reset_run_health,
+    reset_stage_timings,
+    run_health,
+    stage_timings,
+)
 from repro.netsim import table_i_workload
 from repro.network import DemandMatrix, NetworkDemand, NetworkEngine, abilene
 
@@ -113,6 +118,7 @@ def test_network_scaling(benchmark):
             )
         )
         reset_stage_timings()
+        reset_run_health()
         sharded, t_sharded = _timed(
             lambda: NetworkEngine(
                 chunk=CHUNK, workers=WORKERS, backend=BACKEND
@@ -127,9 +133,12 @@ def test_network_scaling(benchmark):
             name: secs for name, secs in stage_timings().items()
             if name.startswith("network.")
         }
-        return sequential, t_sequential, sharded, t_sharded, stages
+        return (
+            sequential, t_sequential, sharded, t_sharded, stages,
+            run_health(),
+        )
 
-    sequential, t_sequential, sharded, t_sharded, stages = run_once(
+    sequential, t_sequential, sharded, t_sharded, stages, health = run_once(
         benchmark, build
     )
     speedup = t_sequential / t_sharded
@@ -187,8 +196,16 @@ def test_network_scaling(benchmark):
         # (e.g. one CPU): speedup there is noise, not a perf claim
         "gated": bool(GATED),
         "min_speedup": float(MIN_SPEEDUP) if GATED else None,
+        # a perf datapoint that survived on retries or degraded
+        # transport is not comparable: the events travel with it
+        "retries": health.to_dict()["retries"],
+        "degradations": health.to_dict()["degradations"],
     }, indent=2) + "\n")
     print(f"  wrote datapoint -> {out_path}")
+
+    # the happy path must be genuinely happy: a datapoint built on
+    # silent respawns or pickle fallbacks is measuring the wrong thing
+    assert health.clean, f"resilience events during bench: {health.to_dict()}"
 
     # the speedup claim is only meaningful on a genuinely multi-link run
     assert len(carrying) >= MIN_SIMULATED_LINKS

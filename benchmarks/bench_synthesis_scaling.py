@@ -49,7 +49,12 @@ import numpy as np
 import pytest
 from conftest import print_header, run_once
 
-from repro.execution import reset_stage_timings, stage_timings
+from repro.execution import (
+    reset_run_health,
+    reset_stage_timings,
+    run_health,
+    stage_timings,
+)
 from repro.kernels import HAVE_NUMBA
 from repro.netsim import table_i_workload
 from repro.synthesis import SynthesisEngine, reference_synthesize_link_trace
@@ -144,8 +149,10 @@ def test_synthesis_scaling(benchmark):
             seed=SEED, chunk=CHUNK, workers=WORKERS, backend=BACKEND
         )
         reset_stage_timings()
+        reset_run_health()
         engine_packets, t_engine = _timed(lambda: _drain(stream))
         stages = stage_timings()
+        health = run_health()
         engine_bytes = stream.total_bytes
         peak_whole = _peak_memory(
             lambda: reference_synthesize_link_trace(seed=SEED, **kwargs)
@@ -158,13 +165,13 @@ def test_synthesis_scaling(benchmark):
             )
         )
         return (
-            (engine_packets, engine_bytes, t_engine, stages),
+            (engine_packets, engine_bytes, t_engine, stages, health),
             (ref_packets, ref_rate, t_reference),
             (peak_whole, peak_stream),
         )
 
     engine_res, ref_res, peaks = run_once(benchmark, build)
-    engine_packets, engine_bytes, t_engine, stages = engine_res
+    engine_packets, engine_bytes, t_engine, stages, health = engine_res
     ref_packets, ref_rate, t_reference = ref_res
     peak_whole, peak_stream = peaks
     speedup = t_reference / t_engine
@@ -220,8 +227,16 @@ def test_synthesis_scaling(benchmark):
         "peak_whole_mb": float(peak_whole / 1e6),
         "peak_stream_mb": float(peak_stream / 1e6),
         "memory_ratio": float(memory_ratio),
+        # a perf datapoint that survived on retries or degraded
+        # transport is not comparable: the events travel with it
+        "retries": health.to_dict()["retries"],
+        "degradations": health.to_dict()["degradations"],
     }, indent=2) + "\n")
     print(f"  wrote datapoint -> {out_path}")
+
+    # the happy path must be genuinely happy: a datapoint built on
+    # silent respawns or pickle fallbacks is measuring the wrong thing
+    assert health.clean, f"resilience events during bench: {health.to_dict()}"
 
     # the engine's stream is bitwise its own materialised trace (the
     # chunk/worker invariance contract), checked on a capture small

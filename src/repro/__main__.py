@@ -55,7 +55,13 @@ from pathlib import Path
 import numpy as np
 
 from .core import PoissonShotNoiseModel
-from .exceptions import ParameterError, ReproError
+from .exceptions import (
+    CheckpointError,
+    ParameterError,
+    ReproError,
+    TraceFormatError,
+)
+from .execution import reset_run_health, run_health
 from .generation import GenerationEngine, generate_packet_trace
 from .measurement import MeasurementEngine
 from .netsim import synthesize_scenario, table_i_workloads
@@ -79,9 +85,33 @@ from .pipeline.stages import PipelineContext
 from .trace import read_trace, write_trace
 
 
+#: CLI exit codes: 2 = bad spec/parameters, 3 = runtime/engine failure,
+#: 130 = interrupted (128 + SIGINT), with any checkpoints kept on disk.
+EXIT_USAGE = 2
+EXIT_RUNTIME = 3
+EXIT_INTERRUPTED = 130
+
+
 def _fail(message: str) -> int:
     print(f"error: {message}", file=sys.stderr)
-    return 2
+    return EXIT_USAGE
+
+
+def _runtime_fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return EXIT_RUNTIME
+
+
+#: Errors the operator can fix by changing arguments or inputs — exit 2.
+#: Everything else a ReproError signals mid-run (a lost worker pool, a
+#: failed fit, a routing dead end) is an engine failure — exit 3.
+_USAGE_ERRORS = (ParameterError, TraceFormatError, CheckpointError)
+
+
+def _fail_for(exc: ReproError, prefix: str = "") -> int:
+    if isinstance(exc, _USAGE_ERRORS):
+        return _fail(f"{prefix}{exc}")
+    return _runtime_fail(f"{prefix}{exc}")
 
 
 def _execution_parent() -> argparse.ArgumentParser:
@@ -170,6 +200,9 @@ def _resolve_execution(
         backend=(
             execution.backend if args.backend is None else args.backend
         ),
+        # there is no retry flag: the spec's policy always carries
+        # through (dropping it here would silently disarm the watchdog)
+        retry=execution.retry,
     )
 
 
@@ -352,9 +385,12 @@ def _cmd_measure_streaming(
 def _ingest_line(summary: dict) -> str:
     """The archive description line shared by ``import`` and ``run``."""
     name = Path(summary["path"]).name
+    skipped = summary.get("records_skipped", 0)
     line = (
-        f"{summary['format']}:{name} — {summary['records']} records -> "
-        f"{summary['packets']} packets over {summary['duration_s']:g} s"
+        f"{summary['format']}:{name} — {summary['records']} records"
+        + (f" ({skipped} malformed skipped)" if skipped else "")
+        + f" -> {summary['packets']} packets over "
+        f"{summary['duration_s']:g} s"
     )
     if summary["utilization"] is not None:
         line += f", util {summary['utilization']:.1%}"
@@ -373,7 +409,8 @@ def _cmd_measure_import(
     from .interop import open_import_stream
 
     stream = open_import_stream(
-        args.trace, format=fmt, chunk=execution.chunk
+        args.trace, format=fmt, chunk=execution.chunk,
+        errors=getattr(args, "errors", "strict"),
     )
     engine = MeasurementEngine(
         chunk=execution.chunk, workers=execution.workers,
@@ -415,7 +452,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         try:
             return _cmd_measure_import(args, execution, fmt)
         except ReproError as exc:
-            return _fail(str(exc))
+            return _fail_for(exc)
     if execution.chunk is not None:
         return _cmd_measure_streaming(args, execution)
     trace = read_trace(args.trace)
@@ -496,6 +533,7 @@ def _cmd_import(args: argparse.Namespace) -> int:
                 rebase=args.rebase,
                 duration=args.duration,
                 link_capacity_bps=args.link_capacity,
+                errors=args.errors,
                 execution=execution,
             ),
         )
@@ -504,7 +542,7 @@ def _cmd_import(args: argparse.Namespace) -> int:
     try:
         result = run_scenario(spec)
     except ReproError as exc:
-        return _fail(str(exc))
+        return _fail_for(exc)
     report = result.validation
     _print_measurement(
         args,
@@ -554,6 +592,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
             format=args.input_format,
             chunk=execution.chunk,
             rebase=args.rebase,
+            errors=args.errors,
         )
         if args.format == "pcap":
             with PcapWriter(args.output) as writer:
@@ -576,7 +615,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
         write = write_netflow5 if args.format == "netflow5" else write_ipfix
         count = write(records, args.output)
     except ReproError as exc:
-        return _fail(str(exc))
+        return _fail_for(exc)
     print(f"wrote {count} flow records "
           f"({stream.format} -> {args.format}) -> {args.output}")
     return 0
@@ -641,10 +680,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 spec, synthesis=spec.synthesis.with_execution(execution)
             )
     spec = apply_quick_mode(spec)
+    reset_run_health()
     try:
         result = run_scenario(spec)
     except ReproError as exc:
-        return _fail(f"scenario {spec.name!r} failed: {exc}")
+        return _fail_for(exc, f"scenario {spec.name!r} failed: ")
     report = result.validation
 
     print(f"scenario   : {spec.name}"
@@ -736,10 +776,15 @@ def _cmd_network(args: argparse.Namespace) -> int:
     if overrides:
         spec = spec.with_overrides(**overrides)
     spec = apply_quick_mode(spec)
+    reset_run_health()
     try:
-        result = run_scenario(spec)
+        result = run_scenario(
+            spec,
+            checkpoint_dir=getattr(args, "checkpoint_dir", None),
+            resume=bool(getattr(args, "resume", False)),
+        )
     except ReproError as exc:
-        return _fail(f"scenario {spec.name!r} failed: {exc}")
+        return _fail_for(exc, f"scenario {spec.name!r} failed: ")
     report = result.network.report
 
     print(f"scenario   : {spec.name}"
@@ -781,6 +826,12 @@ def _cmd_network(args: argparse.Namespace) -> int:
               f"under-provisioned: {names}")
     else:
         print("verdict    : all links meet the epsilon target")
+    health = run_health()
+    if not health.clean:
+        print(f"health     : {len(health.retries)} retr"
+              f"{'y' if len(health.retries) == 1 else 'ies'}, "
+              f"{len(health.degradations)} degradation(s) — see the "
+              "JSON report's 'health' section")
     if args.report:
         Path(args.report).write_text(
             json.dumps(result.report(), indent=2) + "\n"
@@ -810,11 +861,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         overrides["sweep"] = spec.sweep.with_execution(execution)
     if overrides:
         spec = spec.with_overrides(**overrides)
+    if getattr(args, "resume", False) and not getattr(
+        args, "checkpoint_dir", None
+    ):
+        return _fail("--resume needs --checkpoint-dir to resume from")
     spec = apply_quick_mode(spec)
+    reset_run_health()
     try:
-        result = run_scenario(spec)
+        result = run_scenario(
+            spec,
+            checkpoint_dir=getattr(args, "checkpoint_dir", None),
+            resume=bool(getattr(args, "resume", False)),
+        )
     except ReproError as exc:
-        return _fail(f"scenario {spec.name!r} failed: {exc}")
+        return _fail_for(exc, f"scenario {spec.name!r} failed: ")
     report = result.sweep.report
 
     print(f"scenario   : {spec.name}"
@@ -829,6 +889,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for factor, headroom in report.headroom_per_factor().items():
         print(f"headroom   : x{factor:<5g} worst link at "
               f"{headroom:+.1%} SLA headroom")
+    resumed = getattr(result.sweep.result, "resumed", ())
+    if resumed:
+        print(f"resumed    : {len(resumed)} cell(s) restored from "
+              "checkpoints")
+    health = run_health()
+    if not health.clean:
+        print(f"health     : {len(health.retries)} retr"
+              f"{'y' if len(health.retries) == 1 else 'ies'}, "
+              f"{len(health.degradations)} degradation(s) — see the "
+              "JSON report's 'health' section")
     if args.report:
         Path(args.report).write_text(
             json.dumps(result.report(), indent=2) + "\n"
@@ -923,6 +993,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="override the spec's seed",
     )
+    net.add_argument(
+        "--checkpoint-dir", default=None,
+        help="persist each simulated link's result to this directory as "
+        "it completes, so an interrupted simulation can be resumed",
+    )
+    net.add_argument(
+        "--resume", action="store_true",
+        help="skip links already checkpointed in --checkpoint-dir and "
+        "re-run only the remainder",
+    )
     net.set_defaults(func=_cmd_network)
 
     swp = sub.add_parser(
@@ -943,6 +1023,18 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument(
         "--seed", type=int, default=None,
         help="override the spec's seed",
+    )
+    swp.add_argument(
+        "--checkpoint-dir", default=None,
+        help="persist each simulated cell's outcome to this directory as "
+        "it completes (atomic writes + a manifest pinning the run), so "
+        "an interrupted sweep can be resumed",
+    )
+    swp.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already checkpointed in --checkpoint-dir and "
+        "re-run only the remainder; the resulting report is "
+        "bitwise-equal to an uninterrupted run",
     )
     swp.set_defaults(func=_cmd_sweep)
 
@@ -985,6 +1077,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="input format; non-native telemetry (netflow5, ipfix, pcap) "
         "streams through the import adapter (default: sniff the file, "
         "falling back to the native .rptr reader)",
+    )
+    meas.add_argument(
+        "--errors", choices=("strict", "skip"), default="strict",
+        help="malformed telemetry records: 'strict' (default) fails "
+        "loudly naming the byte offset, 'skip' drops and counts them",
     )
     meas.set_defaults(func=_cmd_measure)
 
@@ -1039,6 +1136,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="target congestion probability for provisioning",
     )
     imp.add_argument(
+        "--errors", choices=("strict", "skip"), default="strict",
+        help="malformed telemetry records: 'strict' (default) fails "
+        "loudly naming the byte offset, 'skip' drops and counts them "
+        "(reported as 'records_skipped')",
+    )
+    imp.add_argument(
         "--report", default=None,
         help="write the full pipeline report (spec + stage summaries + "
         "validation) to this JSON file",
@@ -1076,6 +1179,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-packets", type=int, default=1,
         help="smallest flow exported (zero-duration single-packet flows "
         "are always dropped: the model's S^2/D is undefined for them)",
+    )
+    exp.add_argument(
+        "--errors", choices=("strict", "skip"), default="strict",
+        help="malformed input records: 'strict' (default) fails loudly, "
+        "'skip' drops and counts them",
     )
     exp.set_defaults(func=_cmd_export)
 
@@ -1116,7 +1224,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        checkpoint_dir = getattr(args, "checkpoint_dir", None)
+        if checkpoint_dir:
+            print(
+                f"interrupted — completed work is checkpointed in "
+                f"{checkpoint_dir}; re-run with --resume to continue",
+                file=sys.stderr,
+            )
+        else:
+            print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except ReproError as exc:
+        # commands classify their own errors; this is the backstop for
+        # anything that escaped
+        return _fail_for(exc)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,9 @@ __all__ = [
     "ModelError",
     "PredictionError",
     "TopologyError",
+    "WorkerFailure",
+    "FaultInjectedError",
+    "CheckpointError",
 ]
 
 
@@ -50,3 +53,15 @@ class PredictionError(ReproError):
 
 class TopologyError(ReproError):
     """A backbone topology operation failed (unknown node, no route...)."""
+
+
+class WorkerFailure(ReproError):
+    """A pool worker was lost (crash or hang) and retries ran out."""
+
+
+class FaultInjectedError(ReproError):
+    """Raised only by the fault-injection harness (:mod:`repro.faults`)."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint directory is unusable or belongs to a different run."""

@@ -1,12 +1,22 @@
 """Execution backends: serial / thread / shared-memory process pools.
 
 See :mod:`repro.execution.pool` for the abstraction every engine routes
-through, and :mod:`repro.execution.shm` for the zero-pickle array
-transport behind the ``process`` backend.
+through, :mod:`repro.execution.shm` for the zero-pickle array transport
+behind the ``process`` backend, and :mod:`repro.execution.health` for
+the retry/degradation accounting of the resilience layer.
 """
 
+from .health import (
+    HealthEvent,
+    RunHealth,
+    record_degradation,
+    record_retry,
+    reset_run_health,
+    run_health,
+)
 from .pool import (
     BACKENDS,
+    RetryPolicy,
     SerialPool,
     SharedMemoryPool,
     ThreadPool,
@@ -20,6 +30,9 @@ from .timing import reset_stage_timings, stage_timer, stage_timings
 __all__ = [
     "BACKENDS",
     "SHM_PREFIX",
+    "HealthEvent",
+    "RetryPolicy",
+    "RunHealth",
     "SerialPool",
     "SharedMemoryPool",
     "ShmRef",
@@ -28,7 +41,11 @@ __all__ = [
     "check_backend",
     "make_pool",
     "process_backend_available",
+    "record_degradation",
+    "record_retry",
+    "reset_run_health",
     "reset_stage_timings",
+    "run_health",
     "stage_timer",
     "stage_timings",
 ]

@@ -1,0 +1,103 @@
+"""Run-health accounting: retries and degradations, named and counted.
+
+The resilience layer never recovers silently.  Every time the pool
+re-executes a lost task, the shared-memory transport falls back to
+pickles, or a requested backend is downgraded, the event is recorded
+here — a process-local registry in the style of
+:mod:`repro.execution.timing` — and :func:`run_health` snapshots it
+into the frozen :class:`RunHealth` report that engines attach to their
+result JSON.
+
+Because every task in this codebase is ``SeedSequence``-seeded and
+bitwise-deterministic, a recovery changes *nothing* about the output;
+the health report exists so an operator can still see that the run was
+bumpy (and e.g. investigate a flaky host) without diffing artifacts.
+
+Worker processes keep their own registries; events that happen on the
+worker side of the process backend (one-shot allocation falling back to
+pickle) are piggybacked onto the task result by the pool and re-recorded
+in the parent, so a single parent-side snapshot covers the whole run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = [
+    "HealthEvent",
+    "RunHealth",
+    "record_degradation",
+    "record_retry",
+    "reset_run_health",
+    "run_health",
+    "take_worker_events",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class HealthEvent:
+    """One named recovery or degradation."""
+
+    kind: str  # e.g. "worker-lost", "shm-exhausted", "backend-downgrade"
+    detail: str  # human-readable cause, named loudly
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "detail": self.detail}
+
+
+@dataclasses.dataclass(frozen=True)
+class RunHealth:
+    """Snapshot of every retry and degradation since the last reset."""
+
+    retries: tuple
+    degradations: tuple
+
+    @property
+    def clean(self) -> bool:
+        return not self.retries and not self.degradations
+
+    def to_dict(self) -> dict:
+        return {
+            "retries": [e.to_dict() for e in self.retries],
+            "degradations": [e.to_dict() for e in self.degradations],
+            "n_retries": len(self.retries),
+            "n_degradations": len(self.degradations),
+        }
+
+
+# Process-local event logs (parent side unless inside a pool worker).
+_RETRIES: list[HealthEvent] = []
+_DEGRADATIONS: list[HealthEvent] = []
+
+
+def record_retry(kind: str, detail: str) -> None:
+    """Record one re-execution of lost work (watchdog fired)."""
+    _RETRIES.append(HealthEvent(str(kind), str(detail)))
+
+
+def record_degradation(kind: str, detail: str) -> None:
+    """Record one graceful downgrade (transport or backend)."""
+    _DEGRADATIONS.append(HealthEvent(str(kind), str(detail)))
+
+
+def reset_run_health() -> None:
+    """Zero both logs (benchmarks and engines call this up front)."""
+    _RETRIES.clear()
+    _DEGRADATIONS.clear()
+
+
+def run_health() -> RunHealth:
+    """A frozen snapshot of everything recorded since the last reset."""
+    return RunHealth(tuple(_RETRIES), tuple(_DEGRADATIONS))
+
+
+def take_worker_events() -> list:
+    """Drain this process's degradation log as picklable tuples.
+
+    Pool workers call this after each task; the parent re-records the
+    drained events so worker-side fallbacks show up in the parent's
+    :func:`run_health` snapshot.
+    """
+    events = [(e.kind, e.detail) for e in _DEGRADATIONS]
+    _DEGRADATIONS.clear()
+    return events

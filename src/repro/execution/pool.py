@@ -23,15 +23,34 @@ request anywhere:
 * inside a daemonic pool worker (which may not spawn children —
   e.g. per-link tasks of the network engine running a measurement
   engine) ``process`` silently downgrades to ``thread``.
+
+Fault tolerance: pass a :class:`RetryPolicy` to :func:`make_pool` (or
+set ``execution.retry`` in a spec) and the process backend arms a
+watchdog — each result is awaited under a per-task deadline, and a
+missed deadline (worker crashed, fork wedged, task hung) respawns the
+pool and deterministically re-executes every not-yet-delivered task.
+Because all tasks are ``SeedSequence``-seeded the re-run is
+bitwise-identical; the recovery is recorded in
+:mod:`~repro.execution.health` rather than hidden.  Deterministic task
+exceptions are *not* retried — they would fail identically — and
+propagate immediately.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
+import os
+import signal
+import threading
+import time
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from multiprocessing import shared_memory
 
-from ..exceptions import ParameterError
+from ..exceptions import ParameterError, WorkerFailure
+from ..faults import active_plan, fire_task_fault
+from .health import record_degradation, record_retry, take_worker_events
 from .shm import (
     DEFAULT_SLOT_BYTES,
     DEFAULT_THRESHOLD,
@@ -41,6 +60,7 @@ from .shm import (
 
 __all__ = [
     "BACKENDS",
+    "RetryPolicy",
     "SerialPool",
     "ThreadPool",
     "SharedMemoryPool",
@@ -51,6 +71,37 @@ __all__ = [
 
 #: Accepted values of every ``backend`` knob, CLI flag and spec field.
 BACKENDS = ("serial", "thread", "process")
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Watchdog + retry knobs for the process backend.
+
+    ``timeout_s`` is the per-task delivery deadline; a result that does
+    not arrive in time means the worker crashed or hung, and the pool
+    respawns and re-executes the lost work (up to ``max_retries``
+    times, sleeping ``backoff * attempt`` seconds between rounds).
+    Serial and thread backends ignore the policy: they cannot lose
+    work to a dead process, and a hung thread cannot be killed.
+    """
+
+    max_retries: int = 2
+    timeout_s: float = 300.0
+    backoff: float = 0.0
+
+    def __post_init__(self):
+        if int(self.max_retries) < 0:
+            raise ParameterError(
+                f"retry.max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if float(self.timeout_s) <= 0:
+            raise ParameterError(
+                f"retry.timeout_s must be > 0, got {self.timeout_s!r}"
+            )
+        if float(self.backoff) < 0:
+            raise ParameterError(
+                f"retry.backoff must be >= 0, got {self.backoff!r}"
+            )
 
 
 def check_backend(name: str, value) -> str:
@@ -123,6 +174,53 @@ class ThreadPool:
 # Worker-global transport, installed by the fork-inherited initializer.
 _WORKER_TRANSPORT: ShmTransport | None = None
 
+# Every live SharedMemoryPool, so the signal handlers can close them all
+# (terminating workers and unlinking every /dev/shm segment) before an
+# interrupt unwinds the process.
+_LIVE_POOLS: "weakref.WeakSet[SharedMemoryPool]" = weakref.WeakSet()
+_HANDLED_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+_SIGNALS_INSTALLED = False
+
+
+def _close_live_pools() -> None:
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:
+            pass
+
+
+def _install_signal_handlers() -> None:
+    """Chain SIGINT/SIGTERM through pool cleanup, once, best-effort.
+
+    Only possible from the main thread of the main interpreter; pools
+    created elsewhere simply rely on context-manager / ``__del__``
+    cleanup.  The previous handler (or default behaviour) is preserved,
+    so ``Ctrl-C`` still raises ``KeyboardInterrupt`` and ``SIGTERM``
+    still terminates — just with zero segments left behind.
+    """
+    global _SIGNALS_INSTALLED
+    if _SIGNALS_INSTALLED:
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return
+    for sig in _HANDLED_SIGNALS:
+        previous = signal.getsignal(sig)
+
+        def _handler(signum, frame, _previous=previous):
+            _close_live_pools()
+            if callable(_previous):
+                _previous(signum, frame)
+            else:
+                signal.signal(signum, signal.SIG_DFL)
+                os.kill(os.getpid(), signum)
+
+        try:
+            signal.signal(sig, _handler)
+        except (ValueError, OSError):
+            return
+    _SIGNALS_INSTALLED = True
+
 
 def _worker_init(free_slots, slot_names, threshold, slot_bytes):
     global _WORKER_TRANSPORT
@@ -135,11 +233,15 @@ def _worker_run(payload):
 
     Inputs are unstaged (and their slots recycled / one-shots unlinked)
     *before* ``fn`` runs, so a failing task never strands a segment.
+    Worker-side health events (e.g. a shm allocation falling back to
+    pickle) ride back with the result so the parent can re-record them.
     """
-    fn, staged = payload
+    fn, staged, index, attempt, plan = payload
     item = _WORKER_TRANSPORT.unstage(staged)
+    if plan is not None:
+        fire_task_fault(index, attempt, plan)
     result = fn(item)
-    return _WORKER_TRANSPORT.stage(result)
+    return _WORKER_TRANSPORT.stage(result), take_worker_events()
 
 
 class SharedMemoryPool:
@@ -154,6 +256,14 @@ class SharedMemoryPool:
     keeps slots cycling; when the ring is momentarily dry either side
     falls back to a one-shot segment, so progress never blocks on the
     ring.
+
+    With a :class:`RetryPolicy`, each result is awaited under
+    ``timeout_s``; a missed deadline tears the whole pool down (workers,
+    ring, free queue), rebuilds it fresh and re-dispatches every task
+    whose result had not yet been delivered.  Ordered delivery makes
+    the unfinished set exactly the suffix of the task list, so the
+    recovered run is a plain re-execution — bitwise-identical because
+    every task is seeded.
     """
 
     backend = "process"
@@ -165,21 +275,34 @@ class SharedMemoryPool:
         slots: int | None = None,
         slot_bytes: int = DEFAULT_SLOT_BYTES,
         threshold: int = DEFAULT_THRESHOLD,
+        retry: RetryPolicy | None = None,
     ):
         self.workers = max(1, int(workers))
-        n_slots = int(slots) if slots is not None else 2 * self.workers + 2
+        self.retry = retry
+        self._n_slots = (
+            int(slots) if slots is not None else 2 * self.workers + 2
+        )
+        self._slot_bytes = int(slot_bytes)
+        self._threshold = int(threshold)
+        self._closed = False
+        self._segments: list = []
+        self._spawn()
+        _LIVE_POOLS.add(self)
+        _install_signal_handlers()
+
+    def _spawn(self) -> None:
         ctx = multiprocessing.get_context("fork")
         self._segments = [
             shared_memory.SharedMemory(
-                name=new_segment_name(), create=True, size=int(slot_bytes)
+                name=new_segment_name(), create=True, size=self._slot_bytes
             )
-            for _ in range(n_slots)
+            for _ in range(self._n_slots)
         ]
         self._free = ctx.Queue()
-        for i in range(n_slots):
+        for i in range(self._n_slots):
             self._free.put(i)
         self._transport = ShmTransport(
-            self._free, self._segments, threshold, slot_bytes
+            self._free, self._segments, self._threshold, self._slot_bytes
         )
         self._pool = ctx.Pool(
             self.workers,
@@ -187,11 +310,23 @@ class SharedMemoryPool:
             initargs=(
                 self._free,
                 [seg.name for seg in self._segments],
-                int(threshold),
-                int(slot_bytes),
+                self._threshold,
+                self._slot_bytes,
             ),
         )
-        self._closed = False
+
+    def _teardown(self) -> None:
+        try:
+            self._pool.terminate()
+            self._pool.join()
+        finally:
+            for seg in self._segments:
+                try:
+                    seg.close()
+                    seg.unlink()
+                except FileNotFoundError:
+                    pass
+            self._segments = []
 
     def map_ordered(self, fn, items):
         if self._closed:
@@ -201,20 +336,71 @@ class SharedMemoryPool:
             return []
         if len(items) == 1:
             return [fn(items[0])]
-        payloads = [(fn, self._transport.stage(item)) for item in items]
-        out = []
-        it = self._pool.imap(_worker_run, payloads, chunksize=1)
-        try:
-            for staged in it:
-                out.append(self._transport.unstage(staged))
-        except BaseException:
-            self._drain_after_error(it)
-            raise
-        return out
+        policy = self.retry
+        timeout = float(policy.timeout_s) if policy is not None else None
+        retries_left = int(policy.max_retries) if policy is not None else 0
+        n = len(items)
+        out: list = [None] * n
+        start = 0  # first task whose result has not been delivered
+        attempt = 0
+        # Resolve the fault plan here, in the parent: workers may have
+        # been forked while a (since-cleared) plan was armed, so the
+        # plan travels with each payload instead of via fork state.
+        plan = active_plan()
+        while True:
+            payloads = [
+                (fn, self._transport.stage(items[i]), i, attempt, plan)
+                for i in range(start, n)
+            ]
+            it = self._pool.imap(_worker_run, payloads, chunksize=1)
+            i = start
+            try:
+                while i < n:
+                    staged, events = it.next(timeout)
+                    for kind, detail in events:
+                        record_degradation(kind, detail)
+                    out[i] = self._transport.unstage(staged)
+                    i += 1
+            except multiprocessing.TimeoutError:
+                detail = (
+                    f"task {i}/{n} missed its {timeout:g}s deadline "
+                    f"(worker crashed or hung) on attempt {attempt}"
+                )
+                for payload in payloads[i - start:]:
+                    try:
+                        self._transport.discard(payload[1])
+                    except Exception:
+                        pass
+                if retries_left <= 0:
+                    self._teardown()
+                    self._spawn()
+                    raise WorkerFailure(
+                        f"{detail}; retries exhausted "
+                        f"(max_retries={policy.max_retries})"
+                    ) from None
+                retries_left -= 1
+                attempt += 1
+                record_retry(
+                    "worker-lost",
+                    f"{detail}; respawned pool, re-executing tasks "
+                    f"{i}..{n - 1}",
+                )
+                self._teardown()
+                if policy.backoff:
+                    time.sleep(float(policy.backoff) * attempt)
+                self._spawn()
+                start = i
+                continue
+            except BaseException:
+                self._drain_after_error(it)
+                raise
+            return out
 
     def _drain_after_error(self, it) -> None:
         """Consume whatever the workers still deliver after a failure so
         their staged results do not strand segments."""
+        if self._closed:
+            return
         while True:
             try:
                 staged = it.next(timeout=60)
@@ -233,17 +419,7 @@ class SharedMemoryPool:
         if self._closed:
             return
         self._closed = True
-        try:
-            self._pool.terminate()
-            self._pool.join()
-        finally:
-            for seg in self._segments:
-                try:
-                    seg.close()
-                    seg.unlink()
-                except FileNotFoundError:
-                    pass
-            self._segments = []
+        self._teardown()
 
     def __enter__(self):
         return self
@@ -259,19 +435,38 @@ class SharedMemoryPool:
             pass
 
 
-def make_pool(backend: str = "thread", workers: int = 1, **kwargs):
+def make_pool(
+    backend: str = "thread",
+    workers: int = 1,
+    *,
+    retry: RetryPolicy | None = None,
+    **kwargs,
+):
     """Build the pool implementing ``backend`` with ``workers`` lanes.
 
     ``workers <= 1`` and ``backend="serial"`` return the inline pool;
     ``backend="process"`` downgrades to threads wherever a fork-based
-    pool cannot be created (daemonic workers, exotic platforms), so
-    requesting it is always safe.
+    pool cannot be created, so requesting it is always safe.  The
+    routine downgrade inside a daemonic pool worker (nested engines)
+    stays silent — it is by design — while a platform with no ``fork``
+    start method records a structured ``backend-downgrade`` degradation
+    in :mod:`~repro.execution.health`.
+
+    ``retry`` arms the process backend's watchdog; the serial and
+    thread backends accept and ignore it (they cannot lose work to a
+    dead process).
     """
     check_backend("backend", backend)
     if workers <= 1 or backend == "serial":
         return SerialPool()
     if backend == "process":
         if not process_backend_available():
+            if not multiprocessing.current_process().daemon:
+                record_degradation(
+                    "backend-downgrade",
+                    "process backend unavailable (no fork start method); "
+                    f"running {workers} workers on the thread backend",
+                )
             return ThreadPool(workers)
-        return SharedMemoryPool(workers, **kwargs)
+        return SharedMemoryPool(workers, retry=retry, **kwargs)
     return ThreadPool(workers)

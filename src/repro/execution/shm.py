@@ -27,11 +27,15 @@ tables and specs are small next to packet chunks).
 from __future__ import annotations
 
 import dataclasses
+import errno
 import os
 import queue
 from multiprocessing import shared_memory
 
 import numpy as np
+
+from ..faults import consume_shm_fault
+from .health import record_degradation
 
 __all__ = ["SHM_PREFIX", "ShmRef", "ShmTransport", "new_segment_name"]
 
@@ -163,9 +167,25 @@ class ShmTransport:
                 self._write(seg, arr)
                 return ShmRef("slot", seg.name, idx, arr.dtype, arr.shape)
         name = new_segment_name()
-        seg = shared_memory.SharedMemory(
-            name=name, create=True, size=max(arr.nbytes, 1)
-        )
+        try:
+            if consume_shm_fault():
+                raise OSError(
+                    errno.ENOSPC, "No space left on device (injected)"
+                )
+            seg = shared_memory.SharedMemory(
+                name=name, create=True, size=max(arr.nbytes, 1)
+            )
+        except OSError as exc:
+            if exc.errno not in (errno.ENOSPC, errno.ENOMEM):
+                raise
+            # /dev/shm is full: degrade gracefully to the pickle path.
+            record_degradation(
+                "shm-exhausted",
+                f"one-shot allocation of {arr.nbytes} bytes failed "
+                f"({exc.strerror or 'out of shared memory'}); "
+                "array sent via pickle instead",
+            )
+            return arr
         try:
             self._write(seg, arr)
         finally:

@@ -106,6 +106,7 @@ class EngineConfig:
     backend: str = "thread"
     arrival_cell: float = DEFAULT_ARRIVAL_CELL
     rect_fast_path: bool = True
+    retry: object | None = None  # RetryPolicy; process-backend watchdog
 
     def __post_init__(self) -> None:
         if self.chunk is not None:
@@ -432,7 +433,9 @@ class GenerationEngine:
     def _make_pool(self, n_tasks: int):
         """Backend pool sized for ``n_tasks`` (serial when pointless)."""
         width = min(self.config.workers, max(n_tasks, 1))
-        return make_pool(self.config.backend, width)
+        return make_pool(
+            self.config.backend, width, retry=self.config.retry
+        )
 
     def _run_ordered(self, fn, tasks):
         """Evaluate ``fn(*task)`` for every task, preserving order.

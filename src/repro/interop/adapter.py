@@ -281,6 +281,11 @@ class FlowPacketStream:
         self.records_read = 0
         self.packets_emitted = 0
 
+    @property
+    def records_skipped(self) -> int:
+        """Malformed records the reader dropped (``errors="skip"``)."""
+        return int(getattr(self._reader, "skipped", 0))
+
     def _record_chunks_sorted(self):
         """Record chunks in nondecreasing start order, per ``order``."""
         if self.order == "export":
@@ -374,6 +379,11 @@ class PacketChunkStream:
     def records_read(self) -> int:
         return self.packets_emitted
 
+    @property
+    def records_skipped(self) -> int:
+        """Malformed records the source dropped (``errors="skip"``)."""
+        return int(getattr(self._source, "skipped", 0))
+
     def __iter__(self):
         prev_max = -np.inf
         for block in self._source.chunks():
@@ -407,6 +417,7 @@ def open_import_stream(
     rebase: str = "auto",
     duration: float | None = None,
     link_capacity: float | None = None,
+    errors: str = "strict",
 ):
     """Open any supported telemetry file as a measure-ready stream.
 
@@ -415,10 +426,18 @@ def open_import_stream(
     iterable of time-ordered ``PACKET_DTYPE`` chunks carrying
     ``duration``/``link_capacity``, directly consumable by
     ``MeasurementEngine.measure_chunks``.
+
+    ``errors="skip"`` makes the format readers drop malformed records
+    instead of raising (counted in the stream's ``records_skipped``);
+    native ``.rptr`` traces are always read strictly.
     """
     path = Path(path)
     if not path.exists():
         raise TraceFormatError(f"{path}: no such file")
+    if errors not in ("strict", "skip"):
+        raise ParameterError(
+            f"errors must be 'strict' or 'skip', got {errors!r}"
+        )
     if format == "auto":
         format = detect_format(path)
     if format not in IMPORT_FORMATS:
@@ -461,7 +480,9 @@ def open_import_stream(
             ),
         )
     if format == "pcap":
-        source = PcapReader(path, chunk=int(chunk) if chunk else 1_000_000)
+        source = PcapReader(
+            path, chunk=int(chunk) if chunk else 1_000_000, errors=errors
+        )
         return PacketChunkStream(
             source,
             rebase=rebase,
@@ -469,7 +490,9 @@ def open_import_stream(
             link_capacity=link_capacity,
         )
     reader_cls = NetFlow5Reader if format == "netflow5" else IpfixReader
-    reader = reader_cls(path, chunk=int(chunk) if chunk else 65536)
+    reader = reader_cls(
+        path, chunk=int(chunk) if chunk else 65536, errors=errors
+    )
     return FlowPacketStream(
         reader,
         order=order,

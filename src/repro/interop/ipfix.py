@@ -20,7 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..exceptions import TraceFormatError
+from ..exceptions import ParameterError, TraceFormatError
 from .records import FLOW_RECORD_DTYPE
 
 __all__ = [
@@ -228,7 +228,9 @@ class _Template:
             missing.append(IE_FLOW_END_MILLISECONDS)
         return missing
 
-    def decode(self, payload: bytes, *, path, offset: int) -> np.ndarray:
+    def decode(
+        self, payload: bytes, *, path, offset: int, drop_invalid: bool = False
+    ) -> "tuple[np.ndarray, int]":
         count = len(payload) // self.record_size
         wire = np.frombuffer(
             payload[: count * self.record_size], dtype=self.dtype
@@ -261,12 +263,14 @@ class _Template:
             out[name] = 0 if column is None else column
         bad = out["end"] < out["start"]
         if bool(np.any(bad)):
+            if drop_invalid:
+                return out[~bad], int(bad.sum())
             index = int(np.argmax(bad))
             raise TraceFormatError(
                 f"{path}: record {index} of the data set at byte offset "
                 f"{offset} ends before it starts"
             )
-        return out
+        return out, 0
 
 
 class IpfixReader:
@@ -276,15 +280,33 @@ class IpfixReader:
     unknown template, or a template missing the five-tuple/counter/
     timestamp fields, raise :class:`TraceFormatError` naming the byte
     offset.  Set padding (RFC 7011 §3.3.1) is tolerated.
+
+    ``errors="skip"`` drops malformed structures instead of raising and
+    counts them in :attr:`skipped` (reset at the start of each pass):
+    a bad set, an unknown or incomplete template's data set, or a
+    bad-version message with a plausible length is skipped whole; a
+    record that ends before it starts is dropped individually; a
+    truncated message — where the stream cannot be re-synchronised —
+    stops the pass.
     """
 
     format = "ipfix"
 
-    def __init__(self, path, *, chunk: int = 65536) -> None:
+    def __init__(
+        self, path, *, chunk: int = 65536, errors: str = "strict"
+    ) -> None:
         self.path = Path(path)
         self.chunk = int(chunk)
         if self.chunk < 1:
             raise TraceFormatError(f"chunk must be >= 1 record, got {chunk}")
+        if errors not in ("strict", "skip"):
+            raise ParameterError(
+                f"errors must be 'strict' or 'skip', got {errors!r}"
+            )
+        self.errors = errors
+        #: malformed records/sets dropped by the most recent
+        #: ``errors="skip"`` pass (0 under ``errors="strict"``)
+        self.skipped = 0
 
     def _decode_template_set(self, body, templates, *, offset: int) -> None:
         pos = 0
@@ -325,6 +347,7 @@ class IpfixReader:
 
     def _sets(self):
         """Yield decoded ``FLOW_RECORD_DTYPE`` blocks, one per data set."""
+        skip = self.errors == "skip"
         templates: dict[int, _Template] = {}
         with open(self.path, "rb") as fh:
             offset = 0
@@ -333,25 +356,42 @@ class IpfixReader:
                 if not raw:
                     return
                 if len(raw) < _MESSAGE_HEADER.size:
+                    if skip:
+                        self.skipped += 1
+                        return
                     raise TraceFormatError(
                         f"{self.path}: truncated IPFIX message header at "
                         f"byte offset {offset}: got {len(raw)} bytes, "
                         f"expected {_MESSAGE_HEADER.size}"
                     )
                 version, length, _etime, _seq, _odid = _MESSAGE_HEADER.unpack(raw)
-                if version != IPFIX_VERSION:
-                    raise TraceFormatError(
-                        f"{self.path}: bad IPFIX version {version} at byte "
-                        f"offset {offset}, expected {IPFIX_VERSION}"
-                    )
                 if length < _MESSAGE_HEADER.size:
+                    if skip:
+                        # the length sizes the message; without it the
+                        # stream cannot be re-synchronised
+                        self.skipped += 1
+                        return
                     raise TraceFormatError(
                         f"{self.path}: implausible IPFIX message length "
                         f"{length} at byte offset {offset} (expected >= "
                         f"{_MESSAGE_HEADER.size})"
                     )
+                if version != IPFIX_VERSION:
+                    if skip:
+                        # length is plausible: hop over this message
+                        fh.seek(length - _MESSAGE_HEADER.size, 1)
+                        self.skipped += 1
+                        offset += length
+                        continue
+                    raise TraceFormatError(
+                        f"{self.path}: bad IPFIX version {version} at byte "
+                        f"offset {offset}, expected {IPFIX_VERSION}"
+                    )
                 body = fh.read(length - _MESSAGE_HEADER.size)
                 if len(body) < length - _MESSAGE_HEADER.size:
+                    if skip:
+                        self.skipped += 1
+                        return
                     raise TraceFormatError(
                         f"{self.path}: truncated IPFIX message at byte "
                         f"offset {offset}: got "
@@ -363,12 +403,20 @@ class IpfixReader:
                     set_offset = offset + _MESSAGE_HEADER.size + pos
                     set_id, set_length = _SET_HEADER.unpack_from(body, pos)
                     if set_length < _SET_HEADER.size:
+                        if skip:
+                            # set boundaries inside this message are
+                            # lost; drop the message's remainder
+                            self.skipped += 1
+                            break
                         raise TraceFormatError(
                             f"{self.path}: implausible set length "
                             f"{set_length} at byte offset {set_offset} "
                             f"(expected >= {_SET_HEADER.size})"
                         )
                     if pos + set_length > len(body):
+                        if skip:
+                            self.skipped += 1
+                            break
                         raise TraceFormatError(
                             f"{self.path}: set at byte offset {set_offset} "
                             f"runs past its message: set length {set_length}"
@@ -376,14 +424,23 @@ class IpfixReader:
                         )
                     set_body = body[pos + _SET_HEADER.size: pos + set_length]
                     if set_id == _TEMPLATE_SET_ID:
-                        self._decode_template_set(
-                            set_body, templates, offset=set_offset
-                        )
+                        try:
+                            self._decode_template_set(
+                                set_body, templates, offset=set_offset
+                            )
+                        except TraceFormatError:
+                            if not skip:
+                                raise
+                            self.skipped += 1
                     elif set_id == _OPTIONS_TEMPLATE_SET_ID:
                         pass  # options records carry no flows
                     elif set_id >= _MIN_DATA_SET_ID:
                         template = templates.get(set_id)
                         if template is None:
+                            if skip:
+                                self.skipped += 1
+                                pos += set_length
+                                continue
                             raise TraceFormatError(
                                 f"{self.path}: data set at byte offset "
                                 f"{set_offset} references template "
@@ -392,15 +449,23 @@ class IpfixReader:
                             )
                         missing = template.missing_fields()
                         if missing:
+                            if skip:
+                                self.skipped += 1
+                                pos += set_length
+                                continue
                             raise TraceFormatError(
                                 f"{self.path}: template {set_id} lacks "
                                 "required information elements "
                                 f"{missing} (data set at byte offset "
                                 f"{set_offset})"
                             )
-                        block = template.decode(
-                            set_body, path=self.path, offset=set_offset
+                        block, dropped = template.decode(
+                            set_body,
+                            path=self.path,
+                            offset=set_offset,
+                            drop_invalid=skip,
                         )
+                        self.skipped += dropped
                         if block.size:
                             yield block
                     # set ids 0,1,4..255 are reserved: skip
@@ -409,6 +474,7 @@ class IpfixReader:
 
     def record_chunks(self):
         """Yield decoded :data:`FLOW_RECORD_DTYPE` blocks (~``chunk``)."""
+        self.skipped = 0
         pending: list[np.ndarray] = []
         pending_size = 0
         for block in self._sets():

@@ -20,7 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..exceptions import TraceFormatError
+from ..exceptions import ParameterError, TraceFormatError
 from .records import FLOW_RECORD_DTYPE
 
 __all__ = [
@@ -179,20 +179,41 @@ class NetFlow5Reader:
     ``record_chunks()`` yields :data:`FLOW_RECORD_DTYPE` blocks of about
     ``chunk`` records (datagrams are never split, so blocks may run a
     datagram long); only one block plus one datagram is ever in memory.
-    Corrupt or truncated archives raise :class:`TraceFormatError` naming
-    the byte offset and the expected size.
+
+    ``errors="strict"`` (the default) raises :class:`TraceFormatError`
+    on corrupt or truncated archives, naming the byte offset and the
+    expected size.  ``errors="skip"`` drops malformed data instead and
+    counts it in :attr:`skipped` (reset at the start of each pass): a
+    bad-version datagram with a plausible count is skipped whole, a
+    ``Last < First`` record is dropped individually, and truncation —
+    where the datagram boundary itself is unknown — stops the pass
+    after counting what the header promised.
     """
 
     format = "netflow5"
 
-    def __init__(self, path, *, chunk: int = 65536) -> None:
+    def __init__(
+        self, path, *, chunk: int = 65536, errors: str = "strict"
+    ) -> None:
         self.path = Path(path)
         self.chunk = int(chunk)
         if self.chunk < 1:
             raise TraceFormatError(f"chunk must be >= 1 record, got {chunk}")
+        if errors not in ("strict", "skip"):
+            raise ParameterError(
+                f"errors must be 'strict' or 'skip', got {errors!r}"
+            )
+        self.errors = errors
+        #: malformed records dropped by the most recent ``errors="skip"``
+        #: pass (0 under ``errors="strict"``)
+        self.skipped = 0
+
+    def _skip(self, count: int, why: str) -> None:
+        self.skipped += int(count)
 
     def _datagrams(self):
         """Yield ``(offset, header fields, record block)`` per datagram."""
+        skip = self.errors == "skip"
         with open(self.path, "rb") as fh:
             offset = 0
             while True:
@@ -200,6 +221,10 @@ class NetFlow5Reader:
                 if not raw:
                     return
                 if len(raw) < NETFLOW5_HEADER.size:
+                    if skip:
+                        # a torn header: no record boundary to recover
+                        self._skip(1, "truncated header")
+                        return
                     raise TraceFormatError(
                         f"{self.path}: truncated NetFlow v5 header at byte "
                         f"offset {offset}: got {len(raw)} bytes, expected "
@@ -209,20 +234,34 @@ class NetFlow5Reader:
                     version, count, sys_uptime, unix_secs, unix_nsecs,
                     _sequence, _etype, _eid, _sampling,
                 ) = NETFLOW5_HEADER.unpack(raw)
-                if version != NETFLOW5_VERSION:
-                    raise TraceFormatError(
-                        f"{self.path}: bad NetFlow version {version} at byte "
-                        f"offset {offset}, expected {NETFLOW5_VERSION}"
-                    )
                 if not 1 <= count <= _MAX_READ_COUNT:
+                    if skip:
+                        # the count sizes the datagram; without it the
+                        # stream cannot be re-synchronised
+                        self._skip(1, "implausible count")
+                        return
                     raise TraceFormatError(
                         f"{self.path}: implausible record count {count} in "
                         f"the datagram header at byte offset {offset} "
                         f"(expected 1-{_MAX_READ_COUNT})"
                     )
                 payload_size = count * NETFLOW5_RECORD_SIZE
+                if version != NETFLOW5_VERSION:
+                    if skip:
+                        # count is plausible: hop over this datagram
+                        fh.seek(payload_size, 1)
+                        self._skip(count, "bad version")
+                        offset += NETFLOW5_HEADER.size + payload_size
+                        continue
+                    raise TraceFormatError(
+                        f"{self.path}: bad NetFlow version {version} at byte "
+                        f"offset {offset}, expected {NETFLOW5_VERSION}"
+                    )
                 payload = fh.read(payload_size)
                 if len(payload) < payload_size:
+                    if skip:
+                        self._skip(count, "truncated datagram")
+                        return
                     raise TraceFormatError(
                         f"{self.path}: truncated NetFlow v5 datagram at "
                         f"byte offset {offset + NETFLOW5_HEADER.size}: got "
@@ -241,6 +280,8 @@ class NetFlow5Reader:
 
     def record_chunks(self):
         """Yield decoded :data:`FLOW_RECORD_DTYPE` blocks (~``chunk``)."""
+        self.skipped = 0
+        skip = self.errors == "skip"
         pending: list[np.ndarray] = []
         pending_size = 0
         for offset, base, wire in self._datagrams():
@@ -256,11 +297,18 @@ class NetFlow5Reader:
             block["octets"] = wire["dOctets"]
             bad = block["end"] < block["start"]
             if bool(np.any(bad)):
-                index = int(np.argmax(bad))
-                raise TraceFormatError(
-                    f"{self.path}: record {index} of the datagram at byte "
-                    f"offset {offset} ends before it starts (Last < First)"
-                )
+                if skip:
+                    self._skip(int(bad.sum()), "Last < First")
+                    block = block[~bad]
+                    if block.size == 0:
+                        continue
+                else:
+                    index = int(np.argmax(bad))
+                    raise TraceFormatError(
+                        f"{self.path}: record {index} of the datagram at "
+                        f"byte offset {offset} ends before it starts "
+                        "(Last < First)"
+                    )
             pending.append(block)
             pending_size += block.size
             if pending_size >= self.chunk:

@@ -23,7 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..exceptions import TraceFormatError
+from ..exceptions import ParameterError, TraceFormatError
 from ..trace.format import PACKET_DTYPE
 
 __all__ = [
@@ -184,15 +184,31 @@ class PcapReader:
     order) and Ethernet or raw-IP link types.  Non-IPv4 records are
     skipped; truncated records raise :class:`TraceFormatError` naming
     the byte offset and expected size.
+
+    ``errors="skip"`` counts a truncated trailing record in
+    :attr:`skipped` (reset at the start of each pass) and stops the
+    pass instead of raising — the classic pcap record header carries no
+    magic to re-synchronise on, so mid-file truncation always ends the
+    stream.  The global header is validated strictly either way.
     """
 
     format = "pcap"
 
-    def __init__(self, path, *, chunk: int = 1_000_000) -> None:
+    def __init__(
+        self, path, *, chunk: int = 1_000_000, errors: str = "strict"
+    ) -> None:
         self.path = Path(path)
         self.chunk = int(chunk)
         if self.chunk < 1:
             raise TraceFormatError(f"chunk must be >= 1 packet, got {chunk}")
+        if errors not in ("strict", "skip"):
+            raise ParameterError(
+                f"errors must be 'strict' or 'skip', got {errors!r}"
+            )
+        self.errors = errors
+        #: malformed records dropped by the most recent ``errors="skip"``
+        #: pass (0 under ``errors="strict"``)
+        self.skipped = 0
         self._read_global_header()
 
     def _read_global_header(self) -> None:
@@ -236,6 +252,8 @@ class PcapReader:
     def chunks(self, chunk: int | None = None):
         """Yield ``PACKET_DTYPE`` arrays of at most ``chunk`` packets."""
         chunk = self.chunk if chunk is None else int(chunk)
+        skip = self.errors == "skip"
+        self.skipped = 0
         header = struct.Struct(self._endian + "IIII")
         link = self._link_offset
         need = link + _IP_HEADER_SIZE
@@ -249,6 +267,9 @@ class PcapReader:
                 if not raw:
                     break
                 if len(raw) < _RECORD_HEADER_SIZE:
+                    if skip:
+                        self.skipped += 1
+                        break
                     raise TraceFormatError(
                         f"{self.path}: truncated pcap record header at "
                         f"byte offset {offset}: got {len(raw)} bytes, "
@@ -257,6 +278,9 @@ class PcapReader:
                 ts_sec, ts_frac, incl_len, orig_len = header.unpack(raw)
                 data = fh.read(incl_len)
                 if len(data) < incl_len:
+                    if skip:
+                        self.skipped += 1
+                        break
                     raise TraceFormatError(
                         f"{self.path}: truncated pcap record at byte "
                         f"offset {offset + _RECORD_HEADER_SIZE}: got "

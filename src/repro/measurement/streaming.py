@@ -433,6 +433,7 @@ class StreamingMeasurement:
         duration: float | None = None,
         shards: int = 1,
         backend: str = "thread",
+        retry=None,
         pool=None,
         keep_raw_series: bool = False,
     ) -> None:
@@ -483,6 +484,7 @@ class StreamingMeasurement:
         )
         self._states = [_ShardState(self._pend_width) for _ in range(shards)]
         self.backend = str(backend)
+        self.retry = retry
         self._pool = pool
         self._owned_pool = None
         self._volumes = np.zeros(self.n_bins)
@@ -584,7 +586,7 @@ class StreamingMeasurement:
             if self._owned_pool is None:
                 # one pool for the whole measurement, not one per chunk
                 self._owned_pool = make_pool(
-                    self.backend, len(self._states)
+                    self.backend, len(self._states), retry=self.retry
                 )
             return self._owned_pool.map_ordered(_process_shard, tasks)
 

@@ -44,6 +44,7 @@ import numpy as np
 from .._util import check_positive, check_probability
 from ..applications.anomaly import AnomalyDetector, AnomalyEvent
 from ..applications.dimensioning import provision_capacity
+from ..checkpoint import CheckpointStore, run_fingerprint
 from ..core.model import PoissonShotNoiseModel
 from ..core.shots import variance_shape_factor
 from ..exceptions import ParameterError
@@ -464,6 +465,11 @@ class NetworkEngine:
         ``"thread"`` (default) or ``"process"`` (shared-memory workers;
         per-link synthesis/measurement inside each task stay
         single-worker so pools never nest).
+    retry:
+        Optional :class:`~repro.execution.RetryPolicy` arming the
+        process backend's watchdog: a per-link task whose worker
+        crashes or hangs is deterministically re-executed.  Execution
+        strategy only — never changes any result.
     """
 
     def __init__(
@@ -472,6 +478,7 @@ class NetworkEngine:
         chunk: int | None = None,
         workers: int = 1,
         backend: str = "thread",
+        retry=None,
     ) -> None:
         if chunk is not None:
             if int(chunk) != chunk or int(chunk) < 1:
@@ -487,6 +494,7 @@ class NetworkEngine:
         self.chunk = chunk
         self.workers = int(workers)
         self.backend = check_backend("backend", backend)
+        self.retry = retry
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -513,6 +521,8 @@ class NetworkEngine:
         threshold_sigma: float = 3.0,
         min_run: int = 3,
         keep_packets: bool = False,
+        checkpoint_dir=None,
+        resume: bool = False,
     ) -> NetworkSimulation:
         """Simulate every link of the topology under the demand matrix.
 
@@ -520,7 +530,17 @@ class NetworkEngine:
         :class:`~repro.network.events.FlashCrowd` entries.  Returns a
         :class:`NetworkSimulation`; call :meth:`NetworkSimulation.report`
         for the JSON-safe artifact.
+
+        ``checkpoint_dir`` persists each completed link's simulation
+        durably (atomic write + manifest, see :mod:`repro.checkpoint`);
+        ``resume=True`` then loads finished links and simulates only
+        the remainder — bitwise-equal to an uninterrupted run, because
+        every link task is seeded independently.
         """
+        if resume and checkpoint_dir is None:
+            raise ParameterError(
+                "resume=True needs a checkpoint_dir to resume from"
+            )
         if not isinstance(topology, Topology):
             raise ParameterError(
                 f"expected a Topology, got {type(topology).__name__}"
@@ -588,9 +608,29 @@ class NetworkEngine:
             min_run=int(min_run),
         )
 
+        store = None
+        if checkpoint_dir is not None:
+            store = CheckpointStore(
+                checkpoint_dir,
+                run_fingerprint({
+                    "name": str(name),
+                    "seed": int(seed),
+                    "duration": float(duration),
+                    "routing": routing.name,
+                    "links": [list(link) for link in topology.links],
+                    "n_demands": len(demands),
+                    "measure": measure_kwargs,
+                    "detect": detect_kwargs,
+                    "keep_packets": bool(keep_packets),
+                }),
+                resume=resume,
+            )
+
         chunk = self.chunk or DEFAULT_NETWORK_CHUNK
         tasks = []
-        for link in topology.links:
+        task_keys = []
+        restored = 0
+        for position, link in enumerate(topology.links):
             indices = crossing[link]
             capacity = topology.capacity_bps(*link)
             if not indices:
@@ -601,6 +641,11 @@ class NetworkEngine:
                     delta=delta,
                     duration=duration,
                 )
+                continue
+            key = f"link-{position:04d}"
+            if store is not None and resume and store.has(key):
+                simulation.links[link] = store.load(key)
+                restored += 1
                 continue
             # every link task rebuilds each crossing demand's SeedSequence
             # from scratch: spawn() mutates the sequence, so sharing one
@@ -620,15 +665,35 @@ class NetworkEngine:
                 detect_kwargs,
                 keep_packets,
             ))
+            task_keys.append(key)
         with stage_timer("network.links"):
-            if len(tasks) <= 1 or self.workers <= 1:
-                results = [_simulate_link_task(task) for task in tasks]
-            else:
-                width = min(self.workers, len(tasks))
-                with make_pool(self.backend, width) as pool:
-                    results = pool.map_ordered(_simulate_link_task, tasks)
-        for task, result in zip(tasks, results):
-            simulation.links[task[0]] = result
+            # without a checkpoint dir everything goes in one fan-out;
+            # with one, links go through in pool-width batches so each
+            # completed batch lands on disk before the next starts
+            width = min(self.workers, max(len(tasks), 1))
+            batch_size = len(tasks) if store is None else max(1, width)
+            pool = None
+            try:
+                for b0 in range(0, len(tasks), batch_size):
+                    batch = tasks[b0:b0 + batch_size]
+                    if len(batch) <= 1 or self.workers <= 1:
+                        results = [_simulate_link_task(t) for t in batch]
+                    else:
+                        if pool is None:
+                            pool = make_pool(
+                                self.backend, width, retry=self.retry
+                            )
+                        results = pool.map_ordered(
+                            _simulate_link_task, batch
+                        )
+                    for offset, result in enumerate(results):
+                        task = batch[offset]
+                        simulation.links[task[0]] = result
+                        if store is not None:
+                            store.save(task_keys[b0 + offset], result)
+            finally:
+                if pool is not None:
+                    pool.close()
         # restore topology order (empty links were inserted eagerly)
         simulation.links = {
             link: simulation.links[link] for link in topology.links

@@ -54,6 +54,7 @@ from .spec import (
     NetworkEventSpec,
     NetworkSpec,
     PRESET_ALIASES,
+    RetryPolicy,
     ScenarioSpec,
     SweepSpec,
     SynthesisSpec,
@@ -93,6 +94,7 @@ __all__ = [
     "WorkloadSpec",
     "ArrivalSpec",
     "ExecutionSpec",
+    "RetryPolicy",
     "FlowAccountingSpec",
     "IngestSpec",
     "INGEST_FORMATS",

@@ -184,10 +184,25 @@ class ScenarioRunner:
         return self.stages
 
     def run(
-        self, spec: ScenarioSpec, *, trace: PacketTrace | None = None
+        self,
+        spec: ScenarioSpec,
+        *,
+        trace: PacketTrace | None = None,
+        checkpoint_dir=None,
+        resume: bool = False,
     ) -> ScenarioResult:
-        """Run one scenario; ``trace`` measures an existing capture."""
-        context = PipelineContext(spec=spec, trace=trace)
+        """Run one scenario; ``trace`` measures an existing capture.
+
+        ``checkpoint_dir``/``resume`` thread through to the engine
+        stages (sweep cells, network links) — see
+        :mod:`repro.checkpoint`.
+        """
+        context = PipelineContext(
+            spec=spec,
+            trace=trace,
+            checkpoint_dir=checkpoint_dir,
+            resume=bool(resume),
+        )
         stages = self._stages_for(spec)
         for stage in stages:
             stage.run(context)
@@ -228,9 +243,13 @@ def run_scenario(
     *,
     trace: PacketTrace | None = None,
     stages: tuple[Stage, ...] | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> ScenarioResult:
     """Run one scenario spec end-to-end (the canonical public API)."""
-    return ScenarioRunner(stages).run(spec, trace=trace)
+    return ScenarioRunner(stages).run(
+        spec, trace=trace, checkpoint_dir=checkpoint_dir, resume=resume
+    )
 
 
 def run_scenarios(

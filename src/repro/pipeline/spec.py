@@ -28,7 +28,7 @@ import numpy as np
 
 from .._util import check_positive
 from ..exceptions import ParameterError
-from ..execution import BACKENDS
+from ..execution import BACKENDS, RetryPolicy
 from ..netsim.arrivals import (
     DiurnalArrivals,
     MMPPArrivals,
@@ -50,6 +50,7 @@ __all__ = [
     "WorkloadSpec",
     "FlowAccountingSpec",
     "ExecutionSpec",
+    "RetryPolicy",
     "IngestSpec",
     "INGEST_FORMATS",
     "SynthesisSpec",
@@ -429,11 +430,19 @@ class ExecutionSpec:
     sections still decode via deprecation shims, and specs written
     before the ``backend`` key default to the previous thread-pool
     behaviour (see MIGRATION.md).
+
+    ``retry`` arms the process backend's watchdog (per-task deadline,
+    pool respawn, deterministic re-execution — see
+    :class:`repro.execution.RetryPolicy`).  ``null`` (the default, and
+    what every pre-existing spec decodes to) disables retries entirely:
+    the exact legacy failure behaviour.  Like the other knobs it never
+    changes results, only whether lost work is re-run.
     """
 
     chunk: int | None = None
     workers: int = 1
     backend: str = "thread"
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         _validate_execution(
@@ -443,11 +452,22 @@ class ExecutionSpec:
             object.__setattr__(self, "chunk", int(self.chunk))
         object.__setattr__(self, "workers", int(self.workers))
         object.__setattr__(self, "backend", str(self.backend))
+        if self.retry is not None:
+            if isinstance(self.retry, dict):
+                object.__setattr__(self, "retry", RetryPolicy(**self.retry))
+            elif not isinstance(self.retry, RetryPolicy):
+                raise ParameterError(
+                    "execution.retry must be a RetryPolicy (or a JSON "
+                    f"object), got {type(self.retry).__name__}"
+                )
 
     @property
     def uses_engine(self) -> bool:
         """True when either knob engages the streaming/parallel path."""
         return self.chunk is not None or int(self.workers) > 1
+
+
+_register_nested("ExecutionSpec", "retry", RetryPolicy)
 
 
 def _merge_execution(section: str, execution, chunk, workers) -> ExecutionSpec:
@@ -496,17 +516,19 @@ def _alias_execution(cls):
     cls.chunk = property(lambda self: self.execution.chunk)
     cls.workers = property(lambda self: self.execution.workers)
     cls.backend = property(lambda self: self.execution.backend)
+    cls.retry = property(lambda self: self.execution.retry)
     cls.uses_engine = property(lambda self: self.execution.uses_engine)
 
     def with_execution(
-        self, execution=None, *, chunk=_UNSET, workers=_UNSET, backend=_UNSET
+        self, execution=None, *, chunk=_UNSET, workers=_UNSET,
+        backend=_UNSET, retry=_UNSET,
     ):
         """A copy with only the execution strategy swapped out.
 
         Give either a whole :class:`ExecutionSpec` or individual knobs;
         omitted knobs keep their current values.  This is the supported
-        way to retune ``chunk``/``workers``/``backend`` on a frozen
-        section spec (``dataclasses.replace`` with the flat keys
+        way to retune ``chunk``/``workers``/``backend``/``retry`` on a
+        frozen section spec (``dataclasses.replace`` with the flat keys
         conflicts with the stored ``execution`` field).
         """
         if execution is None:
@@ -518,6 +540,7 @@ def _alias_execution(cls):
                 backend=(
                     self.execution.backend if backend is _UNSET else backend
                 ),
+                retry=self.execution.retry if retry is _UNSET else retry,
             )
         return dataclasses.replace(
             self,
@@ -619,12 +642,19 @@ class IngestSpec:
     (seconds) and ``link_capacity_bps`` override what the scan/header
     provides — capacity is needed for utilisation whenever the archive
     does not carry it (every format except ``.rptr``).
+
+    ``errors`` chooses how malformed telemetry is handled: ``"strict"``
+    (the default) aborts on the first bad datagram/record with a
+    :class:`~repro.exceptions.TraceFormatError`; ``"skip"`` drops the
+    bad unit, counts it, and keeps streaming — the operator-friendly
+    mode for multi-GB archives with the odd truncated export packet.
     """
 
     path: str = ""
     format: str = "auto"
     order: str = "auto"
     rebase: str = "auto"
+    errors: str = "strict"
     duration: float | None = None
     link_capacity_bps: float | None = None
     execution: ExecutionSpec | None = None
@@ -637,6 +667,7 @@ class IngestSpec:
         _check_choice(
             "ingest.rebase", self.rebase, ("auto", "always", "never")
         )
+        _check_choice("ingest.errors", self.errors, ("strict", "skip"))
         if self.duration is not None:
             object.__setattr__(self, "duration", float(self.duration))
             check_positive("ingest.duration", self.duration)

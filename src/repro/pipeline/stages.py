@@ -28,6 +28,7 @@ from ..core.fitting import PowerFit
 from ..core.model import PoissonShotNoiseModel, SuperposedModel
 from ..core.shots import PowerShot
 from ..exceptions import ParameterError, ReproError
+from ..execution import run_health
 from ..flows.exporter import export_flows
 from ..flows.records import FlowSet
 from ..generation.engine import GenerationEngine
@@ -111,6 +112,8 @@ class PipelineContext:
     workload: LinkWorkload | None = None
     stream: "object | None" = None  # StreamingSynthesis
     trace_meta: TraceMeta | None = None
+    checkpoint_dir: "object | None" = None  # sweep/network durable results
+    resume: bool = False
     ingest: "IngestResult | None" = None
     synthesis: "SynthesisResult | None" = None
     accounting: "AccountingResult | None" = None
@@ -172,6 +175,7 @@ class IngestResult:
             "format": self.format,
             "order": self.order,
             "records": int(stream.records_read),
+            "records_skipped": int(getattr(stream, "records_skipped", 0)),
             "packets": int(stream.packets_emitted),
             "duration_s": duration,
             "clock_offset_s": float(stream.base_offset),
@@ -446,13 +450,23 @@ class ValidationReport:
 
 @dataclass(frozen=True)
 class NetworkStageResult:
-    """Output of :class:`SimulateNetwork`: per-link results + the report."""
+    """Output of :class:`SimulateNetwork`: per-link results + the report.
+
+    ``health`` snapshots the retry/degradation log at stage completion
+    (see :mod:`repro.execution.health`); it rides into the report JSON
+    but stays out of the :class:`~repro.network.NetworkReport` itself,
+    so recovered runs compare bitwise-equal to clean ones.
+    """
 
     simulation: "object"  # repro.network.NetworkSimulation
     report: "object"  # repro.network.NetworkReport
+    health: "object | None" = None  # repro.execution.RunHealth
 
     def summary(self) -> dict:
-        return self.report.to_dict()
+        out = self.report.to_dict()
+        if self.health is not None:
+            out["health"] = self.health.to_dict()
+        return out
 
 
 class SimulateNetwork:
@@ -485,6 +499,7 @@ class SimulateNetwork:
             chunk=spec.network.chunk,
             workers=int(spec.network.workers),
             backend=spec.network.backend,
+            retry=spec.network.retry,
         )
         simulation = engine.simulate(
             topology,
@@ -502,22 +517,39 @@ class SimulateNetwork:
             detect_anomalies=bool(spec.validation.detect_anomalies),
             threshold_sigma=spec.validation.threshold_sigma,
             min_run=int(spec.validation.min_run),
+            checkpoint_dir=context.checkpoint_dir,
+            resume=bool(context.resume),
         )
         context.network = NetworkStageResult(
-            simulation=simulation, report=simulation.report()
+            simulation=simulation,
+            report=simulation.report(),
+            health=run_health(),
         )
         return context.network
 
 
 @dataclass(frozen=True)
 class SweepStageResult:
-    """Output of :class:`RunSweep`: per-cell outcomes + the ranked report."""
+    """Output of :class:`RunSweep`: per-cell outcomes + the ranked report.
+
+    The run's :class:`~repro.execution.RunHealth` snapshot rides into
+    the report JSON (``summary()``) but stays out of the ranked
+    :class:`~repro.sweep.report.SweepReport`, so recovered/resumed runs
+    compare bitwise-equal to clean ones.
+    """
 
     result: "object"  # repro.sweep.SweepResult
     report: "object"  # repro.sweep.SweepReport
 
     def summary(self) -> dict:
-        return self.report.to_dict()
+        out = self.report.to_dict()
+        health = getattr(self.result, "health", None)
+        if health is not None:
+            out["health"] = health.to_dict()
+        resumed = getattr(self.result, "resumed", ())
+        if resumed:
+            out["resumed_cells"] = [int(i) for i in resumed]
+        return out
 
 
 class RunSweep:
@@ -542,7 +574,11 @@ class RunSweep:
                 f"scenario {spec.name!r} has no 'sweep' section; the "
                 "RunSweep stage only runs sweep scenarios"
             )
-        result = run_sweep(spec)
+        result = run_sweep(
+            spec,
+            checkpoint_dir=context.checkpoint_dir,
+            resume=bool(context.resume),
+        )
         context.sweep = SweepStageResult(result=result, report=result.report)
         return context.sweep
 
@@ -674,6 +710,7 @@ class ImportFlows:
             rebase=spec.ingest.rebase,
             duration=spec.ingest.duration,
             link_capacity=spec.ingest.link_capacity_bps,
+            errors=spec.ingest.errors,
         )
         if stream.scan.empty:
             raise ParameterError(

@@ -20,10 +20,11 @@ cell's spec directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from ..checkpoint import CheckpointStore, run_fingerprint
 from ..exceptions import ParameterError
-from ..execution import make_pool
+from ..execution import RunHealth, make_pool, run_health
 from .cells import SweepCell, expand_cells
 from .prefilter import (
     VERDICT_BREACH,
@@ -40,13 +41,21 @@ __all__ = ["SweepResult", "run_sweep"]
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Everything one sweep produced: cells, verdicts, engine runs."""
+    """Everything one sweep produced: cells, verdicts, engine runs.
+
+    ``health`` is the run's retry/degradation snapshot (see
+    :mod:`repro.execution.health`); ``resumed`` lists cell indices whose
+    outcomes were loaded from a checkpoint directory instead of being
+    re-simulated — those cells have no entry in ``simulations``.
+    """
 
     spec: "object"  # the sweep ScenarioSpec
     cells: tuple[SweepCell, ...]
     assessments: tuple[CellAssessment, ...]  # cell order
     simulations: dict  # cell index -> NetworkStageResult
     report: SweepReport
+    health: RunHealth | None = None
+    resumed: tuple[int, ...] = field(default_factory=tuple)
 
     def simulated(self, index: int):
         """The engine run of cell ``index`` (KeyError if pre-filtered)."""
@@ -128,12 +137,24 @@ def _analytic_outcome(cell, assessment):
     )
 
 
-def run_sweep(spec) -> SweepResult:
-    """Run one capacity-planning sweep end to end (the canonical API)."""
+def run_sweep(spec, *, checkpoint_dir=None, resume=False) -> SweepResult:
+    """Run one capacity-planning sweep end to end (the canonical API).
+
+    ``checkpoint_dir`` persists each simulated cell's outcome durably
+    (atomic write + manifest) as soon as it completes; ``resume=True``
+    then skips cells already checkpointed and re-runs only the
+    remainder.  Cell seeds are fixed at expansion, so the resumed
+    :class:`~repro.sweep.report.SweepReport` is bitwise-equal to an
+    uninterrupted run's.
+    """
     if spec.sweep is None:
         raise ParameterError(
             f"scenario {spec.name!r} has no 'sweep' section; use "
             "run_scenario for single scenarios"
+        )
+    if resume and checkpoint_dir is None:
+        raise ParameterError(
+            "resume=True needs a checkpoint_dir to resume from"
         )
     sweep = spec.sweep
     cells = expand_cells(spec)
@@ -163,34 +184,67 @@ def run_sweep(spec) -> SweepResult:
             if assessment.verdict == VERDICT_MARGINAL
         ]
 
+    store = None
+    restored: dict[int, CellResult] = {}
+    if checkpoint_dir is not None:
+        store = CheckpointStore(
+            checkpoint_dir,
+            run_fingerprint(spec.to_dict()),
+            resume=resume,
+        )
+        if resume:
+            for key in store.keys():
+                outcome = store.load(key)
+                restored[int(outcome.index)] = outcome
+            to_simulate = [
+                cell for cell in to_simulate if cell.index not in restored
+            ]
+
+    assessment_of = {
+        cell.index: assessment
+        for cell, assessment in zip(cells, assessments)
+    }
     simulations: dict[int, object] = {}
+    outcome_of: dict[int, CellResult] = dict(restored)
     if to_simulate:
         # cell specs are pinned to one worker each (see expand_cells), so
         # the sweep's pool is the only fan-out and pools never nest
         workers = int(sweep.workers)
         backend = str(sweep.backend)
-        if workers <= 1 or len(to_simulate) <= 1:
-            results = [_simulate_cell(cell) for cell in to_simulate]
-        else:
-            width = min(workers, len(to_simulate))
-            with make_pool(backend, width) as pool:
-                results = pool.map_ordered(_simulate_cell, to_simulate)
-        simulations = {
-            cell.index: result
-            for cell, result in zip(to_simulate, results)
-        }
+        width = min(workers, len(to_simulate))
+        # without a checkpoint dir everything goes in one fan-out; with
+        # one, cells go through in pool-width batches so each completed
+        # batch lands on disk before the next starts
+        batch_size = len(to_simulate) if store is None else max(1, width)
+        pool = None
+        try:
+            for b0 in range(0, len(to_simulate), batch_size):
+                batch = to_simulate[b0:b0 + batch_size]
+                if workers <= 1 or len(batch) <= 1:
+                    results = [_simulate_cell(cell) for cell in batch]
+                else:
+                    if pool is None:
+                        pool = make_pool(backend, width, retry=sweep.retry)
+                    results = pool.map_ordered(_simulate_cell, batch)
+                for cell, result in zip(batch, results):
+                    simulations[cell.index] = result
+                    outcome = _simulated_outcome(
+                        cell,
+                        assessment_of[cell.index],
+                        result,
+                        sla_utilization=sweep.sla_utilization,
+                    )
+                    outcome_of[cell.index] = outcome
+                    if store is not None:
+                        store.save(f"cell-{cell.index:04d}", outcome)
+        finally:
+            if pool is not None:
+                pool.close()
 
     outcomes = []
     for cell, assessment in zip(cells, assessments):
-        if cell.index in simulations:
-            outcomes.append(
-                _simulated_outcome(
-                    cell,
-                    assessment,
-                    simulations[cell.index],
-                    sla_utilization=sweep.sla_utilization,
-                )
-            )
+        if cell.index in outcome_of:
+            outcomes.append(outcome_of[cell.index])
         else:
             outcomes.append(_analytic_outcome(cell, assessment))
 
@@ -211,4 +265,6 @@ def run_sweep(spec) -> SweepResult:
         assessments=assessments,
         simulations=simulations,
         report=report,
+        health=run_health(),
+        resumed=tuple(sorted(restored)),
     )

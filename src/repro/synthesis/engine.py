@@ -99,6 +99,7 @@ class SynthesisConfig:
     workers: int = 1
     backend: str = "thread"
     cell: float = DEFAULT_SYNTHESIS_CELL
+    retry: object | None = None  # RetryPolicy; process-backend watchdog
 
     def __post_init__(self) -> None:
         if self.chunk is not None:
@@ -254,7 +255,8 @@ class StreamingSynthesis:
             if self._owned_pool is None:
                 # one pool for the whole stream, not one per cell group
                 self._owned_pool = make_pool(
-                    self.config.backend, self.config.workers
+                    self.config.backend, self.config.workers,
+                    retry=self.config.retry,
                 )
             return self._owned_pool.map_ordered(
                 _synthesize_cell_task, tasks

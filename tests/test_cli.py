@@ -416,3 +416,191 @@ class TestExecutionPrecedence:
         out = capsys.readouterr().out
         assert "--execution {cli-wins,spec-wins}" in out
         assert "spec-wins" in out and "cli-wins" in out
+
+
+@pytest.fixture()
+def simulated_sweep_spec_file(tmp_path):
+    """A 5-cell sweep with every cell simulated (fast toy network)."""
+    spec = ScenarioSpec(
+        name="ckpt-sweep",
+        network=NetworkSpec(
+            topology=TopologySpec(preset="parallel-paths", size=2),
+            demands=(DemandSpec("src", "dst", preset="low"),),
+            routing="ecmp",
+            duration=8.0,
+        ),
+        sweep=SweepSpec(
+            demand_factors=(1.0,), failures="single", simulate="all"
+        ),
+    )
+    path = tmp_path / "ckpt-sweep.json"
+    path.write_text(spec.to_json())
+    return path
+
+
+class TestExitCodes:
+    """The exit-code taxonomy: 2 usage/spec, 3 runtime, 130 interrupted."""
+
+    def test_runtime_engine_failure_exits_3(
+        self, sweep_spec_file, capsys, monkeypatch
+    ):
+        from repro.exceptions import ModelError
+
+        def explode(spec, **kwargs):
+            raise ModelError("variance collapsed mid-run")
+
+        monkeypatch.setattr("repro.__main__.run_scenario", explode)
+        assert main(["sweep", str(sweep_spec_file)]) == 3
+        err = capsys.readouterr().err
+        assert "variance collapsed" in err
+
+    def test_spec_errors_stay_exit_2(self, capsys):
+        assert main(["sweep", "no-such-scenario"]) == 2
+
+    def test_interrupt_exits_130(self, sweep_spec_file, capsys, monkeypatch):
+        def interrupt(spec, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.__main__.run_scenario", interrupt)
+        assert main(["sweep", str(sweep_spec_file)]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_interrupt_names_the_checkpoint_dir(
+        self, sweep_spec_file, tmp_path, capsys, monkeypatch
+    ):
+        def interrupt(spec, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.__main__.run_scenario", interrupt)
+        ckpt = tmp_path / "ckpt"
+        assert main(["sweep", str(sweep_spec_file),
+                     "--checkpoint-dir", str(ckpt)]) == 130
+        err = capsys.readouterr().err
+        assert str(ckpt) in err
+        assert "--resume" in err
+
+
+class TestCheckpointResumeCli:
+    def test_resume_without_checkpoint_dir_is_usage_error(
+        self, sweep_spec_file, capsys
+    ):
+        assert main(["sweep", str(sweep_spec_file), "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume_reproduces_the_report(
+        self, simulated_sweep_spec_file, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        first = tmp_path / "first.json"
+        assert main(["sweep", str(simulated_sweep_spec_file),
+                     "--checkpoint-dir", str(ckpt),
+                     "--report", str(first)]) == 0
+        done = sorted(p.name for p in ckpt.glob("*.ckpt"))
+        assert done  # every simulated cell checkpointed
+        # drop some completed cells, as if the run had been killed
+        for victim in sorted(ckpt.glob("*.ckpt"))[::2]:
+            victim.unlink()
+        second = tmp_path / "second.json"
+        assert main(["sweep", str(simulated_sweep_spec_file),
+                     "--checkpoint-dir", str(ckpt),
+                     "--resume", "--report", str(second)]) == 0
+        assert "resumed" in capsys.readouterr().out
+        a = json.loads(first.read_text())["sweep"]
+        b = json.loads(second.read_text())["sweep"]
+        assert b.pop("resumed_cells")  # only the resumed run has them
+        a.pop("health", None), b.pop("health", None)
+        assert a == b
+
+    def test_mismatched_checkpoint_dir_is_usage_error(
+        self, sweep_spec_file, simulated_sweep_spec_file, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        assert main(["sweep", str(simulated_sweep_spec_file),
+                     "--checkpoint-dir", str(ckpt)]) == 0
+        assert main(["sweep", str(sweep_spec_file),
+                     "--checkpoint-dir", str(ckpt), "--resume"]) == 2
+        assert "fingerprint mismatch" in capsys.readouterr().err
+
+
+class TestImportErrorsFlag:
+    def _corrupt_archive(self, tmp_path):
+        """Two NetFlow v5 datagrams; the second one's version mangled."""
+        import numpy as np
+
+        from repro.interop import FLOW_RECORD_DTYPE, write_netflow5
+
+        def records(n, seed):
+            rng = np.random.default_rng(seed)
+            block = np.zeros(n, dtype=FLOW_RECORD_DTYPE)
+            block["start"] = 0.25 * np.arange(n)
+            block["end"] = block["start"] + 2.0
+            block["src_addr"] = rng.integers(1, 2**32 - 1, n)
+            block["dst_addr"] = rng.integers(1, 2**32 - 1, n)
+            block["src_port"] = 1024
+            block["dst_port"] = 80
+            block["protocol"] = 6
+            block["packets"] = 40
+            block["octets"] = 60000
+            return block
+
+        a, b = tmp_path / "a.nf5", tmp_path / "b.nf5"
+        write_netflow5(records(40, 0), a)
+        write_netflow5(records(2, 1), b)
+        data = bytearray(a.read_bytes() + b.read_bytes())
+        data[len(a.read_bytes()) + 1] = 9  # NetFlow v9 datagram
+        path = tmp_path / "corrupt.nf5"
+        path.write_bytes(bytes(data))
+        return path
+
+    def test_strict_default_fails_loudly(self, tmp_path, capsys):
+        path = self._corrupt_archive(tmp_path)
+        assert main(["import", str(path)]) == 2
+        assert "bad NetFlow version" in capsys.readouterr().err
+
+    def test_skip_imports_and_reports_the_count(self, tmp_path, capsys):
+        path = self._corrupt_archive(tmp_path)
+        report = tmp_path / "report.json"
+        assert main(["import", str(path), "--errors", "skip",
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "(2 malformed skipped)" in out
+        payload = json.loads(report.read_text())
+        ingest = payload["stages"]["import_flows"]
+        assert ingest["records_skipped"] == 2
+        assert ingest["records"] == 40
+
+
+class TestRetrySurvivesFlagMerge:
+    def test_cli_flag_override_keeps_the_spec_retry(self, tmp_path):
+        """Regression: --workers used to rebuild the execution section
+        and silently drop the spec's retry policy — disarming the
+        watchdog on exactly the runs that asked for it."""
+        from repro.execution import RetryPolicy
+        from repro.pipeline import ExecutionSpec
+
+        spec = ScenarioSpec(
+            name="retry-keeper",
+            network=NetworkSpec(
+                topology=TopologySpec(preset="parallel-paths", size=2),
+                demands=(DemandSpec("src", "dst", preset="low"),),
+                duration=8.0,
+            ),
+            sweep=SweepSpec(
+                demand_factors=(1.0,),
+                failures="none",
+                simulate="none",
+                execution=ExecutionSpec(
+                    workers=2,
+                    retry=RetryPolicy(max_retries=3, timeout_s=45.0),
+                ),
+            ),
+        )
+        path = tmp_path / "retry.json"
+        path.write_text(spec.to_json())
+        report = tmp_path / "out.json"
+        assert main(["sweep", str(path), "--workers", "3",
+                     "--report", str(report)]) == 0
+        execution = json.loads(report.read_text())["spec"]["sweep"]["execution"]
+        assert execution["workers"] == 3
+        assert execution["retry"]["max_retries"] == 3
+        assert execution["retry"]["timeout_s"] == 45.0
