@@ -20,6 +20,9 @@ the canonical path:
   NetFlow v5, IPFIX and pcap archives stream through the same engine);
 * ``import``         — fit the model to real operator telemetry: stream
   a NetFlow v5 / IPFIX / pcap archive through the measurement pipeline;
+* ``calibrate``      — fit the flow-size families to a telemetry archive
+  (or a scenario) out-of-core, select the best model, and emit a
+  runnable fitted scenario spec, optionally closed-loop validated;
 * ``export``         — re-export a capture (or any importable archive)
   as NetFlow v5, IPFIX or pcap for downstream tooling;
 * ``generate``       — produce model-driven traffic (section VII-C)
@@ -39,6 +42,7 @@ Examples::
     python -m repro measure /tmp/link.rptr --chunk 500000 --workers 4
     python -m repro measure router.nf5 --format netflow5
     python -m repro import router.nf5 --link-capacity 622e6
+    python -m repro calibrate router.nf5 -o fitted-spec.json --validate
     python -m repro export /tmp/link.rptr /tmp/link.nf5 --format netflow5
     python -m repro generate /tmp/link.rptr /tmp/synthetic.rptr --chunk 30
     python -m repro scenario /tmp/links --workers 4 --seed 3
@@ -66,6 +70,8 @@ from .generation import GenerationEngine, generate_packet_trace
 from .measurement import MeasurementEngine
 from .netsim import synthesize_scenario, table_i_workloads
 from .pipeline import (
+    CALIBRATION_FAMILIES,
+    CalibrationSpec,
     EstimationSpec,
     ExecutionSpec,
     FlowAccountingSpec,
@@ -73,6 +79,7 @@ from .pipeline import (
     IngestSpec,
     MEASUREMENT_STAGES,
     MeasurementSpec,
+    SELECTION_CRITERIA,
     ScenarioSpec,
     Synthesize,
     ValidationSpec,
@@ -560,6 +567,139 @@ def _cmd_import(args: argparse.Namespace) -> int:
             json.dumps(result.report(), indent=2) + "\n"
         )
         print(f"report     : wrote {args.report}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    """``calibrate``: fit the size families to a trace, emit a runnable spec.
+
+    The target is either a telemetry archive (NetFlow v5 / IPFIX / pcap /
+    ``.rptr``, streamed out-of-core) or a scenario (spec file or registry
+    name, run through the pipeline's ``Calibrate`` stage).  Prints the
+    model-selection verdict, optionally writes the fitted
+    :class:`ScenarioSpec` (``-o``) and the full report (``--report``),
+    and with ``--validate`` runs the closed loop — synthesize from the
+    fitted spec and compare λ, E[S], utilisation moments and tail
+    quantiles; a failed comparison exits with status 3.
+    """
+    error = _check_execution_flags(args)
+    if error is not None:
+        return _fail(error)
+    from .calibration import calibrate_archive, validate_fitted_spec
+
+    families = CALIBRATION_FAMILIES
+    if args.families:
+        families = tuple(
+            name.strip() for name in args.families.split(",") if name.strip()
+        )
+    target = Path(args.target)
+    is_spec = target.suffix == ".json" or args.target in default_registry()
+    closed = None
+    try:
+        if is_spec:
+            spec = _load_spec(args.target)
+            if spec.network is not None or spec.sweep is not None:
+                return _fail(
+                    f"scenario {spec.name!r} is a network/sweep scenario; "
+                    "calibrate fits one link's flow population — pick a "
+                    "single-link scenario or a telemetry archive"
+                )
+            section = spec.calibration or CalibrationSpec()
+            section = dataclasses.replace(
+                section,
+                families=families if args.families else section.families,
+                select=args.select or section.select,
+                restarts=(
+                    section.restarts if args.restarts is None
+                    else args.restarts
+                ),
+                seed=section.seed if args.seed is None else args.seed,
+                validate=bool(args.validate) or section.validate,
+                validate_duration=(
+                    args.validate_duration
+                    if args.validate_duration is not None
+                    else section.validate_duration
+                ),
+                execution=_resolve_execution(args, section.execution),
+            )
+            spec = dataclasses.replace(spec, calibration=section)
+            result = run_scenario(spec)
+            report = result.calibration.report
+            closed = result.calibration.closed_loop
+        else:
+            execution = _cli_execution(args)
+            report = calibrate_archive(
+                args.target,
+                format=args.format,
+                duration=args.duration,
+                link_capacity_bps=args.link_capacity,
+                errors=args.errors,
+                families=families,
+                select=args.select or "bic",
+                restarts=4 if args.restarts is None else args.restarts,
+                seed=args.seed or 0,
+                chunk=execution.chunk,
+                workers=execution.workers,
+                backend=execution.backend,
+            )
+            if args.validate:
+                closed = validate_fitted_spec(
+                    report,
+                    seed=args.seed or 0,
+                    duration=args.validate_duration,
+                )
+    except ReproError as exc:
+        return _fail_for(exc)
+
+    summary = report.summary()
+    print(f"source     : {report.source}")
+    print(
+        f"flows      : {report.flow_count} over {report.duration:g} s "
+        f"(lambda = {report.arrival_rate:g}/s)"
+    )
+    print(
+        f"mean size  : {report.mean_size:.1f} B/flow "
+        f"({report.mean_rate_bps / 1e6:.3f} Mbit/s)"
+    )
+    chosen = report.chosen
+    print(
+        f"family     : {report.family} ({report.selection}-selected; "
+        f"ks = {chosen.ks_statistic:.4f})"
+    )
+    for name, value in sorted(report.params.items()):
+        print(f"  {name:<12}: {value:g}")
+    ranked = ", ".join(
+        f"{name}={value:.1f}"
+        for name, value in summary["candidates"].items()
+    )
+    print(f"candidates : {ranked} ({report.selection})")
+
+    fitted = report.to_scenario_spec(
+        name=args.name or f"{target.stem}-fitted"
+    )
+    if args.output:
+        Path(args.output).write_text(fitted.to_json(indent=2) + "\n")
+        print(f"fitted spec: wrote {args.output}")
+    if args.report:
+        payload = report.to_dict()
+        if closed is not None:
+            payload["closed_loop"] = closed.to_dict()
+        Path(args.report).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"report     : wrote {args.report}")
+    if closed is not None:
+        verdict = "PASS" if closed.passed else "FAIL"
+        print(
+            f"closed loop: {verdict} (lambda err {closed.lambda_rel_err:.2%}, "
+            f"E[S] err {closed.mean_size_rel_err:.2%}, rate err "
+            f"{closed.mean_rate_rel_err:.2%})"
+        )
+        for failure in closed.failures:
+            print(f"  {failure}", file=sys.stderr)
+        if not closed.passed:
+            return _runtime_fail(
+                "closed-loop validation failed: the synthesized trace "
+                "does not reproduce the source within tolerances"
+            )
     return 0
 
 
@@ -1147,6 +1287,79 @@ def build_parser() -> argparse.ArgumentParser:
         "validation) to this JSON file",
     )
     imp.set_defaults(func=_cmd_import)
+
+    cal = sub.add_parser(
+        "calibrate", parents=[execution],
+        help="fit the flow-size families to a telemetry archive or "
+        "scenario and emit a runnable fitted spec",
+    )
+    cal.add_argument(
+        "target",
+        help="telemetry archive (NetFlow v5, IPFIX, pcap or .rptr), a "
+        "spec file, or a registry scenario name",
+    )
+    cal.add_argument(
+        "-o", "--output", default=None,
+        help="write the fitted ScenarioSpec to this JSON file "
+        "(runnable with 'repro run')",
+    )
+    cal.add_argument(
+        "--report", default=None,
+        help="write the full CalibrationReport (candidates, diagnostics, "
+        "diurnal profile, closed-loop verdict) to this JSON file",
+    )
+    cal.add_argument(
+        "--name", default=None,
+        help="name for the emitted fitted spec (default: <target>-fitted)",
+    )
+    cal.add_argument(
+        "--format", choices=INGEST_FORMATS, default="auto",
+        help="archive wire format (default: sniff the magic bytes; "
+        "ignored for scenario targets)",
+    )
+    cal.add_argument(
+        "--families", default=None,
+        help="comma-separated size families to fit (default: "
+        f"{','.join(CALIBRATION_FAMILIES)})",
+    )
+    cal.add_argument(
+        "--select", choices=SELECTION_CRITERIA, default=None,
+        help="model-selection criterion (default: bic)",
+    )
+    cal.add_argument(
+        "--restarts", type=int, default=None,
+        help="EM random restarts per mixture threshold (default: 4)",
+    )
+    cal.add_argument(
+        "--seed", type=int, default=None,
+        help="seed for the EM restarts and the closed-loop synthesis "
+        "(default: 0, or the scenario's seed)",
+    )
+    cal.add_argument(
+        "--duration", type=float, default=None,
+        help="capture duration in seconds (default: the archive's span)",
+    )
+    cal.add_argument(
+        "--link-capacity", type=float, default=None,
+        help="link capacity in bit/s recorded in the fitted spec "
+        "(default: 2x the fitted mean rate)",
+    )
+    cal.add_argument(
+        "--errors", choices=("strict", "skip"), default="strict",
+        help="malformed telemetry records: fail loudly or drop+count",
+    )
+    cal.add_argument(
+        "--validate", action="store_true",
+        help="run the closed loop: synthesize from the fitted spec and "
+        "compare lambda, E[S], utilisation moments and tail quantiles "
+        "(failures exit with status 3)",
+    )
+    cal.add_argument(
+        "--validate-duration", type=float, default=None,
+        help="synthesis window for the closed loop in seconds "
+        "(default: the calibrated duration)",
+    )
+    cal.set_defaults(func=_cmd_calibrate)
 
     exp = sub.add_parser(
         "export", parents=[execution],

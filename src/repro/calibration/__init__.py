@@ -1,0 +1,84 @@
+"""Trace → model calibration (the paper's fitting loop, out-of-core).
+
+The subsystem that closes the reproduction's loop: where the rest of
+the repo *replays* hand-written scenario specs, ``repro.calibration``
+consumes measured traffic — raw arrays, measured
+:class:`~repro.flows.FlowSet` objects, or multi-gigabyte NetFlow v5 /
+IPFIX / pcap / ``.rptr`` archives — fits the paper's flow-size families
+to it in bounded memory, selects the best model, and emits a frozen,
+runnable :class:`~repro.pipeline.ScenarioSpec` whose synthesised λ and
+E[S] reproduce the source trace.
+
+Layering: accumulators (mergeable sufficient statistics) → families
+(the registered size laws) → fitters (binned MLE/EM + model selection)
+→ calibrator (the drivers) → report (the typed result + spec emitter)
+→ validate (the closed loop).
+"""
+
+from .accumulators import (
+    DEFAULT_BINS,
+    DEFAULT_TAIL_K,
+    DEFAULT_TIME_BINS,
+    CalibrationAccumulator,
+)
+from .calibrator import (
+    DEFAULT_TAIL_QUANTILES,
+    calibrate_accumulator,
+    calibrate_archive,
+    calibrate_flows,
+    calibrate_sizes,
+)
+from .families import (
+    CALIBRATION_FAMILIES,
+    Family,
+    build_distribution,
+    family_cdf,
+    family_ppf,
+    get_family,
+    register_family,
+    scale_params,
+)
+from .fitters import (
+    SELECTION_CRITERIA,
+    FamilyFit,
+    fit_all_families,
+    fit_family,
+    grouped_log_likelihood,
+    select_best,
+    tail_qq,
+)
+from .report import CalibrationReport, DiurnalProfile, wire_bytes_per_flow
+from .validate import ClosedLoopReport, validate_fitted_spec, wire_sizes
+
+__all__ = [
+    "CALIBRATION_FAMILIES",
+    "DEFAULT_BINS",
+    "DEFAULT_TAIL_K",
+    "DEFAULT_TAIL_QUANTILES",
+    "DEFAULT_TIME_BINS",
+    "SELECTION_CRITERIA",
+    "CalibrationAccumulator",
+    "CalibrationReport",
+    "ClosedLoopReport",
+    "DiurnalProfile",
+    "Family",
+    "FamilyFit",
+    "build_distribution",
+    "calibrate_accumulator",
+    "calibrate_archive",
+    "calibrate_flows",
+    "calibrate_sizes",
+    "family_cdf",
+    "family_ppf",
+    "fit_all_families",
+    "fit_family",
+    "get_family",
+    "grouped_log_likelihood",
+    "register_family",
+    "scale_params",
+    "select_best",
+    "tail_qq",
+    "validate_fitted_spec",
+    "wire_bytes_per_flow",
+    "wire_sizes",
+]

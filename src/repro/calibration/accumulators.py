@@ -1,0 +1,242 @@
+"""Bounded-memory sufficient statistics for out-of-core calibration.
+
+A :class:`CalibrationAccumulator` reduces any number of flow-size /
+flow-start chunks to a fixed-size summary that every fitter in
+:mod:`repro.calibration.fitters` can work from:
+
+* integer flow count and an *exact* integer byte total (flow sizes are
+  integral byte counts, so the sum is computed in integer arithmetic —
+  no floating-point accumulation order to depend on),
+* an integer histogram of ``log10(size)`` over fixed, data-independent
+  bin edges (the grouped-likelihood input for every family),
+* an integer histogram of flow start times over the capture (the
+  arrival-rate / diurnal-profile estimate),
+* the exact ``tail_k`` largest sizes (the tail-QQ input), and the exact
+  global min/max.
+
+Every component of the state is preserved exactly by :meth:`merge`
+regardless of how the input was chunked or which worker produced which
+partial (integer addition is associative and commutative; the top-k set
+is order-free), so a calibration over ``{serial, thread, process}`` x
+``{chunk, workers}`` is **bitwise identical** to the single-pass serial
+one — the same invariance contract the measurement and synthesis
+engines honour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "DEFAULT_BINS",
+    "DEFAULT_TAIL_K",
+    "DEFAULT_TIME_BINS",
+    "LOG10_SPAN",
+    "CalibrationAccumulator",
+]
+
+#: Default number of ``log10(size)`` histogram bins.
+DEFAULT_BINS = 512
+
+#: Default number of exact largest-size samples kept for tail QQ.
+DEFAULT_TAIL_K = 512
+
+#: Default number of arrival-time bins (the diurnal profile).
+DEFAULT_TIME_BINS = 24
+
+#: Fixed, data-independent histogram support: ``10^0`` .. ``10^12``
+#: bytes (1 B to 1 TB per flow) — wide enough for any real archive, and
+#: constant so accumulators built from different chunkings always share
+#: bin edges.
+LOG10_SPAN = (0.0, 12.0)
+
+
+@dataclass
+class CalibrationAccumulator:
+    """Mergeable sufficient statistics over flow sizes and start times."""
+
+    duration: float
+    bins: int = DEFAULT_BINS
+    tail_k: int = DEFAULT_TAIL_K
+    time_bins: int = DEFAULT_TIME_BINS
+    n: int = 0
+    total_bytes: int = 0
+    min_size: float = float("inf")
+    max_size: float = 0.0
+    counts: np.ndarray = field(default=None, repr=False)
+    time_counts: np.ndarray = field(default=None, repr=False)
+    tail: np.ndarray = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if float(self.duration) <= 0.0:
+            raise ParameterError(
+                f"duration must be > 0 s, got {self.duration!r}"
+            )
+        if int(self.bins) < 16:
+            raise ParameterError(
+                f"bins must be >= 16 for a usable histogram, got {self.bins!r}"
+            )
+        if int(self.tail_k) < 8:
+            raise ParameterError(
+                f"tail_k must be >= 8, got {self.tail_k!r}"
+            )
+        if int(self.time_bins) < 1:
+            raise ParameterError(
+                f"time_bins must be >= 1, got {self.time_bins!r}"
+            )
+        self.duration = float(self.duration)
+        self.bins = int(self.bins)
+        self.tail_k = int(self.tail_k)
+        self.time_bins = int(self.time_bins)
+        if self.counts is None:
+            self.counts = np.zeros(self.bins, dtype=np.int64)
+        if self.time_counts is None:
+            self.time_counts = np.zeros(self.time_bins, dtype=np.int64)
+        if self.tail is None:
+            self.tail = np.empty(0, dtype=np.float64)
+
+    # -- the fixed binning ------------------------------------------------
+
+    @property
+    def log_edges(self) -> np.ndarray:
+        """``log10(size)`` bin edges (``bins + 1`` values)."""
+        lo, hi = LOG10_SPAN
+        return np.linspace(lo, hi, self.bins + 1)
+
+    @property
+    def edges(self) -> np.ndarray:
+        """Size-domain bin edges in bytes."""
+        return 10.0 ** self.log_edges
+
+    @property
+    def log_midpoints(self) -> np.ndarray:
+        """Natural-log bin midpoints (the binned-MLE evaluation points)."""
+        log_edges = self.log_edges * np.log(10.0)
+        return 0.5 * (log_edges[:-1] + log_edges[1:])
+
+    @property
+    def time_edges(self) -> np.ndarray:
+        return np.linspace(0.0, self.duration, self.time_bins + 1)
+
+    # -- accumulation -----------------------------------------------------
+
+    def update(self, sizes, starts=None) -> "CalibrationAccumulator":
+        """Fold one chunk of flow sizes (and optional start times) in."""
+        sizes = np.asarray(sizes, dtype=np.float64).ravel()
+        if sizes.size == 0:
+            return self
+        if np.any(~np.isfinite(sizes)) or np.any(sizes <= 0.0):
+            raise ParameterError(
+                "flow sizes must be finite and > 0 bytes to calibrate"
+            )
+        self.n += int(sizes.size)
+        # exact integer byte total: immune to accumulation order
+        self.total_bytes += int(np.rint(sizes).astype(np.int64).sum())
+        self.min_size = min(self.min_size, float(sizes.min()))
+        self.max_size = max(self.max_size, float(sizes.max()))
+        lo, hi = LOG10_SPAN
+        logs = np.clip(np.log10(sizes), lo, np.nextafter(hi, lo))
+        index = ((logs - lo) / (hi - lo) * self.bins).astype(np.int64)
+        np.clip(index, 0, self.bins - 1, out=index)
+        self.counts += np.bincount(index, minlength=self.bins)
+        if starts is not None:
+            starts = np.asarray(starts, dtype=np.float64).ravel()
+            if starts.size != sizes.size:
+                raise ParameterError(
+                    f"sizes and starts must align, got {sizes.size} sizes "
+                    f"vs {starts.size} starts"
+                )
+            frac = np.clip(starts / self.duration, 0.0, np.nextafter(1.0, 0))
+            t_index = (frac * self.time_bins).astype(np.int64)
+            np.clip(t_index, 0, self.time_bins - 1, out=t_index)
+            self.time_counts += np.bincount(
+                t_index, minlength=self.time_bins
+            )
+        self._merge_tail(sizes)
+        return self
+
+    def _merge_tail(self, values: np.ndarray) -> None:
+        if values.size > self.tail_k:
+            values = np.partition(values, values.size - self.tail_k)[
+                values.size - self.tail_k:
+            ]
+        merged = np.concatenate([self.tail, values])
+        merged[::-1].sort()  # descending
+        self.tail = np.array(merged[: self.tail_k])
+
+    def merge(self, other: "CalibrationAccumulator") -> "CalibrationAccumulator":
+        """Fold another accumulator in (associative and commutative)."""
+        if (
+            other.bins != self.bins
+            or other.tail_k != self.tail_k
+            or other.time_bins != self.time_bins
+            or other.duration != self.duration
+        ):
+            raise ParameterError(
+                "cannot merge calibration accumulators with different "
+                "binning (bins/tail_k/time_bins/duration must match)"
+            )
+        self.n += other.n
+        self.total_bytes += other.total_bytes
+        self.min_size = min(self.min_size, other.min_size)
+        self.max_size = max(self.max_size, other.max_size)
+        self.counts += other.counts
+        self.time_counts += other.time_counts
+        self._merge_tail(other.tail)
+        return self
+
+    # -- derived quantities ----------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        return self.n == 0
+
+    def require_data(self) -> None:
+        if self.empty:
+            raise ParameterError(
+                "no flows were accumulated; nothing to calibrate"
+            )
+
+    @property
+    def arrival_rate(self) -> float:
+        """``lambda`` — flows per second over the capture."""
+        return self.n / self.duration
+
+    @property
+    def mean_size(self) -> float:
+        """Exact ``E[S]`` in bytes (integer total over integer count)."""
+        self.require_data()
+        return self.total_bytes / self.n
+
+    @property
+    def mean_rate_bps(self) -> float:
+        return 8.0 * self.total_bytes / self.duration
+
+    def empirical_cdf_at_edges(self) -> np.ndarray:
+        """Empirical CDF evaluated at the interior bin edges."""
+        self.require_data()
+        return np.cumsum(self.counts) / self.n
+
+    def quantile(self, q: float) -> float:
+        """Binned size quantile; exact within the top-``tail_k`` range."""
+        self.require_data()
+        if not 0.0 < float(q) < 1.0:
+            raise ParameterError(f"quantile must lie in (0, 1), got {q!r}")
+        from_top = self.n - int(np.ceil(q * self.n))
+        if from_top < self.tail.size:
+            return float(self.tail[from_top])
+        cdf = np.cumsum(self.counts)
+        index = int(np.searchsorted(cdf, q * self.n))
+        index = min(index, self.bins - 1)
+        return float(10.0 ** (0.5 * (
+            self.log_edges[index] + self.log_edges[index + 1]
+        )))
+
+    def diurnal_rates(self) -> np.ndarray:
+        """Per-time-bin arrival rates (flows/s), the diurnal profile."""
+        width = self.duration / self.time_bins
+        return self.time_counts / width

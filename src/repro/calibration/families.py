@@ -1,0 +1,189 @@
+"""The registered flow-size families calibration can fit and select.
+
+Each family is a named, fixed-arity parameterisation over the size laws
+in :mod:`repro.netsim.sizes`.  The registry keeps the calibration layer
+open: :func:`register_family` adds a new law (with its fitter living in
+:mod:`repro.calibration.fitters`) and model selection picks it up
+automatically.
+
+All four built-in families are *scale-closed* — scaling every length
+parameter by ``c`` scales the random variable by exactly ``c`` (the
+underlying uniform/normal draws are unchanged) — which is what lets
+:meth:`CalibrationReport.to_scenario_spec` deflate a fitted wire-byte
+law into the payload law the synthesiser needs without changing its
+shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import ndtr, ndtri
+
+from ..exceptions import ParameterError
+from ..netsim.sizes import (
+    BoundedPareto,
+    Exponential,
+    LogNormal,
+    LognormalParetoMixture,
+)
+
+__all__ = [
+    "CALIBRATION_FAMILIES",
+    "Family",
+    "build_distribution",
+    "family_cdf",
+    "family_ppf",
+    "get_family",
+    "register_family",
+    "scale_params",
+]
+
+
+@dataclass(frozen=True)
+class Family:
+    """One fittable flow-size law: its name, arity and parameter names."""
+
+    name: str
+    n_params: int
+    param_names: tuple[str, ...]
+
+
+_FAMILIES: dict[str, Family] = {}
+
+
+def register_family(family: Family) -> Family:
+    """Register a size-law family for fitting and model selection."""
+    if family.name in _FAMILIES:
+        raise ParameterError(
+            f"size-law family {family.name!r} is already registered"
+        )
+    _FAMILIES[family.name] = family
+    return family
+
+
+def get_family(name: str) -> Family:
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown size-law family {name!r}; registered families: "
+            f"{tuple(sorted(_FAMILIES))}"
+        ) from None
+
+
+register_family(Family("lognormal", 2, ("median", "sigma")))
+register_family(Family("pareto", 3, ("alpha", "minimum", "maximum")))
+register_family(Family("exponential", 1, ("mean_bytes",)))
+register_family(
+    Family(
+        "lognormal_pareto",
+        5,
+        ("body_weight", "median", "sigma", "alpha", "minimum", "maximum"),
+    )
+)
+
+#: The built-in families, in fitting order.
+CALIBRATION_FAMILIES = ("lognormal", "pareto", "exponential", "lognormal_pareto")
+
+
+def _require_params(name: str, params: dict) -> dict:
+    family = get_family(name)
+    missing = [p for p in family.param_names if p not in params]
+    if missing:
+        raise ParameterError(
+            f"family {name!r} needs parameters {family.param_names}, "
+            f"missing {tuple(missing)}"
+        )
+    return params
+
+
+def build_distribution(name: str, params: dict):
+    """Materialise the ``repro.netsim.sizes`` law behind a fitted family."""
+    params = _require_params(name, params)
+    if name == "lognormal":
+        return LogNormal(median=params["median"], sigma=params["sigma"])
+    if name == "pareto":
+        return BoundedPareto(
+            alpha=params["alpha"],
+            minimum=params["minimum"],
+            maximum=params["maximum"],
+        )
+    if name == "exponential":
+        return Exponential(mean_value=params["mean_bytes"])
+    if name == "lognormal_pareto":
+        return LognormalParetoMixture(
+            body_weight=params["body_weight"],
+            median=params["median"],
+            sigma=params["sigma"],
+            alpha=params["alpha"],
+            minimum=params["minimum"],
+            maximum=params["maximum"],
+        )
+    raise ParameterError(
+        f"family {name!r} is registered but has no distribution builder"
+    )
+
+
+def scale_params(name: str, params: dict, factor: float) -> dict:
+    """Scale every length parameter by ``factor`` (the wire deflation).
+
+    Exact for all built-in families: the scaled law's draws are the
+    original draws times ``factor``.
+    """
+    params = dict(_require_params(name, params))
+    if factor <= 0.0:
+        raise ParameterError(f"scale factor must be > 0, got {factor!r}")
+    for key in ("median", "minimum", "maximum", "mean_bytes"):
+        if key in params:
+            params[key] = params[key] * factor
+    return params
+
+
+def family_cdf(name: str, params: dict, x) -> np.ndarray:
+    """``P(S <= x)`` of a fitted family — the goodness-of-fit input."""
+    params = _require_params(name, params)
+    x = np.asarray(x, dtype=np.float64)
+    if name == "lognormal":
+        sigma = max(params["sigma"], 1e-12)
+        with np.errstate(divide="ignore"):
+            z = (
+                np.log(np.maximum(x, 1e-300)) - np.log(params["median"])
+            ) / sigma
+        return np.where(x <= 0.0, 0.0, ndtr(z))
+    if name == "pareto":
+        return 1.0 - build_distribution(name, params).ccdf(x)
+    if name == "exponential":
+        mean = params["mean_bytes"]
+        return np.where(x <= 0.0, 0.0, -np.expm1(-x / mean))
+    if name == "lognormal_pareto":
+        return build_distribution(name, params).cdf(x)
+    raise ParameterError(f"family {name!r} has no CDF implementation")
+
+
+def family_ppf(name: str, params: dict, q) -> np.ndarray:
+    """Quantile function of a fitted family — the tail-QQ input."""
+    params = _require_params(name, params)
+    q = np.asarray(q, dtype=np.float64)
+    if np.any(q <= 0.0) or np.any(q >= 1.0):
+        raise ParameterError("quantiles must lie strictly inside (0, 1)")
+    if name == "lognormal":
+        return params["median"] * np.exp(params["sigma"] * ndtri(q))
+    if name == "pareto":
+        a = params["alpha"]
+        lo, hi = params["minimum"], params["maximum"]
+        ratio = (lo / hi) ** a
+        return lo / (1.0 - q * (1.0 - ratio)) ** (1.0 / a)
+    if name == "exponential":
+        return -params["mean_bytes"] * np.log1p(-q)
+    if name == "lognormal_pareto":
+        # no closed form: invert the CDF on a fine log-spaced grid
+        sigma = max(params["sigma"], 1e-12)
+        lo = min(params["median"] * np.exp(-8.0 * sigma), params["minimum"])
+        hi = max(params["median"] * np.exp(8.0 * sigma), params["maximum"])
+        grid = np.logspace(np.log10(lo), np.log10(hi), 8192)
+        cdf = family_cdf(name, params, grid)
+        cdf = np.maximum.accumulate(cdf)  # guard fp wobble: must be monotone
+        return np.interp(q, cdf, grid, left=grid[0], right=grid[-1])
+    raise ParameterError(f"family {name!r} has no quantile implementation")

@@ -1,0 +1,287 @@
+"""The typed calibration result: what was measured, what was fitted.
+
+A :class:`CalibrationReport` is the complete, JSON-serialisable record
+of one trace-to-model calibration: the trace summary (flow count, byte
+total, λ, E[S]), the per-family candidate fits with their diagnostics,
+the winning family under the selection criterion, the diurnal arrival
+profile, and the knobs that produced it (seed, binning).  It lands in
+``ScenarioResult.calibration`` and the ``--report`` JSON, and —
+centrally — :meth:`CalibrationReport.to_scenario_spec` turns it back
+into a frozen, runnable :class:`~repro.pipeline.ScenarioSpec`:
+
+* the fitted *wire-byte* law is deflated by a scalar so that, after the
+  synthesiser re-adds per-packet header overhead, the mean wire bytes
+  per flow equals the trace's ``E[S]`` (all families are scale-closed,
+  so the shape is untouched), and
+* the workload's target rate is set to ``8 λ E[wire]`` using the same
+  seeded Monte Carlo the workload itself uses, so the synthesised
+  arrival rate equals the trace's λ *exactly* by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import as_rng
+from ..exceptions import ParameterError
+from ..netsim.tcp import TcpParameters
+from .fitters import FamilyFit
+from .families import build_distribution, scale_params
+
+__all__ = [
+    "CalibrationReport",
+    "DiurnalProfile",
+    "wire_bytes_per_flow",
+]
+
+#: Monte Carlo draw count and seed — MUST match
+#: :meth:`repro.netsim.workloads.LinkWorkload.mean_wire_bytes_per_flow`
+#: so the emitted spec's arrival rate reproduces λ exactly.
+_WIRE_MC_DRAWS = 50_000
+_WIRE_MC_SEED = 12345
+
+
+def wire_bytes_per_flow(
+    size_dist, tcp_params: TcpParameters = TcpParameters()
+) -> float:
+    """``E[S + header * ceil(S/mss)]`` — the workload's own seeded MC."""
+    rng = as_rng(_WIRE_MC_SEED)
+    sizes = np.asarray(
+        size_dist.rvs(size=_WIRE_MC_DRAWS, random_state=rng),
+        dtype=np.float64,
+    )
+    sizes = np.maximum(sizes, 40.0)
+    packets = np.maximum(np.ceil(sizes / tcp_params.mss), 1.0)
+    return float(np.mean(sizes + tcp_params.header_bytes * packets))
+
+
+def deflate_for_wire(
+    family: str,
+    params: dict,
+    target_wire_mean: float,
+    *,
+    tcp_params: TcpParameters = TcpParameters(),
+    iterations: int = 12,
+) -> dict:
+    """Scale a fitted wire-byte law into the payload law to synthesise.
+
+    Trace archives record *wire* octets (headers included); the
+    synthesiser draws *payload* sizes and re-adds
+    ``header * ceil(S/mss)`` per flow.  This solves for the scalar
+    ``c`` with ``E[wire(c * S)] = target_wire_mean`` by fixed-point
+    iteration on the family's own seeded Monte Carlo draws — exact
+    scale-closure makes each iterate cheap and deterministic.
+    """
+    if target_wire_mean <= 0.0:
+        raise ParameterError(
+            f"target wire mean must be > 0 bytes, got {target_wire_mean!r}"
+        )
+    factor = 1.0
+    for _ in range(iterations):
+        scaled = scale_params(family, params, factor)
+        wire = wire_bytes_per_flow(
+            build_distribution(family, scaled), tcp_params
+        )
+        factor *= target_wire_mean / wire
+    return scale_params(family, params, factor)
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Arrival rate per time bin over the capture (flows/second)."""
+
+    edges: tuple[float, ...]
+    rates: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.edges) != len(self.rates) + 1:
+            raise ParameterError(
+                "diurnal profile needs len(edges) == len(rates) + 1, got "
+                f"{len(self.edges)} edges for {len(self.rates)} rates"
+            )
+
+    @property
+    def mean_rate(self) -> float:
+        widths = np.diff(np.asarray(self.edges))
+        total = float(widths.sum())
+        return float(np.sum(np.asarray(self.rates) * widths) / total)
+
+    @property
+    def peak_to_mean(self) -> float:
+        """Burstiness of the arrival process at the profile's timescale."""
+        mean = self.mean_rate
+        return float(max(self.rates) / mean) if mean > 0.0 else float("nan")
+
+    def to_dict(self) -> dict:
+        return {"edges": list(self.edges), "rates": list(self.rates)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DiurnalProfile":
+        return cls(
+            edges=tuple(float(v) for v in data["edges"]),
+            rates=tuple(float(v) for v in data["rates"]),
+        )
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Everything one calibration run learned about a trace."""
+
+    source: str
+    flow_count: int
+    total_bytes: int
+    duration: float
+    arrival_rate: float
+    mean_size: float
+    mean_rate_bps: float
+    family: str
+    params: dict
+    selection: str
+    candidates: tuple[FamilyFit, ...]
+    diurnal: DiurnalProfile
+    tail_quantiles: tuple[tuple[float, float], ...] = ()
+    seed: int = 0
+    bins: int = 0
+    tail_k: int = 0
+    link_capacity_bps: float | None = None
+    backend: str = "serial"
+    workers: int = 1
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def chosen(self) -> FamilyFit:
+        """The winning candidate's full fit record."""
+        for candidate in self.candidates:
+            if candidate.family == self.family:
+                return candidate
+        raise ParameterError(
+            f"report names family {self.family!r} but carries no such "
+            "candidate fit"
+        )
+
+    def build_distribution(self):
+        """The fitted (wire-byte) size law."""
+        return build_distribution(self.family, self.params)
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "flow_count": self.flow_count,
+            "total_bytes": self.total_bytes,
+            "duration": self.duration,
+            "arrival_rate": self.arrival_rate,
+            "mean_size": self.mean_size,
+            "mean_rate_bps": self.mean_rate_bps,
+            "family": self.family,
+            "params": {k: float(v) for k, v in self.params.items()},
+            "selection": self.selection,
+            "candidates": [fit.to_dict() for fit in self.candidates],
+            "diurnal": self.diurnal.to_dict(),
+            "tail_quantiles": [list(pair) for pair in self.tail_quantiles],
+            "seed": self.seed,
+            "bins": self.bins,
+            "tail_k": self.tail_k,
+            "link_capacity_bps": self.link_capacity_bps,
+            "backend": self.backend,
+            "workers": self.workers,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationReport":
+        data = dict(data)
+        data["candidates"] = tuple(
+            FamilyFit.from_dict(item) for item in data.get("candidates", ())
+        )
+        data["diurnal"] = DiurnalProfile.from_dict(data["diurnal"])
+        data["tail_quantiles"] = tuple(
+            (float(q), float(v)) for q, v in data.get("tail_quantiles", ())
+        )
+        return cls(**data)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CalibrationReport":
+        return cls.from_dict(json.loads(text))
+
+    def summary(self) -> dict:
+        """The compact stanza ``ScenarioResult.report()`` embeds."""
+        chosen = self.chosen
+        return {
+            "source": self.source,
+            "flows": self.flow_count,
+            "duration_s": self.duration,
+            "arrival_rate_per_s": self.arrival_rate,
+            "mean_size_bytes": self.mean_size,
+            "mean_rate_bps": self.mean_rate_bps,
+            "family": self.family,
+            "params": {k: float(v) for k, v in self.params.items()},
+            "selection": self.selection,
+            "bic": chosen.bic,
+            "ks": chosen.ks_statistic,
+            "tail_qq_rmse_log10": chosen.tail_qq_rmse_log10,
+            "peak_to_mean_arrivals": self.diurnal.peak_to_mean,
+            "candidates": {
+                fit.family: fit.bic for fit in self.candidates
+            },
+        }
+
+    # -- the spec emitter -------------------------------------------------
+
+    def to_scenario_spec(
+        self,
+        *,
+        name: str | None = None,
+        duration: float | None = None,
+        link_capacity_bps: float | None = None,
+        seed: int = 0,
+    ):
+        """Emit a frozen, runnable ScenarioSpec reproducing this trace.
+
+        The returned spec synthesises a link whose flow arrival rate
+        equals the calibrated λ exactly (the target rate is computed
+        through the same seeded Monte Carlo the workload uses) and
+        whose mean wire bytes per flow matches the trace's ``E[S]`` to
+        fixed-point accuracy.
+        """
+        from ..pipeline.spec import (
+            ScenarioSpec,
+            SizeDistributionSpec,
+            WorkloadSpec,
+        )
+
+        payload_params = deflate_for_wire(
+            self.family, self.params, self.mean_size
+        )
+        sizes = SizeDistributionSpec.from_family(self.family, payload_params)
+        wire_mean = wire_bytes_per_flow(sizes.build())
+        target_bps = 8.0 * self.arrival_rate * wire_mean
+        capacity = (
+            float(link_capacity_bps)
+            if link_capacity_bps is not None
+            else self.link_capacity_bps
+        )
+        if capacity is None or capacity <= target_bps:
+            # headroom keeps the synthesiser's uncongested-link
+            # assumption (the paper's links stay below ~50% utilisation)
+            capacity = 2.0 * target_bps
+        return ScenarioSpec(
+            name=name or f"calibrated:{self.source}",
+            seed=seed,
+            workload=WorkloadSpec(
+                target_mean_rate_bps=target_bps,
+                link_capacity_bps=capacity,
+                duration=(
+                    float(duration) if duration is not None else self.duration
+                ),
+                name=name or f"calibrated:{self.source}",
+                sizes=sizes,
+            ),
+        )

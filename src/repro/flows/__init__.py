@@ -31,9 +31,15 @@ from .keys import (
 )
 from .records import FlowRecord, FlowSet
 
+# The calibration subsystem's mixture size law lives with the other
+# synthesis-side size distributions; re-exported here because it is
+# first and foremost a *flow-size* model (fit from measured flows).
+from ..netsim.sizes import LognormalParetoMixture
+
 __all__ = [
     "FlowRecord",
     "FlowSet",
+    "LognormalParetoMixture",
     "FiveTuple",
     "PrefixKey",
     "format_ipv4",

@@ -67,9 +67,15 @@ def detect_format(path) -> str:
     with open(path, "rb") as fh:
         head = fh.read(4)
     if len(head) < 4:
-        raise TraceFormatError(
-            f"{path}: file too short to identify a format: got "
-            f"{len(head)} bytes, expected at least 4"
+        # A missing or truncated file is a caller mistake (wrong path,
+        # empty export), not a format mismatch — flag it as such.
+        detail = "file is empty" if not head else (
+            f"file holds only {len(head)} byte"
+            f"{'' if len(head) == 1 else 's'}"
+        )
+        raise ParameterError(
+            f"{path}: too short to identify a telemetry format ({detail}; "
+            "every supported format needs at least 4 magic bytes)"
         )
     if head == b"RPTR":
         return "rptr"

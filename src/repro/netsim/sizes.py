@@ -21,6 +21,7 @@ from ..exceptions import ParameterError
 __all__ = [
     "BoundedPareto",
     "LogNormal",
+    "LognormalParetoMixture",
     "Exponential",
     "Constant",
     "Mixture",
@@ -105,6 +106,99 @@ class LogNormal:
 
     def mean(self) -> float:
         return float(self.median * np.exp(self.sigma**2 / 2.0))
+
+
+@dataclass(frozen=True)
+class LognormalParetoMixture:
+    """Lognormal body + bounded-Pareto tail flow-size law.
+
+    The mixture documented for campus/enterprise flow populations
+    (Jurkiewicz et al., "Flow length and size distributions in campus
+    Internet traffic"): the bulk of flows follows a lognormal body of
+    median ``median`` and log-sigma ``sigma`` with probability
+    ``body_weight``; the remaining mass is a bounded Pareto tail of
+    exponent ``alpha`` on ``[minimum, maximum]``.  Bounding the tail
+    keeps every moment finite, so the law plugs into the shot-noise
+    model's Monte Carlo calibration like the other families.
+
+    This is the family ``repro.calibration`` fits to real traces
+    (:mod:`repro.calibration.families` registers it next to the pure
+    lognormal/Pareto/exponential laws); the ``campus-mixture-*``
+    registry scenarios carry the published campus fits as presets.
+    """
+
+    body_weight: float
+    median: float
+    sigma: float
+    alpha: float
+    minimum: float
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.body_weight < 1.0:
+            raise ParameterError(
+                f"body_weight must lie in (0, 1), got {self.body_weight}"
+            )
+        # component validation is delegated: construct both parts once
+        self.body  # noqa: B018 — validates median/sigma
+        self.tail  # noqa: B018 — validates alpha/minimum/maximum
+
+    @property
+    def body(self) -> LogNormal:
+        return LogNormal(median=self.median, sigma=self.sigma)
+
+    @property
+    def tail(self) -> BoundedPareto:
+        return BoundedPareto(
+            alpha=self.alpha, minimum=self.minimum, maximum=self.maximum
+        )
+
+    def rvs(self, size=1, random_state=None) -> np.ndarray:
+        rng = _rng_of(random_state)
+        count = int(size) if np.isscalar(size) else int(np.prod(size))
+        from_body = rng.random(count) < self.body_weight
+        out = np.empty(count, dtype=np.float64)
+        n_body = int(from_body.sum())
+        if n_body:
+            out[from_body] = self.body.rvs(size=n_body, random_state=rng)
+        if count - n_body:
+            out[~from_body] = self.tail.rvs(
+                size=count - n_body, random_state=rng
+            )
+        return out
+
+    def mean(self) -> float:
+        return float(
+            self.body_weight * self.body.mean()
+            + (1.0 - self.body_weight) * self.tail.mean()
+        )
+
+    def second_moment(self) -> float:
+        body_m2 = self.median**2 * np.exp(2.0 * self.sigma**2)
+        return float(
+            self.body_weight * body_m2
+            + (1.0 - self.body_weight) * self.tail.second_moment()
+        )
+
+    def cdf(self, x) -> np.ndarray:
+        """``P(X <= x)`` — the calibration goodness-of-fit input."""
+        from scipy.special import ndtr
+
+        x = np.asarray(x, dtype=np.float64)
+        with np.errstate(divide="ignore"):
+            z = (np.log(np.maximum(x, 1e-300)) - np.log(self.median)) / max(
+                self.sigma, 1e-12
+            )
+        body_cdf = np.where(x <= 0.0, 0.0, ndtr(z))
+        tail_cdf = 1.0 - self.tail.ccdf(x)
+        return (
+            self.body_weight * body_cdf
+            + (1.0 - self.body_weight) * tail_cdf
+        )
+
+    def ccdf(self, x) -> np.ndarray:
+        """``P(X > x)`` — used by the heavy-tail diagnostics."""
+        return 1.0 - self.cdf(x)
 
 
 @dataclass(frozen=True)

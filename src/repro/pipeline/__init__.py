@@ -42,6 +42,8 @@ from .runner import (
 from .spec import (
     AnomalySpec,
     ArrivalSpec,
+    CALIBRATION_FAMILIES,
+    CalibrationSpec,
     DemandSpec,
     EstimationSpec,
     ExecutionSpec,
@@ -56,6 +58,9 @@ from .spec import (
     PRESET_ALIASES,
     RetryPolicy,
     ScenarioSpec,
+    SELECTION_CRITERIA,
+    SIZE_DISTRIBUTION_KINDS,
+    SizeDistributionSpec,
     SweepSpec,
     SynthesisSpec,
     TopologyLinkSpec,
@@ -67,6 +72,8 @@ from .spec import (
 from .stages import (
     AccountFlows,
     AccountingResult,
+    Calibrate,
+    CalibrationResult,
     Estimate,
     EstimationResult,
     FitModel,
@@ -98,6 +105,11 @@ __all__ = [
     "FlowAccountingSpec",
     "IngestSpec",
     "INGEST_FORMATS",
+    "CalibrationSpec",
+    "CALIBRATION_FAMILIES",
+    "SELECTION_CRITERIA",
+    "SizeDistributionSpec",
+    "SIZE_DISTRIBUTION_KINDS",
     "SynthesisSpec",
     "MeasurementSpec",
     "EstimationSpec",
@@ -120,6 +132,7 @@ __all__ = [
     "ImportFlows",
     "AccountFlows",
     "Estimate",
+    "Calibrate",
     "FitModel",
     "Generate",
     "SimulateNetwork",
@@ -129,6 +142,7 @@ __all__ = [
     "TraceMeta",
     "IngestResult",
     "AccountingResult",
+    "CalibrationResult",
     "EstimationResult",
     "FitResult",
     "GenerationResult",

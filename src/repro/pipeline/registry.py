@@ -28,6 +28,7 @@ from ..netsim.workloads import TABLE_I_ROWS
 from .spec import (
     AnomalySpec,
     ArrivalSpec,
+    CalibrationSpec,
     DemandSpec,
     FitSpec,
     IngestSpec,
@@ -35,6 +36,7 @@ from .spec import (
     NetworkSpec,
     PRESET_ALIASES,
     ScenarioSpec,
+    SizeDistributionSpec,
     SweepSpec,
     TopologySpec,
     ValidationSpec,
@@ -228,9 +230,55 @@ def _builtin_specs() -> list[ScenarioSpec]:
         )
     )
 
+    specs.extend(_campus_mixture_specs())
     specs.extend(_ingest_specs())
     specs.extend(_network_specs())
 
+    return specs
+
+
+#: Lognormal-body / Pareto-tail flow-size mixture in the style of the
+#: published campus-traffic fits (Jurkiewicz et al., "Flow length and
+#: size distributions in campus Internet traffic"): ~97% of flows are
+#: mice from a wide lognormal body, the rest a shallow (alpha ~ 1.05)
+#: bounded Pareto elephant tail that carries most of the bytes.
+_CAMPUS_MIXTURE_SIZES = SizeDistributionSpec(
+    kind="lognormal_pareto",
+    body_weight=0.97,
+    median=2800.0,
+    sigma=2.0,
+    alpha=1.05,
+    minimum=1e5,
+    maximum=5e7,
+)
+
+
+def _campus_mixture_specs() -> list[ScenarioSpec]:
+    """The ``campus-mixture-*`` family: published mixture fits, replayed.
+
+    Each preset swaps the Table I bounded-Pareto size law for the
+    campus lognormal+Pareto mixture on one of the classic utilisation
+    aliases, and runs the ``calibration`` stage so every result carries
+    a :class:`~repro.calibration.CalibrationReport` — fitting the very
+    family the flows were drawn from closes the loop on the calibration
+    subsystem itself.
+    """
+    specs: list[ScenarioSpec] = []
+    for alias in ("low", "medium", "high"):
+        specs.append(
+            ScenarioSpec(
+                name=f"campus-mixture-{alias}",
+                description=(
+                    "campus lognormal-body / Pareto-tail size mixture "
+                    "(published campus-traffic fit) on the "
+                    f"{alias}-utilisation preset, calibrated in-loop"
+                ),
+                workload=WorkloadSpec(
+                    preset=alias, sizes=_CAMPUS_MIXTURE_SIZES
+                ),
+                calibration=CalibrationSpec(),
+            )
+        )
     return specs
 
 

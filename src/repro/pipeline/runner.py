@@ -20,6 +20,8 @@ from .spec import ScenarioSpec
 from .stages import (
     AccountFlows,
     AccountingResult,
+    Calibrate,
+    CalibrationResult,
     Estimate,
     EstimationResult,
     FitModel,
@@ -59,6 +61,7 @@ DEFAULT_STAGES: tuple[Stage, ...] = (
     Synthesize(),
     AccountFlows(),
     Estimate(),
+    Calibrate(),
     FitModel(),
     Generate(),
     Validate(),
@@ -70,6 +73,7 @@ MEASUREMENT_STAGES: tuple[Stage, ...] = (
     Synthesize(),
     AccountFlows(),
     Estimate(),
+    Calibrate(),
     FitModel(),
     Validate(),
 )
@@ -82,6 +86,7 @@ INGEST_STAGES: tuple[Stage, ...] = (
     ImportFlows(),
     AccountFlows(),
     Estimate(),
+    Calibrate(),
     FitModel(),
     Generate(),
     Validate(),
@@ -116,6 +121,7 @@ class ScenarioResult:
     synthesis: SynthesisResult | None = None
     accounting: AccountingResult | None = None
     estimation: EstimationResult | None = None
+    calibration: CalibrationResult | None = None
     fit: FitResult | None = None
     validation: ValidationReport | None = None
     generation: GenerationResult | None = None
@@ -147,6 +153,8 @@ class ScenarioResult:
                 "fit_model": self.fit.summary(),
             }
         )
+        if self.calibration is not None:
+            out["stages"]["calibrate"] = self.calibration.summary()
         if self.generation is not None:
             out["stages"]["generate"] = self.generation.summary()
         if self.validation is not None:
@@ -216,6 +224,7 @@ class ScenarioRunner:
             synthesis=context.synthesis,
             accounting=context.accounting,
             estimation=context.estimation,
+            calibration=context.calibration,
             fit=context.fit,
             generation=context.generation,
             network=context.network,

@@ -57,6 +57,11 @@ __all__ = [
     "MeasurementSpec",
     "EstimationSpec",
     "FitSpec",
+    "CALIBRATION_FAMILIES",
+    "SELECTION_CRITERIA",
+    "SIZE_DISTRIBUTION_KINDS",
+    "SizeDistributionSpec",
+    "CalibrationSpec",
     "GenerationSpec",
     "AnomalySpec",
     "ValidationSpec",
@@ -297,12 +302,97 @@ class ArrivalSpec:
         )
 
 
+#: Flow-size families a spec can name.  Mirrors
+#: ``repro.calibration.CALIBRATION_FAMILIES`` (pinned by a test); kept
+#: literal here so the spec layer stays pure data with no engine imports.
+SIZE_DISTRIBUTION_KINDS = (
+    "lognormal", "pareto", "exponential", "lognormal_pareto",
+)
+
+#: Parameters each size-law kind requires (and accepts — extras error).
+_SIZE_KIND_PARAMS: dict[str, tuple[str, ...]] = {
+    "lognormal": ("median", "sigma"),
+    "pareto": ("alpha", "minimum", "maximum"),
+    "exponential": ("mean_bytes",),
+    "lognormal_pareto": (
+        "body_weight", "median", "sigma", "alpha", "minimum", "maximum",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SizeDistributionSpec:
+    """A serializable flow-size law for the workload to draw from.
+
+    ``kind`` names one of the calibration subsystem's registered
+    families; exactly the parameters of that kind must be set (anything
+    else is an error, so a stray ``alpha`` on a lognormal fails loudly).
+    This is the section :meth:`CalibrationReport.to_scenario_spec`
+    emits, and the one behind the ``campus-mixture-*`` registry presets.
+    """
+
+    kind: str
+    median: float | None = None
+    sigma: float | None = None
+    alpha: float | None = None
+    minimum: float | None = None
+    maximum: float | None = None
+    mean_bytes: float | None = None
+    body_weight: float | None = None
+
+    def __post_init__(self) -> None:
+        _check_choice("sizes.kind", self.kind, SIZE_DISTRIBUTION_KINDS)
+        required = _SIZE_KIND_PARAMS[self.kind]
+        missing = [p for p in required if getattr(self, p) is None]
+        if missing:
+            raise ParameterError(
+                f"sizes: kind {self.kind!r} requires {sorted(required)}, "
+                f"missing {missing}"
+            )
+        all_params = {p for ps in _SIZE_KIND_PARAMS.values() for p in ps}
+        extras = sorted(
+            p
+            for p in all_params - set(required)
+            if getattr(self, p) is not None
+        )
+        if extras:
+            raise ParameterError(
+                f"sizes: kind {self.kind!r} takes only {sorted(required)}; "
+                f"remove {extras}"
+            )
+        self.build()  # delegate value validation to the distribution
+
+    def params(self) -> dict:
+        """The kind's parameters as the calibration layer's dict form."""
+        return {
+            p: float(getattr(self, p)) for p in _SIZE_KIND_PARAMS[self.kind]
+        }
+
+    @classmethod
+    def from_family(cls, family: str, params: dict) -> "SizeDistributionSpec":
+        """Build from a calibration ``(family, params)`` pair."""
+        _check_choice("sizes.kind", family, SIZE_DISTRIBUTION_KINDS)
+        allowed = set(_SIZE_KIND_PARAMS[family])
+        return cls(
+            kind=family,
+            **{k: float(v) for k, v in params.items() if k in allowed},
+        )
+
+    def build(self):
+        """Materialise the ``repro.netsim.sizes`` distribution."""
+        from ..calibration.families import build_distribution
+
+        return build_distribution(self.kind, self.params())
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """Which link to synthesize: a Table I preset or custom rates.
 
     Exactly one of ``preset`` and ``target_mean_rate_bps`` must be set.
-    ``arrivals`` optionally replaces the default Poisson flow arrivals.
+    ``arrivals`` optionally replaces the default Poisson flow arrivals;
+    ``sizes`` optionally replaces the default mice-and-elephants flow
+    size law (this is how calibrated specs carry their fitted family).
     """
 
     preset: str | None = None
@@ -312,6 +402,7 @@ class WorkloadSpec:
     duration: float = 120.0
     name: str = ""
     arrivals: ArrivalSpec | None = None
+    sizes: SizeDistributionSpec | None = None
 
     def __post_init__(self) -> None:
         if (self.preset is None) == (self.target_mean_rate_bps is None):
@@ -353,6 +444,10 @@ class WorkloadSpec:
                 ),
                 duration=self.duration,
             )
+        if self.sizes is not None:
+            workload = dataclasses.replace(
+                workload, size_dist=self.sizes.build()
+            )
         if self.name:
             workload = dataclasses.replace(workload, name=self.name)
         if self.arrivals is not None and self.arrivals.kind != "poisson":
@@ -366,6 +461,7 @@ class WorkloadSpec:
 
 
 _register_nested("WorkloadSpec", "arrivals", ArrivalSpec)
+_register_nested("WorkloadSpec", "sizes", SizeDistributionSpec)
 
 
 @dataclass(frozen=True)
@@ -741,15 +837,145 @@ class FitSpec:
 
     def __post_init__(self) -> None:
         _freeze_tuple(self, "powers")
-        if not self.powers:
-            raise ParameterError("fit.powers must name at least one shot power")
-        for p in self.powers:
-            if not np.isfinite(p) or p < 0.0:
-                raise ParameterError(
-                    f"fit.powers entries must be finite and >= 0, got {p!r}"
-                )
+        _validate_powers("fit", self.powers)
         if self.class_split_bytes is not None:
             check_positive("fit.class_split_bytes", self.class_split_bytes)
+
+
+def _validate_powers(section: str, powers) -> None:
+    """The one validation path for shot-power lists, section-qualified.
+
+    Shared by ``fit:`` and ``calibration:`` so both sections reject bad
+    powers with identical, section-named messages (see MIGRATION.md on
+    when to use which section).
+    """
+    if not powers:
+        raise ParameterError(
+            f"{section}.powers must name at least one shot power"
+        )
+    for p in powers:
+        if not np.isfinite(p) or p < 0.0:
+            raise ParameterError(
+                f"{section}.powers entries must be finite and >= 0, got {p!r}"
+            )
+
+
+#: Model-selection criteria the calibration stage accepts.  Mirrors
+#: ``repro.calibration.SELECTION_CRITERIA`` (pinned by a test); literal
+#: here so the spec layer stays pure data with no engine imports.
+SELECTION_CRITERIA = ("bic", "aic", "loglik", "ks")
+
+#: Size-law families calibration fits by default.  Mirrors
+#: ``repro.calibration.CALIBRATION_FAMILIES`` (pinned by a test).
+CALIBRATION_FAMILIES = (
+    "lognormal", "pareto", "exponential", "lognormal_pareto",
+)
+
+
+@dataclass(frozen=True)
+class CalibrationSpec:
+    """Fit the paper's model to the measured flows (``repro.calibration``).
+
+    Rides after flow accounting: whatever produced the flows — a
+    synthesized workload or ingested telemetry — this section fits every
+    family in ``families`` to the flow-size population through
+    bounded-memory accumulators, selects the winner under ``select``,
+    and lands a :class:`~repro.calibration.CalibrationReport` in the
+    scenario result.  ``validate: true`` additionally runs the closed
+    loop — synthesize from the fitted spec, compare λ, E[S], utilization
+    moments and tail quantiles within the declared tolerances.
+
+    ``powers`` defaults to the ``fit:`` section's shot powers; setting
+    both to different values is a :class:`ParameterError` (the two
+    sections share one validation path — see MIGRATION.md for when to
+    use which).  ``seed`` defaults to the scenario seed; it drives the
+    EM restarts and the closed-loop synthesis, so a fixed seed makes
+    the whole calibration bitwise reproducible across
+    ``{serial, thread, process}`` x ``{chunk, workers}``.
+    """
+
+    families: tuple[str, ...] = CALIBRATION_FAMILIES
+    select: str = "bic"
+    bins: int = 512
+    tail_k: int = 512
+    time_bins: int = 24
+    restarts: int = 4
+    seed: int | None = None
+    powers: tuple[float, ...] | None = None
+    tail_quantiles: tuple[float, ...] = (0.5, 0.9, 0.99, 0.999)
+    validate: bool = False
+    validate_duration: float | None = None
+    lambda_rtol: float = 0.02
+    mean_rtol: float = 0.02
+    rate_rtol: float = 0.10
+    tail_rtol: float = 0.35
+    cov_atol: float = 0.25
+    execution: ExecutionSpec | None = None
+    chunk: InitVar[object] = _UNSET
+    workers: InitVar[object] = _UNSET
+
+    def __post_init__(self, chunk, workers) -> None:
+        object.__setattr__(
+            self,
+            "execution",
+            _merge_execution("calibration", self.execution, chunk, workers),
+        )
+        object.__setattr__(self, "families", tuple(self.families))
+        if not self.families:
+            raise ParameterError(
+                "calibration.families must name at least one size-law family"
+            )
+        for family in self.families:
+            _check_choice(
+                "calibration.families", family, CALIBRATION_FAMILIES
+            )
+        _check_choice("calibration.select", self.select, SELECTION_CRITERIA)
+        if int(self.bins) < 16:
+            raise ParameterError(
+                f"calibration.bins must be >= 16, got {self.bins!r}"
+            )
+        if int(self.tail_k) < 8:
+            raise ParameterError(
+                f"calibration.tail_k must be >= 8, got {self.tail_k!r}"
+            )
+        if int(self.time_bins) < 1:
+            raise ParameterError(
+                f"calibration.time_bins must be >= 1, got {self.time_bins!r}"
+            )
+        if int(self.restarts) < 1:
+            raise ParameterError(
+                f"calibration.restarts must be >= 1, got {self.restarts!r}"
+            )
+        if self.seed is not None and int(self.seed) < 0:
+            raise ParameterError(
+                f"calibration.seed must be >= 0, got {self.seed!r}"
+            )
+        if self.powers is not None:
+            _freeze_tuple(self, "powers")
+            _validate_powers("calibration", self.powers)
+        _freeze_tuple(self, "tail_quantiles")
+        if not self.tail_quantiles:
+            raise ParameterError(
+                "calibration.tail_quantiles must name at least one quantile"
+            )
+        for q in self.tail_quantiles:
+            if not 0.0 < q < 1.0:
+                raise ParameterError(
+                    "calibration.tail_quantiles entries must lie in (0, 1), "
+                    f"got {q!r}"
+                )
+        if self.validate_duration is not None:
+            check_positive(
+                "calibration.validate_duration", self.validate_duration
+            )
+        for name in (
+            "lambda_rtol", "mean_rtol", "rate_rtol", "tail_rtol", "cov_atol",
+        ):
+            check_positive(f"calibration.{name}", getattr(self, name))
+
+
+_alias_execution(CalibrationSpec)
+_register_nested("CalibrationSpec", "execution", ExecutionSpec)
 
 
 @dataclass(frozen=True)
@@ -1268,6 +1494,7 @@ class ScenarioSpec:
     measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
     estimation: EstimationSpec = field(default_factory=EstimationSpec)
     fit: FitSpec = field(default_factory=FitSpec)
+    calibration: CalibrationSpec | None = None
     generation: GenerationSpec | None = field(default_factory=GenerationSpec)
     anomaly: AnomalySpec | None = None
     validation: ValidationSpec = field(default_factory=ValidationSpec)
@@ -1311,6 +1538,24 @@ class ScenarioSpec:
             raise ParameterError(
                 "a 'sweep' section scales and fails a base network "
                 "scenario; give the spec a 'network' section"
+            )
+        if self.calibration is not None and self.network is not None:
+            raise ParameterError(
+                "calibration fits one link's flow population; "
+                "'calibration' and 'network' cannot be combined"
+            )
+        if (
+            self.calibration is not None
+            and self.calibration.powers is not None
+            and self.fit.powers != FitSpec().powers
+            and tuple(self.calibration.powers) != tuple(self.fit.powers)
+        ):
+            raise ParameterError(
+                "fit.powers and calibration.powers contradict each other "
+                f"({tuple(self.fit.powers)} vs "
+                f"{tuple(self.calibration.powers)}); set the shot powers in "
+                "one section (calibration.powers defaults to fit.powers — "
+                "see MIGRATION.md)"
             )
 
     @property
@@ -1387,6 +1632,7 @@ for _name, _type in (
     ("measurement", MeasurementSpec),
     ("estimation", EstimationSpec),
     ("fit", FitSpec),
+    ("calibration", CalibrationSpec),
     ("generation", GenerationSpec),
     ("anomaly", AnomalySpec),
     ("validation", ValidationSpec),

@@ -18,6 +18,12 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from .._util import as_rng
+from ..calibration import (
+    CalibrationReport,
+    ClosedLoopReport,
+    calibrate_flows,
+    validate_fitted_spec,
+)
 from ..applications.anomaly import (
     AnomalyDetector,
     AnomalyEvent,
@@ -47,6 +53,7 @@ __all__ = [
     "IngestResult",
     "SynthesisResult",
     "AccountingResult",
+    "CalibrationResult",
     "EstimationResult",
     "FitResult",
     "GenerationResult",
@@ -57,6 +64,7 @@ __all__ = [
     "ImportFlows",
     "AccountFlows",
     "Estimate",
+    "Calibrate",
     "FitModel",
     "Generate",
     "SimulateNetwork",
@@ -118,6 +126,7 @@ class PipelineContext:
     synthesis: "SynthesisResult | None" = None
     accounting: "AccountingResult | None" = None
     estimation: "EstimationResult | None" = None
+    calibration: "CalibrationResult | None" = None
     fit: "FitResult | None" = None
     generation: "GenerationResult | None" = None
     network: "NetworkStageResult | None" = None
@@ -852,6 +861,94 @@ def _ewma_replay(flows: FlowSet, eps: float):
     :func:`repro.measurement.reference.reference_ewma_replay`.
     """
     return replay_flow_statistics(flows, eps)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """What the calibrate stage produced: the fit, and (optionally) the
+    closed-loop verdict."""
+
+    report: CalibrationReport
+    closed_loop: ClosedLoopReport | None = None
+    powers: tuple[float, ...] = ()
+
+    def summary(self) -> dict:
+        out = {"calibration": self.report.summary()}
+        if self.powers:
+            out["powers"] = list(self.powers)
+        if self.closed_loop is not None:
+            out["closed_loop"] = self.closed_loop.to_dict()
+        return out
+
+
+class Calibrate:
+    """Fit the paper's size-law families to the measured flows.
+
+    Runs right after flow accounting/estimation, on whatever produced
+    the flows — a synthesized workload, or telemetry imported by
+    :class:`ImportFlows` — and no-ops (returns ``None``) when the spec
+    carries no ``calibration`` section, so existing scenarios are
+    untouched.  With ``calibration.validate`` set, the closed loop runs
+    inline: synthesize from the fitted spec, compare λ, E[S],
+    utilization moments and tail quantiles within the declared
+    tolerances (failures land in the result, not as an exception — the
+    CLI turns them into a nonzero exit).
+    """
+
+    name = "calibrate"
+
+    def run(self, context: PipelineContext) -> CalibrationResult | None:
+        spec = context.spec
+        section = spec.calibration
+        if section is None:
+            return None
+        meta = context.require_meta(self.name)
+        flows = context.require("accounting", self.name).flows
+        seed = section.seed if section.seed is not None else spec.seed
+        powers = (
+            section.powers if section.powers is not None else spec.fit.powers
+        )
+        report = calibrate_flows(
+            flows,
+            duration=meta.duration,
+            source=meta.name,
+            families=section.families,
+            select=section.select,
+            restarts=int(section.restarts),
+            seed=int(seed),
+            bins=int(section.bins),
+            tail_k=int(section.tail_k),
+            time_bins=int(section.time_bins),
+            tail_quantiles=section.tail_quantiles,
+            link_capacity_bps=meta.link_capacity or None,
+            chunk=section.chunk,
+            workers=int(section.workers),
+            backend=section.backend,
+            metadata={"scenario": spec.name},
+        )
+        closed = None
+        if section.validate:
+            source_cov = None
+            if context.estimation is not None:
+                values = context.estimation.series.values
+                if values.size and values.mean() > 0.0:
+                    source_cov = float(values.std() / values.mean())
+            closed = validate_fitted_spec(
+                report,
+                seed=int(seed),
+                duration=section.validate_duration,
+                delta=spec.estimation.delta,
+                lambda_rtol=section.lambda_rtol,
+                mean_rtol=section.mean_rtol,
+                rate_rtol=section.rate_rtol,
+                tail_rtol=section.tail_rtol,
+                cov_atol=section.cov_atol,
+                source_rate_cov=source_cov,
+            )
+        context.calibration = CalibrationResult(
+            report=report, closed_loop=closed, powers=tuple(powers)
+        )
+        return context.calibration
 
 
 class FitModel:

@@ -1,0 +1,138 @@
+"""Accumulator state: exactness, merging, and bitwise invariance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import CalibrationAccumulator, calibrate_sizes
+from repro.exceptions import ParameterError
+
+
+def heavy_sample(n=20000, seed=7):
+    rng = np.random.default_rng(seed)
+    body = rng.lognormal(np.log(3000.0), 0.8, n)
+    tail = 3e4 * (1.0 - rng.random(n)) ** (-1.0 / 2.2)
+    sizes = np.where(rng.random(n) < 0.9, body, np.minimum(tail, 2e6))
+    starts = rng.uniform(0.0, 60.0, n)
+    return np.rint(sizes) + 1.0, starts
+
+
+def state_tuple(acc):
+    return (
+        acc.n,
+        acc.total_bytes,
+        acc.min_size,
+        acc.max_size,
+        acc.counts.tobytes(),
+        acc.time_counts.tobytes(),
+        acc.tail.tobytes(),
+    )
+
+
+class TestAccumulate:
+    def test_exact_totals(self):
+        acc = CalibrationAccumulator(duration=10.0)
+        acc.update([100.0, 200.0, 700.0], [1.0, 2.0, 3.0])
+        assert acc.n == 3
+        assert acc.total_bytes == 1000
+        assert acc.mean_size == pytest.approx(1000.0 / 3.0)
+        assert acc.arrival_rate == pytest.approx(0.3)
+        assert acc.mean_rate_bps == pytest.approx(800.0)
+        assert acc.min_size == 100.0 and acc.max_size == 700.0
+
+    def test_rejects_bad_sizes(self):
+        acc = CalibrationAccumulator(duration=10.0)
+        for bad in ([0.0], [-5.0], [np.nan], [np.inf]):
+            with pytest.raises(ParameterError, match="finite and > 0"):
+                acc.update(bad)
+
+    def test_rejects_misaligned_starts(self):
+        acc = CalibrationAccumulator(duration=10.0)
+        with pytest.raises(ParameterError, match="align"):
+            acc.update([1.0, 2.0], [0.5])
+
+    def test_geometry_validation(self):
+        with pytest.raises(ParameterError, match="duration"):
+            CalibrationAccumulator(duration=0.0)
+        with pytest.raises(ParameterError, match="bins"):
+            CalibrationAccumulator(duration=1.0, bins=4)
+        with pytest.raises(ParameterError, match="tail_k"):
+            CalibrationAccumulator(duration=1.0, tail_k=2)
+        with pytest.raises(ParameterError, match="time_bins"):
+            CalibrationAccumulator(duration=1.0, time_bins=0)
+
+    def test_empty_requires_data(self):
+        acc = CalibrationAccumulator(duration=10.0)
+        assert acc.empty
+        with pytest.raises(ParameterError, match="no flows"):
+            acc.require_data()
+        with pytest.raises(ParameterError, match="no flows"):
+            _ = acc.mean_size
+
+    def test_merge_rejects_mismatched_binning(self):
+        a = CalibrationAccumulator(duration=10.0, bins=64)
+        b = CalibrationAccumulator(duration=10.0, bins=128)
+        with pytest.raises(ParameterError, match="merge"):
+            a.merge(b)
+
+    def test_quantile_exact_in_tail(self):
+        sizes, _ = heavy_sample(2000)
+        acc = CalibrationAccumulator(duration=60.0, tail_k=512)
+        acc.update(sizes)
+        # within the exact top-k region the quantile is the order stat
+        for q in (0.9, 0.99, 0.999):
+            expected = float(np.sort(sizes)[int(np.ceil(q * sizes.size)) - 1])
+            assert acc.quantile(q) == expected
+        with pytest.raises(ParameterError, match="quantile"):
+            acc.quantile(1.5)
+
+    def test_diurnal_rates_sum_to_n(self):
+        sizes, starts = heavy_sample(5000)
+        acc = CalibrationAccumulator(duration=60.0, time_bins=24)
+        acc.update(sizes, starts)
+        width = 60.0 / 24
+        assert int(round(acc.diurnal_rates().sum() * width)) == 5000
+
+
+class TestBitwiseInvariance:
+    """serial == thread == process for every chunk/workers choice."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        sizes, starts = heavy_sample()
+        acc = calibrate_sizes(sizes, starts, duration=60.0)
+        return sizes, starts, state_tuple(acc)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("chunk", [None, 97, 1000])
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_battery(self, reference, backend, chunk, workers):
+        sizes, starts, expected = reference
+        acc = calibrate_sizes(
+            sizes, starts, duration=60.0,
+            chunk=chunk, workers=workers, backend=backend,
+        )
+        assert state_tuple(acc) == expected
+
+    def test_merge_is_order_free(self, reference):
+        sizes, starts, expected = reference
+        thirds = np.array_split(np.arange(sizes.size), 3)
+        parts = [
+            CalibrationAccumulator(duration=60.0).update(
+                sizes[idx], starts[idx]
+            )
+            for idx in thirds
+        ]
+        for order in ((0, 1, 2), (2, 0, 1), (1, 2, 0)):
+            acc = CalibrationAccumulator(duration=60.0)
+            for i in order:
+                fresh = CalibrationAccumulator(duration=60.0)
+                fresh.merge(parts[i])
+                acc.merge(fresh)
+            assert state_tuple(acc) == expected
+
+    def test_chunk_validation(self, reference):
+        sizes, starts, _ = reference
+        with pytest.raises(ParameterError, match="chunk"):
+            calibrate_sizes(sizes, starts, duration=60.0, chunk=-1)

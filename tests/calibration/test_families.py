@@ -1,0 +1,131 @@
+"""Family registry, CDF/PPF consistency, scale closure, literal pins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    CALIBRATION_FAMILIES,
+    SELECTION_CRITERIA,
+    build_distribution,
+    family_cdf,
+    family_ppf,
+    get_family,
+    scale_params,
+)
+from repro.exceptions import ParameterError
+from repro.flows import LognormalParetoMixture
+from repro.netsim.sizes import BoundedPareto, Exponential, LogNormal
+
+PARAMS = {
+    "lognormal": {"median": 3000.0, "sigma": 0.8},
+    "pareto": {"alpha": 1.4, "minimum": 300.0, "maximum": 1e7},
+    "exponential": {"mean_bytes": 9000.0},
+    "lognormal_pareto": {
+        "body_weight": 0.9, "median": 3000.0, "sigma": 0.8,
+        "alpha": 2.2, "minimum": 3e4, "maximum": 2e6,
+    },
+}
+
+
+class TestRegistry:
+    def test_all_families_registered(self):
+        for name in CALIBRATION_FAMILIES:
+            spec = get_family(name)
+            assert spec.name == name
+            # n_params counts FREE parameters (the mixture pins its
+            # maximum to the sample max, so it declares 5 of 6)
+            assert 0 < spec.n_params <= len(spec.param_names)
+
+    def test_unknown_family(self):
+        with pytest.raises(ParameterError, match="weibull"):
+            get_family("weibull")
+
+    def test_build_distribution_types(self):
+        assert isinstance(
+            build_distribution("lognormal", PARAMS["lognormal"]), LogNormal
+        )
+        assert isinstance(
+            build_distribution("pareto", PARAMS["pareto"]), BoundedPareto
+        )
+        assert isinstance(
+            build_distribution("exponential", PARAMS["exponential"]),
+            Exponential,
+        )
+        assert isinstance(
+            build_distribution(
+                "lognormal_pareto", PARAMS["lognormal_pareto"]
+            ),
+            LognormalParetoMixture,
+        )
+
+
+class TestCdfPpf:
+    @pytest.mark.parametrize("family", CALIBRATION_FAMILIES)
+    def test_cdf_monotone_and_bounded(self, family):
+        x = np.logspace(0, 8, 200)
+        cdf = family_cdf(family, PARAMS[family], x)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert np.all((cdf >= 0.0) & (cdf <= 1.0))
+
+    @pytest.mark.parametrize("family", CALIBRATION_FAMILIES)
+    def test_ppf_inverts_cdf(self, family):
+        q = np.array([0.05, 0.25, 0.5, 0.75, 0.95, 0.995])
+        x = family_ppf(family, PARAMS[family], q)
+        back = family_cdf(family, PARAMS[family], x)
+        np.testing.assert_allclose(back, q, atol=2e-3)
+
+    @pytest.mark.parametrize("family", CALIBRATION_FAMILIES)
+    def test_cdf_matches_sample(self, family):
+        dist = build_distribution(family, PARAMS[family])
+        rng = np.random.default_rng(11)
+        sample = dist.rvs(40000, rng)
+        x = np.quantile(sample, [0.2, 0.5, 0.8])
+        model = family_cdf(family, PARAMS[family], x)
+        empirical = np.searchsorted(np.sort(sample), x) / sample.size
+        np.testing.assert_allclose(model, empirical, atol=0.02)
+
+
+class TestScaleClosure:
+    """Scaling the length parameters by c rescales the law exactly."""
+
+    @pytest.mark.parametrize("family", CALIBRATION_FAMILIES)
+    @pytest.mark.parametrize("factor", [0.5, 0.93, 2.0])
+    def test_cdf_closure(self, family, factor):
+        params = PARAMS[family]
+        scaled = scale_params(family, params, factor)
+        x = np.logspace(1, 7, 100)
+        np.testing.assert_allclose(
+            family_cdf(family, scaled, x * factor),
+            family_cdf(family, params, x),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_mean_scales(self):
+        for family in CALIBRATION_FAMILIES:
+            dist = build_distribution(family, PARAMS[family])
+            scaled = build_distribution(
+                family, scale_params(family, PARAMS[family], 0.75)
+            )
+            assert scaled.mean() == pytest.approx(0.75 * dist.mean())
+
+
+class TestLiteralMirrors:
+    """The import-light literals in pipeline.spec stay pinned to the
+    canonical tuples in repro.calibration."""
+
+    def test_calibration_families_mirror(self):
+        from repro.pipeline.spec import CALIBRATION_FAMILIES as mirrored
+
+        assert mirrored == CALIBRATION_FAMILIES
+
+    def test_selection_criteria_mirror(self):
+        from repro.pipeline.spec import SELECTION_CRITERIA as mirrored
+
+        assert mirrored == SELECTION_CRITERIA
+
+    def test_size_kinds_mirror(self):
+        from repro.pipeline.spec import SIZE_DISTRIBUTION_KINDS
+
+        assert SIZE_DISTRIBUTION_KINDS == CALIBRATION_FAMILIES

@@ -1,0 +1,106 @@
+"""CalibrationReport: round-trips, λ-exact spec emission, deflation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    CalibrationReport,
+    calibrate_accumulator,
+    calibrate_sizes,
+    wire_bytes_per_flow,
+)
+from repro.calibration.report import DiurnalProfile, deflate_for_wire
+from repro.netsim.sizes import LogNormal
+from repro.netsim.tcp import TcpParameters
+from repro.pipeline import ScenarioSpec
+
+
+@pytest.fixture(scope="module")
+def report():
+    rng = np.random.default_rng(7)
+    sizes = np.maximum(rng.lognormal(np.log(3000.0), 0.8, 30000), 1.0)
+    starts = rng.uniform(0.0, 60.0, sizes.size)
+    acc = calibrate_sizes(sizes, starts, duration=60.0)
+    return calibrate_accumulator(
+        acc, source="unit", seed=3, link_capacity_bps=622.08e6,
+        metadata={"scenario": "unit"},
+    )
+
+
+class TestRoundTrip:
+    def test_json_roundtrip_is_lossless(self, report):
+        assert CalibrationReport.from_json(report.to_json()) == report
+
+    def test_dict_roundtrip_is_lossless(self, report):
+        assert CalibrationReport.from_dict(report.to_dict()) == report
+
+    def test_diurnal_profile_roundtrip(self, report):
+        profile = report.diurnal
+        assert DiurnalProfile.from_dict(profile.to_dict()) == profile
+        assert profile.mean_rate == pytest.approx(report.arrival_rate)
+        assert profile.peak_to_mean >= 1.0
+
+    def test_summary_names_the_choice(self, report):
+        summary = report.summary()
+        assert summary["family"] == report.family
+        assert set(summary["candidates"]) == {
+            fit.family for fit in report.candidates
+        }
+
+
+class TestSpecEmission:
+    def test_arrival_rate_is_exact(self, report):
+        """The emitted spec's workload reproduces λ bitwise.
+
+        target_bps is computed from the same 50k-draw Monte Carlo the
+        workload itself uses for mean wire bytes, so the division
+        cancels exactly.
+        """
+        spec = report.to_scenario_spec(name="fitted")
+        workload = spec.workload.build()
+        assert workload.arrival_rate == report.arrival_rate
+
+    def test_emitted_spec_roundtrips_as_json(self, report):
+        spec = report.to_scenario_spec(name="fitted")
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_capacity_defaults_to_twice_target(self):
+        rng = np.random.default_rng(7)
+        sizes = np.maximum(rng.lognormal(np.log(3000.0), 0.8, 5000), 1.0)
+        acc = calibrate_sizes(sizes, duration=60.0)
+        bare = calibrate_accumulator(acc, source="unit", seed=3)
+        spec = bare.to_scenario_spec()
+        assert spec.workload.link_capacity_bps == pytest.approx(
+            2.0 * spec.workload.target_mean_rate_bps
+        )
+
+    def test_declared_capacity_is_kept(self, report):
+        spec = report.to_scenario_spec()
+        assert spec.workload.link_capacity_bps == 622.08e6
+
+    def test_duration_override(self, report):
+        spec = report.to_scenario_spec(duration=12.5)
+        assert spec.workload.duration == 12.5
+
+
+class TestWireDeflation:
+    def test_deflated_wire_mean_hits_target(self):
+        tcp = TcpParameters()
+        params = {"median": 3000.0, "sigma": 0.8}
+        raw_wire = wire_bytes_per_flow(
+            LogNormal(median=3000.0, sigma=0.8), tcp
+        )
+        target = 0.92 * raw_wire  # ask for a slightly lighter trace
+        deflated = deflate_for_wire(
+            "lognormal", params, target, tcp_params=tcp
+        )
+        achieved = wire_bytes_per_flow(
+            LogNormal(
+                median=deflated["median"], sigma=deflated["sigma"]
+            ),
+            tcp,
+        )
+        assert achieved == pytest.approx(target, rel=1e-6)
+        assert deflated["sigma"] == params["sigma"]  # shape untouched

@@ -1,0 +1,104 @@
+"""Closed-loop validation: pass on faithful fits, fail on corrupted ones."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    calibrate_accumulator,
+    calibrate_sizes,
+    validate_fitted_spec,
+    wire_sizes,
+)
+from repro.exceptions import ParameterError
+from repro.netsim.tcp import TcpParameters
+
+
+@pytest.fixture(scope="module")
+def report():
+    rng = np.random.default_rng(7)
+    sizes = np.maximum(rng.lognormal(np.log(3000.0), 0.8, 40000), 1.0)
+    starts = rng.uniform(0.0, 40.0, sizes.size)
+    acc = calibrate_sizes(sizes, starts, duration=40.0)
+    return calibrate_accumulator(acc, source="unit", seed=3)
+
+
+class TestClosedLoop:
+    def test_faithful_fit_passes(self, report):
+        closed = validate_fitted_spec(report, seed=11, duration=40.0)
+        assert closed.passed, closed.failures
+        assert closed.lambda_rel_err <= 0.02
+        assert closed.mean_size_rel_err <= 0.02
+        assert closed.to_dict()["passed"] is True
+
+    def test_corrupted_lambda_fails(self, report):
+        """A report claiming 1.5x the true rate must be caught."""
+        lying = dataclasses.replace(
+            report, arrival_rate=1.5 * report.arrival_rate
+        )
+        # keep the spec honest: it synthesizes the *fitted* workload,
+        # whose λ now disagrees with the (corrupted) report value
+        closed = validate_fitted_spec(
+            lying,
+            spec=report.to_scenario_spec(duration=40.0),
+            seed=11,
+            duration=40.0,
+        )
+        assert not closed.passed
+        assert any("lambda" in failure for failure in closed.failures)
+
+    def test_corrupted_mean_fails(self, report):
+        lying = dataclasses.replace(
+            report, mean_size=1.3 * report.mean_size
+        )
+        closed = validate_fitted_spec(
+            lying,
+            spec=report.to_scenario_spec(duration=40.0),
+            seed=11,
+            duration=40.0,
+        )
+        assert not closed.passed
+        assert any("E[S]" in failure for failure in closed.failures)
+
+    def test_cov_check_is_optional(self, report):
+        closed = validate_fitted_spec(report, seed=11, duration=40.0)
+        assert closed.rate_cov_source is None
+        assert closed.cov_abs_err is None
+        with_cov = validate_fitted_spec(
+            report, seed=11, duration=40.0,
+            source_rate_cov=closed.rate_cov_synthetic,
+        )
+        assert with_cov.cov_abs_err == pytest.approx(0.0, abs=1e-12)
+
+    def test_bad_duration_rejected(self, report):
+        with pytest.raises(ParameterError, match="duration"):
+            validate_fitted_spec(
+                report,
+                spec=report.to_scenario_spec(),
+                seed=11,
+                duration=-1.0,
+            )
+
+    def test_auto_duration_extends_sparse_sources(self, report):
+        """With no explicit window the loop sizes itself to ~50k flows."""
+        closed = validate_fitted_spec(report, seed=11)
+        assert closed.metadata["flows_in_window"] >= 40000
+
+
+class TestWireSizes:
+    def test_headers_per_packet(self):
+        tcp = TcpParameters()
+        payload = np.array([100.0, float(tcp.mss), tcp.mss + 1.0])
+        wire = wire_sizes(payload, tcp)
+        packets = np.array([1.0, 1.0, 2.0])
+        np.testing.assert_allclose(
+            wire, payload + tcp.header_bytes * packets
+        )
+
+    def test_tiny_payloads_clip_to_minimum(self):
+        tcp = TcpParameters()
+        wire = wire_sizes(np.array([1.0]), tcp)
+        assert wire[0] == 40.0 + tcp.header_bytes

@@ -64,11 +64,35 @@ class TestDetectFormat:
         with pytest.raises(TraceFormatError, match="unrecognised telemetry"):
             detect_format(path)
 
-    def test_too_short(self, tmp_path):
-        path = tmp_path / "tiny.bin"
-        path.write_bytes(b"\x00\x05")
-        with pytest.raises(TraceFormatError, match="expected at least 4"):
+    def test_empty_file_is_a_parameter_error(self, tmp_path):
+        path = tmp_path / "empty.nf5"
+        path.write_bytes(b"")
+        with pytest.raises(ParameterError) as excinfo:
             detect_format(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "empty" in message
+
+    @pytest.mark.parametrize(
+        "magic",
+        [
+            pytest.param(b"\x00\x05\x00\x01", id="netflow5"),
+            pytest.param(b"\x00\x0a\x00\x00", id="ipfix"),
+            pytest.param(b"\xa1\xb2\xc3\xd4", id="pcap"),
+        ],
+    )
+    @pytest.mark.parametrize("length", [1, 2, 3])
+    def test_truncated_magic_is_a_parameter_error(
+        self, tmp_path, magic, length
+    ):
+        # a 1-3 byte prefix of a real magic is still too short to sniff
+        path = tmp_path / "truncated.bin"
+        path.write_bytes(magic[:length])
+        with pytest.raises(ParameterError) as excinfo:
+            detect_format(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert f"{length} byte" in message
 
 
 class TestExpandFlowRecords:

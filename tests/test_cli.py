@@ -604,3 +604,66 @@ class TestRetrySurvivesFlagMerge:
         assert execution["workers"] == 3
         assert execution["retry"]["max_retries"] == 3
         assert execution["retry"]["timeout_s"] == 45.0
+
+
+class TestCalibrate:
+    def _archive(self, tmp_path, n=600, seed=9):
+        import numpy as np
+
+        from repro.interop import FLOW_RECORD_DTYPE, write_netflow5
+
+        rng = np.random.default_rng(seed)
+        block = np.zeros(n, dtype=FLOW_RECORD_DTYPE)
+        block["start"] = np.round(np.sort(rng.uniform(0.0, 60.0, n)), 3)
+        block["end"] = block["start"] + 1.0
+        block["src_addr"] = rng.integers(1, 2**32 - 1, n)
+        block["dst_addr"] = rng.integers(1, 2**32 - 1, n)
+        block["src_port"] = 1024
+        block["dst_port"] = 80
+        block["protocol"] = 6
+        block["octets"] = np.maximum(
+            np.rint(rng.lognormal(np.log(3000.0), 0.8, n)), 40
+        ).astype(np.uint64)
+        block["packets"] = np.maximum(block["octets"] // 1460, 1)
+        path = tmp_path / "cal.nf5"
+        write_netflow5(block, path)
+        return path
+
+    def test_archive_emits_runnable_spec(self, tmp_path, capsys):
+        archive = self._archive(tmp_path)
+        fitted = tmp_path / "fitted.json"
+        report = tmp_path / "report.json"
+        assert main(["calibrate", str(archive), "-o", str(fitted),
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "family" in out and "candidates" in out
+        spec = ScenarioSpec.from_file(fitted)
+        assert spec.name == "cal-fitted"
+        assert spec.workload.sizes is not None
+        payload = json.loads(report.read_text())
+        assert payload["family"] == spec.workload.sizes.kind
+        # the emitted spec runs end-to-end through the normal pipeline
+        assert main(["run", str(fitted)]) == 0
+
+    def test_closed_loop_validate_passes(self, tmp_path, capsys):
+        # enough flows that the q=0.999 tail quantile is resolvable
+        archive = self._archive(tmp_path, n=5000)
+        assert main(["calibrate", str(archive), "--validate"]) == 0
+        assert "closed loop: PASS" in capsys.readouterr().out
+
+    def test_registry_scenario_target(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        fitted = tmp_path / "fitted.json"
+        assert main(["calibrate", "campus-mixture-low",
+                     "-o", str(fitted)]) == 0
+        assert ScenarioSpec.from_file(fitted).workload.sizes is not None
+
+    def test_network_scenario_rejected(self, capsys):
+        assert main(["calibrate", "abilene-table-i"]) == 2
+        assert "single-link" in capsys.readouterr().err
+
+    def test_empty_archive_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.nf5"
+        path.write_bytes(b"")
+        assert main(["calibrate", str(path)]) == 2
+        assert "too short" in capsys.readouterr().err
